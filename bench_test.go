@@ -1,0 +1,261 @@
+package espice
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/harness"
+	"repro/internal/window"
+)
+
+// benchScale keeps the per-iteration cost of the figure benchmarks
+// moderate; run cmd/espice-bench for the full-scale reproduction.
+func benchScale() harness.Scale {
+	s := harness.QuickScale()
+	s.NYSEMinutes = 40
+	s.RTLSSeconds = 900
+	s.Q1Sizes = []int{2, 6}
+	s.Q2Sizes = []int{10, 80}
+	s.Q34Windows = []int{300, 2000}
+	s.BinSizes = []int{1, 16, 64}
+	s.Rates = []float64{1.2}
+	return s
+}
+
+// reportFigure exposes the figure's series means as benchmark metrics so
+// `go test -bench` output doubles as a quality summary. Metric units must
+// not contain whitespace, so labels are sanitized.
+func reportFigure(b *testing.B, fig *harness.Figure, unit string) {
+	b.Helper()
+	clean := strings.NewReplacer(" ", "", ":", "_")
+	for _, ser := range fig.Series {
+		if len(ser.Y) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, y := range ser.Y {
+			sum += y
+		}
+		b.ReportMetric(sum/float64(len(ser.Y)), clean.Replace(ser.Label)+"_"+unit)
+	}
+}
+
+func benchFigure(b *testing.B, fn func(harness.Scale) (*harness.Figure, error), unit string) {
+	b.Helper()
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := fn(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportFigure(b, fig, unit)
+		}
+	}
+}
+
+// --- One benchmark per table/figure of the paper's evaluation ----------
+
+func BenchmarkTable1RunningExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunningExample(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5aQ1FirstFN(b *testing.B) { benchFigure(b, harness.Fig5a, "FN%") }
+func BenchmarkFig5bQ1LastFN(b *testing.B)  { benchFigure(b, harness.Fig5b, "FN%") }
+func BenchmarkFig5cQ2FirstFN(b *testing.B) { benchFigure(b, harness.Fig5c, "FN%") }
+func BenchmarkFig5dQ2LastFN(b *testing.B)  { benchFigure(b, harness.Fig5d, "FN%") }
+func BenchmarkFig5eQ3FN(b *testing.B)      { benchFigure(b, harness.Fig5e, "FN%") }
+func BenchmarkFig5fQ4FN(b *testing.B)      { benchFigure(b, harness.Fig5f, "FN%") }
+func BenchmarkFig6aQ1FP(b *testing.B)      { benchFigure(b, harness.Fig6a, "FP%") }
+func BenchmarkFig6bQ3FP(b *testing.B)      { benchFigure(b, harness.Fig6b, "FP%") }
+
+func BenchmarkFig7Latency(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Fig7(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			// Report the peak per-second mean latency: must stay < 1s.
+			maxLat := 0.0
+			for _, ser := range fig.Series {
+				for _, y := range ser.Y {
+					if y > maxLat {
+						maxLat = y
+					}
+				}
+			}
+			b.ReportMetric(maxLat, "peak_latency_s")
+		}
+	}
+}
+
+func BenchmarkFig8aVariableWindowQ1(b *testing.B) { benchFigure(b, harness.Fig8a, "FN%") }
+func BenchmarkFig8bVariableWindowQ2(b *testing.B) { benchFigure(b, harness.Fig8b, "FN%") }
+func BenchmarkFig9aBinSizeQ1(b *testing.B)        { benchFigure(b, harness.Fig9a, "FN%") }
+func BenchmarkFig9bBinSizeQ2(b *testing.B)        { benchFigure(b, harness.Fig9b, "FN%") }
+
+func BenchmarkFig10ShedderOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.MeasureShedderOverhead([]int{2000, 4000, 16000}, 500, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportFigure(b, fig, "overhead%")
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ------
+
+func BenchmarkAblationPartitioning(b *testing.B) { benchFigure(b, harness.AblationPartitioning, "val") }
+func BenchmarkAblationShedders(b *testing.B)     { benchFigure(b, harness.AblationShedders, "FN%") }
+
+// BenchmarkAblationExactVsAtLeast contrasts exact-amount dropping with
+// the literal Algorithm 2 (drop at least x): the at-least variant drops
+// every event at or below the threshold.
+func BenchmarkAblationExactVsAtLeast(b *testing.B) {
+	m := syntheticModel(b, 500, 2000)
+	part := core.ComputePartitioning(2000, 1000, 0.8)
+	for _, exact := range []bool{true, false} {
+		name := "atleast"
+		if exact {
+			name = "exact"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, err := core.NewShedder(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.SetExactAmount(exact)
+			if err := s.Configure(part, 50); err != nil {
+				b.Fatal(err)
+			}
+			drops := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s.Drop(event.Type(i%500), i%2000, 2000) {
+					drops++
+				}
+			}
+			b.ReportMetric(float64(drops)/float64(b.N)*100, "drop%")
+		})
+	}
+}
+
+// --- Micro benchmarks on the hot path -----------------------------------
+
+func syntheticModel(tb testing.TB, types, n int) *core.Model {
+	tb.Helper()
+	ut, err := core.NewUtilityTable(types, n, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	shares := make([][]float64, types)
+	for t := 0; t < types; t++ {
+		shares[t] = make([]float64, ut.Bins())
+		for p := range shares[t] {
+			ut.Set(event.Type(t), p, rng.Intn(101))
+			shares[t][p] = rng.Float64()
+		}
+	}
+	m, err := core.NewModelFromTable(ut, shares)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkShedderDecision measures the O(1) applyLS decision — the
+// number the paper's Figure 10 divides by the event processing time.
+func BenchmarkShedderDecision(b *testing.B) {
+	m := syntheticModel(b, 500, 16000)
+	s, err := core.NewShedder(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Configure(core.ComputePartitioning(16000, 1000, 0.8), 10); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	typs := make([]event.Type, 1024)
+	poss := make([]int, 1024)
+	for i := range typs {
+		typs[i] = event.Type(rng.Intn(500))
+		poss[i] = rng.Intn(16000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Drop(typs[i%1024], poss[i%1024], 16000)
+	}
+}
+
+func BenchmarkCDTBuild(b *testing.B) {
+	m := syntheticModel(b, 500, 2000)
+	part := core.ComputePartitioning(2000, 1000, 0.8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildCDT(m, part); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThresholdLookup(b *testing.B) {
+	m := syntheticModel(b, 500, 2000)
+	cdt, err := core.BuildCDT(m, core.ComputePartitioning(2000, 1000, 0.8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cdt.Threshold(i%cdt.Rho(), float64(i%200))
+	}
+}
+
+func BenchmarkModelBuild(b *testing.B) {
+	const types, n = 100, 1000
+	mb, err := core.NewModelBuilder(core.ModelBuilderConfig{Types: types, N: n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &window.Window{ExpectedSize: n}
+	rng := rand.New(rand.NewSource(2))
+	for p := 0; p < n; p++ {
+		w.Add(event.Event{Seq: uint64(p), Type: event.Type(rng.Intn(types))}, p)
+		w.Arrivals++
+	}
+	matched := w.Kept[:20]
+	for i := 0; i < 50; i++ {
+		mb.ObserveWindow(w, matched)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mb.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUtilityLookupScaled(b *testing.B) {
+	m := syntheticModel(b, 500, 2000)
+	ut := m.UT()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Window size differs from N: exercises the scaling path.
+		ut.Utility(event.Type(i%500), i%1500, 1500)
+	}
+}

@@ -1,0 +1,74 @@
+// Command datagen emits the synthetic datasets as CSV for inspection or
+// external tooling.
+//
+// Usage:
+//
+//	datagen -dataset nyse -minutes 120 -o nyse.csv
+//	datagen -dataset rtls -seconds 1800 -o rtls.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/datasets"
+	"repro/internal/queries"
+)
+
+func main() {
+	log.SetFlags(0)
+	dataset := flag.String("dataset", "nyse", "dataset to generate: nyse or rtls")
+	outPath := flag.String("o", "", "output CSV path (default stdout)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	minutes := flag.Int("minutes", 120, "nyse: stream length in minutes")
+	seconds := flag.Int("seconds", 1800, "rtls: stream length in seconds")
+	hot := flag.Bool("hot", true, "nyse: include the hot symbols query Q4 needs")
+	flag.Parse()
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("closing %s: %v", *outPath, err)
+			}
+		}()
+		out = f
+	}
+
+	switch *dataset {
+	case "nyse":
+		cfg := datasets.NYSEConfig{Minutes: *minutes, Seed: *seed, InfluenceProb: 0.95}
+		if *hot {
+			cfg.HotSymbols = queries.Q4HotSymbolIDs(datasets.NYSEConfig{Leaders: 5})
+			cfg.HotQuotesPerMinute = 10
+		}
+		meta, evs, err := datasets.GenerateNYSE(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := datasets.WriteCSV(out, meta.Registry, evs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d NYSE events (%d symbols, %.1f ev/s)\n",
+			len(evs), meta.Config.Symbols, meta.Rate)
+	case "rtls":
+		meta, evs, err := datasets.GenerateRTLS(datasets.RTLSConfig{
+			DurationSec: *seconds, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := datasets.WriteCSV(out, meta.Registry, evs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d RTLS events (%.1f ev/s)\n", len(evs), meta.Rate)
+	default:
+		log.Fatalf("unknown dataset %q (want nyse or rtls)", *dataset)
+	}
+}

@@ -1,0 +1,146 @@
+// Command espice-bench regenerates the tables and figures of the eSPICE
+// paper's evaluation (Section 4) on the synthetic workloads.
+//
+// Usage:
+//
+//	espice-bench -fig all            # every figure, default scale
+//	espice-bench -fig 5a,5e,7        # selected figures
+//	espice-bench -fig table1         # the running example
+//	espice-bench -scale quick        # reduced sweeps (fast smoke run)
+//	espice-bench -o results.txt      # also write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+type figureFunc func(harness.Scale) (*harness.Figure, error)
+
+func figureRegistry() map[string]figureFunc {
+	return map[string]figureFunc{
+		"5a":      harness.Fig5a,
+		"5b":      harness.Fig5b,
+		"5c":      harness.Fig5c,
+		"5d":      harness.Fig5d,
+		"5e":      harness.Fig5e,
+		"5f":      harness.Fig5f,
+		"6a":      harness.Fig6a,
+		"6b":      harness.Fig6b,
+		"7":       harness.Fig7,
+		"8a":      harness.Fig8a,
+		"8b":      harness.Fig8b,
+		"9a":      harness.Fig9a,
+		"9b":      harness.Fig9b,
+		"ablpart": harness.AblationPartitioning,
+		"ablshed": harness.AblationShedders,
+	}
+}
+
+// figureOrder keeps -fig all output in the paper's order.
+var figureOrder = []string{
+	"table1", "5a", "5b", "5c", "5d", "5e", "5f", "6a", "6b",
+	"7", "8a", "8b", "9a", "9b", "10", "ablpart", "ablshed",
+}
+
+func main() {
+	log.SetFlags(0)
+	figs := flag.String("fig", "all", "comma-separated figure ids (5a..9b, 7, 10, table1, ablpart, ablshed) or 'all'")
+	scaleName := flag.String("scale", "default", "experiment scale: default or quick")
+	outPath := flag.String("o", "", "also write results to this file")
+	flag.Parse()
+
+	var scale harness.Scale
+	switch *scaleName {
+	case "default":
+		scale = harness.DefaultScale()
+	case "quick":
+		scale = harness.QuickScale()
+	default:
+		log.Fatalf("unknown scale %q (want default or quick)", *scaleName)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Printf("closing %s: %v", *outPath, err)
+			}
+		}()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	wanted := parseWanted(*figs)
+	registry := figureRegistry()
+	for _, id := range figureOrder {
+		if !wanted[id] && !wanted["all"] {
+			continue
+		}
+		start := time.Now()
+		switch id {
+		case "table1":
+			text, err := harness.RunningExample()
+			if err != nil {
+				log.Fatalf("table1: %v", err)
+			}
+			fmt.Fprintln(out, text)
+		case "10":
+			fig, err := harness.MeasureShedderOverhead(
+				[]int{2000, 3000, 4000, 8000, 16000}, 500, 1000)
+			if err != nil {
+				log.Fatalf("fig 10: %v", err)
+			}
+			fmt.Fprintln(out, fig.Render())
+		default:
+			fn, ok := registry[id]
+			if !ok {
+				log.Fatalf("unknown figure %q", id)
+			}
+			fig, err := fn(scale)
+			if err != nil {
+				log.Fatalf("fig %s: %v", id, err)
+			}
+			fmt.Fprintln(out, fig.Render())
+		}
+		fmt.Fprintf(out, "(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	// Reject unknown requested ids so typos fail loudly.
+	known := make(map[string]bool, len(figureOrder)+1)
+	known["all"] = true
+	for _, id := range figureOrder {
+		known[id] = true
+	}
+	var unknown []string
+	for id := range wanted {
+		if !known[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		log.Fatalf("unknown figure ids: %s", strings.Join(unknown, ", "))
+	}
+}
+
+func parseWanted(s string) map[string]bool {
+	out := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(strings.ToLower(part))
+		if part != "" {
+			out[part] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Command espice-live replays a synthetic dataset through the live
+// goroutine/channel pipeline at a configurable overload and reports
+// latency and quality statistics — a wall-clock counterpart to the
+// deterministic simulator used by espice-bench.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/event"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/operator"
+	"repro/internal/pattern"
+	"repro/internal/queries"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	seconds := flag.Int("seconds", 900, "seconds of synthetic RTLS data")
+	n := flag.Int("n", 4, "Q1 pattern size")
+	seed := flag.Int64("seed", 1, "generator seed")
+	delay := flag.Duration("delay", 2*time.Millisecond, "processing cost per kept membership")
+	bound := flag.Duration("bound", 500*time.Millisecond, "latency bound LB")
+	fval := flag.Float64("f", 0.7, "shedding trigger fraction f")
+	overload := flag.Float64("overload", 1.3, "input rate as a multiple of capacity")
+	shedderName := flag.String("shedder", "espice", "shedder: espice, bl, random, none")
+	flag.Parse()
+
+	meta, events, err := datasets.GenerateRTLS(datasets.RTLSConfig{
+		DurationSec: *seconds, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	query, err := queries.Q1(meta, *n, pattern.SelectFirst, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, eval := harness.SplitHalf(events)
+	tr, err := harness.Train(query, train, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d windows (%d matches)\n", tr.Windows, tr.Matches)
+
+	// Ground truth for quality comparison.
+	truthOp, err := operator.New(operator.Config{Window: query.Window, Patterns: query.Patterns})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := sim.ReplayUnshed(eval, truthOp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		decider operator.Decider
+		ctrl    sim.Controller
+	)
+	switch *shedderName {
+	case "espice":
+		s, err := core.NewShedder(tr.Model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		decider, ctrl = s, harness.ESPICEController{S: s}
+	case "bl":
+		bl, err := newBL(query, tr, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		decider, ctrl = bl.decider, bl.ctrl
+	case "random":
+		r := newRandomPair(*seed)
+		decider, ctrl = r.decider, r.ctrl
+	case "none":
+	default:
+		log.Fatalf("unknown shedder %q", *shedderName)
+	}
+
+	cfg := runtime.Config{
+		Operator: operator.Config{
+			Window:   query.Window,
+			Patterns: query.Patterns,
+			Shedder:  decider,
+		},
+		PollInterval:    5 * time.Millisecond,
+		ProcessingDelay: *delay,
+	}
+	if ctrl != nil {
+		det, err := core.NewOverloadDetector(core.DetectorConfig{
+			LatencyBound: event.Time(bound.Microseconds()),
+			F:            *fval,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Detector, cfg.Controller = det, ctrl
+	}
+	pipe, err := runtime.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- pipe.Run(context.Background()) }()
+	var detected []operator.ComplexEvent
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for ce := range pipe.Out() {
+			detected = append(detected, ce)
+		}
+	}()
+
+	kbar := tr.MembershipFactor
+	capacity := float64(time.Second) / float64(*delay) / kbar
+	rate := *overload * capacity
+	fmt.Printf("replaying %d events at %.0f ev/s (capacity ~%.0f ev/s, shedder %s)\n",
+		len(eval), rate, capacity, *shedderName)
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	for i, e := range eval {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		pipe.Submit(e)
+	}
+	pipe.CloseInput()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	<-collected
+
+	st := pipe.Stats()
+	lat := pipe.Latency()
+	quality := metrics.CompareQuality(truth, detected)
+	fmt.Printf("\nquality:  %s\n", quality)
+	fmt.Printf("shedding: %d of %d memberships (%.1f%%)\n",
+		st.Operator.MembershipsShed, st.Operator.Memberships,
+		100*float64(st.Operator.MembershipsShed)/float64(max(1, st.Operator.Memberships)))
+	fmt.Printf("latency:  mean %.1fms  p95 %.1fms  max %.1fms\n",
+		float64(lat.Mean())/1000, float64(lat.Percentile(95))/1000, float64(lat.Max())/1000)
+	fmt.Printf("violations of LB=%v: %d of %d\n",
+		*bound, lat.ViolationCount(event.Time(bound.Microseconds())), lat.Len())
+}
+
+type shedPair struct {
+	decider operator.Decider
+	ctrl    sim.Controller
+}
+
+func newBL(q queries.Query, tr *harness.TrainResult, seed int64) (shedPair, error) {
+	bl, err := newBLShedder(q, tr, seed)
+	if err != nil {
+		return shedPair{}, err
+	}
+	return shedPair{decider: bl, ctrl: harness.BLController{B: bl}}, nil
+}
+
+func newRandomPair(seed int64) shedPair {
+	r := newRandomShedder(seed)
+	return shedPair{decider: r, ctrl: harness.RandomController{R: r}}
+}

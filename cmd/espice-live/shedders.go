@@ -1,0 +1,20 @@
+package main
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/harness"
+	"repro/internal/queries"
+)
+
+func newBLShedder(q queries.Query, tr *harness.TrainResult, seed int64) (*baseline.BL, error) {
+	return baseline.NewBL(baseline.BLConfig{
+		Types:   q.NumTypes,
+		Weights: q.MergedTypeWeights(),
+		Freq:    tr.TypeFreq,
+		Seed:    seed,
+	})
+}
+
+func newRandomShedder(seed int64) *baseline.Random {
+	return baseline.NewRandom(seed)
+}

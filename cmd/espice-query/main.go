@@ -1,0 +1,134 @@
+// Command espice-query executes a Tesla-style textual query (see
+// internal/tesla) against a CSV event stream (as produced by datagen),
+// optionally under overload with eSPICE shedding, and prints the
+// detected complex events.
+//
+// Example:
+//
+//	datagen -dataset rtls -seconds 600 -o rtls.csv
+//	espice-query -data rtls.csv -query 'define M
+//	  from seq(STR_A where kind = possession;
+//	           any 2 distinct of DEF_B00, DEF_B01, DEF_B02 where kind = defend)
+//	  within 15s
+//	  open STR_A, STR_B
+//	  anchored'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/datasets"
+	"repro/internal/event"
+	"repro/internal/harness"
+	"repro/internal/operator"
+	"repro/internal/sim"
+	"repro/internal/tesla"
+)
+
+func main() {
+	log.SetFlags(0)
+	dataPath := flag.String("data", "", "CSV event stream (from datagen); required")
+	queryText := flag.String("query", "", "query text; required (or -queryfile)")
+	queryFile := flag.String("queryfile", "", "file containing the query text")
+	schemaCSV := flag.String("schema", "", "comma-separated attribute names for where-clauses")
+	overload := flag.Float64("overload", 0, "replay at this multiple of operator throughput with eSPICE shedding (0 = no shedding, plain replay)")
+	trainFrac := flag.Float64("train", 0.5, "fraction of the stream used to train the shedder (only with -overload)")
+	limit := flag.Int("limit", 20, "print at most this many complex events (0 = all)")
+	flag.Parse()
+
+	if *dataPath == "" {
+		log.Fatal("espice-query: -data is required")
+	}
+	src := *queryText
+	if src == "" && *queryFile != "" {
+		b, err := os.ReadFile(*queryFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = string(b)
+	}
+	if src == "" {
+		log.Fatal("espice-query: -query or -queryfile is required")
+	}
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := event.NewRegistry()
+	events, err := datasets.ReadCSV(f, reg)
+	if closeErr := f.Close(); closeErr != nil {
+		log.Fatal(closeErr)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(events) == 0 {
+		log.Fatal("espice-query: empty event stream")
+	}
+
+	env := tesla.Env{Registry: reg}
+	if *schemaCSV != "" {
+		env.Schema = event.NewSchema(splitComma(*schemaCSV)...)
+	}
+	q, err := tesla.Parse(src, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "query %s over %d events (%d types)\n", q.Name, len(events), reg.Len())
+
+	var detected []operator.ComplexEvent
+	if *overload > 1 {
+		mid := int(float64(len(events)) * *trainFrac)
+		if mid <= 0 || mid >= len(events) {
+			log.Fatal("espice-query: -train must leave both training and replay events")
+		}
+		res, err := harness.RunExperiment(harness.RunConfig{
+			Query:          q,
+			Train:          events[:mid],
+			Eval:           events[mid:],
+			OverloadFactor: *overload,
+		}, harness.ShedESPICE)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "overloaded replay at %.2fx: %s (shed %.1f%%)\n",
+			*overload, res.Quality, 100*res.ShedFraction)
+		return
+	}
+
+	op, err := operator.New(operator.Config{Window: q.Window, Patterns: q.Patterns})
+	if err != nil {
+		log.Fatal(err)
+	}
+	detected, err = sim.ReplayUnshed(events, op)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "detected %d complex events\n", len(detected))
+	for i, ce := range detected {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... and %d more\n", len(detected)-i)
+			break
+		}
+		fmt.Printf("%s window=%d open@%d constituents=%v\n",
+			ce.Pattern, ce.WindowID, ce.WindowOpen, ce.Constituents)
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package espice_test
+
+import (
+	"bytes"
+	"fmt"
+
+	espice "repro"
+)
+
+// Example reproduces the paper's running example (Section 3.3): build
+// the utility table of Table 1, derive the CDT of Figure 2, and look up
+// the threshold for dropping two events per window.
+func Example() {
+	ut, _ := espice.NewUtilityTable(2, 5, 1)
+	utA := []int{70, 15, 10, 5, 0}
+	utB := []int{0, 60, 30, 10, 0}
+	for p := 0; p < 5; p++ {
+		ut.Set(0, p, utA[p])
+		ut.Set(1, p, utB[p])
+	}
+	model, _ := espice.NewModelFromTable(ut, [][]float64{
+		{0.8, 0.5, 0.1, 0.2, 0.5},
+		{0.2, 0.5, 0.9, 0.8, 0.5},
+	})
+	cdt, _ := espice.BuildCDT(model, espice.Partitioning{Rho: 1, PSize: 5, WS: 5})
+	fmt.Printf("O(10) = %.1f\n", cdt.At(0, 10))
+	fmt.Printf("u_th for x=2: %d\n", cdt.Threshold(0, 2))
+	// Output:
+	// O(10) = 2.3
+	// u_th for x=2: 10
+}
+
+// ExampleParseQuery compiles a Tesla-style textual query and shows its
+// structure.
+func ExampleParseQuery() {
+	reg := espice.NewRegistry()
+	reg.Register("STR")
+	reg.Register("DEF")
+	q, err := espice.ParseQuery(`
+		define ManMarking
+		from seq(STR where kind = possession; any 1 of DEF where kind = defend)
+		within 15s
+		open STR
+		anchored
+	`, espice.QueryEnv{Registry: reg})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(q.Name, len(q.Patterns), q.Window.Mode)
+	// Output: ManMarking 1 time
+}
+
+// ExampleSaveModel round-trips a trained model through its binary
+// serialization.
+func ExampleSaveModel() {
+	ut, _ := espice.NewUtilityTable(1, 4, 1)
+	ut.Set(0, 0, 42)
+	model, _ := espice.NewModelFromTable(ut, [][]float64{{1, 1, 1, 1}})
+
+	var buf bytes.Buffer
+	if err := espice.SaveModel(model, &buf); err != nil {
+		fmt.Println(err)
+		return
+	}
+	loaded, err := espice.LoadModel(&buf)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(loaded.UT().At(0, 0))
+	// Output: 42
+}
+
+// ExampleShedder shows the O(1) shedding decision against the running
+// example's model with threshold u_th = 10.
+func ExampleShedder() {
+	ut, _ := espice.NewUtilityTable(2, 5, 1)
+	utA := []int{70, 15, 10, 5, 0}
+	utB := []int{0, 60, 30, 10, 0}
+	for p := 0; p < 5; p++ {
+		ut.Set(0, p, utA[p])
+		ut.Set(1, p, utB[p])
+	}
+	model, _ := espice.NewModelFromTable(ut, [][]float64{
+		{0.8, 0.5, 0.1, 0.2, 0.5},
+		{0.2, 0.5, 0.9, 0.8, 0.5},
+	})
+	shedder, _ := espice.NewShedder(model)
+	shedder.SetExactAmount(false) // literal Algorithm 2
+	_ = shedder.Configure(espice.Partitioning{Rho: 1, PSize: 5, WS: 5}, 2)
+
+	fmt.Println(shedder.Drop(0, 0, 5)) // type A, position 0: utility 70 -> keep
+	fmt.Println(shedder.Drop(1, 0, 5)) // type B, position 0: utility 0 -> drop
+	// Output:
+	// false
+	// true
+}

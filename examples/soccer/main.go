@@ -1,0 +1,114 @@
+// Command soccer runs the man-marking query Q1 on the *live* runtime:
+// real goroutines, channels, wall-clock overload detection. A trained
+// eSPICE shedder guards a latency bound while the synthetic RTLS stream
+// is replayed faster than the (artificially throttled) operator can
+// process it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	espice "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	duration := flag.Int("duration", 900, "seconds of synthetic match data")
+	n := flag.Int("n", 3, "number of marking defenders in the pattern")
+	seed := flag.Int64("seed", 3, "generator seed")
+	delay := flag.Duration("delay", 2*time.Millisecond, "artificial processing cost per membership")
+	bound := flag.Duration("bound", 500*time.Millisecond, "latency bound LB")
+	overload := flag.Float64("overload", 1.3, "submit rate as a multiple of operator capacity")
+	flag.Parse()
+
+	meta, events, err := espice.GenerateRTLS(espice.RTLSConfig{DurationSec: *duration, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	query, err := espice.Q1(meta, *n, espice.SelectFirst, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, eval := espice.SplitHalf(events)
+
+	// Train the utility model offline (not time-critical, Section 3.1).
+	tr, err := espice.Train(query, train, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model trained: %d windows, %d complex events, N=%d\n",
+		tr.Windows, tr.Matches, tr.Model.N())
+
+	shedder, err := espice.NewShedder(tr.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	detector, err := espice.NewOverloadDetector(espice.DetectorConfig{
+		LatencyBound: espice.Time(bound.Microseconds()),
+		F:            0.7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe, err := espice.NewPipeline(espice.PipelineConfig{
+		Operator: espice.OperatorConfig{
+			Window:   query.Window,
+			Patterns: query.Patterns,
+			Shedder:  shedder,
+		},
+		Detector:        detector,
+		Controller:      espice.ESPICEController{S: shedder},
+		PollInterval:    5 * time.Millisecond,
+		ProcessingDelay: *delay,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- pipe.Run(context.Background()) }()
+	complexCount := 0
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for range pipe.Out() {
+			complexCount++
+		}
+	}()
+
+	// Capacity ≈ 1/delay per membership; Q1 has ~1.4 memberships/event.
+	capacity := float64(time.Second) / float64(*delay) / 1.4
+	rate := *overload * capacity
+	fmt.Printf("replaying %d events at ~%.0f ev/s (capacity ~%.0f ev/s)\n",
+		len(eval), rate, capacity)
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	for i, e := range eval {
+		target := start.Add(time.Duration(i) * interval)
+		if d := time.Until(target); d > 0 {
+			time.Sleep(d)
+		}
+		pipe.Submit(e)
+	}
+	pipe.CloseInput()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	<-collected
+
+	st := pipe.Stats()
+	lat := pipe.Latency()
+	fmt.Printf("\nprocessed %d events, detected %d complex events\n", st.Processed, complexCount)
+	fmt.Printf("shed %d of %d memberships (%.1f%%)\n",
+		st.Operator.MembershipsShed, st.Operator.Memberships,
+		100*float64(st.Operator.MembershipsShed)/float64(st.Operator.Memberships))
+	fmt.Printf("latency: mean %.1fms  p95 %.1fms  max %.1fms  (bound %v)\n",
+		float64(lat.Mean())/1000, float64(lat.Percentile(95))/1000,
+		float64(lat.Max())/1000, *bound)
+	fmt.Printf("latency bound violations: %d of %d events\n",
+		lat.ViolationCount(espice.Time(bound.Microseconds())), lat.Len())
+}

@@ -1,0 +1,278 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+func blCfg() BLConfig {
+	return BLConfig{
+		Types: 3,
+		Weights: pattern.TypeWeights{PerType: map[event.Type]float64{
+			0: 2, // pattern needs type 0 twice
+			1: 1,
+			// type 2 never appears in the pattern
+		}},
+		Freq: []float64{4, 4, 12}, // per-window frequencies
+		Seed: 42,
+	}
+}
+
+func TestNewBLValidation(t *testing.T) {
+	if _, err := NewBL(BLConfig{Types: 0}); err == nil {
+		t.Error("Types=0 must fail")
+	}
+	if _, err := NewBL(BLConfig{Types: 2, Freq: []float64{1}}); err == nil {
+		t.Error("Freq length mismatch must fail")
+	}
+	if _, err := NewBL(BLConfig{Types: 1, Freq: []float64{1}, UtilityDiscount: 2}); err == nil {
+		t.Error("discount > 1 must fail")
+	}
+	if _, err := NewBL(BLConfig{Types: 1, Freq: []float64{1}, UtilityDiscount: -1}); err == nil {
+		t.Error("negative discount must fail")
+	}
+}
+
+func TestBLUtilityIsPatternRepetition(t *testing.T) {
+	b, err := NewBL(blCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Utility(0); got != 2 {
+		t.Errorf("Utility(0) = %v, want 2", got)
+	}
+	if got := b.Utility(1); got != 1 {
+		t.Errorf("Utility(1) = %v, want 1", got)
+	}
+	if got := b.Utility(2); got != 0 {
+		t.Errorf("Utility(2) = %v, want 0", got)
+	}
+	if b.Utility(-1) != 0 || b.Utility(9) != 0 {
+		t.Error("OOB utility must be 0")
+	}
+}
+
+func TestBLWildcardSpreadByFrequency(t *testing.T) {
+	b, err := NewBL(BLConfig{
+		Types:   2,
+		Weights: pattern.TypeWeights{PerType: map[event.Type]float64{}, Wildcard: 10},
+		Freq:    []float64{5, 15},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wildcard weight 10 spread 25%/75% by frequency.
+	if math.Abs(b.Utility(0)-2.5) > 1e-12 || math.Abs(b.Utility(1)-7.5) > 1e-12 {
+		t.Errorf("utilities = %v/%v, want 2.5/7.5", b.Utility(0), b.Utility(1))
+	}
+}
+
+func TestBLQuotasDiscountedByUtility(t *testing.T) {
+	b, err := NewBL(blCfg()) // beta defaults to 0.8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Active() {
+		t.Fatal("inactive by default")
+	}
+	b.SetDropAmount(10, 20)
+	if !b.Active() {
+		t.Fatal("should be active")
+	}
+	// Weights: t0 = 4*(1-0.8*2/2) = 0.8; t1 = 4*(1-0.8*1/2) = 2.4;
+	// t2 = 12*(1-0) = 12. Total = 15.2.
+	// Quotas: t0 = 10*0.8/15.2 ≈ 0.526; prob = 0.526/4 ≈ 0.1316
+	//         t1 = 10*2.4/15.2 ≈ 1.579; prob ≈ 0.3947
+	//         t2 = 10*12/15.2 ≈ 7.895; prob ≈ 0.6579
+	wantProbs := []float64{0.131578, 0.394736, 0.657894}
+	for typ, want := range wantProbs {
+		if got := b.DropProb(event.Type(typ)); math.Abs(got-want) > 1e-4 {
+			t.Errorf("DropProb(%d) = %v, want %v", typ, got, want)
+		}
+	}
+	// The expected total drops per window equal x:
+	// sum(prob * freq) = 0.1316*4 + 0.3947*4 + 0.6579*12 = 10.
+	total := 0.0
+	for typ, f := range []float64{4, 4, 12} {
+		total += b.DropProb(event.Type(typ)) * f
+	}
+	if math.Abs(total-10) > 1e-6 {
+		t.Errorf("expected drops per window = %v, want 10", total)
+	}
+}
+
+func TestBLHighUtilityTypesShieldedButNotExempt(t *testing.T) {
+	// The defining weakness of BL (per the paper): because it cannot tell
+	// which instances of a pattern type matter, pattern types still lose
+	// instances under load.
+	b, err := NewBL(blCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetDropAmount(10, 20)
+	if b.DropProb(0) <= 0 {
+		t.Error("max-utility type should still have a small quota with beta < 1")
+	}
+	if b.DropProb(0) >= b.DropProb(1) || b.DropProb(1) >= b.DropProb(2) {
+		t.Errorf("quotas must grow as utility falls: %v %v %v",
+			b.DropProb(0), b.DropProb(1), b.DropProb(2))
+	}
+}
+
+func TestBLBetaOneExemptsMaxUtility(t *testing.T) {
+	cfg := blCfg()
+	cfg.UtilityDiscount = 1
+	b, err := NewBL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetDropAmount(10, 20)
+	if got := b.DropProb(0); got != 0 {
+		t.Errorf("beta=1 must exempt max-utility type, got %v", got)
+	}
+	if b.DropProb(2) <= 0 {
+		t.Error("zero-utility type must carry quota")
+	}
+}
+
+func TestBLBetaOneDegenerateFallsBackToFrequency(t *testing.T) {
+	// All types at maximum utility with beta = 1: weights vanish; BL must
+	// fall back to frequency-proportional dropping rather than shed
+	// nothing (the latency bound cannot be sacrificed).
+	b, err := NewBL(BLConfig{
+		Types:           2,
+		Weights:         pattern.TypeWeights{PerType: map[event.Type]float64{0: 1, 1: 1}},
+		Freq:            []float64{10, 30},
+		UtilityDiscount: 1,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetDropAmount(8, 40)
+	// Frequency-proportional: quota t0 = 8*10/40 = 2 -> p = 0.2; same for t1.
+	if got := b.DropProb(0); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("DropProb(0) = %v, want 0.2", got)
+	}
+	if got := b.DropProb(1); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("DropProb(1) = %v, want 0.2", got)
+	}
+}
+
+func TestBLSamplingMatchesProbability(t *testing.T) {
+	b, err := NewBL(blCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetDropAmount(10, 20)
+	want := b.DropProb(2)
+	const trials = 40000
+	drops := 0
+	for i := 0; i < trials; i++ {
+		if b.Drop(2, i%20, 20) {
+			drops++
+		}
+	}
+	got := float64(drops) / trials
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("empirical drop rate = %v, want ~%v", got, want)
+	}
+}
+
+func TestBLProbabilityClamp(t *testing.T) {
+	b, err := NewBL(blCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand far beyond supply: probabilities clamp to 1.
+	b.SetDropAmount(1000, 20)
+	if got := b.DropProb(2); got != 1 {
+		t.Errorf("DropProb(2) = %v, want 1", got)
+	}
+	if !b.Drop(2, 0, 20) {
+		t.Error("probability 1 must always drop")
+	}
+}
+
+func TestBLDeactivate(t *testing.T) {
+	b, err := NewBL(blCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetDropAmount(5, 20)
+	b.Deactivate()
+	if b.Active() {
+		t.Fatal("Deactivate failed")
+	}
+	for i := 0; i < 100; i++ {
+		if b.Drop(2, 0, 20) {
+			t.Fatal("inactive BL must not drop")
+		}
+	}
+	b.SetDropAmount(0, 20)
+	if b.Active() {
+		t.Error("x=0 must deactivate")
+	}
+}
+
+func TestBLOOBTypeNeverDrops(t *testing.T) {
+	b, _ := NewBL(blCfg())
+	b.SetDropAmount(100, 20)
+	if b.Drop(event.Type(9), 0, 20) || b.Drop(event.NoType, 0, 20) {
+		t.Error("out-of-range types must not drop")
+	}
+	if b.DropProb(event.Type(9)) != 0 || b.DropProb(event.NoType) != 0 {
+		t.Error("OOB DropProb must be 0")
+	}
+}
+
+func TestRandomShedder(t *testing.T) {
+	r := NewRandom(7)
+	if r.Active() {
+		t.Fatal("inactive by default")
+	}
+	for i := 0; i < 100; i++ {
+		if r.Drop(0, 0, 10) {
+			t.Fatal("inactive random must not drop")
+		}
+	}
+	r.SetDropAmount(3, 10) // 30%
+	if !r.Active() {
+		t.Fatal("should be active")
+	}
+	const trials = 50000
+	drops := 0
+	for i := 0; i < trials; i++ {
+		if r.Drop(0, i, 10) {
+			drops++
+		}
+	}
+	rate := float64(drops) / trials
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Errorf("drop rate = %v, want ~0.3", rate)
+	}
+	r.Deactivate()
+	if r.Active() {
+		t.Error("Deactivate failed")
+	}
+}
+
+func TestRandomClampAndZero(t *testing.T) {
+	r := NewRandom(7)
+	r.SetDropAmount(100, 10) // clamp to probability 1
+	if !r.Drop(0, 0, 10) {
+		t.Error("probability 1 must always drop")
+	}
+	r.SetDropAmount(0, 10)
+	if r.Active() {
+		t.Error("x=0 must deactivate")
+	}
+	r.SetDropAmount(5, 0)
+	if r.Active() {
+		t.Error("ws=0 must deactivate")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/window"
+)
+
+// DriftConfig tunes the drift detector.
+type DriftConfig struct {
+	// Delta is the Page-Hinkley tolerance: mean shifts smaller than
+	// Delta are ignored. Default 0.02.
+	Delta float64
+	// Lambda is the alarm threshold on the Page-Hinkley statistic.
+	// Default 3.
+	Lambda float64
+	// MinWindows is the warm-up before alarms may fire. Default 30.
+	MinWindows int
+	// LowUtility is the utility value at or below which a constituent
+	// counts as "unexplained" by the model. Default 0.
+	LowUtility int
+}
+
+func (c *DriftConfig) applyDefaults() {
+	if c.Delta == 0 {
+		c.Delta = 0.02
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 3
+	}
+	if c.MinWindows == 0 {
+		c.MinWindows = 30
+	}
+}
+
+// DriftDetector implements the statistical retraining trigger that
+// Section 3.6 of the paper leaves as future work. It monitors, per
+// closed window with a detected complex event, how well the current
+// utility model explains the detection: the fraction of match
+// constituents that fall into low-utility cells of UT. Under a stable
+// input distribution this mismatch fraction is small and stationary;
+// when the stream's (type, position) correlations shift, constituents
+// start landing in cells the model considers worthless and the mismatch
+// mean rises. A one-sided Page-Hinkley test on the mismatch signal
+// raises the retraining flag.
+//
+// The detector is safe for use from the operator's processing goroutine
+// with Drifted polled from elsewhere.
+type DriftDetector struct {
+	cfg DriftConfig
+
+	mu      sync.Mutex
+	model   *Model
+	n       int     // observed windows with matches
+	mean    float64 // running mean of the mismatch fraction
+	cumDev  float64 // Page-Hinkley cumulative deviation
+	minDev  float64 // minimum of cumDev
+	drifted bool
+}
+
+// NewDriftDetector builds a detector for the given trained model.
+func NewDriftDetector(model *Model, cfg DriftConfig) (*DriftDetector, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: drift detector needs a model")
+	}
+	cfg.applyDefaults()
+	return &DriftDetector{cfg: cfg, model: model}, nil
+}
+
+// ObserveWindow feeds one closed window and the constituents of its
+// detected complex event (no-op when matched is empty — windows without
+// complex events carry no evidence about the model's utility placement).
+func (d *DriftDetector) ObserveWindow(w *window.Window, matched []window.Entry) {
+	if len(matched) == 0 || w == nil || w.Size() == 0 {
+		return
+	}
+	low := 0
+	ut := d.modelSnapshot().UT()
+	for _, ent := range matched {
+		if ut.Utility(ent.Ev.Type, ent.Pos, w.Size()) <= d.cfg.LowUtility {
+			low++
+		}
+	}
+	x := float64(low) / float64(len(matched))
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n++
+	d.mean += (x - d.mean) / float64(d.n)
+	d.cumDev += x - d.mean - d.cfg.Delta
+	if d.cumDev < d.minDev {
+		d.minDev = d.cumDev
+	}
+	if d.n >= d.cfg.MinWindows && d.cumDev-d.minDev > d.cfg.Lambda {
+		d.drifted = true
+	}
+}
+
+// Drifted reports whether a distribution shift was detected; it stays
+// set until Reset.
+func (d *DriftDetector) Drifted() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.drifted
+}
+
+// Windows reports how many matched windows were observed.
+func (d *DriftDetector) Windows() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// MismatchMean returns the running mean of the mismatch fraction.
+func (d *DriftDetector) MismatchMean() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mean
+}
+
+// Reset installs a (typically retrained) model and clears the statistic.
+func (d *DriftDetector) Reset(model *Model) error {
+	if model == nil {
+		return fmt.Errorf("core: Reset needs a model")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.model = model
+	d.n = 0
+	d.mean = 0
+	d.cumDev = 0
+	d.minDev = 0
+	d.drifted = false
+	return nil
+}
+
+func (d *DriftDetector) modelSnapshot() *Model {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.model
+}

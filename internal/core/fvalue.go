@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/event"
+)
+
+// ChooseF selects an appropriate trigger fraction f (Section 3.4,
+// "Appropriate f Value"): a high f avoids shedding during short bursts,
+// but shrinks the partition size, risking partitions in which only
+// high-utility events remain. The paper proposes clustering the utilities
+// in UT into importance classes and picking the largest f whose induced
+// partitioning still leaves at least x low-class events in every
+// partition.
+//
+// xEstimate is the anticipated per-partition drop amount (events); qmax
+// the maximum tolerable queue size; candidates are tried from high to
+// low. ChooseF returns the first candidate that keeps every partition
+// sheddable, falling back to the smallest candidate.
+func ChooseF(m *Model, ws int, qmax, xEstimate float64, candidates []float64) float64 {
+	if len(candidates) == 0 {
+		candidates = []float64{0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.6, 0.5}
+	}
+	sorted := append([]float64(nil), candidates...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+
+	lowMax := lowUtilityClassMax(m)
+	for _, f := range sorted {
+		if f <= 0 || f >= 1 {
+			continue
+		}
+		part := ComputePartitioning(ws, qmax, f)
+		if everyPartitionSheddable(m, part, lowMax, xEstimate) {
+			return f
+		}
+	}
+	return sorted[len(sorted)-1]
+}
+
+// lowUtilityClassMax clusters the utility values present in UT (weighted
+// by their position shares) into importance classes and returns the upper
+// bound of the lowest class. The clustering is a share-weighted tercile
+// split: utilities at or below the 1/3 quantile of event mass form the
+// "low" class. With heavily skewed models (most mass at utility 0, as is
+// typical after training) this resolves to 0, i.e. only provably
+// non-contributing events count as safely sheddable.
+func lowUtilityClassMax(m *Model) int {
+	ut := m.UT()
+	var hist [MaxUtility + 1]float64
+	total := 0.0
+	for t := 0; t < ut.Types(); t++ {
+		for b := 0; b < ut.Bins(); b++ {
+			share := m.Share(event.Type(t), b)
+			if share == 0 {
+				continue
+			}
+			hist[ut.At(event.Type(t), b)] += share
+			total += share
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	target := total / 3
+	cum := 0.0
+	for u := 0; u <= MaxUtility; u++ {
+		cum += hist[u]
+		if cum >= target {
+			return u
+		}
+	}
+	return MaxUtility
+}
+
+// everyPartitionSheddable reports whether each partition of the window
+// contains at least x expected events from the low-utility class.
+func everyPartitionSheddable(m *Model, part Partitioning, lowMax int, x float64) bool {
+	ut := m.UT()
+	low := make([]float64, part.Rho)
+	n := ut.N()
+	for t := 0; t < ut.Types(); t++ {
+		for b := 0; b < ut.Bins(); b++ {
+			if ut.At(event.Type(t), b) > lowMax {
+				continue
+			}
+			share := m.Share(event.Type(t), b)
+			if share == 0 {
+				continue
+			}
+			center := b*ut.BinSize() + ut.BinSize()/2
+			if center >= n {
+				center = n - 1
+			}
+			p := center * part.Rho / n
+			if p >= part.Rho {
+				p = part.Rho - 1
+			}
+			low[p] += share
+		}
+	}
+	for _, v := range low {
+		if v < x {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+)
+
+// skewedModel builds a model where all high-utility mass sits in the
+// first half of the window and the second half is sheddable.
+func skewedModel(t *testing.T, n int) *Model {
+	t.Helper()
+	ut, err := NewUtilityTable(1, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := make([][]float64, 1)
+	shares[0] = make([]float64, n)
+	for p := 0; p < n; p++ {
+		if p < n/2 {
+			ut.Set(0, p, 90)
+		} else {
+			ut.Set(0, p, 0)
+		}
+		shares[0][p] = 1
+	}
+	m, err := NewModelFromTable(ut, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// uniformLowModel: every position equally sheddable.
+func uniformLowModel(t *testing.T, n int) *Model {
+	t.Helper()
+	ut, err := NewUtilityTable(1, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := [][]float64{make([]float64, n)}
+	for p := 0; p < n; p++ {
+		ut.Set(0, p, 0)
+		shares[0][p] = 1
+	}
+	m, err := NewModelFromTable(ut, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestChooseFUniformModelPicksHighest(t *testing.T) {
+	// Uniformly sheddable windows: even tiny partitions have low-utility
+	// events, so the highest candidate f wins.
+	m := uniformLowModel(t, 100)
+	f := ChooseF(m, 100, 200, 2, nil)
+	if f != 0.95 {
+		t.Errorf("ChooseF = %v, want 0.95", f)
+	}
+}
+
+func TestChooseFSkewedModelBacksOff(t *testing.T) {
+	// High-utility mass concentrated in the first half: a large f makes
+	// partitions so small that first-half partitions contain nothing
+	// sheddable; ChooseF must pick a smaller f whose partitions span the
+	// skew.
+	m := skewedModel(t, 100)
+	// qmax = 110: any f that yields more than one partition leaves the
+	// first (all-high-utility) partition unsheddable, so only an f small
+	// enough for rho == 1 (buffer >= 100, i.e. f <= 0.09) passes.
+	f := ChooseF(m, 100, 110, 2, []float64{0.95, 0.8, 0.6, 0.4, 0.2, 0.05})
+	if f != 0.05 {
+		t.Errorf("ChooseF = %v, want 0.05 for skewed model", f)
+	}
+	// The chosen f must actually satisfy the sheddability condition.
+	part := ComputePartitioning(100, 110, f)
+	if !everyPartitionSheddable(m, part, lowUtilityClassMax(m), 2) {
+		t.Errorf("chosen f=%v does not keep partitions sheddable", f)
+	}
+}
+
+func TestChooseFFallsBackToSmallest(t *testing.T) {
+	// Impossible demand: x larger than any partition could shed; falls
+	// back to the smallest candidate.
+	m := skewedModel(t, 10)
+	f := ChooseF(m, 10, 12, 1000, []float64{0.9, 0.7, 0.5})
+	if f != 0.5 {
+		t.Errorf("ChooseF = %v, want fallback 0.5", f)
+	}
+}
+
+func TestChooseFCustomCandidates(t *testing.T) {
+	m := uniformLowModel(t, 50)
+	f := ChooseF(m, 50, 100, 1, []float64{0.3, 0.6})
+	if f != 0.6 {
+		t.Errorf("ChooseF = %v, want 0.6 (highest valid candidate)", f)
+	}
+	// Out-of-range candidates are skipped.
+	f = ChooseF(m, 50, 100, 1, []float64{1.5, 0.4, -2})
+	if f != 0.4 {
+		t.Errorf("ChooseF = %v, want 0.4", f)
+	}
+}
+
+func TestLowUtilityClassMax(t *testing.T) {
+	// Typical trained model: most mass at utility 0 -> low class is 0.
+	m := skewedModel(t, 100)
+	if got := lowUtilityClassMax(m); got != 0 {
+		t.Errorf("lowUtilityClassMax = %d, want 0", got)
+	}
+	// Model with no shares at all: 0 by convention.
+	ut, _ := NewUtilityTable(1, 4, 1)
+	empty, err := NewModelFromTable(ut, [][]float64{{0, 0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lowUtilityClassMax(empty); got != 0 {
+		t.Errorf("empty model class = %d", got)
+	}
+}

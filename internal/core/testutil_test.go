@@ -1,0 +1,11 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/event"
+)
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func intToType(i int) event.Type { return event.Type(i) }

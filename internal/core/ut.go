@@ -1,0 +1,162 @@
+// Package core implements the eSPICE load-shedding framework of Slo,
+// Bhowmik and Rothermel (Middleware '19): a probabilistic utility model
+// over (event type, relative window position), the cumulative utility
+// occurrence table CDT with threshold lookup (Algorithm 1), window
+// partitioning for the dropping interval, the overload detector
+// (Section 3.4), and the O(1) per-event load shedder (Algorithm 2),
+// together with the paper's extensions — variable window sizes, bins for
+// large windows, and model retraining (Section 3.6).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// MaxUtility is the largest utility value stored in the utility table.
+// Utilities are scaled to integers in [0, MaxUtility] (Section 3.3 of the
+// paper: cell values are multiplied by 100 and rounded) so that the CDT
+// can index them directly.
+const MaxUtility = 100
+
+// UtilityTable is the paper's UT: an M x N table mapping (event type,
+// window position) to a utility in [0, 100]. Positions may be aggregated
+// into bins of BinSize consecutive positions to bound the table size for
+// large windows (Section 3.6, "Using Bins for a Large Window Size").
+//
+// The table is immutable after construction by the model builder; the
+// shedder reads it without synchronization.
+type UtilityTable struct {
+	types   int
+	n       int // logical window size N (positions before binning)
+	binSize int // bs
+	bins    int // number of position bins = ceil(n / binSize)
+	vals    []uint8
+}
+
+// NewUtilityTable allocates a zeroed utility table for the given number of
+// event types, logical window size N, and bin size (0 or 1 means no
+// binning).
+func NewUtilityTable(types, n, binSize int) (*UtilityTable, error) {
+	if types <= 0 {
+		return nil, fmt.Errorf("core: utility table needs types > 0, got %d", types)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: utility table needs N > 0, got %d", n)
+	}
+	if binSize <= 0 {
+		binSize = 1
+	}
+	bins := (n + binSize - 1) / binSize
+	return &UtilityTable{
+		types:   types,
+		n:       n,
+		binSize: binSize,
+		bins:    bins,
+		vals:    make([]uint8, types*bins),
+	}, nil
+}
+
+// Types returns M, the number of event types.
+func (ut *UtilityTable) Types() int { return ut.types }
+
+// N returns the logical window size the table was built for.
+func (ut *UtilityTable) N() int { return ut.n }
+
+// BinSize returns bs.
+func (ut *UtilityTable) BinSize() int { return ut.binSize }
+
+// Bins returns the number of position bins (the second table dimension).
+func (ut *UtilityTable) Bins() int { return ut.bins }
+
+// Bin maps a raw position in [0, N) to its bin index.
+func (ut *UtilityTable) Bin(pos int) int {
+	if pos < 0 {
+		pos = 0
+	}
+	b := pos / ut.binSize
+	if b >= ut.bins {
+		b = ut.bins - 1
+	}
+	return b
+}
+
+// At returns the utility of type t at bin b. Out-of-range types (possible
+// when the stream contains types never seen in training) read as utility 0
+// — an unknown type has no evidence of contributing to complex events.
+func (ut *UtilityTable) At(t event.Type, b int) int {
+	if t < 0 || int(t) >= ut.types || b < 0 || b >= ut.bins {
+		return 0
+	}
+	return int(ut.vals[int(t)*ut.bins+b])
+}
+
+// Set stores the utility of type t at bin b, clamping to [0, MaxUtility].
+func (ut *UtilityTable) Set(t event.Type, b int, u int) {
+	if t < 0 || int(t) >= ut.types || b < 0 || b >= ut.bins {
+		return
+	}
+	if u < 0 {
+		u = 0
+	}
+	if u > MaxUtility {
+		u = MaxUtility
+	}
+	ut.vals[int(t)*ut.bins+b] = uint8(u)
+}
+
+// ScalePos maps a position in a window of size ws to the logical position
+// space [0, N): the paper's variable-window scaling with sf = ws / N
+// (Section 3.6). It returns the half-open logical range [lo, hi) the
+// event covers; hi > lo always. For ws <= 0 (unknown size), the position
+// is used unscaled.
+func (ut *UtilityTable) ScalePos(pos, ws int) (lo, hi int) {
+	if pos < 0 {
+		pos = 0
+	}
+	if ws <= 0 || ws == ut.n {
+		if pos >= ut.n {
+			pos = ut.n - 1
+		}
+		return pos, pos + 1
+	}
+	lo = pos * ut.n / ws
+	hi = (pos + 1) * ut.n / ws
+	if lo >= ut.n {
+		lo = ut.n - 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > ut.n {
+		hi = ut.n
+	}
+	return lo, hi
+}
+
+// Utility returns U(T, P) for an event of type t at position pos within a
+// window of (predicted) size ws. When ws differs from N, the position is
+// scaled: scaling down (ws > N) maps several window positions onto one
+// cell; scaling up (ws < N) maps one position onto several cells and the
+// utility is the average of the covered cells (Section 3.6).
+func (ut *UtilityTable) Utility(t event.Type, pos, ws int) int {
+	lo, hi := ut.ScalePos(pos, ws)
+	bLo, bHi := ut.Bin(lo), ut.Bin(hi-1)
+	if bLo == bHi {
+		return ut.At(t, bLo)
+	}
+	sum := 0
+	for b := bLo; b <= bHi; b++ {
+		sum += ut.At(t, b)
+	}
+	return sum / (bHi - bLo + 1)
+}
+
+// clone returns a deep copy; used by the model builder when retraining so
+// readers keep a consistent snapshot.
+func (ut *UtilityTable) clone() *UtilityTable {
+	cp := *ut
+	cp.vals = append([]uint8(nil), ut.vals...)
+	return &cp
+}

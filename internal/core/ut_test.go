@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+func TestNewUtilityTableValidation(t *testing.T) {
+	tests := []struct {
+		name             string
+		types, n, bs     int
+		wantErr          bool
+		wantBins         int
+		wantEffectiveBin int
+	}{
+		{"ok", 2, 10, 1, false, 10, 1},
+		{"bin default", 2, 10, 0, false, 10, 1},
+		{"binned", 2, 10, 4, false, 3, 4},
+		{"no types", 0, 10, 1, true, 0, 0},
+		{"no positions", 2, 0, 1, true, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ut, err := NewUtilityTable(tt.types, tt.n, tt.bs)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if ut.Bins() != tt.wantBins {
+				t.Errorf("Bins() = %d, want %d", ut.Bins(), tt.wantBins)
+			}
+			if ut.BinSize() != tt.wantEffectiveBin {
+				t.Errorf("BinSize() = %d, want %d", ut.BinSize(), tt.wantEffectiveBin)
+			}
+		})
+	}
+}
+
+func TestUtilityTableSetAt(t *testing.T) {
+	ut, err := NewUtilityTable(2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ut.Set(0, 0, 70)
+	ut.Set(1, 4, 100)
+	ut.Set(1, 2, 250) // clamped to 100
+	ut.Set(0, 1, -5)  // clamped to 0
+	if got := ut.At(0, 0); got != 70 {
+		t.Errorf("At(0,0) = %d", got)
+	}
+	if got := ut.At(1, 4); got != 100 {
+		t.Errorf("At(1,4) = %d", got)
+	}
+	if got := ut.At(1, 2); got != 100 {
+		t.Errorf("clamp high: At = %d", got)
+	}
+	if got := ut.At(0, 1); got != 0 {
+		t.Errorf("clamp low: At = %d", got)
+	}
+	// Out-of-range reads are 0, writes are ignored.
+	if got := ut.At(5, 0); got != 0 {
+		t.Errorf("OOB type At = %d", got)
+	}
+	if got := ut.At(0, 99); got != 0 {
+		t.Errorf("OOB bin At = %d", got)
+	}
+	ut.Set(9, 0, 50)
+	ut.Set(0, 99, 50) // no panic
+}
+
+func TestBinMapping(t *testing.T) {
+	ut, _ := NewUtilityTable(1, 10, 4) // bins: [0-3],[4-7],[8-9]
+	tests := []struct{ pos, want int }{
+		{0, 0}, {3, 0}, {4, 1}, {7, 1}, {8, 2}, {9, 2},
+		{-1, 0},  // clamped
+		{100, 2}, // clamped
+	}
+	for _, tt := range tests {
+		if got := ut.Bin(tt.pos); got != tt.want {
+			t.Errorf("Bin(%d) = %d, want %d", tt.pos, got, tt.want)
+		}
+	}
+}
+
+func TestScalePosIdentity(t *testing.T) {
+	ut, _ := NewUtilityTable(1, 10, 1)
+	for _, ws := range []int{0, 10} { // unknown size and exact size
+		lo, hi := ut.ScalePos(3, ws)
+		if lo != 3 || hi != 4 {
+			t.Errorf("ws=%d: ScalePos(3) = [%d,%d)", ws, lo, hi)
+		}
+	}
+	// Position past N clamps.
+	lo, hi := ut.ScalePos(42, 0)
+	if lo != 9 || hi != 10 {
+		t.Errorf("clamp: [%d,%d)", lo, hi)
+	}
+}
+
+func TestScalePosDown(t *testing.T) {
+	// ws=200 > N=100: two window positions per cell (sf = 2).
+	ut, _ := NewUtilityTable(1, 100, 1)
+	for pos := 0; pos < 200; pos++ {
+		lo, hi := ut.ScalePos(pos, 200)
+		if want := pos / 2; lo != want {
+			t.Fatalf("ScalePos(%d, 200) lo = %d, want %d", pos, lo, want)
+		}
+		if hi != lo+1 && !(pos == 199 && hi == 100) {
+			t.Fatalf("ScalePos(%d, 200) hi = %d (lo %d)", pos, hi, lo)
+		}
+	}
+}
+
+func TestScalePosUp(t *testing.T) {
+	// ws=50 < N=100: each window position covers two cells.
+	ut, _ := NewUtilityTable(1, 100, 1)
+	lo, hi := ut.ScalePos(0, 50)
+	if lo != 0 || hi != 2 {
+		t.Errorf("ScalePos(0,50) = [%d,%d), want [0,2)", lo, hi)
+	}
+	lo, hi = ut.ScalePos(49, 50)
+	if lo != 98 || hi != 100 {
+		t.Errorf("ScalePos(49,50) = [%d,%d), want [98,100)", lo, hi)
+	}
+}
+
+func TestUtilityAveragesOnScaleUp(t *testing.T) {
+	ut, _ := NewUtilityTable(1, 4, 1)
+	ut.Set(0, 0, 100)
+	ut.Set(0, 1, 50)
+	ut.Set(0, 2, 20)
+	ut.Set(0, 3, 0)
+	// ws=2: position 0 covers cells {0,1} -> (100+50)/2 = 75;
+	// position 1 covers {2,3} -> 10.
+	if got := ut.Utility(0, 0, 2); got != 75 {
+		t.Errorf("Utility(pos0) = %d, want 75", got)
+	}
+	if got := ut.Utility(0, 1, 2); got != 10 {
+		t.Errorf("Utility(pos1) = %d, want 10", got)
+	}
+}
+
+func TestUtilityScaleDownPicksCell(t *testing.T) {
+	ut, _ := NewUtilityTable(1, 2, 1)
+	ut.Set(0, 0, 80)
+	ut.Set(0, 1, 10)
+	// ws=4: positions 0,1 -> cell 0; positions 2,3 -> cell 1.
+	for pos, want := range map[int]int{0: 80, 1: 80, 2: 10, 3: 10} {
+		if got := ut.Utility(0, pos, 4); got != want {
+			t.Errorf("Utility(pos=%d, ws=4) = %d, want %d", pos, got, want)
+		}
+	}
+}
+
+func TestUtilityUnknownTypeIsZero(t *testing.T) {
+	ut, _ := NewUtilityTable(2, 5, 1)
+	ut.Set(0, 0, 90)
+	if got := ut.Utility(event.Type(77), 0, 5); got != 0 {
+		t.Errorf("unknown type utility = %d, want 0", got)
+	}
+	if got := ut.Utility(event.NoType, 0, 5); got != 0 {
+		t.Errorf("NoType utility = %d, want 0", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	ut, _ := NewUtilityTable(1, 3, 1)
+	ut.Set(0, 1, 42)
+	cp := ut.clone()
+	cp.Set(0, 1, 7)
+	if ut.At(0, 1) != 42 {
+		t.Error("clone shares storage with original")
+	}
+	if cp.At(0, 1) != 7 {
+		t.Error("clone write lost")
+	}
+}
+
+// Property: ScalePos always returns a non-empty range inside [0, N), and
+// the mapping is monotone in pos.
+func TestScalePosBoundsProperty(t *testing.T) {
+	f := func(rawN, rawWS uint16, rawPos uint16) bool {
+		n := int(rawN)%500 + 1
+		ws := int(rawWS) % 1000 // may be 0 = unknown
+		ut, err := NewUtilityTable(1, n, 1)
+		if err != nil {
+			return false
+		}
+		bound := ws
+		if bound == 0 {
+			bound = n
+		}
+		pos := int(rawPos) % (bound + 1)
+		lo, hi := ut.ScalePos(pos, ws)
+		if lo < 0 || hi <= lo || hi > n {
+			return false
+		}
+		if pos > 0 {
+			plo, _ := ut.ScalePos(pos-1, ws)
+			if plo > lo {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Utility is always within [0, MaxUtility] regardless of inputs.
+func TestUtilityRangeProperty(t *testing.T) {
+	ut, _ := NewUtilityTable(3, 50, 4)
+	for tIdx := 0; tIdx < 3; tIdx++ {
+		for b := 0; b < ut.Bins(); b++ {
+			ut.Set(event.Type(tIdx), b, (tIdx*13+b*7)%101)
+		}
+	}
+	f := func(tRaw uint8, pos int16, ws int16) bool {
+		u := ut.Utility(event.Type(tRaw%5), int(pos), int(ws))
+		return u >= 0 && u <= MaxUtility
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

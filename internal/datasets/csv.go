@@ -1,0 +1,87 @@
+package datasets
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/event"
+)
+
+// WriteCSV streams events to w in a simple columnar format:
+//
+//	seq,type,ts_us,kind,val0,val1,...
+//
+// The type column holds the registered type name so that files remain
+// meaningful without the registry.
+func WriteCSV(w io.Writer, reg *event.Registry, events []event.Event) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	for _, e := range events {
+		rec := make([]string, 0, 4+len(e.Vals))
+		rec = append(rec,
+			strconv.FormatUint(e.Seq, 10),
+			reg.Name(e.Type),
+			strconv.FormatInt(int64(e.TS), 10),
+			strconv.Itoa(int(e.Kind)),
+		)
+		for _, v := range e.Vals {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("datasets: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses events written by WriteCSV, interning type names into
+// reg (types are registered on first sight, so a fresh registry works).
+func ReadCSV(r io.Reader, reg *event.Registry) ([]event.Event, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var out []event.Event
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("datasets: read csv line %d: %w", line, err)
+		}
+		if len(rec) < 4 {
+			return nil, fmt.Errorf("datasets: csv line %d: %d fields, want >= 4", line, len(rec))
+		}
+		seq, err := strconv.ParseUint(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: csv line %d seq: %w", line, err)
+		}
+		ts, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: csv line %d ts: %w", line, err)
+		}
+		kind, err := strconv.Atoi(rec[3])
+		if err != nil || kind < 0 || kind > 255 {
+			return nil, fmt.Errorf("datasets: csv line %d kind %q invalid", line, rec[3])
+		}
+		e := event.Event{
+			Seq:  seq,
+			Type: reg.Register(rec[1]),
+			TS:   event.Time(ts),
+			Kind: event.Kind(kind),
+		}
+		if len(rec) > 4 {
+			e.Vals = make([]float64, len(rec)-4)
+			for i, f := range rec[4:] {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("datasets: csv line %d val %d: %w", line, i, err)
+				}
+				e.Vals[i] = v
+			}
+		}
+		out = append(out, e)
+	}
+}

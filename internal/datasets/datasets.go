@@ -1,0 +1,55 @@
+// Package datasets provides synthetic equivalents of the two real-world
+// datasets of the eSPICE evaluation (Section 4.1):
+//
+//   - NYSE Stock Quotes: intra-day quotes of 500 symbols at one quote per
+//     minute per symbol, with five blue-chip "leading" symbols whose moves
+//     propagate to correlated follower symbols within a bounded interval.
+//   - RTLS soccer: sensor events from players and ball in a soccer game,
+//     with possession events by strikers and man-marking defend events by
+//     assigned defenders a few seconds later.
+//
+// The originals (Google Finance scrape, DEBS'13 Grand Challenge) are not
+// redistributable, so the generators plant exactly the structure the
+// eSPICE model learns from — correlations between event *types* and
+// *relative positions within windows* — while randomizing everything
+// else. See DESIGN.md ("Substitutions") for the fidelity argument.
+package datasets
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+)
+
+// timed pairs an event with a stable ordering key during generation.
+type timed struct {
+	ev  event.Event
+	ord uint64 // generation order, tie-breaker for equal timestamps
+}
+
+// finalize sorts the generated events by timestamp (tie-broken by
+// generation order) and assigns dense sequence numbers — the global order
+// required by the CEP engine.
+func finalize(evs []timed) []event.Event {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].ev.TS != evs[j].ev.TS {
+			return evs[i].ev.TS < evs[j].ev.TS
+		}
+		return evs[i].ord < evs[j].ord
+	})
+	out := make([]event.Event, len(evs))
+	for i := range evs {
+		out[i] = evs[i].ev
+		out[i].Seq = uint64(i)
+	}
+	return out
+}
+
+// validatePositive returns an error mentioning name when v <= 0.
+func validatePositive(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("datasets: %s must be > 0, got %d", name, v)
+	}
+	return nil
+}

@@ -1,0 +1,372 @@
+package datasets
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestGenerateNYSEDefaults(t *testing.T) {
+	meta, evs, err := GenerateNYSE(NYSEConfig{Minutes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Config.Symbols != 500 || meta.Config.Leaders != 5 {
+		t.Errorf("defaults not applied: %+v", meta.Config)
+	}
+	if len(evs) != 500*3 {
+		t.Fatalf("len(evs) = %d, want 1500", len(evs))
+	}
+	if math.Abs(meta.Rate-500.0/60) > 1e-9 {
+		t.Errorf("Rate = %v", meta.Rate)
+	}
+	if len(meta.AllTypes()) != 500 {
+		t.Errorf("AllTypes = %d", len(meta.AllTypes()))
+	}
+	if !meta.IsLeader(0) || meta.IsLeader(5) {
+		t.Error("IsLeader wrong")
+	}
+}
+
+func TestGenerateNYSEValidation(t *testing.T) {
+	bad := []NYSEConfig{
+		{Symbols: 5, Leaders: 5, Minutes: 1},                         // leaders >= symbols
+		{Symbols: 10, Leaders: 2, FollowersPerLeader: 9, Minutes: 1}, // followers exceed pool
+		{Symbols: 10, Leaders: 1, Minutes: 1, InfluenceProb: 2},      // bad prob
+		{Symbols: -1},
+	}
+	for i, cfg := range bad {
+		if _, _, err := GenerateNYSE(cfg); err == nil {
+			t.Errorf("config %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestNYSEGlobalOrderAndSeqs(t *testing.T) {
+	_, evs, err := GenerateNYSE(NYSEConfig{Symbols: 50, Leaders: 2, FollowersPerLeader: 20, Minutes: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i) {
+			t.Fatalf("seq[%d] = %d", i, e.Seq)
+		}
+		if i > 0 && evs[i-1].TS > e.TS {
+			t.Fatalf("timestamps out of order at %d", i)
+		}
+	}
+}
+
+func TestNYSEOneQuotePerSymbolPerMinute(t *testing.T) {
+	meta, evs, err := GenerateNYSE(NYSEConfig{Symbols: 40, Leaders: 2, FollowersPerLeader: 10, Minutes: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[event.Type]int)
+	for _, e := range evs {
+		counts[e.Type]++
+		if e.Kind != event.KindRising && e.Kind != event.KindFalling {
+			t.Fatalf("unexpected kind %v", e.Kind)
+		}
+		change := e.Val(NYSEValChange)
+		if (e.Kind == event.KindRising) != (change > 0) {
+			t.Fatalf("kind/change mismatch: %v %v", e.Kind, change)
+		}
+	}
+	for s := 0; s < meta.Config.Symbols; s++ {
+		if counts[event.Type(s)] != 4 {
+			t.Fatalf("symbol %d quoted %d times, want 4", s, counts[event.Type(s)])
+		}
+	}
+}
+
+func TestNYSEFollowersCorrelateWithLeader(t *testing.T) {
+	meta, evs, err := GenerateNYSE(NYSEConfig{
+		Symbols: 100, Leaders: 2, FollowersPerLeader: 40, Minutes: 60,
+		InfluenceProb: 0.9, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead := meta.Leaders[0]
+	followers := meta.Followers[lead]
+	if len(followers) != 40 {
+		t.Fatalf("followers = %d", len(followers))
+	}
+	// Follower ids must be ascending (stable in-minute ordering).
+	for i := 1; i < len(followers); i++ {
+		if followers[i] <= followers[i-1] {
+			t.Fatal("follower ids not ascending")
+		}
+	}
+	// Within each minute, followers should agree with the leader's
+	// direction far more often than 50%.
+	dirByMinute := make(map[int]event.Kind)
+	agree, total := 0, 0
+	for _, e := range evs {
+		minute := int(e.TS / (60 * event.Second))
+		if e.Type == lead {
+			dirByMinute[minute] = e.Kind
+		}
+	}
+	followerSet := make(map[event.Type]bool)
+	for _, f := range followers {
+		followerSet[f] = true
+	}
+	for _, e := range evs {
+		if !followerSet[e.Type] {
+			continue
+		}
+		minute := int(e.TS / (60 * event.Second))
+		if d, ok := dirByMinute[minute]; ok {
+			total++
+			if e.Kind == d {
+				agree++
+			}
+		}
+	}
+	rate := float64(agree) / float64(total)
+	if rate < 0.8 {
+		t.Errorf("follower agreement = %v, want >= 0.8", rate)
+	}
+}
+
+func TestNYSEDeterministicBySeed(t *testing.T) {
+	cfg := NYSEConfig{Symbols: 30, Leaders: 2, FollowersPerLeader: 10, Minutes: 3, Seed: 7}
+	_, a, err := GenerateNYSE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := GenerateNYSE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must produce identical streams")
+	}
+	cfg.Seed = 8
+	_, c, err := GenerateNYSE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateRTLSDefaults(t *testing.T) {
+	meta, evs, err := GenerateRTLS(RTLSConfig{DurationSec: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Config.DefendersPerTeam != 10 || meta.Config.MarkersPerStriker != 8 {
+		t.Errorf("defaults: %+v", meta.Config)
+	}
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	// Global order invariants.
+	for i, e := range evs {
+		if e.Seq != uint64(i) {
+			t.Fatalf("seq[%d] = %d", i, e.Seq)
+		}
+		if i > 0 && evs[i-1].TS > e.TS {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+	// Rate sanity: objects * per-object rate.
+	wantRate := meta.Rate
+	gotRate := float64(len(evs)) / 60
+	if math.Abs(gotRate-wantRate) > wantRate*0.2 {
+		t.Errorf("rate = %v, want ~%v", gotRate, wantRate)
+	}
+}
+
+func TestGenerateRTLSValidation(t *testing.T) {
+	bad := []RTLSConfig{
+		{DefendersPerTeam: 2, MarkersPerStriker: 5, DurationSec: 10},
+		{DurationSec: -1},
+		{DurationSec: 10, DefendLagMin: 5, DefendLagMax: 2},
+		{DurationSec: 10, DefendProb: 2},
+	}
+	for i, cfg := range bad {
+		if _, _, err := GenerateRTLS(cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestRTLSStructure(t *testing.T) {
+	meta, evs, err := GenerateRTLS(RTLSConfig{DurationSec: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Strikers()) != 2 {
+		t.Fatal("need 2 strikers")
+	}
+	if got := meta.OpposingDefenders(meta.StrikerA); !reflect.DeepEqual(got, meta.DefendersB) {
+		t.Error("striker A must be marked by team B defenders")
+	}
+	if got := meta.OpposingDefenders(meta.StrikerB); !reflect.DeepEqual(got, meta.DefendersA) {
+		t.Error("striker B must be marked by team A defenders")
+	}
+	if meta.OpposingDefenders(meta.Ball) != nil {
+		t.Error("ball has no defenders")
+	}
+	if len(meta.MarkersOf[meta.StrikerA]) != meta.Config.MarkersPerStriker {
+		t.Errorf("markers = %d", len(meta.MarkersOf[meta.StrikerA]))
+	}
+
+	// Possession events exist and are striker-typed.
+	possessions := 0
+	for _, e := range evs {
+		if e.Kind == event.KindPossession {
+			possessions++
+			if e.Type != meta.StrikerA && e.Type != meta.StrikerB {
+				t.Fatalf("possession by non-striker %d", e.Type)
+			}
+		}
+	}
+	if possessions < 10 {
+		t.Errorf("possessions = %d, want >= 10 in 300s", possessions)
+	}
+}
+
+func TestRTLSMarkersReactAfterPossession(t *testing.T) {
+	meta, evs, err := GenerateRTLS(RTLSConfig{DurationSec: 600, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lagMin := meta.Config.DefendLagMin
+	lagMax := meta.Config.DefendLagMax + 0.5 // jitter allowance
+	markers := meta.MarkersOf[meta.StrikerA]
+	markerSet := make(map[event.Type]bool)
+	for _, m := range markers {
+		markerSet[m] = true
+	}
+	reacted, possessions := 0, 0
+	for _, e := range evs {
+		if e.Kind != event.KindPossession || e.Type != meta.StrikerA {
+			continue
+		}
+		possessions++
+		// Count distinct markers with a defend event inside the lag band.
+		seen := make(map[event.Type]bool)
+		lo := e.TS + event.Time(lagMin*float64(event.Second))
+		hi := e.TS + event.Time(lagMax*float64(event.Second))
+		for _, d := range evs {
+			if d.Kind == event.KindDefend && markerSet[d.Type] && d.TS >= lo && d.TS <= hi {
+				seen[d.Type] = true
+			}
+		}
+		if len(seen) >= meta.Config.MarkersPerStriker-2 {
+			reacted++
+		}
+	}
+	if possessions == 0 {
+		t.Fatal("no possessions")
+	}
+	rate := float64(reacted) / float64(possessions)
+	if rate < 0.7 {
+		t.Errorf("marker reaction rate = %v, want >= 0.7", rate)
+	}
+}
+
+func TestRTLSDeterministicBySeed(t *testing.T) {
+	cfg := RTLSConfig{DurationSec: 60, Seed: 9}
+	_, a, _ := GenerateRTLS(cfg)
+	_, b, _ := GenerateRTLS(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must produce identical streams")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	meta, evs, err := GenerateNYSE(NYSEConfig{Symbols: 20, Leaders: 2, FollowersPerLeader: 5, Minutes: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, meta.Registry, evs); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := event.NewRegistry()
+	got, err := ReadCSV(&buf, reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("round trip length %d != %d", len(got), len(evs))
+	}
+	for i := range got {
+		want := evs[i]
+		g := got[i]
+		if g.Seq != want.Seq || g.TS != want.TS || g.Kind != want.Kind {
+			t.Fatalf("event %d meta mismatch: %+v vs %+v", i, g, want)
+		}
+		if reg2.Name(g.Type) != meta.Registry.Name(want.Type) {
+			t.Fatalf("event %d type name mismatch", i)
+		}
+		if !reflect.DeepEqual(g.Vals, want.Vals) {
+			t.Fatalf("event %d vals mismatch: %v vs %v", i, g.Vals, want.Vals)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	reg := event.NewRegistry()
+	cases := []string{
+		"1,A\n",               // too few fields
+		"x,A,0,0\n",           // bad seq
+		"1,A,zz,0\n",          // bad ts
+		"1,A,0,999\n",         // bad kind
+		"1,A,0,0,notafloat\n", // bad val
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(bytes.NewBufferString(in), reg); err == nil {
+			t.Errorf("case %d should fail: %q", i, in)
+		}
+	}
+	// Empty input is fine.
+	got, err := ReadCSV(bytes.NewBufferString(""), reg)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: %v %v", got, err)
+	}
+}
+
+func TestNYSEHotSymbols(t *testing.T) {
+	cfg := NYSEConfig{
+		Symbols: 30, Leaders: 2, FollowersPerLeader: 10, Minutes: 4,
+		HotSymbols: []int{3, 4}, HotQuotesPerMinute: 6, Seed: 11,
+	}
+	meta, evs, err := GenerateNYSE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[event.Type]int)
+	for _, e := range evs {
+		counts[e.Type]++
+	}
+	if counts[3] != 4*6 || counts[4] != 4*6 {
+		t.Errorf("hot counts = %d/%d, want 24", counts[3], counts[4])
+	}
+	if counts[5] != 4 {
+		t.Errorf("cold count = %d, want 4", counts[5])
+	}
+	wantRate := float64(30+2*5) / 60
+	if math.Abs(meta.Rate-wantRate) > 1e-9 {
+		t.Errorf("Rate = %v, want %v", meta.Rate, wantRate)
+	}
+}
+
+func TestNYSEHotSymbolValidation(t *testing.T) {
+	if _, _, err := GenerateNYSE(NYSEConfig{Symbols: 10, Leaders: 1, Minutes: 1, HotSymbols: []int{10}}); err == nil {
+		t.Error("out-of-range hot symbol must fail")
+	}
+	if _, _, err := GenerateNYSE(NYSEConfig{Symbols: 10, Leaders: 1, Minutes: 1, HotQuotesPerMinute: -1}); err == nil {
+		t.Error("negative hot rate must fail")
+	}
+}

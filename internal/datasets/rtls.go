@@ -1,0 +1,282 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/event"
+)
+
+// RTLS attribute value slots.
+const (
+	RTLSValX        = 0
+	RTLSValY        = 1
+	RTLSValVelocity = 2
+)
+
+// RTLSConfig parameterizes the synthetic soccer position stream.
+type RTLSConfig struct {
+	// DefendersPerTeam is the number of defenders per team (each team's
+	// defenders mark the opposing striker).
+	DefendersPerTeam int
+	// MarkersPerStriker is how many opposing defenders actually
+	// man-mark each striker; must be <= DefendersPerTeam. Each marker has
+	// a fixed reaction lag in [DefendLagMin, DefendLagMax], which plants
+	// the positional correlation.
+	MarkersPerStriker int
+	// OthersPerTeam adds non-defending players (background traffic).
+	OthersPerTeam int
+	// DurationSec is the stream length in seconds.
+	DurationSec int
+	// EventsPerObjectPerSec is the background sensor rate per object
+	// after the paper's redundancy filtering (~1 event/s, may be higher
+	// to reach the evaluation's ~46 events/s overall).
+	EventsPerObjectPerSec float64
+	// PossessionIntervalSec is the mean gap between ball possessions per
+	// striker.
+	PossessionIntervalSec float64
+	// DefendLagMin/Max bound the marker reaction delay in seconds.
+	DefendLagMin, DefendLagMax float64
+	// DefendProb is the probability a marker reacts to a possession.
+	DefendProb float64
+	// NoiseDefendProb is the probability a background event of a
+	// non-marking defender is a defend action (occasional duels).
+	NoiseDefendProb float64
+	// MarkerDefendProb is the probability a background event of a
+	// man-marking defender is a defend action: markers shadow their
+	// striker continuously, so their within-distance readings are dense.
+	// This is what makes the *last* defend instances of a window sit at
+	// stable late positions (the last selection policy experiments).
+	MarkerDefendProb float64
+	// DefendBurst is the number of defend events a reacting marker emits
+	// per possession (continuous marking produces a burst of
+	// within-distance readings, not a single event). Spaced
+	// DefendBurstGapSec apart starting at the marker's lag.
+	DefendBurst int
+	// DefendBurstGapSec is the spacing between burst events (default 0.6s).
+	DefendBurstGapSec float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *RTLSConfig) applyDefaults() {
+	if c.DefendersPerTeam == 0 {
+		c.DefendersPerTeam = 10
+	}
+	if c.MarkersPerStriker == 0 {
+		c.MarkersPerStriker = 8
+	}
+	if c.OthersPerTeam == 0 {
+		c.OthersPerTeam = 6
+	}
+	if c.DurationSec == 0 {
+		c.DurationSec = 1800
+	}
+	if c.EventsPerObjectPerSec == 0 {
+		c.EventsPerObjectPerSec = 1.3
+	}
+	if c.PossessionIntervalSec == 0 {
+		c.PossessionIntervalSec = 22
+	}
+	if c.DefendLagMax == 0 {
+		c.DefendLagMin, c.DefendLagMax = 1, 8
+	}
+	if c.DefendProb == 0 {
+		c.DefendProb = 0.92
+	}
+	if c.NoiseDefendProb == 0 {
+		c.NoiseDefendProb = 0.02
+	}
+	if c.MarkerDefendProb == 0 {
+		c.MarkerDefendProb = 0.3
+	}
+	if c.DefendBurst == 0 {
+		c.DefendBurst = 4
+	}
+	if c.DefendBurstGapSec == 0 {
+		c.DefendBurstGapSec = 0.6
+	}
+}
+
+func (c *RTLSConfig) validate() error {
+	if err := validatePositive("DefendersPerTeam", c.DefendersPerTeam); err != nil {
+		return err
+	}
+	if err := validatePositive("DurationSec", c.DurationSec); err != nil {
+		return err
+	}
+	if c.MarkersPerStriker <= 0 || c.MarkersPerStriker > c.DefendersPerTeam {
+		return fmt.Errorf("datasets: MarkersPerStriker must be in [1,%d], got %d",
+			c.DefendersPerTeam, c.MarkersPerStriker)
+	}
+	if c.EventsPerObjectPerSec <= 0 {
+		return fmt.Errorf("datasets: EventsPerObjectPerSec must be > 0")
+	}
+	if c.PossessionIntervalSec <= 0 {
+		return fmt.Errorf("datasets: PossessionIntervalSec must be > 0")
+	}
+	if c.DefendLagMin < 0 || c.DefendLagMax <= c.DefendLagMin {
+		return fmt.Errorf("datasets: need 0 <= DefendLagMin < DefendLagMax, got %v/%v",
+			c.DefendLagMin, c.DefendLagMax)
+	}
+	if c.DefendProb < 0 || c.DefendProb > 1 || c.NoiseDefendProb < 0 || c.NoiseDefendProb > 1 ||
+		c.MarkerDefendProb < 0 || c.MarkerDefendProb > 1 {
+		return fmt.Errorf("datasets: probabilities must be in [0,1]")
+	}
+	if c.DefendBurst < 0 || c.DefendBurstGapSec < 0 {
+		return fmt.Errorf("datasets: DefendBurst and DefendBurstGapSec must be >= 0")
+	}
+	return nil
+}
+
+// RTLSMeta describes the generated stream.
+type RTLSMeta struct {
+	Config   RTLSConfig
+	Registry *event.Registry
+	Schema   *event.Schema
+
+	Ball       event.Type
+	StrikerA   event.Type // striker of team A (marked by team B defenders)
+	StrikerB   event.Type
+	DefendersA []event.Type // team A defenders (mark striker B)
+	DefendersB []event.Type // team B defenders (mark striker A)
+	// MarkersOf maps each striker to its man-marking defenders (a subset
+	// of the opposing team's defenders), in fixed-lag order.
+	MarkersOf map[event.Type][]event.Type
+	Others    []event.Type
+	Rate      float64 // events per second (approximate)
+}
+
+// Strikers returns both striker types.
+func (m *RTLSMeta) Strikers() []event.Type {
+	return []event.Type{m.StrikerA, m.StrikerB}
+}
+
+// OpposingDefenders returns the defenders that may mark the striker.
+func (m *RTLSMeta) OpposingDefenders(striker event.Type) []event.Type {
+	switch striker {
+	case m.StrikerA:
+		return append([]event.Type(nil), m.DefendersB...)
+	case m.StrikerB:
+		return append([]event.Type(nil), m.DefendersA...)
+	default:
+		return nil
+	}
+}
+
+// GenerateRTLS produces the synthetic soccer stream: regular position
+// events from every object, possession events by the strikers, and
+// defend events — both man-marking reactions a fixed per-marker lag after
+// possessions, and background marking noise.
+func GenerateRTLS(cfg RTLSConfig) (*RTLSMeta, []event.Event, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	reg := event.NewRegistry()
+	meta := &RTLSMeta{
+		Config:    cfg,
+		Registry:  reg,
+		Schema:    event.NewSchema("x", "y", "velocity"),
+		MarkersOf: make(map[event.Type][]event.Type, 2),
+	}
+	meta.Ball = reg.Register("BALL")
+	meta.StrikerA = reg.Register("STR_A")
+	meta.StrikerB = reg.Register("STR_B")
+	for i := 0; i < cfg.DefendersPerTeam; i++ {
+		meta.DefendersA = append(meta.DefendersA, reg.Register(fmt.Sprintf("DEF_A%02d", i)))
+	}
+	for i := 0; i < cfg.DefendersPerTeam; i++ {
+		meta.DefendersB = append(meta.DefendersB, reg.Register(fmt.Sprintf("DEF_B%02d", i)))
+	}
+	for i := 0; i < 2*cfg.OthersPerTeam; i++ {
+		meta.Others = append(meta.Others, reg.Register(fmt.Sprintf("MID%02d", i)))
+	}
+	// Markers: the first MarkersPerStriker opposing defenders, each with a
+	// fixed reaction lag spread over [DefendLagMin, DefendLagMax].
+	meta.MarkersOf[meta.StrikerA] = append([]event.Type(nil), meta.DefendersB[:cfg.MarkersPerStriker]...)
+	meta.MarkersOf[meta.StrikerB] = append([]event.Type(nil), meta.DefendersA[:cfg.MarkersPerStriker]...)
+
+	objects := reg.Len()
+	meta.Rate = float64(objects) * cfg.EventsPerObjectPerSec
+
+	isDefender := make(map[event.Type]bool, 2*cfg.DefendersPerTeam)
+	for _, d := range meta.DefendersA {
+		isDefender[d] = true
+	}
+	for _, d := range meta.DefendersB {
+		isDefender[d] = true
+	}
+	isMarker := make(map[event.Type]bool, 2*cfg.MarkersPerStriker)
+	for _, markers := range meta.MarkersOf {
+		for _, m := range markers {
+			isMarker[m] = true
+		}
+	}
+
+	evs := make([]timed, 0, int(meta.Rate)*cfg.DurationSec+1024)
+	ord := uint64(0)
+	emit := func(t event.Type, ts event.Time, kind event.Kind) {
+		evs = append(evs, timed{
+			ev: event.Event{
+				Type: t,
+				TS:   ts,
+				Kind: kind,
+				Vals: []float64{rng.Float64() * 105, rng.Float64() * 68, rng.Float64() * 10},
+			},
+			ord: ord,
+		})
+		ord++
+	}
+
+	// Background sensor traffic: each object emits at its own cadence with
+	// a stable phase so that stream order is deterministic.
+	interval := 1.0 / cfg.EventsPerObjectPerSec
+	for o := 0; o < objects; o++ {
+		typ := event.Type(o)
+		phase := float64(o) * interval / float64(objects)
+		for t := phase; t < float64(cfg.DurationSec); t += interval {
+			kind := event.KindPosition
+			switch {
+			case isMarker[typ] && rng.Float64() < cfg.MarkerDefendProb:
+				kind = event.KindDefend
+			case isDefender[typ] && rng.Float64() < cfg.NoiseDefendProb:
+				kind = event.KindDefend
+			}
+			emit(typ, event.Time(t*float64(event.Second)), kind)
+		}
+	}
+
+	// Possessions and man-marking reactions. The two strikers alternate
+	// possession slots with jitter so their windows rarely overlap.
+	markerLag := func(striker event.Type, idx int) float64 {
+		span := cfg.DefendLagMax - cfg.DefendLagMin
+		n := len(meta.MarkersOf[striker])
+		if n <= 1 {
+			return cfg.DefendLagMin
+		}
+		return cfg.DefendLagMin + span*float64(idx)/float64(n-1)
+	}
+	for si, striker := range meta.Strikers() {
+		t := cfg.PossessionIntervalSec * (0.3 + 0.5*float64(si))
+		for t < float64(cfg.DurationSec)-cfg.DefendLagMax-1 {
+			emit(striker, event.Time(t*float64(event.Second)), event.KindPossession)
+			for idx, marker := range meta.MarkersOf[striker] {
+				if rng.Float64() >= cfg.DefendProb {
+					continue
+				}
+				lag := markerLag(striker, idx) + rng.Float64()*0.4
+				for j := 0; j < cfg.DefendBurst; j++ {
+					at := t + lag + float64(j)*cfg.DefendBurstGapSec
+					emit(marker, event.Time(at*float64(event.Second)), event.KindDefend)
+				}
+			}
+			// Next possession: jittered exponential-ish gap.
+			t += cfg.PossessionIntervalSec * (0.6 + 0.8*rng.Float64())
+		}
+	}
+
+	return meta, finalize(evs), nil
+}

@@ -1,0 +1,88 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry interns event type names to dense Type ids. It is safe for
+// concurrent use: dataset generators register types up front, while the
+// live runtime may look names up from multiple goroutines.
+//
+// The zero value is ready to use.
+type Registry struct {
+	mu    sync.RWMutex
+	ids   map[string]Type
+	names []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register interns name and returns its Type id. Registering the same name
+// twice returns the same id.
+func (r *Registry) Register(name string) Type {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ids == nil {
+		r.ids = make(map[string]Type)
+	}
+	if id, ok := r.ids[name]; ok {
+		return id
+	}
+	id := Type(len(r.names))
+	r.ids[name] = id
+	r.names = append(r.names, name)
+	return id
+}
+
+// RegisterAll interns every name and returns the ids in matching order.
+func (r *Registry) RegisterAll(names ...string) []Type {
+	ids := make([]Type, len(names))
+	for i, n := range names {
+		ids[i] = r.Register(n)
+	}
+	return ids
+}
+
+// Lookup returns the id for name, if registered.
+func (r *Registry) Lookup(name string) (Type, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id, ok := r.ids[name]
+	return id, ok
+}
+
+// Name returns the name of id. Unknown ids render as "type(<n>)".
+func (r *Registry) Name(id Type) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id < 0 || int(id) >= len(r.names) {
+		return fmt.Sprintf("type(%d)", id)
+	}
+	return r.names[id]
+}
+
+// Len reports the number of registered types. This is the M dimension of
+// the eSPICE utility table.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.names)
+}
+
+// Names returns all registered names sorted by their Type id.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.names...)
+}
+
+// SortedNames returns all registered names in lexicographic order; useful
+// for stable debug output.
+func (r *Registry) SortedNames() []string {
+	names := r.Names()
+	sort.Strings(names)
+	return names
+}

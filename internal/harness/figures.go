@@ -1,0 +1,591 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datasets"
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+	"repro/internal/queries"
+)
+
+// Series is one line of a figure: label plus x/y points.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a reproduced table/figure of the paper, renderable as text.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render formats the figure as an aligned text table: one row per x
+// value, one column per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%16s", s.Label)
+	}
+	fmt.Fprintf(&b, "    (%s)\n", f.YLabel)
+	// Rows keyed by the first series' x values.
+	for i, x := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-14.6g", x)
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%16.2f", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, "%16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Scale bounds the dataset sizes and sweep ranges so the same experiment
+// code serves both the full reproduction (cmd/espice-bench) and the
+// quicker Go benchmarks.
+type Scale struct {
+	NYSEMinutes int
+	RTLSSeconds int
+	Throughput  float64
+	Seed        int64
+	Q1Sizes     []int // pattern sizes for Q1 figures
+	Q2Sizes     []int // pattern sizes for Q2 figures
+	Q34Windows  []int // window sizes (events) for Q3/Q4 figures
+	BinSizes    []int // bin-size sweep for Figure 9
+	Rates       []float64
+}
+
+// DefaultScale mirrors the paper's sweeps on moderately sized synthetic
+// datasets.
+func DefaultScale() Scale {
+	return Scale{
+		NYSEMinutes: 160,
+		RTLSSeconds: 7200,
+		Throughput:  1000,
+		Seed:        1,
+		Q1Sizes:     []int{2, 3, 4, 5, 6},
+		Q2Sizes:     []int{10, 20, 30, 40, 50, 60, 70, 80},
+		Q34Windows:  []int{300, 600, 1200, 1500, 1800, 2000},
+		BinSizes:    []int{1, 2, 4, 8, 16, 32, 64},
+		Rates:       []float64{1.2, 1.4},
+	}
+}
+
+// QuickScale is a reduced configuration for unit tests and testing.B
+// benchmarks.
+func QuickScale() Scale {
+	return Scale{
+		NYSEMinutes: 60,
+		RTLSSeconds: 1200,
+		Throughput:  1000,
+		Seed:        1,
+		Q1Sizes:     []int{2, 4, 6},
+		Q2Sizes:     []int{10, 40, 80},
+		Q34Windows:  []int{300, 1200, 2000},
+		BinSizes:    []int{1, 4, 16, 64},
+		Rates:       []float64{1.2, 1.4},
+	}
+}
+
+func (s Scale) rates() []float64 {
+	if len(s.Rates) == 0 {
+		return []float64{1.2, 1.4}
+	}
+	return s.Rates
+}
+
+func rateLabel(r float64) string {
+	switch r {
+	case 1.2:
+		return "R1"
+	case 1.4:
+		return "R2"
+	default:
+		return fmt.Sprintf("R=%.2fth", r)
+	}
+}
+
+// NYSEWorkload generates the stock dataset for the scale, including the
+// hot symbols Q4 requires, split into training and evaluation halves.
+func NYSEWorkload(s Scale) (*datasets.NYSEMeta, []event.Event, []event.Event, error) {
+	cfg := datasets.NYSEConfig{
+		Minutes:       s.NYSEMinutes,
+		Seed:          s.Seed,
+		InfluenceProb: 0.95,
+	}
+	cfg.HotSymbols = queries.Q4HotSymbolIDs(datasets.NYSEConfig{Leaders: 5})
+	cfg.HotQuotesPerMinute = 10
+	meta, evs, err := datasets.GenerateNYSE(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	train, eval := SplitHalf(evs)
+	return meta, train, eval, nil
+}
+
+// RTLSWorkload generates the soccer dataset, split into halves.
+func RTLSWorkload(s Scale) (*datasets.RTLSMeta, []event.Event, []event.Event, error) {
+	meta, evs, err := datasets.GenerateRTLS(datasets.RTLSConfig{
+		DurationSec: s.RTLSSeconds,
+		Seed:        s.Seed,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	train, eval := SplitHalf(evs)
+	return meta, train, eval, nil
+}
+
+// SplitHalf divides a stream into equal training and evaluation halves.
+func SplitHalf(evs []event.Event) (train, eval []event.Event) {
+	mid := len(evs) / 2
+	return evs[:mid], evs[mid:]
+}
+
+// qualitySweep runs eSPICE vs BL at every rate over the x values and
+// collects metric(kind, rate, x) into one series per (rate, kind).
+func qualitySweep(
+	s Scale,
+	xs []int,
+	queryFor func(x int) (queries.Query, error),
+	train, eval []event.Event,
+	metric func(metrics.Quality) float64,
+) ([]Series, error) {
+	kinds := []ShedderKind{ShedESPICE, ShedBL}
+	var out []Series
+	for _, rate := range s.rates() {
+		for _, kind := range kinds {
+			ser := Series{Label: fmt.Sprintf("%s: %s", rateLabel(rate), kind)}
+			for _, x := range xs {
+				q, err := queryFor(x)
+				if err != nil {
+					return nil, err
+				}
+				res, err := RunExperiment(RunConfig{
+					Query:          q,
+					Train:          train,
+					Eval:           eval,
+					OverloadFactor: rate,
+					Throughput:     s.Throughput,
+					Seed:           s.Seed,
+				}, kind)
+				if err != nil {
+					return nil, fmt.Errorf("%s x=%d %s: %w", q.Name, x, kind, err)
+				}
+				ser.X = append(ser.X, float64(x))
+				ser.Y = append(ser.Y, metric(res.Quality))
+			}
+			out = append(out, ser)
+		}
+	}
+	return out, nil
+}
+
+func fnPct(q metrics.Quality) float64 { return q.FNPct() }
+func fpPct(q metrics.Quality) float64 { return q.FPPct() }
+
+// Fig5a reproduces Figure 5a: %FN for Q1 (first policy) vs pattern size.
+func Fig5a(s Scale) (*Figure, error) {
+	return q1Quality(s, pattern.SelectFirst, fnPct, "5a", "false negatives")
+}
+
+// Fig5b reproduces Figure 5b: %FN for Q1 (last policy).
+func Fig5b(s Scale) (*Figure, error) {
+	return q1Quality(s, pattern.SelectLast, fnPct, "5b", "false negatives")
+}
+
+// Fig6a reproduces Figure 6a: %FP for Q1 (first policy).
+func Fig6a(s Scale) (*Figure, error) {
+	return q1Quality(s, pattern.SelectFirst, fpPct, "6a", "false positives")
+}
+
+func q1Quality(s Scale, pol pattern.SelectionPolicy, metric func(metrics.Quality) float64, id, what string) (*Figure, error) {
+	meta, train, eval, err := RTLSWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	series, err := qualitySweep(s, s.Q1Sizes, func(n int) (queries.Query, error) {
+		return queries.Q1(meta, n, pol, 15)
+	}, train, eval, metric)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "Fig" + id,
+		Title:  fmt.Sprintf("Q1 (%s selection): %% %s vs pattern size", pol, what),
+		XLabel: "pattern size",
+		YLabel: "% " + what,
+		Series: series,
+	}, nil
+}
+
+// Fig5c reproduces Figure 5c: %FN for Q2 (first policy) vs pattern size.
+func Fig5c(s Scale) (*Figure, error) { return q2Quality(s, pattern.SelectFirst, "5c") }
+
+// Fig5d reproduces Figure 5d: %FN for Q2 (last policy).
+func Fig5d(s Scale) (*Figure, error) { return q2Quality(s, pattern.SelectLast, "5d") }
+
+func q2Quality(s Scale, pol pattern.SelectionPolicy, id string) (*Figure, error) {
+	meta, train, eval, err := NYSEWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	series, err := qualitySweep(s, s.Q2Sizes, func(n int) (queries.Query, error) {
+		return queries.Q2(meta, n, pol, 240)
+	}, train, eval, fnPct)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "Fig" + id,
+		Title:  fmt.Sprintf("Q2 (%s selection): %% false negatives vs pattern size", pol),
+		XLabel: "pattern size",
+		YLabel: "% false negatives",
+		Series: series,
+	}, nil
+}
+
+// Fig5e reproduces Figure 5e: %FN for Q3 (first policy) vs window size.
+func Fig5e(s Scale) (*Figure, error) { return q3Quality(s, fnPct, "5e", "false negatives") }
+
+// Fig6b reproduces Figure 6b: %FP for Q3 (first policy) vs window size.
+func Fig6b(s Scale) (*Figure, error) { return q3Quality(s, fpPct, "6b", "false positives") }
+
+func q3Quality(s Scale, metric func(metrics.Quality) float64, id, what string) (*Figure, error) {
+	meta, train, eval, err := NYSEWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	series, err := qualitySweep(s, s.Q34Windows, func(ws int) (queries.Query, error) {
+		return queries.Q3(meta, pattern.SelectFirst, ws)
+	}, train, eval, metric)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "Fig" + id,
+		Title:  fmt.Sprintf("Q3 (first selection): %% %s vs window size", what),
+		XLabel: "window size",
+		YLabel: "% " + what,
+		Series: series,
+	}, nil
+}
+
+// Fig5f reproduces Figure 5f: %FN for Q4 (first policy) vs window size.
+func Fig5f(s Scale) (*Figure, error) {
+	meta, train, eval, err := NYSEWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	series, err := qualitySweep(s, s.Q34Windows, func(ws int) (queries.Query, error) {
+		return queries.Q4(meta, pattern.SelectFirst, ws)
+	}, train, eval, fnPct)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "Fig5f",
+		Title:  "Q4 (first selection): % false negatives vs window size",
+		XLabel: "window size",
+		YLabel: "% false negatives",
+		Series: series,
+	}, nil
+}
+
+// Fig7 reproduces Figure 7: per-second mean event latency under R1 and
+// R2 for Q1 with eSPICE shedding; the latency bound is 1s, f = 0.8.
+func Fig7(s Scale) (*Figure, error) {
+	meta, train, eval, err := RTLSWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	q, err := queries.Q1(meta, 5, pattern.SelectFirst, 15)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Fig7",
+		Title:  "Event processing latency under eSPICE (LB=1s, f=0.8)",
+		XLabel: "time (sec)",
+		YLabel: "latency (sec)",
+	}
+	for _, rate := range s.rates() {
+		res, err := RunExperiment(RunConfig{
+			Query:          q,
+			Train:          train,
+			Eval:           eval,
+			OverloadFactor: rate,
+			Throughput:     s.Throughput,
+			Seed:           s.Seed,
+			RecordLatency:  true,
+		}, ShedESPICE)
+		if err != nil {
+			return nil, err
+		}
+		times, means := res.Latency.Bucketize(event.Second)
+		ser := Series{Label: rateLabel(rate)}
+		for i := range times {
+			ser.X = append(ser.X, times[i].Seconds())
+			ser.Y = append(ser.Y, means[i].Seconds())
+		}
+		fig.Series = append(fig.Series, ser)
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"%s: max latency %.3fs, violations of LB=1s: %d, max queue %d",
+			rateLabel(rate), res.Latency.Max().Seconds(),
+			res.Latency.ViolationCount(event.Second), res.MaxQueue))
+	}
+	return fig, nil
+}
+
+// Fig8a reproduces Figure 8a: %FN for Q1 (n=5) when the model is trained
+// across several window sizes (75%..125% of the reference) and shedding
+// runs with each size.
+func Fig8a(s Scale) (*Figure, error) {
+	meta, train, eval, err := RTLSWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	windowSecs := []int{12, 14, 16, 18, 20}
+	refSec := 16
+	queryFor := func(sec int) (queries.Query, error) {
+		return queries.Q1(meta, 5, pattern.SelectFirst, sec)
+	}
+	return variableWindowFigure(s, "Fig8a", "Q1 (n=5)", windowSecs, refSec, queryFor, train, eval)
+}
+
+// Fig8b reproduces Figure 8b: %FN for Q2 (n=20) across window sizes.
+func Fig8b(s Scale) (*Figure, error) {
+	meta, train, eval, err := NYSEWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	windowSecs := []int{180, 200, 240, 260, 300}
+	refSec := 240
+	queryFor := func(sec int) (queries.Query, error) {
+		return queries.Q2(meta, 20, pattern.SelectFirst, sec)
+	}
+	return variableWindowFigure(s, "Fig8b", "Q2 (n=20)", windowSecs, refSec, queryFor, train, eval)
+}
+
+// variableWindowFigure trains one model over all window sizes (mixed
+// training, Section 3.6) and evaluates shedding at each size.
+func variableWindowFigure(
+	s Scale, id, queryName string,
+	windowSecs []int, refSec int,
+	queryFor func(sec int) (queries.Query, error),
+	train, eval []event.Event,
+) (*Figure, error) {
+	// Mixed-size training: all sizes feed one model with N from the
+	// reference query's expected size.
+	var qs []queries.Query
+	for _, sec := range windowSecs {
+		q, err := queryFor(sec)
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, q)
+	}
+	refQ, err := queryFor(refSec)
+	if err != nil {
+		return nil, err
+	}
+	n := refQ.Window.SizeHint
+	tr, err := TrainMulti(qs, train, 1, n)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("%s: %% false negatives vs window size (mixed-size training, N=%d)", queryName, n),
+		XLabel: "window size %",
+		YLabel: "% false negatives",
+	}
+	for _, rate := range s.rates() {
+		ser := Series{Label: rateLabel(rate)}
+		for _, sec := range windowSecs {
+			q, err := queryFor(sec)
+			if err != nil {
+				return nil, err
+			}
+			res, err := EvalWithModel(RunConfig{
+				Query:          q,
+				Eval:           eval,
+				OverloadFactor: rate,
+				Throughput:     s.Throughput,
+				Seed:           s.Seed,
+				N:              n,
+			}, tr, ShedESPICE)
+			if err != nil {
+				return nil, err
+			}
+			ser.X = append(ser.X, 100*float64(sec)/float64(refSec))
+			ser.Y = append(ser.Y, res.Quality.FNPct())
+		}
+		fig.Series = append(fig.Series, ser)
+	}
+	return fig, nil
+}
+
+// Fig9a reproduces Figure 9a: %FN for Q1 (n=5) vs bin size.
+func Fig9a(s Scale) (*Figure, error) {
+	meta, train, eval, err := RTLSWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	q, err := queries.Q1(meta, 5, pattern.SelectFirst, 15)
+	if err != nil {
+		return nil, err
+	}
+	return binSizeFigure(s, "Fig9a", "Q1 (n=5)", q, train, eval)
+}
+
+// Fig9b reproduces Figure 9b: %FN for Q2 (n=20) vs bin size.
+func Fig9b(s Scale) (*Figure, error) {
+	meta, train, eval, err := NYSEWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	q, err := queries.Q2(meta, 20, pattern.SelectFirst, 240)
+	if err != nil {
+		return nil, err
+	}
+	return binSizeFigure(s, "Fig9b", "Q2 (n=20)", q, train, eval)
+}
+
+func binSizeFigure(s Scale, id, queryName string, q queries.Query, train, eval []event.Event) (*Figure, error) {
+	fig := &Figure{
+		ID:     id,
+		Title:  queryName + ": % false negatives vs bin size",
+		XLabel: "bin size",
+		YLabel: "% false negatives",
+	}
+	for _, rate := range s.rates() {
+		ser := Series{Label: rateLabel(rate)}
+		for _, bs := range s.BinSizes {
+			res, err := RunExperiment(RunConfig{
+				Query:          q,
+				Train:          train,
+				Eval:           eval,
+				OverloadFactor: rate,
+				Throughput:     s.Throughput,
+				Seed:           s.Seed,
+				BinSize:        bs,
+			}, ShedESPICE)
+			if err != nil {
+				return nil, err
+			}
+			ser.X = append(ser.X, float64(bs))
+			ser.Y = append(ser.Y, res.Quality.FNPct())
+		}
+		fig.Series = append(fig.Series, ser)
+	}
+	return fig, nil
+}
+
+// AblationPartitioning contrasts per-partition thresholds (the paper's
+// dropping-interval design, Section 3.4) against a single whole-window
+// threshold, by evaluating Q1 with f chosen so the window splits into
+// several partitions versus a configuration with one partition.
+func AblationPartitioning(s Scale) (*Figure, error) {
+	meta, train, eval, err := RTLSWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	q, err := queries.Q1(meta, 5, pattern.SelectFirst, 15)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "AblPart",
+		Title:  "Q1 (n=5): latency-bound safety vs f (partition count rises with f)",
+		XLabel: "f",
+		YLabel: "value",
+	}
+	fs := []float64{0.5, 0.8, 0.9}
+	var fn, viol, maxq Series
+	fn.Label, viol.Label, maxq.Label = "%FN (R2)", "LB violations", "max queue"
+	for _, fVal := range fs {
+		res, err := RunExperiment(RunConfig{
+			Query:          q,
+			Train:          train,
+			Eval:           eval,
+			OverloadFactor: 1.4,
+			Throughput:     s.Throughput,
+			Seed:           s.Seed,
+			F:              fVal,
+			RecordLatency:  true,
+		}, ShedESPICE)
+		if err != nil {
+			return nil, err
+		}
+		fn.X = append(fn.X, fVal)
+		fn.Y = append(fn.Y, res.Quality.FNPct())
+		viol.X = append(viol.X, fVal)
+		viol.Y = append(viol.Y, float64(res.Latency.ViolationCount(event.Second)))
+		maxq.X = append(maxq.X, fVal)
+		maxq.Y = append(maxq.Y, float64(res.MaxQueue))
+	}
+	fig.Series = []Series{fn, viol, maxq}
+	return fig, nil
+}
+
+// AblationShedders compares eSPICE, BL and random shedding on Q1 (n=4),
+// quantifying the paper's claim that a completely random shedder is
+// comprehensively outperformed.
+func AblationShedders(s Scale) (*Figure, error) {
+	meta, train, eval, err := RTLSWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	q, err := queries.Q1(meta, 4, pattern.SelectFirst, 15)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "AblShed",
+		Title:  "Q1 (n=4): shedder comparison",
+		XLabel: "rate factor",
+		YLabel: "% false negatives",
+	}
+	for _, kind := range []ShedderKind{ShedESPICE, ShedBL, ShedRandom} {
+		ser := Series{Label: kind.String()}
+		for _, rate := range s.rates() {
+			res, err := RunExperiment(RunConfig{
+				Query:          q,
+				Train:          train,
+				Eval:           eval,
+				OverloadFactor: rate,
+				Throughput:     s.Throughput,
+				Seed:           s.Seed,
+			}, kind)
+			if err != nil {
+				return nil, err
+			}
+			ser.X = append(ser.X, rate)
+			ser.Y = append(ser.Y, res.Quality.FNPct())
+		}
+		fig.Series = append(fig.Series, ser)
+	}
+	return fig, nil
+}

@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps figure smoke tests fast: smallest datasets and sweeps
+// that still exercise every code path.
+func tinyScale() Scale {
+	return Scale{
+		NYSEMinutes: 30,
+		RTLSSeconds: 600,
+		Throughput:  1000,
+		Seed:        1,
+		Q1Sizes:     []int{3},
+		Q2Sizes:     []int{10},
+		Q34Windows:  []int{300},
+		BinSizes:    []int{1, 16},
+		Rates:       []float64{1.2},
+	}
+}
+
+func checkFigure(t *testing.T, fig *Figure, wantSeries int) {
+	t.Helper()
+	if fig == nil {
+		t.Fatal("nil figure")
+	}
+	if len(fig.Series) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", fig.ID, len(fig.Series), wantSeries)
+	}
+	for _, s := range fig.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("%s series %q: x/y = %d/%d", fig.ID, s.Label, len(s.X), len(s.Y))
+		}
+		for i, y := range s.Y {
+			if y < 0 {
+				t.Errorf("%s series %q y[%d] = %v < 0", fig.ID, s.Label, i, y)
+			}
+		}
+	}
+	if !strings.Contains(fig.Render(), fig.ID) {
+		t.Errorf("Render missing figure id")
+	}
+}
+
+func TestFig5aSmoke(t *testing.T) {
+	fig, err := Fig5a(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2) // 1 rate x {eSPICE, BL}
+	// Ordering: eSPICE (series 0) at or below BL (series 1) on average.
+	if avg(fig.Series[0].Y) > avg(fig.Series[1].Y)+10 {
+		t.Errorf("eSPICE FN %v should not exceed BL %v by a wide margin",
+			fig.Series[0].Y, fig.Series[1].Y)
+	}
+}
+
+func avg(ys []float64) float64 {
+	s := 0.0
+	for _, y := range ys {
+		s += y
+	}
+	return s / float64(len(ys))
+}
+
+func TestFig5bSmoke(t *testing.T) {
+	fig, err := Fig5b(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+}
+
+func TestFig5cSmoke(t *testing.T) {
+	fig, err := Fig5c(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+}
+
+func TestFig5dSmoke(t *testing.T) {
+	fig, err := Fig5d(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+}
+
+func TestFig5eSmoke(t *testing.T) {
+	fig, err := Fig5e(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+	// The headline claim: eSPICE near zero on the sequence operator.
+	if got := avg(fig.Series[0].Y); got > 15 {
+		t.Errorf("Q3 eSPICE FN = %v, want near zero", got)
+	}
+}
+
+func TestFig5fSmoke(t *testing.T) {
+	fig, err := Fig5f(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+}
+
+func TestFig6aSmoke(t *testing.T) {
+	fig, err := Fig6a(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+}
+
+func TestFig6bSmoke(t *testing.T) {
+	fig, err := Fig6b(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+}
+
+func TestFig7Smoke(t *testing.T) {
+	fig, err := Fig7(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 1) // one rate
+	// No violation note should report > 0 violations.
+	for _, n := range fig.Notes {
+		if strings.Contains(n, "violations of LB=1s: 0") {
+			return
+		}
+	}
+	t.Errorf("expected a zero-violation note, got %v", fig.Notes)
+}
+
+func TestFig8aSmoke(t *testing.T) {
+	fig, err := Fig8a(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 1)
+	if len(fig.Series[0].X) != 5 {
+		t.Errorf("expected 5 window-size points, got %d", len(fig.Series[0].X))
+	}
+}
+
+func TestFig8bSmoke(t *testing.T) {
+	fig, err := Fig8b(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 1)
+}
+
+func TestFig9aSmoke(t *testing.T) {
+	fig, err := Fig9a(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 1)
+	if len(fig.Series[0].X) != 2 {
+		t.Errorf("expected 2 bin-size points, got %d", len(fig.Series[0].X))
+	}
+}
+
+func TestFig9bSmoke(t *testing.T) {
+	fig, err := Fig9b(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 1)
+}
+
+func TestAblationPartitioningSmoke(t *testing.T) {
+	fig, err := AblationPartitioning(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 3)
+	// LB violations must be zero for every f.
+	for _, v := range fig.Series[1].Y {
+		if v != 0 {
+			t.Errorf("latency violations = %v, want 0", fig.Series[1].Y)
+			break
+		}
+	}
+}
+
+func TestAblationSheddersSmoke(t *testing.T) {
+	fig, err := AblationShedders(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 3)
+}
+
+func TestScaleRatesDefault(t *testing.T) {
+	s := Scale{}
+	if got := s.rates(); len(got) != 2 || got[0] != 1.2 {
+		t.Errorf("rates() = %v", got)
+	}
+	if rateLabel(1.2) != "R1" || rateLabel(1.4) != "R2" {
+		t.Error("rate labels")
+	}
+	if rateLabel(1.3) != "R=1.30th" {
+		t.Errorf("custom rate label = %q", rateLabel(1.3))
+	}
+}
+
+func TestTrainMultiValidation(t *testing.T) {
+	if _, err := TrainMulti(nil, nil, 1, 10); err == nil {
+		t.Error("no queries must fail")
+	}
+}

@@ -1,0 +1,183 @@
+// Package metrics computes the quality-of-results and latency statistics
+// of the eSPICE evaluation: false positives and false negatives against a
+// ground-truth run (Section 2.1) and per-event latency traces against the
+// latency bound (Figure 7).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/operator"
+)
+
+// Quality summarizes a comparison between a ground-truth run (no
+// shedding) and a shedding run over the same windows.
+type Quality struct {
+	Truth          int // complex events in the ground truth
+	Detected       int // complex events in the shedding run
+	FalseNegatives int // in truth, missing from detected
+	FalsePositives int // detected, missing from truth
+}
+
+// FNPct returns the percentage of false negatives relative to the ground
+// truth (the y-axis of Figures 5, 8, 9).
+func (q Quality) FNPct() float64 {
+	if q.Truth == 0 {
+		return 0
+	}
+	return 100 * float64(q.FalseNegatives) / float64(q.Truth)
+}
+
+// FPPct returns the percentage of false positives relative to the ground
+// truth (the y-axis of Figure 6).
+func (q Quality) FPPct() float64 {
+	if q.Truth == 0 {
+		return 0
+	}
+	return 100 * float64(q.FalsePositives) / float64(q.Truth)
+}
+
+// String renders the quality compactly.
+func (q Quality) String() string {
+	return fmt.Sprintf("truth=%d detected=%d FN=%d (%.1f%%) FP=%d (%.1f%%)",
+		q.Truth, q.Detected, q.FalseNegatives, q.FNPct(), q.FalsePositives, q.FPPct())
+}
+
+// CompareQuality matches the two complex-event sets by identity
+// (window id + constituent sequence numbers). A detected complex event
+// counts as correct only if the exact same constituents were detected in
+// the ground truth for the same window — the strict definition used in
+// the paper's running example (Section 2.1), where a shifted match counts
+// as one false positive plus false negatives.
+func CompareQuality(truth, detected []operator.ComplexEvent) Quality {
+	q := Quality{Truth: len(truth), Detected: len(detected)}
+	truthKeys := make(map[string]struct{}, len(truth))
+	for _, c := range truth {
+		truthKeys[c.Key()] = struct{}{}
+	}
+	detKeys := make(map[string]struct{}, len(detected))
+	for _, c := range detected {
+		detKeys[c.Key()] = struct{}{}
+	}
+	for k := range truthKeys {
+		if _, ok := detKeys[k]; !ok {
+			q.FalseNegatives++
+		}
+	}
+	for k := range detKeys {
+		if _, ok := truthKeys[k]; !ok {
+			q.FalsePositives++
+		}
+	}
+	return q
+}
+
+// LatencyTrace records per-event latencies over (wall-clock) time.
+type LatencyTrace struct {
+	at  []event.Time // completion time of the event
+	lat []event.Time // latency = completion - arrival
+}
+
+// Add appends one sample.
+func (l *LatencyTrace) Add(at, latency event.Time) {
+	l.at = append(l.at, at)
+	l.lat = append(l.lat, latency)
+}
+
+// Len reports the number of samples.
+func (l *LatencyTrace) Len() int { return len(l.lat) }
+
+// Max returns the maximum latency, 0 when empty.
+func (l *LatencyTrace) Max() event.Time {
+	var m event.Time
+	for _, v := range l.lat {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the mean latency, 0 when empty.
+func (l *LatencyTrace) Mean() event.Time {
+	if len(l.lat) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range l.lat {
+		sum += int64(v)
+	}
+	return event.Time(sum / int64(len(l.lat)))
+}
+
+// Percentile returns the p-th percentile latency (p in [0,100]).
+func (l *LatencyTrace) Percentile(p float64) event.Time {
+	if len(l.lat) == 0 {
+		return 0
+	}
+	sorted := append([]event.Time(nil), l.lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo] + event.Time(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// Bucketize averages the trace into second-sized buckets of completion
+// time: the series plotted in Figure 7. It returns bucket start times and
+// mean latencies.
+func (l *LatencyTrace) Bucketize(bucket event.Time) (times, means []event.Time) {
+	if bucket <= 0 || len(l.at) == 0 {
+		return nil, nil
+	}
+	type acc struct {
+		sum int64
+		n   int64
+	}
+	buckets := make(map[int64]*acc)
+	var maxB int64
+	for i, at := range l.at {
+		b := int64(at / bucket)
+		a := buckets[b]
+		if a == nil {
+			a = &acc{}
+			buckets[b] = a
+		}
+		a.sum += int64(l.lat[i])
+		a.n++
+		if b > maxB {
+			maxB = b
+		}
+	}
+	for b := int64(0); b <= maxB; b++ {
+		if a, ok := buckets[b]; ok {
+			times = append(times, event.Time(b)*bucket)
+			means = append(means, event.Time(a.sum/a.n))
+		}
+	}
+	return times, means
+}
+
+// ViolationCount reports how many samples exceed the bound.
+func (l *LatencyTrace) ViolationCount(bound event.Time) int {
+	n := 0
+	for _, v := range l.lat {
+		if v > bound {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/operator"
+	"repro/internal/window"
+)
+
+func ce(win uint64, seqs ...uint64) operator.ComplexEvent {
+	return operator.ComplexEvent{WindowID: window.ID(win), Constituents: seqs}
+}
+
+func TestCompareQualityPerfect(t *testing.T) {
+	truth := []operator.ComplexEvent{ce(0, 1, 2), ce(1, 3, 4)}
+	q := CompareQuality(truth, truth)
+	if q.FalseNegatives != 0 || q.FalsePositives != 0 {
+		t.Errorf("perfect run: %+v", q)
+	}
+	if q.FNPct() != 0 || q.FPPct() != 0 {
+		t.Errorf("percentages: %v/%v", q.FNPct(), q.FPPct())
+	}
+}
+
+func TestCompareQualityMissingAndExtra(t *testing.T) {
+	truth := []operator.ComplexEvent{ce(0, 1, 2), ce(1, 3, 4), ce(2, 5, 6), ce(3, 7, 8)}
+	detected := []operator.ComplexEvent{
+		ce(0, 1, 2), // correct
+		ce(1, 3, 9), // shifted constituents: FP + FN
+		ce(4, 1, 1), // extra window: FP
+	}
+	q := CompareQuality(truth, detected)
+	if q.FalseNegatives != 3 {
+		t.Errorf("FN = %d, want 3", q.FalseNegatives)
+	}
+	if q.FalsePositives != 2 {
+		t.Errorf("FP = %d, want 2", q.FalsePositives)
+	}
+	if got := q.FNPct(); math.Abs(got-75) > 1e-9 {
+		t.Errorf("FNPct = %v, want 75", got)
+	}
+	if got := q.FPPct(); math.Abs(got-50) > 1e-9 {
+		t.Errorf("FPPct = %v, want 50", got)
+	}
+	if !strings.Contains(q.String(), "FN=3") {
+		t.Errorf("String() = %q", q.String())
+	}
+}
+
+func TestCompareQualityEmptyTruth(t *testing.T) {
+	q := CompareQuality(nil, []operator.ComplexEvent{ce(0, 1)})
+	if q.FNPct() != 0 || q.FPPct() != 0 {
+		t.Error("empty truth percentages must be 0 (no denominator)")
+	}
+	if q.FalsePositives != 1 {
+		t.Errorf("FP = %d", q.FalsePositives)
+	}
+}
+
+func TestCompareQualityDuplicateKeysCollapse(t *testing.T) {
+	// Identical complex events in the same window collapse to one key.
+	truth := []operator.ComplexEvent{ce(0, 1, 2), ce(0, 1, 2)}
+	q := CompareQuality(truth, nil)
+	if q.FalseNegatives != 1 {
+		t.Errorf("FN = %d, want 1 (unique keys)", q.FalseNegatives)
+	}
+}
+
+func TestLatencyTraceBasics(t *testing.T) {
+	var l LatencyTrace
+	if l.Len() != 0 || l.Max() != 0 || l.Mean() != 0 || l.Percentile(50) != 0 {
+		t.Error("empty trace must be all zeros")
+	}
+	samples := []event.Time{
+		100 * event.Millisecond,
+		200 * event.Millisecond,
+		300 * event.Millisecond,
+		400 * event.Millisecond,
+	}
+	for i, s := range samples {
+		l.Add(event.Time(i)*event.Second, s)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.Max() != 400*event.Millisecond {
+		t.Errorf("Max = %v", l.Max())
+	}
+	if l.Mean() != 250*event.Millisecond {
+		t.Errorf("Mean = %v", l.Mean())
+	}
+	if got := l.Percentile(0); got != 100*event.Millisecond {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := l.Percentile(100); got != 400*event.Millisecond {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := l.Percentile(50); got != 250*event.Millisecond {
+		t.Errorf("P50 = %v", got)
+	}
+}
+
+func TestLatencyViolations(t *testing.T) {
+	var l LatencyTrace
+	l.Add(0, 900*event.Millisecond)
+	l.Add(event.Second, 1100*event.Millisecond)
+	l.Add(2*event.Second, event.Second) // exactly at bound: not a violation
+	if got := l.ViolationCount(event.Second); got != 1 {
+		t.Errorf("violations = %d, want 1", got)
+	}
+}
+
+func TestBucketize(t *testing.T) {
+	var l LatencyTrace
+	// Two samples in second 0, one in second 2, none in second 1.
+	l.Add(100*event.Millisecond, 10*event.Millisecond)
+	l.Add(900*event.Millisecond, 30*event.Millisecond)
+	l.Add(2500*event.Millisecond, 50*event.Millisecond)
+	times, means := l.Bucketize(event.Second)
+	if len(times) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(times))
+	}
+	if times[0] != 0 || means[0] != 20*event.Millisecond {
+		t.Errorf("bucket0 = %v/%v", times[0], means[0])
+	}
+	if times[1] != 2*event.Second || means[1] != 50*event.Millisecond {
+		t.Errorf("bucket1 = %v/%v", times[1], means[1])
+	}
+	// Degenerate inputs.
+	if ts, _ := l.Bucketize(0); ts != nil {
+		t.Error("bucket=0 must return nil")
+	}
+	var empty LatencyTrace
+	if ts, _ := empty.Bucketize(event.Second); ts != nil {
+		t.Error("empty trace must return nil")
+	}
+}

@@ -1,0 +1,226 @@
+// Package operator implements the CEP operator of Figure 1 in the eSPICE
+// paper: it consumes primitive events in stream order, routes them into
+// windows, applies the load shedder to every (event, window) membership,
+// runs the pattern matcher when windows close, and emits complex events.
+//
+// The operator treats the matcher as a black box exactly as the paper
+// assumes: the load shedder interacts with it only through the detected
+// complex events (via the OnWindowClose hook used for model building) and
+// the per-membership Drop decision.
+package operator
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/window"
+)
+
+// Decider is the shedding decision interface: called once per
+// (event, window) membership with the event type, the event's position in
+// that window, and the window's (predicted) size. Implementations must be
+// O(1); they sit on the hot path.
+type Decider interface {
+	Drop(t event.Type, pos, ws int) bool
+}
+
+// ComplexEvent is the operator's output: a detected situation with the
+// identity of its constituent primitive events.
+type ComplexEvent struct {
+	WindowID     window.ID
+	WindowOpen   uint64   // sequence number of the window's opening event
+	Pattern      string   // name of the matched pattern
+	Constituents []uint64 // constituent event sequence numbers, in order
+	DetectedAt   event.Time
+}
+
+// Key returns a canonical identity for quality comparison: two runs
+// detect "the same" complex event iff window and constituents agree.
+func (c ComplexEvent) Key() string {
+	// Window IDs are deterministic per stream (windows are opened by the
+	// pre-shedding stream), so WindowID plus constituents is stable.
+	b := make([]byte, 0, 16+12*len(c.Constituents))
+	b = appendUint(b, uint64(c.WindowID))
+	for _, s := range c.Constituents {
+		b = append(b, ':')
+		b = appendUint(b, s)
+	}
+	return string(b)
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// WindowCloseHook observes every closed window together with the
+// constituents of the complex event detected in it (nil when none). The
+// eSPICE model builder attaches here.
+type WindowCloseHook func(w *window.Window, matched []window.Entry)
+
+// Config assembles an operator.
+type Config struct {
+	// Window is the windowing policy (required).
+	Window window.Spec
+	// Patterns are tried in order per closed window; with
+	// MaxMatchesPerWindow == 1 the first pattern that matches wins.
+	// At least one pattern is required.
+	Patterns []*pattern.Compiled
+	// Shedder is consulted per membership; nil disables shedding.
+	Shedder Decider
+	// OnWindowClose is invoked for every closed window (optional).
+	OnWindowClose WindowCloseHook
+	// MaxMatchesPerWindow bounds matches per window; 0 defaults to 1,
+	// the paper's evaluation setting ("the number of complex events per
+	// window is one"). Values > 1 use the pattern's consumption policy.
+	MaxMatchesPerWindow int
+}
+
+// Stats aggregates operator counters.
+type Stats struct {
+	EventsProcessed  uint64 // events routed (post-queue)
+	Memberships      uint64 // (event, window) incidences seen
+	MembershipsKept  uint64 // incidences surviving shedding
+	MembershipsShed  uint64 // incidences dropped by the shedder
+	WindowsClosed    uint64
+	ComplexEvents    uint64
+	WindowsWithMatch uint64
+}
+
+// Operator is a single CEP operator instance. It is a single-goroutine
+// component: the owner (simulator or runtime pump) calls Process serially.
+type Operator struct {
+	mgr        *window.Manager
+	patterns   []*pattern.Compiled
+	shedder    Decider
+	onClose    WindowCloseHook
+	maxMatches int
+
+	stats Stats
+	out   []ComplexEvent // reused buffer returned by Process/Flush
+}
+
+// New builds an operator from the configuration.
+func New(cfg Config) (*Operator, error) {
+	if len(cfg.Patterns) == 0 {
+		return nil, fmt.Errorf("operator: at least one pattern is required")
+	}
+	for i, p := range cfg.Patterns {
+		if p == nil {
+			return nil, fmt.Errorf("operator: pattern %d is nil", i)
+		}
+	}
+	mgr, err := window.NewManager(cfg.Window)
+	if err != nil {
+		return nil, fmt.Errorf("operator: %w", err)
+	}
+	maxMatches := cfg.MaxMatchesPerWindow
+	if maxMatches <= 0 {
+		maxMatches = 1
+	}
+	return &Operator{
+		mgr:        mgr,
+		patterns:   cfg.Patterns,
+		shedder:    cfg.Shedder,
+		onClose:    cfg.OnWindowClose,
+		maxMatches: maxMatches,
+	}, nil
+}
+
+// SetShedder installs or replaces the shedding decider (nil disables).
+// Must be called from the processing goroutine.
+func (o *Operator) SetShedder(d Decider) { o.shedder = d }
+
+// Stats returns a snapshot of the operator counters.
+func (o *Operator) Stats() Stats { return o.stats }
+
+// WindowManager exposes the underlying manager (read-only use: expected
+// size, averages).
+func (o *Operator) WindowManager() *window.Manager { return o.mgr }
+
+// Process consumes the next event in stream order and returns any complex
+// events completed by it. The returned slice is reused across calls.
+func (o *Operator) Process(e event.Event) []ComplexEvent {
+	o.out = o.out[:0]
+	o.stats.EventsProcessed++
+	member, closed := o.mgr.Route(e)
+	for _, mb := range member {
+		o.stats.Memberships++
+		if o.shedder != nil && o.shedder.Drop(e.Type, mb.Pos, mb.W.ExpectedSize) {
+			mb.W.Dropped++
+			o.stats.MembershipsShed++
+			continue
+		}
+		mb.W.Add(e, mb.Pos)
+		o.stats.MembershipsKept++
+	}
+	for _, w := range closed {
+		o.closeWindow(w, e.TS)
+	}
+	return o.out
+}
+
+// Flush closes all remaining windows at end of stream and returns their
+// complex events. The returned slice is reused.
+func (o *Operator) Flush(now event.Time) []ComplexEvent {
+	o.out = o.out[:0]
+	for _, w := range o.mgr.Flush() {
+		o.closeWindow(w, now)
+	}
+	return o.out
+}
+
+func (o *Operator) closeWindow(w *window.Window, now event.Time) {
+	o.stats.WindowsClosed++
+	var matchedEntries []window.Entry
+	found := false
+	for _, p := range o.patterns {
+		if o.maxMatches == 1 {
+			m, ok := p.Match(w.Kept)
+			if !ok {
+				continue
+			}
+			o.emit(w, p, m, now)
+			matchedEntries = append(matchedEntries, m.Constituents...)
+			found = true
+			break
+		}
+		ms := p.MatchAll(w.Kept, o.maxMatches)
+		if len(ms) == 0 {
+			continue
+		}
+		for _, m := range ms {
+			o.emit(w, p, m, now)
+			matchedEntries = append(matchedEntries, m.Constituents...)
+		}
+		found = true
+		break
+	}
+	if found {
+		o.stats.WindowsWithMatch++
+	}
+	if o.onClose != nil {
+		o.onClose(w, matchedEntries)
+	}
+}
+
+func (o *Operator) emit(w *window.Window, p *pattern.Compiled, m pattern.Match, now event.Time) {
+	o.stats.ComplexEvents++
+	o.out = append(o.out, ComplexEvent{
+		WindowID:     w.ID,
+		WindowOpen:   w.OpenSeq,
+		Pattern:      p.Pattern().Name,
+		Constituents: m.Seqs(),
+		DetectedAt:   now,
+	})
+}

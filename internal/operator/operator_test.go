@@ -1,0 +1,302 @@
+package operator
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/window"
+)
+
+const (
+	typeA = event.Type(0)
+	typeB = event.Type(1)
+	typeX = event.Type(2)
+)
+
+func seqAB(t *testing.T) *pattern.Compiled {
+	t.Helper()
+	return pattern.MustCompile(pattern.Pattern{
+		Name: "seq(A;B)",
+		Steps: []pattern.Step{
+			{Types: []event.Type{typeA}},
+			{Types: []event.Type{typeB}},
+		},
+	})
+}
+
+func tumbling(count int) window.Spec {
+	return window.Spec{Mode: window.ModeCount, Count: count, Slide: count}
+}
+
+func stream(types ...event.Type) []event.Event {
+	out := make([]event.Event, len(types))
+	for i, typ := range types {
+		out[i] = event.Event{Seq: uint64(i), Type: typ, TS: event.Time(i) * event.Second}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Window: tumbling(4)}); err == nil {
+		t.Error("missing patterns must fail")
+	}
+	if _, err := New(Config{Window: tumbling(4), Patterns: []*pattern.Compiled{nil}}); err == nil {
+		t.Error("nil pattern must fail")
+	}
+	if _, err := New(Config{Window: window.Spec{}, Patterns: []*pattern.Compiled{seqAB(t)}}); err == nil {
+		t.Error("invalid window spec must fail")
+	}
+}
+
+func TestDetectsComplexEvents(t *testing.T) {
+	op, err := New(Config{Window: tumbling(4), Patterns: []*pattern.Compiled{seqAB(t)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detected []ComplexEvent
+	for _, e := range stream(typeA, typeX, typeB, typeX, typeX, typeA, typeB, typeX) {
+		detected = append(detected, op.Process(e)...)
+	}
+	if len(detected) != 2 {
+		t.Fatalf("detected %d complex events, want 2", len(detected))
+	}
+	if got, want := detected[0].Constituents, []uint64{0, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("first match constituents = %v, want %v", got, want)
+	}
+	if got, want := detected[1].Constituents, []uint64{5, 6}; !reflect.DeepEqual(got, want) {
+		t.Errorf("second match constituents = %v, want %v", got, want)
+	}
+	st := op.Stats()
+	if st.EventsProcessed != 8 || st.WindowsClosed != 2 || st.ComplexEvents != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Memberships != 8 || st.MembershipsKept != 8 || st.MembershipsShed != 0 {
+		t.Errorf("membership stats = %+v", st)
+	}
+}
+
+func TestOneMatchPerWindowDefault(t *testing.T) {
+	op, err := New(Config{Window: tumbling(6), Patterns: []*pattern.Compiled{seqAB(t)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detected []ComplexEvent
+	for _, e := range stream(typeA, typeB, typeA, typeB, typeA, typeB) {
+		detected = append(detected, op.Process(e)...)
+	}
+	if len(detected) != 1 {
+		t.Fatalf("detected %d, want 1 (one complex event per window)", len(detected))
+	}
+}
+
+func TestMaxMatchesPerWindow(t *testing.T) {
+	p := pattern.MustCompile(pattern.Pattern{
+		Name: "seq(A;B) consumed",
+		Steps: []pattern.Step{
+			{Types: []event.Type{typeA}},
+			{Types: []event.Type{typeB}},
+		},
+		Consumption: pattern.Consumed,
+	})
+	op, err := New(Config{
+		Window:              tumbling(6),
+		Patterns:            []*pattern.Compiled{p},
+		MaxMatchesPerWindow: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detected []ComplexEvent
+	for _, e := range stream(typeA, typeB, typeA, typeB, typeA, typeB) {
+		detected = append(detected, op.Process(e)...)
+	}
+	if len(detected) != 3 {
+		t.Fatalf("detected %d, want 3 under consumed multi-match", len(detected))
+	}
+}
+
+func TestMultiplePatternsFirstWins(t *testing.T) {
+	pB := pattern.MustCompile(pattern.Pattern{
+		Name:  "justB",
+		Steps: []pattern.Step{{Types: []event.Type{typeB}}},
+	})
+	pA := pattern.MustCompile(pattern.Pattern{
+		Name:  "justA",
+		Steps: []pattern.Step{{Types: []event.Type{typeA}}},
+	})
+	op, err := New(Config{Window: tumbling(2), Patterns: []*pattern.Compiled{pB, pA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detected []ComplexEvent
+	for _, e := range stream(typeA, typeA) {
+		detected = append(detected, op.Process(e)...)
+	}
+	if len(detected) != 1 || detected[0].Pattern != "justA" {
+		t.Fatalf("detected = %+v, want fallthrough to justA", detected)
+	}
+}
+
+// dropAll sheds every membership whose position is even.
+type dropEven struct{}
+
+func (dropEven) Drop(_ event.Type, pos, _ int) bool { return pos%2 == 0 }
+
+func TestSheddingChangesOutcome(t *testing.T) {
+	op, err := New(Config{
+		Window:   tumbling(4),
+		Patterns: []*pattern.Compiled{seqAB(t)},
+		Shedder:  dropEven{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window A,B,A,B: positions 0,2 dropped -> kept B(1), B(3): no match.
+	var detected []ComplexEvent
+	for _, e := range stream(typeA, typeB, typeA, typeB) {
+		detected = append(detected, op.Process(e)...)
+	}
+	if len(detected) != 0 {
+		t.Fatalf("detected %d, want 0 after shedding As", len(detected))
+	}
+	st := op.Stats()
+	if st.MembershipsShed != 2 || st.MembershipsKept != 2 {
+		t.Errorf("shed/kept = %d/%d, want 2/2", st.MembershipsShed, st.MembershipsKept)
+	}
+}
+
+func TestSetShedder(t *testing.T) {
+	op, err := New(Config{Window: tumbling(2), Patterns: []*pattern.Compiled{seqAB(t)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.SetShedder(dropEven{})
+	for _, e := range stream(typeA, typeB) {
+		op.Process(e)
+	}
+	if op.Stats().MembershipsShed != 1 {
+		t.Errorf("shed = %d, want 1", op.Stats().MembershipsShed)
+	}
+	op.SetShedder(nil)
+	for _, e := range stream(typeA, typeB) {
+		op.Process(e)
+	}
+	if op.Stats().MembershipsShed != 1 {
+		t.Error("nil shedder must stop shedding")
+	}
+}
+
+func TestOnWindowCloseHook(t *testing.T) {
+	var hookWindows int
+	var hookMatched [][]window.Entry
+	op, err := New(Config{
+		Window:   tumbling(2),
+		Patterns: []*pattern.Compiled{seqAB(t)},
+		OnWindowClose: func(w *window.Window, matched []window.Entry) {
+			hookWindows++
+			hookMatched = append(hookMatched, matched)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream(typeA, typeB, typeX, typeX) {
+		op.Process(e)
+	}
+	if hookWindows != 2 {
+		t.Fatalf("hook saw %d windows, want 2", hookWindows)
+	}
+	if len(hookMatched[0]) != 2 {
+		t.Errorf("first window matched entries = %d, want 2", len(hookMatched[0]))
+	}
+	if hookMatched[1] != nil {
+		t.Errorf("second window should have nil matched, got %v", hookMatched[1])
+	}
+}
+
+func TestFlush(t *testing.T) {
+	op, err := New(Config{Window: tumbling(10), Patterns: []*pattern.Compiled{seqAB(t)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream(typeA, typeB) {
+		if got := op.Process(e); len(got) != 0 {
+			t.Fatalf("premature detection: %v", got)
+		}
+	}
+	detected := op.Flush(5 * event.Second)
+	if len(detected) != 1 {
+		t.Fatalf("Flush detected %d, want 1", len(detected))
+	}
+	if detected[0].DetectedAt != 5*event.Second {
+		t.Errorf("DetectedAt = %v", detected[0].DetectedAt)
+	}
+}
+
+func TestComplexEventKey(t *testing.T) {
+	a := ComplexEvent{WindowID: 3, Constituents: []uint64{1, 22, 333}}
+	b := ComplexEvent{WindowID: 3, Constituents: []uint64{1, 22, 333}}
+	c := ComplexEvent{WindowID: 4, Constituents: []uint64{1, 22, 333}}
+	d := ComplexEvent{WindowID: 3, Constituents: []uint64{1, 22}}
+	if a.Key() != b.Key() {
+		t.Error("equal events must share keys")
+	}
+	if a.Key() == c.Key() {
+		t.Error("different windows must differ")
+	}
+	if a.Key() == d.Key() {
+		t.Error("different constituents must differ")
+	}
+	zero := ComplexEvent{}
+	if zero.Key() != "0" {
+		t.Errorf("zero key = %q", zero.Key())
+	}
+}
+
+func TestOverlappingWindowsIndependentShedding(t *testing.T) {
+	// Sliding windows (count 4, slide 2): the same event sits at different
+	// positions in different windows, so a position-based shedder can drop
+	// it from one window but keep it in the other — the core eSPICE
+	// mechanism.
+	op, err := New(Config{
+		Window:   window.Spec{Mode: window.ModeCount, Count: 4, Slide: 2},
+		Patterns: []*pattern.Compiled{seqAB(t)},
+		Shedder:  dropEven{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream(typeX, typeX, typeA, typeB, typeX, typeX) {
+		op.Process(e)
+	}
+	st := op.Stats()
+	// Event seq2 (A) is at pos 2 of window0 (dropped) and pos 0 of
+	// window1 (dropped); seq3 (B) at pos 3 (kept) and pos 1 (kept).
+	if st.MembershipsShed == 0 || st.MembershipsKept == 0 {
+		t.Fatalf("expected mixed shed/kept, got %+v", st)
+	}
+}
+
+func BenchmarkOperatorProcess(b *testing.B) {
+	p := pattern.MustCompile(pattern.Pattern{
+		Name: "seq",
+		Steps: []pattern.Step{
+			{Types: []event.Type{typeA}},
+			{Types: []event.Type{typeB}},
+		},
+	})
+	op, err := New(Config{
+		Window:   window.Spec{Mode: window.ModeCount, Count: 100, Slide: 50},
+		Patterns: []*pattern.Compiled{p},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Process(event.Event{Seq: uint64(i), Type: event.Type(i % 3)})
+	}
+}

@@ -1,0 +1,197 @@
+// Package parallel provides window-based data parallelism for pattern
+// matching — the execution model of the data-parallel CEP systems the
+// eSPICE paper builds on (window-based parallelization as in RIP and
+// SPECTRE): windows are independent units of matching, so closed windows
+// can be matched on a worker pool while the routing/shedding hot path
+// stays single-threaded. Complex events are emitted in window-close
+// order, preserving the serial operator's output order.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/operator"
+	"repro/internal/pattern"
+	"repro/internal/window"
+)
+
+// Executor matches closed windows on a pool of workers.
+type Executor struct {
+	patterns   []*pattern.Compiled
+	maxMatches int
+	workers    int
+
+	jobs  chan *job
+	order chan *job
+	emit  func(operator.ComplexEvent)
+
+	wg        sync.WaitGroup
+	emitterWG sync.WaitGroup
+	started   bool
+	closed    bool
+}
+
+type job struct {
+	w    *window.Window
+	now  event.Time
+	done chan []operator.ComplexEvent
+}
+
+// Config assembles an executor.
+type Config struct {
+	// Patterns are tried in order per window; first match wins when
+	// MaxMatchesPerWindow is 1 (the default).
+	Patterns            []*pattern.Compiled
+	MaxMatchesPerWindow int
+	// Workers defaults to GOMAXPROCS.
+	Workers int
+	// Emit receives complex events in window-close order; required.
+	Emit func(operator.ComplexEvent)
+}
+
+// New builds an executor; Start must be called before Submit.
+func New(cfg Config) (*Executor, error) {
+	if len(cfg.Patterns) == 0 {
+		return nil, fmt.Errorf("parallel: at least one pattern is required")
+	}
+	for i, p := range cfg.Patterns {
+		if p == nil {
+			return nil, fmt.Errorf("parallel: pattern %d is nil", i)
+		}
+	}
+	if cfg.Emit == nil {
+		return nil, fmt.Errorf("parallel: Emit is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxMatches := cfg.MaxMatchesPerWindow
+	if maxMatches <= 0 {
+		maxMatches = 1
+	}
+	return &Executor{
+		patterns:   cfg.Patterns,
+		maxMatches: maxMatches,
+		workers:    workers,
+		jobs:       make(chan *job, 2*workers),
+		order:      make(chan *job, 4*workers),
+		emit:       cfg.Emit,
+	}, nil
+}
+
+// Start launches the worker pool and the ordered emitter.
+func (x *Executor) Start() {
+	if x.started {
+		return
+	}
+	x.started = true
+	for i := 0; i < x.workers; i++ {
+		x.wg.Add(1)
+		go func() {
+			defer x.wg.Done()
+			for j := range x.jobs {
+				j.done <- x.matchWindow(j.w, j.now)
+			}
+		}()
+	}
+	x.emitterWG.Add(1)
+	go func() {
+		defer x.emitterWG.Done()
+		for j := range x.order {
+			for _, ce := range <-j.done {
+				x.emit(ce)
+			}
+		}
+	}()
+}
+
+// Submit dispatches a closed window for matching. Must not be called
+// after Close. Submissions from a single goroutine preserve order.
+func (x *Executor) Submit(w *window.Window, now event.Time) {
+	j := &job{w: w, now: now, done: make(chan []operator.ComplexEvent, 1)}
+	x.order <- j
+	x.jobs <- j
+}
+
+// Close waits for all submitted windows to be matched and emitted.
+func (x *Executor) Close() {
+	if !x.started || x.closed {
+		return
+	}
+	x.closed = true
+	close(x.jobs)
+	x.wg.Wait()
+	close(x.order)
+	x.emitterWG.Wait()
+}
+
+func (x *Executor) matchWindow(w *window.Window, now event.Time) []operator.ComplexEvent {
+	var out []operator.ComplexEvent
+	for _, p := range x.patterns {
+		var matches []pattern.Match
+		if x.maxMatches == 1 {
+			if m, ok := p.Match(w.Kept); ok {
+				matches = []pattern.Match{m}
+			}
+		} else {
+			matches = p.MatchAll(w.Kept, x.maxMatches)
+		}
+		if len(matches) == 0 {
+			continue
+		}
+		for _, m := range matches {
+			out = append(out, operator.ComplexEvent{
+				WindowID:     w.ID,
+				WindowOpen:   w.OpenSeq,
+				Pattern:      p.Pattern().Name,
+				Constituents: m.Seqs(),
+				DetectedAt:   now,
+			})
+		}
+		break
+	}
+	return out
+}
+
+// Replay routes a full stream through a window manager and matches every
+// closed window on the pool, returning all complex events in order —
+// a drop-in parallel replacement for an unshed serial replay.
+func Replay(events []event.Event, spec window.Spec, cfg Config) ([]operator.ComplexEvent, error) {
+	var out []operator.ComplexEvent
+	userEmit := cfg.Emit
+	cfg.Emit = func(ce operator.ComplexEvent) {
+		out = append(out, ce)
+		if userEmit != nil {
+			userEmit(ce)
+		}
+	}
+	x, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := window.NewManager(spec)
+	if err != nil {
+		return nil, err
+	}
+	x.Start()
+	var last event.Time
+	for _, e := range events {
+		member, closed := mgr.Route(e)
+		for _, mb := range member {
+			mb.W.Add(e, mb.Pos)
+		}
+		for _, w := range closed {
+			x.Submit(w, e.TS)
+		}
+		last = e.TS
+	}
+	for _, w := range mgr.Flush() {
+		x.Submit(w, last)
+	}
+	x.Close()
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/operator"
+	"repro/internal/pattern"
+	"repro/internal/sim"
+	"repro/internal/window"
+)
+
+const (
+	typeA = event.Type(0)
+	typeB = event.Type(1)
+)
+
+func seqAB() []*pattern.Compiled {
+	return []*pattern.Compiled{pattern.MustCompile(pattern.Pattern{
+		Name: "seq(A;B)",
+		Steps: []pattern.Step{
+			{Types: []event.Type{typeA}},
+			{Types: []event.Type{typeB}},
+		},
+	})}
+}
+
+func mkStream(n int) []event.Event {
+	out := make([]event.Event, n)
+	for i := range out {
+		out[i] = event.Event{Seq: uint64(i), Type: event.Type(i % 2), TS: event.Time(i) * event.Millisecond}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	emit := func(operator.ComplexEvent) {}
+	if _, err := New(Config{Emit: emit}); err == nil {
+		t.Error("missing patterns must fail")
+	}
+	if _, err := New(Config{Patterns: []*pattern.Compiled{nil}, Emit: emit}); err == nil {
+		t.Error("nil pattern must fail")
+	}
+	if _, err := New(Config{Patterns: seqAB()}); err == nil {
+		t.Error("missing emit must fail")
+	}
+}
+
+func TestParallelMatchesSerialOperator(t *testing.T) {
+	spec := window.Spec{Mode: window.ModeCount, Count: 50, Slide: 25}
+	events := mkStream(5000)
+
+	// Serial reference.
+	op, err := operator.New(operator.Config{Window: spec, Patterns: seqAB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := sim.ReplayUnshed(events, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		got, err := Replay(events, spec, Config{
+			Patterns: seqAB(),
+			Workers:  workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d complex events, serial %d", workers, len(got), len(serial))
+		}
+		for i := range got {
+			if got[i].Key() != serial[i].Key() {
+				t.Fatalf("workers=%d: event %d differs: %v vs %v", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestEmissionOrderPreserved(t *testing.T) {
+	spec := window.Spec{Mode: window.ModeCount, Count: 10, Slide: 10}
+	events := mkStream(2000)
+	var lastWindow int64 = -1
+	violations := int64(0)
+	_, err := Replay(events, spec, Config{
+		Patterns: seqAB(),
+		Workers:  8,
+		Emit: func(ce operator.ComplexEvent) {
+			if int64(ce.WindowID) <= atomic.LoadInt64(&lastWindow) {
+				atomic.AddInt64(&violations, 1)
+			}
+			atomic.StoreInt64(&lastWindow, int64(ce.WindowID))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations != 0 {
+		t.Errorf("emission order violated %d times", violations)
+	}
+}
+
+func TestMultiMatchPerWindow(t *testing.T) {
+	p := pattern.MustCompile(pattern.Pattern{
+		Name: "consumed",
+		Steps: []pattern.Step{
+			{Types: []event.Type{typeA}},
+			{Types: []event.Type{typeB}},
+		},
+		Consumption: pattern.Consumed,
+	})
+	spec := window.Spec{Mode: window.ModeCount, Count: 10, Slide: 10}
+	got, err := Replay(mkStream(100), spec, Config{
+		Patterns:            []*pattern.Compiled{p},
+		MaxMatchesPerWindow: 10,
+		Workers:             4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each 10-event window holds 5 A;B pairs.
+	if len(got) != 50 {
+		t.Errorf("complex events = %d, want 50", len(got))
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	x, err := New(Config{Patterns: seqAB(), Emit: func(operator.ComplexEvent) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.Close() // before Start: no-op
+	x.Start()
+	x.Start() // idempotent
+	w := &window.Window{}
+	w.Add(event.Event{Type: typeA}, 0)
+	w.Add(event.Event{Type: typeB, Seq: 1}, 1)
+	x.Submit(w, 0)
+	x.Close()
+	x.Close() // idempotent
+}
+
+func TestReplayErrors(t *testing.T) {
+	if _, err := Replay(nil, window.Spec{}, Config{Patterns: seqAB()}); err == nil {
+		t.Error("bad window spec must fail")
+	}
+	if _, err := Replay(nil, window.Spec{Mode: window.ModeCount, Count: 5, Slide: 5}, Config{}); err == nil {
+		t.Error("bad executor config must fail")
+	}
+}
+
+func BenchmarkSerialVsParallelMatching(b *testing.B) {
+	// Q3-shaped load: 20-step sequence over 2000-event windows.
+	steps := make([]pattern.Step, 20)
+	for i := range steps {
+		steps[i] = pattern.Step{Types: []event.Type{event.Type(i % 5)}}
+	}
+	pats := []*pattern.Compiled{pattern.MustCompile(pattern.Pattern{Name: "long", Steps: steps})}
+	spec := window.Spec{Mode: window.ModeCount, Count: 2000, Slide: 200}
+	events := make([]event.Event, 40000)
+	for i := range events {
+		events[i] = event.Event{Seq: uint64(i), Type: event.Type(i % 7)}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op, err := operator.New(operator.Config{Window: spec, Patterns: pats})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.ReplayUnshed(events, op); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Replay(events, spec, Config{Patterns: pats}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

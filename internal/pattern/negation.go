@@ -1,0 +1,164 @@
+package pattern
+
+import (
+	"repro/internal/event"
+
+	"repro/internal/window"
+)
+
+// matchWithNeg is the complete backtracking matcher for patterns that
+// contain negation steps (first selection policy). Greedy earliest
+// matching is not complete once negation is involved — a negated event
+// between the greedy choice and the next step may be avoidable by
+// anchoring a later instance — so positive steps try every candidate
+// start position in order and backtrack on failure.
+//
+// Negation semantics follow SASE/Snoop: a negation step between two
+// positive steps requires that no event accepted by it occurs strictly
+// between the two steps' matched events; a trailing negation step
+// requires that no accepted event occurs between the last positive match
+// and the window close.
+func (c *Compiled) matchWithNeg(entries []window.Entry, stepStart, entFrom int) (Match, bool) {
+	steps := c.p.Steps
+	consts := make([]window.Entry, 0, c.width)
+
+	var rec func(si, from int) bool
+	rec = func(si, from int) bool {
+		// Collect a (single, validated-non-adjacent) negation step.
+		negIdx := -1
+		for si < len(steps) && steps[si].Neg {
+			negIdx = si
+			si++
+		}
+		if si >= len(steps) {
+			if negIdx >= 0 {
+				// Trailing negation: the remainder of the window must be
+				// free of accepted events.
+				for i := from; i < len(entries); i++ {
+					if c.stepAccepts(negIdx, entries[i].Ev) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for j := from; j < len(entries); j++ {
+			// The candidate event is consumed by the positive step, not
+			// part of the gap, so try it before the negation check — an
+			// event accepted by both the step and the negation matches the
+			// step (match-wins semantics).
+			if c.stepFirstEventAccepts(si, entries[j].Ev) {
+				mark := len(consts)
+				next, ok := c.consumeStep(si, entries, j, &consts)
+				if ok && rec(si+1, next) {
+					return true
+				}
+				consts = consts[:mark]
+			}
+			if negIdx >= 0 && c.stepAccepts(negIdx, entries[j].Ev) {
+				// A negated event precedes every remaining candidate: no
+				// valid continuation from this branch.
+				return false
+			}
+		}
+		return false
+	}
+
+	if !rec(stepStart, entFrom) {
+		return Match{}, false
+	}
+	return Match{Constituents: consts}, true
+}
+
+// stepFirstEventAccepts reports whether e can be the first consumed event
+// of step si (for conjunction steps the event must be one of the required
+// types; otherwise identical to stepAccepts).
+func (c *Compiled) stepFirstEventAccepts(si int, e event.Event) bool {
+	return c.stepAccepts(si, e)
+}
+
+// consumeStep consumes step si's events greedily starting at entries[j]
+// (which must satisfy stepFirstEventAccepts) and appends the constituents.
+// It returns the entry index following the last consumed event.
+func (c *Compiled) consumeStep(si int, entries []window.Entry, j int, consts *[]window.Entry) (int, bool) {
+	s := &c.p.Steps[si]
+	switch {
+	case s.All:
+		remaining := make(map[event.Type]struct{}, len(s.Types))
+		for _, t := range s.Types {
+			remaining[t] = struct{}{}
+		}
+		i := j
+		for ; i < len(entries) && len(remaining) > 0; i++ {
+			e := entries[i].Ev
+			if _, need := remaining[e.Type]; !need {
+				continue
+			}
+			if s.Pred != nil && !s.Pred(e) {
+				continue
+			}
+			*consts = append(*consts, entries[i])
+			delete(remaining, e.Type)
+		}
+		if len(remaining) > 0 {
+			return 0, false
+		}
+		return i, true
+	case s.Cumulative:
+		min := s.AnyN
+		if min < 1 {
+			min = 1
+		}
+		var taken map[event.Type]struct{}
+		if s.Distinct {
+			taken = make(map[event.Type]struct{})
+		}
+		got := 0
+		for i := j; i < len(entries); i++ {
+			e := entries[i].Ev
+			if !c.stepAccepts(si, e) {
+				continue
+			}
+			if s.Distinct {
+				if _, dup := taken[e.Type]; dup {
+					continue
+				}
+				taken[e.Type] = struct{}{}
+			}
+			*consts = append(*consts, entries[i])
+			got++
+		}
+		if got < min {
+			return 0, false
+		}
+		return len(entries), true
+	case s.AnyN > 0:
+		var taken map[event.Type]struct{}
+		if s.Distinct {
+			taken = make(map[event.Type]struct{}, s.AnyN)
+		}
+		need := s.AnyN
+		i := j
+		for ; i < len(entries) && need > 0; i++ {
+			e := entries[i].Ev
+			if !c.stepAccepts(si, e) {
+				continue
+			}
+			if s.Distinct {
+				if _, dup := taken[e.Type]; dup {
+					continue
+				}
+				taken[e.Type] = struct{}{}
+			}
+			*consts = append(*consts, entries[i])
+			need--
+		}
+		if need > 0 {
+			return 0, false
+		}
+		return i, true
+	default:
+		*consts = append(*consts, entries[j])
+		return j + 1, true
+	}
+}

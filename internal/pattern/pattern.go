@@ -1,0 +1,607 @@
+// Package pattern implements the CEP pattern language and matcher used by
+// the eSPICE evaluation (Section 4.1 of the paper): the sequence operator,
+// the sequence-with-any operator, and sequences with repetition, all with
+// skip-till-next/any-match semantics, under the first and last selection
+// policies and the consumed/zero consumption policies (Section 2).
+//
+// A pattern is a sequence of steps. Each step matches one event (or, for
+// "any" steps, n events of a set of allowed types) and may carry a content
+// predicate. Matching operates on the kept entries of a closed window and
+// reports the constituent events together with their window positions,
+// which is exactly the statistic the eSPICE model builder consumes.
+package pattern
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/window"
+)
+
+// SelectionPolicy determines which event instances participate in a match
+// when several candidates exist (Section 2 of the paper).
+type SelectionPolicy int
+
+// Selection policies.
+const (
+	// SelectFirst picks the earliest event instances.
+	SelectFirst SelectionPolicy = iota
+	// SelectLast picks the latest event instances.
+	SelectLast
+)
+
+// String returns the policy name.
+func (p SelectionPolicy) String() string {
+	switch p {
+	case SelectFirst:
+		return "first"
+	case SelectLast:
+		return "last"
+	default:
+		return fmt.Sprintf("selection(%d)", int(p))
+	}
+}
+
+// ConsumptionPolicy determines whether an event instance may participate
+// in several matches (Section 2).
+type ConsumptionPolicy int
+
+// Consumption policies.
+const (
+	// ConsumeZero allows reuse of event instances across matches.
+	ConsumeZero ConsumptionPolicy = iota
+	// Consumed removes matched instances from further matching.
+	Consumed
+)
+
+// String returns the policy name.
+func (p ConsumptionPolicy) String() string {
+	switch p {
+	case ConsumeZero:
+		return "zero"
+	case Consumed:
+		return "consumed"
+	default:
+		return fmt.Sprintf("consumption(%d)", int(p))
+	}
+}
+
+// Predicate tests event content (attribute values, kind). Predicates are
+// part of the query, not of the utility model: eSPICE deliberately treats
+// the operator as a black box and learns from types and positions only.
+type Predicate func(e event.Event) bool
+
+// Step is one element of a sequence pattern.
+//
+// A step with AnyN == 0 matches exactly one event whose type is in Types
+// (any type if Types is empty) and which satisfies Pred. A step with
+// AnyN = n > 0 is the "any" operator: it matches n events from Types (any
+// types if empty), in any order, optionally requiring pairwise-distinct
+// types — e.g. seq(STR; any(n, DF1..DFm)) from query Q1.
+//
+// Three further operator classes from the event specification languages
+// the paper builds on (Tesla, Snoop, SASE — Section 2):
+//
+//   - All marks a conjunction step: every listed type must occur (in any
+//     order) before the next step may match.
+//   - Neg marks a negation step: the match is valid only if no event
+//     accepted by the step occurs between the surrounding positive steps
+//     (or, for a trailing negation, before the window closes).
+//   - Cumulative (final step only) collects every matching event from
+//     the preceding step's match to the window end, with AnyN as the
+//     minimum count — Snoop's cumulative selection.
+type Step struct {
+	Types      []event.Type
+	AnyN       int
+	Distinct   bool
+	All        bool
+	Neg        bool
+	Cumulative bool
+	Pred       Predicate
+}
+
+// Pattern is a sequence of steps with selection and consumption policies.
+//
+// An Anchored pattern requires its first step to match the window's
+// opening event (position 0). This expresses queries whose windows are
+// opened by a logical predicate on exactly the pattern's leading event —
+// e.g. Q1's "a new window is opened for each incoming striker event" —
+// so that a window opened by one striker cannot be satisfied by a later
+// possession of the other striker drifting mid-window.
+type Pattern struct {
+	Name        string
+	Steps       []Step
+	Selection   SelectionPolicy
+	Consumption ConsumptionPolicy
+	Anchored    bool
+}
+
+// Match is one detected complex event: the constituent primitive events
+// with their positions in the window.
+type Match struct {
+	Constituents []window.Entry
+}
+
+// Seqs returns the constituent sequence numbers, in match order. Two
+// matches with equal Seqs in the same window denote the same complex
+// event; the quality metrics key on this.
+func (m Match) Seqs() []uint64 {
+	out := make([]uint64, len(m.Constituents))
+	for i, c := range m.Constituents {
+		out[i] = c.Ev.Seq
+	}
+	return out
+}
+
+// Compiled is a validated pattern with per-step type sets precomputed for
+// O(1) type membership tests during matching.
+type Compiled struct {
+	p      Pattern
+	sets   []map[event.Type]struct{} // nil => wildcard
+	width  int                       // total events a full match consumes
+	hasNeg bool                      // negation requires the backtracker
+}
+
+// Compile validates the pattern and prepares it for matching.
+func Compile(p Pattern) (*Compiled, error) {
+	if len(p.Steps) == 0 {
+		return nil, fmt.Errorf("pattern %q: no steps", p.Name)
+	}
+	if p.Anchored && p.Steps[0].AnyN > 0 {
+		return nil, fmt.Errorf("pattern %q: anchored pattern cannot start with an any step", p.Name)
+	}
+	for i, s := range p.Steps {
+		if s.Neg && p.Selection == SelectLast {
+			return nil, fmt.Errorf("pattern %q step %d: negation is not supported with the last selection policy", p.Name, i)
+		}
+		if s.Cumulative && p.Selection == SelectLast {
+			return nil, fmt.Errorf("pattern %q step %d: cumulative selection requires the first selection policy", p.Name, i)
+		}
+	}
+	c := &Compiled{p: p, sets: make([]map[event.Type]struct{}, len(p.Steps))}
+	for i, s := range p.Steps {
+		if s.AnyN < 0 {
+			return nil, fmt.Errorf("pattern %q step %d: negative AnyN %d", p.Name, i, s.AnyN)
+		}
+		if s.AnyN > 0 && s.Distinct && len(s.Types) > 0 && s.AnyN > len(s.Types) {
+			return nil, fmt.Errorf("pattern %q step %d: AnyN %d exceeds %d distinct types",
+				p.Name, i, s.AnyN, len(s.Types))
+		}
+		if s.Neg {
+			if s.AnyN > 0 || s.All || s.Cumulative {
+				return nil, fmt.Errorf("pattern %q step %d: negation cannot combine with any/all/cumulative", p.Name, i)
+			}
+			if i == 0 && p.Anchored {
+				return nil, fmt.Errorf("pattern %q: anchored pattern cannot start with negation", p.Name)
+			}
+			if i > 0 && p.Steps[i-1].Neg {
+				return nil, fmt.Errorf("pattern %q step %d: adjacent negation steps", p.Name, i)
+			}
+			c.hasNeg = true
+		}
+		if s.All {
+			if len(s.Types) == 0 {
+				return nil, fmt.Errorf("pattern %q step %d: conjunction needs explicit types", p.Name, i)
+			}
+			if s.AnyN > 0 {
+				return nil, fmt.Errorf("pattern %q step %d: conjunction cannot combine with AnyN", p.Name, i)
+			}
+		}
+		if s.Cumulative {
+			if i != len(p.Steps)-1 {
+				return nil, fmt.Errorf("pattern %q step %d: cumulative is only valid on the final step", p.Name, i)
+			}
+			if s.Neg {
+				return nil, fmt.Errorf("pattern %q step %d: cumulative cannot be negated", p.Name, i)
+			}
+		}
+		if len(s.Types) > 0 {
+			set := make(map[event.Type]struct{}, len(s.Types))
+			for _, t := range s.Types {
+				set[t] = struct{}{}
+			}
+			c.sets[i] = set
+		}
+		switch {
+		case s.Neg:
+			// consumes no events
+		case s.All:
+			c.width += len(s.Types)
+		case s.AnyN > 0:
+			c.width += s.AnyN
+		default:
+			c.width++
+		}
+	}
+	if c.hasNeg && onlyNegSteps(p.Steps) {
+		return nil, fmt.Errorf("pattern %q: needs at least one positive step", p.Name)
+	}
+	return c, nil
+}
+
+func onlyNegSteps(steps []Step) bool {
+	for _, s := range steps {
+		if !s.Neg {
+			return false
+		}
+	}
+	return true
+}
+
+// MustCompile is Compile that panics on error; for use with
+// statically-known-correct patterns in tests and query constructors.
+func MustCompile(p Pattern) *Compiled {
+	c, err := Compile(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Pattern returns the source pattern.
+func (c *Compiled) Pattern() Pattern { return c.p }
+
+// Width returns the number of primitive events in a full match.
+func (c *Compiled) Width() int { return c.width }
+
+// stepAccepts reports whether entry e can satisfy step i.
+func (c *Compiled) stepAccepts(i int, e event.Event) bool {
+	if set := c.sets[i]; set != nil {
+		if _, ok := set[e.Type]; !ok {
+			return false
+		}
+	}
+	if pred := c.p.Steps[i].Pred; pred != nil {
+		return pred(e)
+	}
+	return true
+}
+
+// Match finds at most one match in the window entries according to the
+// pattern's selection policy — the paper's evaluation setting of one
+// complex event per window. Entries must be in window order.
+func (c *Compiled) Match(entries []window.Entry) (Match, bool) {
+	if c.p.Anchored {
+		return c.matchAnchored(entries)
+	}
+	if c.hasNeg {
+		return c.matchWithNeg(entries, 0, 0)
+	}
+	switch c.p.Selection {
+	case SelectLast:
+		return c.matchLast(entries, 0, 0)
+	default:
+		return c.matchFirst(entries, 0, 0, nil)
+	}
+}
+
+// matchAnchored requires the first step to match the window opener
+// (position 0); the remaining steps follow the selection policy. If
+// shedding dropped the opening event, the match fails — the pattern's
+// anchor is gone.
+func (c *Compiled) matchAnchored(entries []window.Entry) (Match, bool) {
+	if len(entries) == 0 || entries[0].Pos != 0 || !c.stepAccepts(0, entries[0].Ev) {
+		return Match{}, false
+	}
+	var (
+		m  Match
+		ok bool
+	)
+	if len(c.p.Steps) == 1 {
+		return Match{Constituents: []window.Entry{entries[0]}}, true
+	}
+	switch {
+	case c.hasNeg:
+		m, ok = c.matchWithNeg(entries, 1, 1)
+	case c.p.Selection == SelectLast:
+		m, ok = c.matchLast(entries, 1, 1)
+	default:
+		m, ok = c.matchFirst(entries, 1, 1, nil)
+	}
+	if !ok {
+		return Match{}, false
+	}
+	m.Constituents = append([]window.Entry{entries[0]}, m.Constituents...)
+	return m, true
+}
+
+// matchFirst performs greedy skip-till-next matching of steps[stepStart:]
+// from entry index `from`, choosing the earliest instances. `skip` marks
+// entry indices that are consumed and unavailable (nil means none).
+// Greedy earliest selection is complete for sequence patterns: if any
+// match exists, the greedy one exists (standard exchange argument).
+func (c *Compiled) matchFirst(entries []window.Entry, stepStart, from int, skip []bool) (Match, bool) {
+	consts := make([]window.Entry, 0, c.width)
+	i := from
+	for si := stepStart; si < len(c.p.Steps); si++ {
+		s := &c.p.Steps[si]
+		if s.All {
+			// Conjunction: collect one event of every required type, any
+			// order (earliest instances).
+			remaining := make(map[event.Type]struct{}, len(s.Types))
+			for _, t := range s.Types {
+				remaining[t] = struct{}{}
+			}
+			for ; i < len(entries) && len(remaining) > 0; i++ {
+				if skip != nil && skip[i] {
+					continue
+				}
+				e := entries[i].Ev
+				if _, need := remaining[e.Type]; !need {
+					continue
+				}
+				if s.Pred != nil && !s.Pred(e) {
+					continue
+				}
+				consts = append(consts, entries[i])
+				delete(remaining, e.Type)
+			}
+			if len(remaining) > 0 {
+				return Match{}, false
+			}
+			continue
+		}
+		if s.Cumulative {
+			// Cumulative selection: every matching event to the window
+			// end, at least max(1, AnyN) of them.
+			min := s.AnyN
+			if min < 1 {
+				min = 1
+			}
+			var taken map[event.Type]struct{}
+			if s.Distinct {
+				taken = make(map[event.Type]struct{})
+			}
+			got := 0
+			for ; i < len(entries); i++ {
+				if skip != nil && skip[i] {
+					continue
+				}
+				e := entries[i].Ev
+				if !c.stepAccepts(si, e) {
+					continue
+				}
+				if s.Distinct {
+					if _, dup := taken[e.Type]; dup {
+						continue
+					}
+					taken[e.Type] = struct{}{}
+				}
+				consts = append(consts, entries[i])
+				got++
+			}
+			if got < min {
+				return Match{}, false
+			}
+			continue
+		}
+		if s.AnyN == 0 {
+			found := false
+			for ; i < len(entries); i++ {
+				if skip != nil && skip[i] {
+					continue
+				}
+				if c.stepAccepts(si, entries[i].Ev) {
+					consts = append(consts, entries[i])
+					i++
+					found = true
+					break
+				}
+			}
+			if !found {
+				return Match{}, false
+			}
+			continue
+		}
+		// "any" step: collect the next AnyN acceptable events.
+		var taken map[event.Type]struct{}
+		if s.Distinct {
+			taken = make(map[event.Type]struct{}, s.AnyN)
+		}
+		need := s.AnyN
+		for ; i < len(entries) && need > 0; i++ {
+			if skip != nil && skip[i] {
+				continue
+			}
+			e := entries[i].Ev
+			if !c.stepAccepts(si, e) {
+				continue
+			}
+			if s.Distinct {
+				if _, dup := taken[e.Type]; dup {
+					continue
+				}
+				taken[e.Type] = struct{}{}
+			}
+			consts = append(consts, entries[i])
+			need--
+		}
+		if need > 0 {
+			return Match{}, false
+		}
+	}
+	return Match{Constituents: consts}, true
+}
+
+// matchLast chooses the latest instances for steps[stepStart:] over
+// entries[entStart:]: it scans backward with the steps reversed, which is
+// the mirror image of matchFirst and equally complete.
+func (c *Compiled) matchLast(entries []window.Entry, stepStart, entStart int) (Match, bool) {
+	consts := make([]window.Entry, 0, c.width)
+	i := len(entries) - 1
+	for si := len(c.p.Steps) - 1; si >= stepStart; si-- {
+		s := &c.p.Steps[si]
+		if s.All {
+			// Conjunction with latest instances: scan backward collecting
+			// one event of every required type.
+			remaining := make(map[event.Type]struct{}, len(s.Types))
+			for _, t := range s.Types {
+				remaining[t] = struct{}{}
+			}
+			for ; i >= entStart && len(remaining) > 0; i-- {
+				e := entries[i].Ev
+				if _, need := remaining[e.Type]; !need {
+					continue
+				}
+				if s.Pred != nil && !s.Pred(e) {
+					continue
+				}
+				consts = append(consts, entries[i])
+				delete(remaining, e.Type)
+			}
+			if len(remaining) > 0 {
+				return Match{}, false
+			}
+			continue
+		}
+		if s.AnyN == 0 {
+			found := false
+			for ; i >= entStart; i-- {
+				if c.stepAccepts(si, entries[i].Ev) {
+					consts = append(consts, entries[i])
+					i--
+					found = true
+					break
+				}
+			}
+			if !found {
+				return Match{}, false
+			}
+			continue
+		}
+		var taken map[event.Type]struct{}
+		if s.Distinct {
+			taken = make(map[event.Type]struct{}, s.AnyN)
+		}
+		need := s.AnyN
+		for ; i >= entStart && need > 0; i-- {
+			e := entries[i].Ev
+			if !c.stepAccepts(si, e) {
+				continue
+			}
+			if s.Distinct {
+				if _, dup := taken[e.Type]; dup {
+					continue
+				}
+				taken[e.Type] = struct{}{}
+			}
+			consts = append(consts, entries[i])
+			need--
+		}
+		if need > 0 {
+			return Match{}, false
+		}
+	}
+	// Reverse into window order.
+	for l, r := 0, len(consts)-1; l < r; l, r = l+1, r-1 {
+		consts[l], consts[r] = consts[r], consts[l]
+	}
+	return Match{Constituents: consts}, true
+}
+
+// MatchAll finds every match under the pattern's consumption policy, in
+// stream order, up to limit matches (limit <= 0 means no limit). Under
+// Consumed, matched instances are excluded from later matches; under
+// ConsumeZero, instances may be reused, with successive matches anchored
+// at successive occurrences of the first step (skip-till-next semantics).
+func (c *Compiled) MatchAll(entries []window.Entry, limit int) []Match {
+	var out []Match
+	if c.p.Anchored || c.hasNeg {
+		// An anchored pattern has a unique anchor (the window opener);
+		// negation patterns report a single earliest match (interval
+		// constraints make multi-match enumeration ambiguous).
+		if m, ok := c.Match(entries); ok {
+			out = append(out, m)
+		}
+		return out
+	}
+	switch c.p.Consumption {
+	case Consumed:
+		skip := make([]bool, len(entries))
+		for {
+			m, ok := c.matchFirst(entries, 0, 0, skip)
+			if !ok {
+				break
+			}
+			out = append(out, m)
+			for _, ct := range m.Constituents {
+				// Mark consumed entries by index: positions are unique per
+				// window, so find by position.
+				for i := range entries {
+					if entries[i].Pos == ct.Pos {
+						skip[i] = true
+						break
+					}
+				}
+			}
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	default: // ConsumeZero
+		from := 0
+		for from < len(entries) {
+			// Find the next anchor (first-step occurrence) at or after from.
+			anchor := -1
+			for i := from; i < len(entries); i++ {
+				if c.stepAccepts(0, entries[i].Ev) {
+					anchor = i
+					break
+				}
+			}
+			if anchor < 0 {
+				break
+			}
+			m, ok := c.matchFirst(entries, 0, anchor, nil)
+			if !ok {
+				break
+			}
+			out = append(out, m)
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+			from = anchor + 1
+		}
+	}
+	return out
+}
+
+// TypeWeights describes how often each event type is required by the
+// pattern — the "repetition of primitive events in the pattern" statistic
+// the BL baseline shedder builds its per-type utilities from. Types listed
+// in an "any" step share the step's weight; wildcard "any" steps
+// contribute Wildcard weight to be spread over observed types by frequency.
+type TypeWeights struct {
+	PerType  map[event.Type]float64
+	Wildcard float64
+}
+
+// TypeWeights computes the pattern's type repetition weights.
+func (c *Compiled) TypeWeights() TypeWeights {
+	w := TypeWeights{PerType: make(map[event.Type]float64)}
+	for _, s := range c.p.Steps {
+		if s.Neg {
+			continue // absence requirements add no per-type demand
+		}
+		if s.All {
+			// Conjunction needs one event of *every* listed type.
+			for _, t := range s.Types {
+				w.PerType[t]++
+			}
+			continue
+		}
+		weight := 1.0
+		if s.AnyN > 0 {
+			weight = float64(s.AnyN)
+		}
+		if len(s.Types) == 0 {
+			w.Wildcard += weight
+			continue
+		}
+		share := weight / float64(len(s.Types))
+		for _, t := range s.Types {
+			w.PerType[t] += share
+		}
+	}
+	return w
+}

@@ -1,0 +1,547 @@
+package pattern
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+	"repro/internal/window"
+)
+
+// entries builds window entries from a type sequence; position = index.
+func entries(types ...event.Type) []window.Entry {
+	out := make([]window.Entry, len(types))
+	for i, t := range types {
+		out[i] = window.Entry{Ev: event.Event{Seq: uint64(i), Type: t}, Pos: i}
+	}
+	return out
+}
+
+func seqs(m Match) []uint64 { return m.Seqs() }
+
+func TestPolicyStrings(t *testing.T) {
+	if SelectFirst.String() != "first" || SelectLast.String() != "last" {
+		t.Error("selection names")
+	}
+	if SelectionPolicy(9).String() != "selection(9)" {
+		t.Error("selection fallback")
+	}
+	if ConsumeZero.String() != "zero" || Consumed.String() != "consumed" {
+		t.Error("consumption names")
+	}
+	if ConsumptionPolicy(9).String() != "consumption(9)" {
+		t.Error("consumption fallback")
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Pattern
+		wantErr bool
+	}{
+		{"empty", Pattern{Name: "e"}, true},
+		{"ok single", Pattern{Steps: []Step{{Types: []event.Type{1}}}}, false},
+		{"negative anyN", Pattern{Steps: []Step{{AnyN: -1}}}, true},
+		{"anyN exceeds distinct types", Pattern{Steps: []Step{{Types: []event.Type{1, 2}, AnyN: 3, Distinct: true}}}, true},
+		{"anyN wildcard ok", Pattern{Steps: []Step{{AnyN: 3}}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Compile(tt.p)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Compile() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCompile(Pattern{})
+}
+
+func TestWidth(t *testing.T) {
+	c := MustCompile(Pattern{Steps: []Step{
+		{Types: []event.Type{1}},
+		{Types: []event.Type{2, 3}, AnyN: 4},
+	}})
+	if c.Width() != 5 {
+		t.Errorf("Width() = %d, want 5", c.Width())
+	}
+}
+
+func TestSequenceFirstPolicy(t *testing.T) {
+	// Paper running example (Section 2): window B4,B3,A2,A1 in stream
+	// order A1,A2,B3,B4; seq(A;B) with first policy matches (A1,B3).
+	a, b := event.Type(0), event.Type(1)
+	c := MustCompile(Pattern{
+		Steps:     []Step{{Types: []event.Type{a}}, {Types: []event.Type{b}}},
+		Selection: SelectFirst,
+	})
+	ents := entries(a, a, b, b)
+	m, ok := c.Match(ents)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if got, want := seqs(m), []uint64{0, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("constituents = %v, want %v (A1,B3)", got, want)
+	}
+}
+
+func TestSequenceLastPolicy(t *testing.T) {
+	// Same window, last policy: (A2,B4).
+	a, b := event.Type(0), event.Type(1)
+	c := MustCompile(Pattern{
+		Steps:     []Step{{Types: []event.Type{a}}, {Types: []event.Type{b}}},
+		Selection: SelectLast,
+	})
+	m, ok := c.Match(entries(a, a, b, b))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if got, want := seqs(m), []uint64{1, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("constituents = %v, want %v (A2,B4)", got, want)
+	}
+}
+
+func TestSequenceSkipTillNext(t *testing.T) {
+	// seq(A;B;C) must skip non-matching intermediates.
+	a, b, cc, x := event.Type(0), event.Type(1), event.Type(2), event.Type(9)
+	c := MustCompile(Pattern{Steps: []Step{
+		{Types: []event.Type{a}}, {Types: []event.Type{b}}, {Types: []event.Type{cc}},
+	}})
+	m, ok := c.Match(entries(x, a, x, x, b, x, cc, x))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if got, want := seqs(m), []uint64{1, 4, 6}; !reflect.DeepEqual(got, want) {
+		t.Errorf("constituents = %v, want %v", got, want)
+	}
+}
+
+func TestSequenceNoMatch(t *testing.T) {
+	a, b := event.Type(0), event.Type(1)
+	c := MustCompile(Pattern{Steps: []Step{
+		{Types: []event.Type{a}}, {Types: []event.Type{b}},
+	}})
+	// B before A only: order matters in sequences.
+	if _, ok := c.Match(entries(b, a)); ok {
+		t.Error("seq(A;B) must not match stream B,A")
+	}
+	if _, ok := c.Match(entries(a)); ok {
+		t.Error("incomplete match must fail")
+	}
+	if _, ok := c.Match(nil); ok {
+		t.Error("empty window must not match")
+	}
+}
+
+func TestAnyOperatorFirst(t *testing.T) {
+	// seq(STR; any(2, D1,D2,D3)): first two distinct defenders after the
+	// striker event.
+	str, d1, d2, d3 := event.Type(0), event.Type(1), event.Type(2), event.Type(3)
+	c := MustCompile(Pattern{Steps: []Step{
+		{Types: []event.Type{str}},
+		{Types: []event.Type{d1, d2, d3}, AnyN: 2, Distinct: true},
+	}})
+	// Stream: d1 (before striker: ignored), STR, d2, d2 (dup type skipped), d3.
+	m, ok := c.Match(entries(d1, str, d2, d2, d3))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if got, want := seqs(m), []uint64{1, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("constituents = %v, want %v", got, want)
+	}
+}
+
+func TestAnyOperatorNonDistinctTakesDuplicates(t *testing.T) {
+	str, d1 := event.Type(0), event.Type(1)
+	c := MustCompile(Pattern{Steps: []Step{
+		{Types: []event.Type{str}},
+		{Types: []event.Type{d1}, AnyN: 2},
+	}})
+	m, ok := c.Match(entries(str, d1, d1))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if got, want := seqs(m), []uint64{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("constituents = %v", got)
+	}
+}
+
+func TestAnyOperatorLast(t *testing.T) {
+	str, d1, d2 := event.Type(0), event.Type(1), event.Type(2)
+	c := MustCompile(Pattern{
+		Steps: []Step{
+			{Types: []event.Type{str}},
+			{Types: []event.Type{d1, d2}, AnyN: 2, Distinct: true},
+		},
+		Selection: SelectLast,
+	})
+	// Stream: STR(0), d1(1), STR(2), d1(3), d2(4): last picks STR(2), d1(3), d2(4).
+	m, ok := c.Match(entries(str, d1, str, d1, d2))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if got, want := seqs(m), []uint64{2, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("constituents = %v, want %v", got, want)
+	}
+}
+
+func TestAnyOperatorInsufficient(t *testing.T) {
+	str, d1, d2 := event.Type(0), event.Type(1), event.Type(2)
+	c := MustCompile(Pattern{Steps: []Step{
+		{Types: []event.Type{str}},
+		{Types: []event.Type{d1, d2}, AnyN: 2, Distinct: true},
+	}})
+	if _, ok := c.Match(entries(str, d1, d1)); ok {
+		t.Error("distinct any(2) must not match two events of one type")
+	}
+}
+
+func TestWildcardStep(t *testing.T) {
+	a := event.Type(0)
+	c := MustCompile(Pattern{Steps: []Step{
+		{Types: []event.Type{a}},
+		{AnyN: 2}, // any two events of any type
+	}})
+	m, ok := c.Match(entries(a, 5, 9))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if len(m.Constituents) != 3 {
+		t.Errorf("constituents = %d", len(m.Constituents))
+	}
+}
+
+func TestPredicateFiltering(t *testing.T) {
+	a, b := event.Type(0), event.Type(1)
+	rising := func(e event.Event) bool { return e.Kind == event.KindRising }
+	c := MustCompile(Pattern{Steps: []Step{
+		{Types: []event.Type{a}, Pred: rising},
+		{Types: []event.Type{b}, Pred: rising},
+	}})
+	ents := []window.Entry{
+		{Ev: event.Event{Seq: 0, Type: a, Kind: event.KindFalling}, Pos: 0},
+		{Ev: event.Event{Seq: 1, Type: a, Kind: event.KindRising}, Pos: 1},
+		{Ev: event.Event{Seq: 2, Type: b, Kind: event.KindFalling}, Pos: 2},
+		{Ev: event.Event{Seq: 3, Type: b, Kind: event.KindRising}, Pos: 3},
+	}
+	m, ok := c.Match(ents)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if got, want := seqs(m), []uint64{1, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("constituents = %v, want %v", got, want)
+	}
+}
+
+func TestRepetitionPattern(t *testing.T) {
+	// Q4 shape: seq(A;A;B): same type in several steps consumes distinct
+	// occurrences.
+	a, b := event.Type(0), event.Type(1)
+	c := MustCompile(Pattern{Steps: []Step{
+		{Types: []event.Type{a}}, {Types: []event.Type{a}}, {Types: []event.Type{b}},
+	}})
+	m, ok := c.Match(entries(a, a, b))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if got, want := seqs(m), []uint64{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("constituents = %v", got)
+	}
+	if _, ok := c.Match(entries(a, b)); ok {
+		t.Error("seq(A;A;B) must need two As")
+	}
+}
+
+func TestMatchAllZeroConsumption(t *testing.T) {
+	// Paper Section 2.1: window A1,A2,B3,B4, first selection.
+	// Zero consumption anchors at each A: (A1,B3) and (A2,B3).
+	a, b := event.Type(0), event.Type(1)
+	c := MustCompile(Pattern{
+		Steps:       []Step{{Types: []event.Type{a}}, {Types: []event.Type{b}}},
+		Consumption: ConsumeZero,
+	})
+	ms := c.MatchAll(entries(a, a, b, b), 0)
+	if len(ms) != 2 {
+		t.Fatalf("got %d matches, want 2", len(ms))
+	}
+	if got, want := seqs(ms[0]), []uint64{0, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("m0 = %v, want %v", got, want)
+	}
+	if got, want := seqs(ms[1]), []uint64{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("m1 = %v, want %v", got, want)
+	}
+}
+
+func TestMatchAllConsumed(t *testing.T) {
+	// Consumed: (A1,B3) then (A2,B4) — the paper's first/consumed example.
+	a, b := event.Type(0), event.Type(1)
+	c := MustCompile(Pattern{
+		Steps:       []Step{{Types: []event.Type{a}}, {Types: []event.Type{b}}},
+		Consumption: Consumed,
+	})
+	ms := c.MatchAll(entries(a, a, b, b), 0)
+	if len(ms) != 2 {
+		t.Fatalf("got %d matches, want 2", len(ms))
+	}
+	if got, want := seqs(ms[0]), []uint64{0, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("m0 = %v, want %v", got, want)
+	}
+	if got, want := seqs(ms[1]), []uint64{1, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("m1 = %v, want %v", got, want)
+	}
+}
+
+func TestMatchAllLimit(t *testing.T) {
+	a := event.Type(0)
+	c := MustCompile(Pattern{
+		Steps:       []Step{{Types: []event.Type{a}}},
+		Consumption: Consumed,
+	})
+	ms := c.MatchAll(entries(a, a, a, a), 2)
+	if len(ms) != 2 {
+		t.Fatalf("limit ignored: %d matches", len(ms))
+	}
+}
+
+func TestTypeWeights(t *testing.T) {
+	c := MustCompile(Pattern{Steps: []Step{
+		{Types: []event.Type{0}},
+		{Types: []event.Type{0}},
+		{Types: []event.Type{1, 2}, AnyN: 4},
+		{AnyN: 3},
+	}})
+	w := c.TypeWeights()
+	if w.PerType[0] != 2 {
+		t.Errorf("weight[0] = %v, want 2", w.PerType[0])
+	}
+	if w.PerType[1] != 2 || w.PerType[2] != 2 {
+		t.Errorf("any weights = %v/%v, want 2/2", w.PerType[1], w.PerType[2])
+	}
+	if w.Wildcard != 3 {
+		t.Errorf("wildcard = %v, want 3", w.Wildcard)
+	}
+}
+
+// bruteForceSeq reports whether a pure single-event-step sequence pattern
+// has any match in the entries (exponential-free DP scan).
+func bruteForceSeq(c *Compiled, ents []window.Entry) bool {
+	step := 0
+	for i := 0; i < len(ents) && step < len(c.p.Steps); i++ {
+		if c.stepAccepts(step, ents[i].Ev) {
+			step++
+		}
+	}
+	return step == len(c.p.Steps)
+}
+
+// Property: greedy first-policy matching agrees with a brute-force scan on
+// random sequence patterns and random streams (completeness of greedy
+// skip-till-next matching).
+func TestGreedyCompletenessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numTypes := rng.Intn(4) + 2
+		patLen := rng.Intn(4) + 1
+		steps := make([]Step, patLen)
+		for i := range steps {
+			steps[i] = Step{Types: []event.Type{event.Type(rng.Intn(numTypes))}}
+		}
+		c := MustCompile(Pattern{Steps: steps})
+		streamLen := rng.Intn(30)
+		types := make([]event.Type, streamLen)
+		for i := range types {
+			types[i] = event.Type(rng.Intn(numTypes))
+		}
+		ents := entries(types...)
+		_, got := c.Match(ents)
+		return got == bruteForceSeq(c, ents)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: first and last policies agree on existence of a match and both
+// produce constituents in strictly increasing position order.
+func TestFirstLastAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numTypes := rng.Intn(4) + 2
+		patLen := rng.Intn(3) + 1
+		steps := make([]Step, patLen)
+		for i := range steps {
+			st := Step{Types: []event.Type{event.Type(rng.Intn(numTypes))}}
+			if rng.Intn(3) == 0 {
+				st.AnyN = rng.Intn(2) + 1
+				st.Types = nil // wildcard any
+			}
+			steps[i] = st
+		}
+		first := MustCompile(Pattern{Steps: steps, Selection: SelectFirst})
+		last := MustCompile(Pattern{Steps: steps, Selection: SelectLast})
+		streamLen := rng.Intn(40)
+		types := make([]event.Type, streamLen)
+		for i := range types {
+			types[i] = event.Type(rng.Intn(numTypes))
+		}
+		ents := entries(types...)
+		mf, okF := first.Match(ents)
+		ml, okL := last.Match(ents)
+		if okF != okL {
+			return false
+		}
+		inc := func(m Match) bool {
+			for i := 1; i < len(m.Constituents); i++ {
+				if m.Constituents[i].Pos <= m.Constituents[i-1].Pos {
+					return false
+				}
+			}
+			return true
+		}
+		if okF && (!inc(mf) || !inc(ml)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMatchSequence20(b *testing.B) {
+	// Q3-shaped pattern: 20 specific types in sequence over 2000 events.
+	steps := make([]Step, 20)
+	for i := range steps {
+		steps[i] = Step{Types: []event.Type{event.Type(i)}}
+	}
+	c := MustCompile(Pattern{Steps: steps})
+	types := make([]event.Type, 2000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range types {
+		types[i] = event.Type(rng.Intn(40))
+	}
+	ents := entries(types...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Match(ents)
+	}
+}
+
+func TestAnchoredPatternFirst(t *testing.T) {
+	str, d1, d2 := event.Type(0), event.Type(1), event.Type(2)
+	c := MustCompile(Pattern{
+		Steps: []Step{
+			{Types: []event.Type{str}},
+			{Types: []event.Type{d1, d2}, AnyN: 2, Distinct: true},
+		},
+		Anchored: true,
+	})
+	// Opener matches step 0: match anchored at position 0.
+	m, ok := c.Match(entries(str, d1, d2))
+	if !ok {
+		t.Fatal("anchored match failed")
+	}
+	if got, want := seqs(m), []uint64{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("constituents = %v, want %v", got, want)
+	}
+	// First entry is not the opener type: no match even though a full
+	// match exists later in the window.
+	if _, ok := c.Match(entries(d1, str, d1, d2)); ok {
+		t.Error("anchored pattern must not match a drifted opener")
+	}
+}
+
+func TestAnchoredOpenerDroppedByShedding(t *testing.T) {
+	str, d1 := event.Type(0), event.Type(1)
+	c := MustCompile(Pattern{
+		Steps: []Step{
+			{Types: []event.Type{str}},
+			{Types: []event.Type{d1}},
+		},
+		Anchored: true,
+	})
+	// Shedding dropped position 0: first kept entry has Pos 1.
+	ents := []window.Entry{
+		{Ev: event.Event{Seq: 10, Type: str}, Pos: 1},
+		{Ev: event.Event{Seq: 11, Type: d1}, Pos: 2},
+	}
+	if _, ok := c.Match(ents); ok {
+		t.Error("anchored pattern must fail when the opener was shed")
+	}
+}
+
+func TestAnchoredPatternLast(t *testing.T) {
+	str, d1, d2 := event.Type(0), event.Type(1), event.Type(2)
+	c := MustCompile(Pattern{
+		Steps: []Step{
+			{Types: []event.Type{str}},
+			{Types: []event.Type{d1, d2}, AnyN: 2, Distinct: true},
+		},
+		Selection: SelectLast,
+		Anchored:  true,
+	})
+	// Last policy keeps the anchor at pos 0 but picks the latest defends.
+	m, ok := c.Match(entries(str, d1, d2, d1, d2))
+	if !ok {
+		t.Fatal("anchored last match failed")
+	}
+	if got, want := seqs(m), []uint64{0, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("constituents = %v, want %v", got, want)
+	}
+}
+
+func TestAnchoredSingleStep(t *testing.T) {
+	str := event.Type(0)
+	c := MustCompile(Pattern{
+		Steps:    []Step{{Types: []event.Type{str}}},
+		Anchored: true,
+	})
+	m, ok := c.Match(entries(str, str))
+	if !ok || len(m.Constituents) != 1 || m.Constituents[0].Pos != 0 {
+		t.Errorf("single-step anchored match = %v, %v", m, ok)
+	}
+}
+
+func TestAnchoredMatchAllSingleMatch(t *testing.T) {
+	a, b := event.Type(0), event.Type(1)
+	c := MustCompile(Pattern{
+		Steps:       []Step{{Types: []event.Type{a}}, {Types: []event.Type{b}}},
+		Consumption: ConsumeZero,
+		Anchored:    true,
+	})
+	ms := c.MatchAll(entries(a, a, b, b), 0)
+	if len(ms) != 1 {
+		t.Fatalf("anchored MatchAll = %d matches, want 1", len(ms))
+	}
+	if got, want := seqs(ms[0]), []uint64{0, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("constituents = %v, want %v", got, want)
+	}
+	// No anchor: no matches at all.
+	if got := c.MatchAll(entries(b, a, b), 0); len(got) != 0 {
+		t.Errorf("unanchored window matched: %v", got)
+	}
+	if got := c.MatchAll(nil, 0); len(got) != 0 {
+		t.Errorf("empty window matched: %v", got)
+	}
+}
+
+func TestAnchoredValidation(t *testing.T) {
+	_, err := Compile(Pattern{
+		Steps:    []Step{{AnyN: 2}},
+		Anchored: true,
+	})
+	if err == nil {
+		t.Error("anchored pattern starting with an any step must fail")
+	}
+}

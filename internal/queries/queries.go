@@ -1,0 +1,300 @@
+// Package queries constructs the four evaluation queries of the eSPICE
+// paper (Section 4.1) over the bundled synthetic datasets:
+//
+//	Q1  seq(STR; any(n, DF1..DFm))        RTLS, time-based window
+//	Q2  seq(MLE; any(n, RE*/FE*))         NYSE, time-based window
+//	Q3  seq(RE1; RE2; ...; RE20)          NYSE, count-based window
+//	Q4  seq with repetition (14 steps)    NYSE, count windows, slide 100
+//
+// All queries use skip-till-next/any-match semantics and can be built
+// with either the first or last selection policy.
+package queries
+
+import (
+	"fmt"
+
+	"repro/internal/datasets"
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/window"
+)
+
+// Query bundles everything the operator and the harness need to run one
+// of the evaluation queries.
+type Query struct {
+	Name     string
+	Window   window.Spec
+	Patterns []*pattern.Compiled
+	// NumTypes is M, the registry size of the underlying dataset.
+	NumTypes int
+}
+
+// typeSet returns a membership set for a type slice.
+func typeSet(types []event.Type) map[event.Type]struct{} {
+	s := make(map[event.Type]struct{}, len(types))
+	for _, t := range types {
+		s[t] = struct{}{}
+	}
+	return s
+}
+
+func isRising(e event.Event) bool  { return e.Kind == event.KindRising }
+func isFalling(e event.Event) bool { return e.Kind == event.KindFalling }
+
+// Q1 builds the soccer man-marking query: a complex event fires when any
+// n defenders of the opposing team defend against a striker within
+// windowSec seconds of the striker's ball possession. A new time-based
+// window opens on every possession event.
+func Q1(meta *datasets.RTLSMeta, n int, policy pattern.SelectionPolicy, windowSec int) (Query, error) {
+	if meta == nil {
+		return Query{}, fmt.Errorf("queries: Q1 needs RTLS metadata")
+	}
+	if n <= 0 || n > meta.Config.DefendersPerTeam {
+		return Query{}, fmt.Errorf("queries: Q1 pattern size n=%d out of range [1,%d]",
+			n, meta.Config.DefendersPerTeam)
+	}
+	if windowSec <= 0 {
+		return Query{}, fmt.Errorf("queries: Q1 needs windowSec > 0, got %d", windowSec)
+	}
+	strikers := typeSet(meta.Strikers())
+	var pats []*pattern.Compiled
+	for _, striker := range meta.Strikers() {
+		striker := striker
+		p, err := pattern.Compile(pattern.Pattern{
+			Name: fmt.Sprintf("Q1(%s,n=%d,%s)", meta.Registry.Name(striker), n, policy),
+			Steps: []pattern.Step{
+				{
+					Types: []event.Type{striker},
+					Pred:  func(e event.Event) bool { return e.Kind == event.KindPossession },
+				},
+				{
+					Types:    meta.OpposingDefenders(striker),
+					AnyN:     n,
+					Distinct: true,
+					Pred:     func(e event.Event) bool { return e.Kind == event.KindDefend },
+				},
+			},
+			Selection: policy,
+			Anchored:  true,
+		})
+		if err != nil {
+			return Query{}, err
+		}
+		pats = append(pats, p)
+	}
+	return Query{
+		Name: fmt.Sprintf("Q1(n=%d,%s)", n, policy),
+		Window: window.Spec{
+			Mode:   window.ModeTime,
+			Length: event.Time(windowSec) * event.Second,
+			Open: func(e event.Event) bool {
+				if e.Kind != event.KindPossession {
+					return false
+				}
+				_, ok := strikers[e.Type]
+				return ok
+			},
+			SizeHint: int(float64(windowSec) * meta.Rate),
+		},
+		Patterns: pats,
+		NumTypes: meta.Registry.Len(),
+	}, nil
+}
+
+// Q2 builds the stock influence query (adopted from SPECTRE): a complex
+// event fires when any n rising (or any n falling) quotes of any symbols
+// follow a rising (falling) quote of a leading symbol within windowSec
+// seconds. A new time-based window opens on every leading-symbol quote.
+func Q2(meta *datasets.NYSEMeta, n int, policy pattern.SelectionPolicy, windowSec int) (Query, error) {
+	if meta == nil {
+		return Query{}, fmt.Errorf("queries: Q2 needs NYSE metadata")
+	}
+	if n <= 0 {
+		return Query{}, fmt.Errorf("queries: Q2 needs n > 0, got %d", n)
+	}
+	if windowSec <= 0 {
+		return Query{}, fmt.Errorf("queries: Q2 needs windowSec > 0, got %d", windowSec)
+	}
+	leaders := typeSet(meta.Leaders)
+	mk := func(name string, pred pattern.Predicate) (*pattern.Compiled, error) {
+		return pattern.Compile(pattern.Pattern{
+			Name: name,
+			Steps: []pattern.Step{
+				{Types: meta.Leaders, Pred: pred},
+				{AnyN: n, Distinct: true, Pred: pred}, // any symbols
+			},
+			Selection: policy,
+			Anchored:  true,
+		})
+	}
+	rising, err := mk(fmt.Sprintf("Q2-rise(n=%d,%s)", n, policy), isRising)
+	if err != nil {
+		return Query{}, err
+	}
+	falling, err := mk(fmt.Sprintf("Q2-fall(n=%d,%s)", n, policy), isFalling)
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{
+		Name: fmt.Sprintf("Q2(n=%d,%s)", n, policy),
+		Window: window.Spec{
+			Mode:   window.ModeTime,
+			Length: event.Time(windowSec) * event.Second,
+			Open: func(e event.Event) bool {
+				_, ok := leaders[e.Type]
+				return ok
+			},
+			SizeHint: int(float64(windowSec) * meta.Rate),
+		},
+		Patterns: []*pattern.Compiled{rising, falling},
+		NumTypes: meta.Registry.Len(),
+	}, nil
+}
+
+// Q3Symbols returns the 20 "certain stock symbols" of query Q3: the
+// first 20 followers of the first leading symbol, whose quotes appear in
+// ascending type order within each minute.
+func Q3Symbols(meta *datasets.NYSEMeta) ([]event.Type, error) {
+	if meta == nil || len(meta.Leaders) == 0 {
+		return nil, fmt.Errorf("queries: Q3 needs NYSE metadata with leaders")
+	}
+	followers := meta.Followers[meta.Leaders[0]]
+	if len(followers) < 20 {
+		return nil, fmt.Errorf("queries: Q3 needs >= 20 followers of the first leader, have %d",
+			len(followers))
+	}
+	return append([]event.Type(nil), followers[:20]...), nil
+}
+
+// Q3 builds the exact-sequence query: rising (or falling) quotes of 20
+// certain symbols in a fixed order within a count-based window of ws
+// events; a new window opens on every leading-symbol quote.
+func Q3(meta *datasets.NYSEMeta, policy pattern.SelectionPolicy, ws int) (Query, error) {
+	symbols, err := Q3Symbols(meta)
+	if err != nil {
+		return Query{}, err
+	}
+	if ws < len(symbols) {
+		return Query{}, fmt.Errorf("queries: Q3 window %d smaller than pattern %d", ws, len(symbols))
+	}
+	leaders := typeSet(meta.Leaders)
+	mk := func(name string, pred pattern.Predicate) (*pattern.Compiled, error) {
+		steps := make([]pattern.Step, len(symbols))
+		for i, s := range symbols {
+			steps[i] = pattern.Step{Types: []event.Type{s}, Pred: pred}
+		}
+		return pattern.Compile(pattern.Pattern{Name: name, Steps: steps, Selection: policy})
+	}
+	rising, err := mk(fmt.Sprintf("Q3-rise(ws=%d,%s)", ws, policy), isRising)
+	if err != nil {
+		return Query{}, err
+	}
+	falling, err := mk(fmt.Sprintf("Q3-fall(ws=%d,%s)", ws, policy), isFalling)
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{
+		Name: fmt.Sprintf("Q3(ws=%d,%s)", ws, policy),
+		Window: window.Spec{
+			Mode:  window.ModeCount,
+			Count: ws,
+			Open: func(e event.Event) bool {
+				_, ok := leaders[e.Type]
+				return ok
+			},
+		},
+		Patterns: []*pattern.Compiled{rising, falling},
+		NumTypes: meta.Registry.Len(),
+	}, nil
+}
+
+// Q4Arrangement is the step arrangement of query Q4 — a sequence of 14
+// steps over 10 distinct symbols with repetition, as given in the paper:
+// seq(RE1; RE1; RE2; RE3; RE2; RE4; RE2; RE5; RE6; RE7; RE2; RE8; RE9;
+// RE10). Indices are zero-based into the 10 chosen symbols.
+var Q4Arrangement = []int{0, 0, 1, 2, 1, 3, 1, 4, 5, 6, 1, 7, 8, 9}
+
+// Q4Symbols returns the 10 symbols of the repetition sequence: followers
+// 20..29 of the first leader (disjoint from Q3's symbols). These must be
+// generated as "hot" symbols (several quotes per minute) so that the
+// repetition can occur inside one window; see datasets.NYSEConfig.
+func Q4Symbols(meta *datasets.NYSEMeta) ([]event.Type, error) {
+	if meta == nil || len(meta.Leaders) == 0 {
+		return nil, fmt.Errorf("queries: Q4 needs NYSE metadata with leaders")
+	}
+	followers := meta.Followers[meta.Leaders[0]]
+	if len(followers) < 30 {
+		return nil, fmt.Errorf("queries: Q4 needs >= 30 followers of the first leader, have %d",
+			len(followers))
+	}
+	return append([]event.Type(nil), followers[20:30]...), nil
+}
+
+// Q4HotSymbolIDs returns the dataset symbol ids that must be configured
+// hot for Q4 (convenience for workload construction).
+func Q4HotSymbolIDs(cfg datasets.NYSEConfig) []int {
+	// Followers of leader 0 occupy ids Leaders..Leaders+FollowersPerLeader-1;
+	// Q4 uses followers 20..29.
+	base := cfg.Leaders + 20
+	out := make([]int, 10)
+	for i := range out {
+		out[i] = base + i
+	}
+	return out
+}
+
+// Q4 builds the sequence-with-repetition query over count-based sliding
+// windows of ws events with slide 100 (a new window every 100 events).
+func Q4(meta *datasets.NYSEMeta, policy pattern.SelectionPolicy, ws int) (Query, error) {
+	symbols, err := Q4Symbols(meta)
+	if err != nil {
+		return Query{}, err
+	}
+	if ws < len(Q4Arrangement) {
+		return Query{}, fmt.Errorf("queries: Q4 window %d smaller than pattern %d", ws, len(Q4Arrangement))
+	}
+	mk := func(name string, pred pattern.Predicate) (*pattern.Compiled, error) {
+		steps := make([]pattern.Step, len(Q4Arrangement))
+		for i, idx := range Q4Arrangement {
+			steps[i] = pattern.Step{Types: []event.Type{symbols[idx]}, Pred: pred}
+		}
+		return pattern.Compile(pattern.Pattern{Name: name, Steps: steps, Selection: policy})
+	}
+	rising, err := mk(fmt.Sprintf("Q4-rise(ws=%d,%s)", ws, policy), isRising)
+	if err != nil {
+		return Query{}, err
+	}
+	falling, err := mk(fmt.Sprintf("Q4-fall(ws=%d,%s)", ws, policy), isFalling)
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{
+		Name: fmt.Sprintf("Q4(ws=%d,%s)", ws, policy),
+		Window: window.Spec{
+			Mode:  window.ModeCount,
+			Count: ws,
+			Slide: 100,
+		},
+		Patterns: []*pattern.Compiled{rising, falling},
+		NumTypes: meta.Registry.Len(),
+	}, nil
+}
+
+// MergedTypeWeights combines the pattern type-repetition weights of all
+// patterns in the query (they are alternatives, so the maximum per type
+// is used) — input for the BL baseline.
+func (q Query) MergedTypeWeights() pattern.TypeWeights {
+	out := pattern.TypeWeights{PerType: make(map[event.Type]float64)}
+	for _, p := range q.Patterns {
+		w := p.TypeWeights()
+		for t, v := range w.PerType {
+			if v > out.PerType[t] {
+				out.PerType[t] = v
+			}
+		}
+		if w.Wildcard > out.Wildcard {
+			out.Wildcard = w.Wildcard
+		}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package queries
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/event"
+	"repro/internal/operator"
+	"repro/internal/pattern"
+	"repro/internal/window"
+)
+
+func rtlsMeta(t *testing.T) (*datasets.RTLSMeta, []event.Event) {
+	t.Helper()
+	meta, evs, err := datasets.GenerateRTLS(datasets.RTLSConfig{DurationSec: 600, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta, evs
+}
+
+func nyseMeta(t *testing.T, minutes int) (*datasets.NYSEMeta, []event.Event) {
+	t.Helper()
+	cfg := datasets.NYSEConfig{Minutes: minutes, Seed: 1, InfluenceProb: 0.95}
+	cfg.HotSymbols = Q4HotSymbolIDs(datasets.NYSEConfig{Leaders: 5})
+	cfg.HotQuotesPerMinute = 10
+	meta, evs, err := datasets.GenerateNYSE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta, evs
+}
+
+func runQuery(t *testing.T, q Query, evs []event.Event) []operator.ComplexEvent {
+	t.Helper()
+	op, err := operator.New(operator.Config{Window: q.Window, Patterns: q.Patterns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []operator.ComplexEvent
+	for _, e := range evs {
+		out = append(out, op.Process(e)...)
+	}
+	out = append(out, op.Flush(evs[len(evs)-1].TS)...)
+	return out
+}
+
+func TestQ1Validation(t *testing.T) {
+	meta, _ := rtlsMeta(t)
+	if _, err := Q1(nil, 3, pattern.SelectFirst, 15); err == nil {
+		t.Error("nil meta must fail")
+	}
+	if _, err := Q1(meta, 0, pattern.SelectFirst, 15); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := Q1(meta, 99, pattern.SelectFirst, 15); err == nil {
+		t.Error("n too large must fail")
+	}
+	if _, err := Q1(meta, 3, pattern.SelectFirst, 0); err == nil {
+		t.Error("windowSec=0 must fail")
+	}
+}
+
+func TestQ1DetectsManMarking(t *testing.T) {
+	meta, evs := rtlsMeta(t)
+	for _, policy := range []pattern.SelectionPolicy{pattern.SelectFirst, pattern.SelectLast} {
+		q, err := Q1(meta, 3, policy, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Window.Mode != window.ModeTime {
+			t.Fatal("Q1 must use a time window")
+		}
+		detected := runQuery(t, q, evs)
+		// Possessions happen roughly every 22s over 600s for 2 strikers:
+		// expect a healthy number of complex events.
+		if len(detected) < 20 {
+			t.Errorf("policy %v: detected %d complex events, want >= 20", policy, len(detected))
+		}
+		// Constituents: 1 possession + 3 defends.
+		for _, c := range detected[:5] {
+			if len(c.Constituents) != 4 {
+				t.Fatalf("constituents = %d, want 4", len(c.Constituents))
+			}
+		}
+	}
+}
+
+func TestQ2DetectsInfluence(t *testing.T) {
+	meta, evs := nyseMeta(t, 30)
+	q, err := Q2(meta, 10, pattern.SelectFirst, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := runQuery(t, q, evs)
+	// Windows open on every leader quote (5/minute); nearly all should
+	// find 10 rising or falling quotes in 240s (~2000 events).
+	if len(detected) < 50 {
+		t.Errorf("detected %d, want >= 50", len(detected))
+	}
+	if _, err := Q2(meta, 0, pattern.SelectFirst, 240); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := Q2(nil, 5, pattern.SelectFirst, 240); err == nil {
+		t.Error("nil meta must fail")
+	}
+}
+
+func TestQ3DetectsSequence(t *testing.T) {
+	meta, evs := nyseMeta(t, 60)
+	q, err := Q3(meta, pattern.SelectFirst, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Window.Mode != window.ModeCount {
+		t.Fatal("Q3 must use a count window")
+	}
+	detected := runQuery(t, q, evs)
+	// The 20 sequence symbols rise together with the leader w.p.
+	// ~0.95^20 ≈ 0.36 per window alignment; with 5 windows/minute over
+	// 60 minutes there must be a good number of matches.
+	if len(detected) < 10 {
+		t.Errorf("detected %d sequence matches, want >= 10", len(detected))
+	}
+	for _, c := range detected {
+		if len(c.Constituents) != 20 {
+			t.Fatalf("constituents = %d, want 20", len(c.Constituents))
+		}
+	}
+}
+
+func TestQ3Validation(t *testing.T) {
+	meta, _ := nyseMeta(t, 2)
+	if _, err := Q3(meta, pattern.SelectFirst, 10); err == nil {
+		t.Error("window smaller than pattern must fail")
+	}
+	if _, err := Q3(nil, pattern.SelectFirst, 300); err == nil {
+		t.Error("nil meta must fail")
+	}
+	small, _, err := datasets.GenerateNYSE(datasets.NYSEConfig{
+		Symbols: 30, Leaders: 2, FollowersPerLeader: 10, Minutes: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Q3(small, pattern.SelectFirst, 300); err == nil {
+		t.Error("too few followers must fail")
+	}
+}
+
+func TestQ4DetectsRepetition(t *testing.T) {
+	meta, evs := nyseMeta(t, 60)
+	q, err := Q4(meta, pattern.SelectFirst, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Window.Slide != 100 {
+		t.Fatal("Q4 must slide by 100 events")
+	}
+	detected := runQuery(t, q, evs)
+	if len(detected) < 5 {
+		t.Errorf("detected %d repetition matches, want >= 5", len(detected))
+	}
+	for _, c := range detected {
+		if len(c.Constituents) != 14 {
+			t.Fatalf("constituents = %d, want 14", len(c.Constituents))
+		}
+	}
+}
+
+func TestQ4Validation(t *testing.T) {
+	meta, _ := nyseMeta(t, 2)
+	if _, err := Q4(meta, pattern.SelectFirst, 5); err == nil {
+		t.Error("window smaller than pattern must fail")
+	}
+	if _, err := Q4(nil, pattern.SelectFirst, 300); err == nil {
+		t.Error("nil meta must fail")
+	}
+}
+
+func TestQ4HotSymbolIDs(t *testing.T) {
+	ids := Q4HotSymbolIDs(datasets.NYSEConfig{Leaders: 5})
+	if len(ids) != 10 || ids[0] != 25 || ids[9] != 34 {
+		t.Errorf("hot ids = %v", ids)
+	}
+}
+
+func TestMergedTypeWeights(t *testing.T) {
+	meta, _ := nyseMeta(t, 2)
+	q, err := Q3(meta, pattern.SelectFirst, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.MergedTypeWeights()
+	symbols, _ := Q3Symbols(meta)
+	for _, s := range symbols {
+		if w.PerType[s] != 1 {
+			t.Errorf("weight[%d] = %v, want 1", s, w.PerType[s])
+		}
+	}
+	q2, err := Q2(meta, 7, pattern.SelectFirst, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := q2.MergedTypeWeights()
+	if w2.Wildcard != 7 {
+		t.Errorf("wildcard = %v, want 7", w2.Wildcard)
+	}
+}

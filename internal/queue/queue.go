@@ -1,0 +1,110 @@
+// Package queue provides the operator input queue of the eSPICE
+// architecture (Figure 1 of the paper): a FIFO ring buffer of primitive
+// events with occupancy metrics.
+//
+// The overload detector bases its decisions on the queue size relative to
+// qmax = LB / l(p); the queue therefore tracks its current length and the
+// high-water mark. The implementation is a growable ring buffer so that
+// steady-state operation performs no allocation.
+package queue
+
+import "repro/internal/event"
+
+const minCapacity = 16
+
+// Queue is a FIFO of events. The zero value is an empty, usable queue.
+// Queue is not safe for concurrent use; the live runtime wraps it in its
+// own synchronization (see internal/runtime).
+type Queue struct {
+	buf      []event.Event
+	head     int // index of the oldest element
+	length   int
+	maxSeen  int    // high-water mark of length
+	enqueued uint64 // total number of Push calls
+	dequeued uint64 // total number of successful Pop calls
+}
+
+// New returns a queue with at least the given initial capacity.
+func New(capacity int) *Queue {
+	if capacity < minCapacity {
+		capacity = minCapacity
+	}
+	return &Queue{buf: make([]event.Event, capacity)}
+}
+
+// Len reports the number of queued events. This is the qsize input of the
+// overload detector.
+func (q *Queue) Len() int { return q.length }
+
+// MaxSeen reports the queue-length high-water mark, used by tests and the
+// latency experiment to verify the latency bound was never at risk.
+func (q *Queue) MaxSeen() int { return q.maxSeen }
+
+// Enqueued reports the total number of events ever pushed.
+func (q *Queue) Enqueued() uint64 { return q.enqueued }
+
+// Dequeued reports the total number of events ever popped.
+func (q *Queue) Dequeued() uint64 { return q.dequeued }
+
+// Push appends an event to the tail of the queue, growing the buffer if
+// necessary.
+func (q *Queue) Push(e event.Event) {
+	if q.buf == nil {
+		q.buf = make([]event.Event, minCapacity)
+	}
+	if q.length == len(q.buf) {
+		q.grow()
+	}
+	tail := q.head + q.length
+	if tail >= len(q.buf) {
+		tail -= len(q.buf)
+	}
+	q.buf[tail] = e
+	q.length++
+	q.enqueued++
+	if q.length > q.maxSeen {
+		q.maxSeen = q.length
+	}
+}
+
+// Pop removes and returns the oldest event. The second return value is
+// false if the queue is empty.
+func (q *Queue) Pop() (event.Event, bool) {
+	if q.length == 0 {
+		return event.Event{}, false
+	}
+	e := q.buf[q.head]
+	q.buf[q.head] = event.Event{} // release Vals for GC
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.length--
+	q.dequeued++
+	return e, true
+}
+
+// Peek returns the oldest event without removing it.
+func (q *Queue) Peek() (event.Event, bool) {
+	if q.length == 0 {
+		return event.Event{}, false
+	}
+	return q.buf[q.head], true
+}
+
+// Reset empties the queue but keeps the allocated buffer and counters.
+func (q *Queue) Reset() {
+	for i := range q.buf {
+		q.buf[i] = event.Event{}
+	}
+	q.head = 0
+	q.length = 0
+}
+
+func (q *Queue) grow() {
+	next := make([]event.Event, 2*len(q.buf))
+	n := copy(next, q.buf[q.head:])
+	copy(next[n:], q.buf[:q.head])
+	q.buf = next
+	q.head = 0
+}

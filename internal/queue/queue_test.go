@@ -1,0 +1,175 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+func ev(seq uint64) event.Event { return event.Event{Seq: seq} }
+
+func TestZeroValueUsable(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d", q.Len())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue should fail")
+	}
+	q.Push(ev(1))
+	if got, ok := q.Pop(); !ok || got.Seq != 1 {
+		t.Fatalf("Pop = %v,%v", got, ok)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New(4)
+	const n = 100
+	for i := uint64(0); i < n; i++ {
+		q.Push(ev(i))
+	}
+	if q.Len() != n {
+		t.Fatalf("Len() = %d, want %d", q.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		got, ok := q.Pop()
+		if !ok || got.Seq != i {
+			t.Fatalf("Pop #%d = %v,%v", i, got, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue should be drained")
+	}
+}
+
+func TestInterleavedWrapAround(t *testing.T) {
+	q := New(4)
+	next := uint64(0)
+	expect := uint64(0)
+	// Repeatedly push 3, pop 2, forcing head to wrap many times.
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(ev(next))
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			got, ok := q.Pop()
+			if !ok || got.Seq != expect {
+				t.Fatalf("round %d: Pop = %v,%v want seq %d", round, got, ok, expect)
+			}
+			expect++
+		}
+	}
+	// Drain the remainder.
+	for {
+		got, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if got.Seq != expect {
+			t.Fatalf("drain: got %d want %d", got.Seq, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d events, pushed %d", expect, next)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	q := New(0)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty should fail")
+	}
+	q.Push(ev(5))
+	q.Push(ev(6))
+	if got, ok := q.Peek(); !ok || got.Seq != 5 {
+		t.Fatalf("Peek = %v,%v", got, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Peek must not remove: Len() = %d", q.Len())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	q := New(2)
+	for i := uint64(0); i < 10; i++ {
+		q.Push(ev(i))
+	}
+	for i := 0; i < 4; i++ {
+		q.Pop()
+	}
+	if q.MaxSeen() != 10 {
+		t.Errorf("MaxSeen() = %d, want 10", q.MaxSeen())
+	}
+	if q.Enqueued() != 10 || q.Dequeued() != 4 {
+		t.Errorf("Enqueued/Dequeued = %d/%d", q.Enqueued(), q.Dequeued())
+	}
+	if q.Len() != 6 {
+		t.Errorf("Len() = %d, want 6", q.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	q := New(2)
+	for i := uint64(0); i < 5; i++ {
+		q.Push(ev(i))
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len() after Reset = %d", q.Len())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop after Reset should fail")
+	}
+	q.Push(ev(42))
+	if got, _ := q.Pop(); got.Seq != 42 {
+		t.Fatalf("got %d", got.Seq)
+	}
+}
+
+// Property: for any interleaving of pushes and pops, the queue delivers
+// exactly the pushed sequence in order (conservation + FIFO).
+func TestQueueConservationProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		var q Queue
+		var pushed, popped uint64
+		for _, isPush := range ops {
+			if isPush {
+				q.Push(ev(pushed))
+				pushed++
+			} else if got, ok := q.Pop(); ok {
+				if got.Seq != popped {
+					return false
+				}
+				popped++
+			}
+		}
+		// Drain and verify the tail.
+		for {
+			got, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if got.Seq != popped {
+				return false
+			}
+			popped++
+		}
+		return popped == pushed && q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New(1024)
+	e := ev(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(e)
+		q.Pop()
+	}
+}

@@ -1,0 +1,6 @@
+package runtime
+
+import "math"
+
+func floatToBits(f float64) uint64   { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

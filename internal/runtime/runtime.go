@@ -1,0 +1,327 @@
+// Package runtime hosts a live, goroutine-based deployment of the eSPICE
+// architecture (Figure 1): events are submitted into a bounded input
+// queue, a processing goroutine drives the CEP operator, and a detector
+// goroutine periodically estimates input rate and operator throughput,
+// evaluates the overload condition and commands the load shedder.
+//
+// The runtime mirrors the discrete-event simulator (internal/sim) on real
+// clocks and channels; the simulator is the reproducible instrument for
+// experiments, the runtime is the deployment surface the examples use.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/operator"
+	"repro/internal/sim"
+)
+
+// Config assembles a live pipeline.
+type Config struct {
+	// Operator configuration (window, patterns, shedder decider).
+	Operator operator.Config
+	// Detector and Controller enable load shedding; both nil disables it.
+	Detector   *core.OverloadDetector
+	Controller sim.Controller
+	// PollInterval is the detector period (default 10ms).
+	PollInterval time.Duration
+	// QueueCap bounds the input queue; Submit blocks when full
+	// (backpressure). Default 1 << 16.
+	QueueCap int
+	// ProcessingDelay adds an artificial cost per kept membership,
+	// letting examples provoke overload on small machines. Zero means
+	// full speed.
+	ProcessingDelay time.Duration
+	// OutBuffer is the complex-event channel capacity (default 1024).
+	OutBuffer int
+}
+
+type queued struct {
+	ev      event.Event
+	arrived time.Time
+}
+
+// Stats is a snapshot of pipeline counters.
+type Stats struct {
+	Submitted uint64
+	Processed uint64
+	QueueLen  int
+	// InputRate and Throughput are the detector's current estimates in
+	// events per second.
+	InputRate  float64
+	Throughput float64
+	Operator   operator.Stats
+}
+
+// Pipeline is a running eSPICE-enabled CEP operator.
+type Pipeline struct {
+	cfg Config
+	op  *operator.Operator
+	in  chan queued
+	out chan operator.ComplexEvent
+
+	submitted   atomic.Uint64
+	processed   atomic.Uint64
+	busyNanos   atomic.Int64
+	memberships atomic.Uint64
+	kept        atomic.Uint64
+
+	rateEst atomic.Uint64 // float64 bits
+	thEst   atomic.Uint64 // float64 bits
+
+	mu        sync.Mutex
+	latency   metrics.LatencyTrace
+	lastTS    event.Time
+	inClosed  bool
+	runCalled bool
+}
+
+// New validates the configuration and builds a pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if (cfg.Detector == nil) != (cfg.Controller == nil) {
+		return nil, fmt.Errorf("runtime: Detector and Controller must be set together")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 10 * time.Millisecond
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1 << 16
+	}
+	if cfg.OutBuffer <= 0 {
+		cfg.OutBuffer = 1024
+	}
+	op, err := operator.New(cfg.Operator)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		cfg: cfg,
+		op:  op,
+		in:  make(chan queued, cfg.QueueCap),
+		out: make(chan operator.ComplexEvent, cfg.OutBuffer),
+	}, nil
+}
+
+// Submit enqueues an event for processing; it blocks when the input
+// queue is full. Submit must not be called after CloseInput.
+func (p *Pipeline) Submit(e event.Event) {
+	p.submitted.Add(1)
+	p.in <- queued{ev: e, arrived: time.Now()}
+}
+
+// CloseInput signals end of stream; Run drains the queue and returns.
+func (p *Pipeline) CloseInput() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.inClosed {
+		p.inClosed = true
+		close(p.in)
+	}
+}
+
+// Out delivers detected complex events. The channel closes when Run
+// finishes.
+func (p *Pipeline) Out() <-chan operator.ComplexEvent { return p.out }
+
+// Stats returns a snapshot of the pipeline counters.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		Submitted:  p.submitted.Load(),
+		Processed:  p.processed.Load(),
+		QueueLen:   len(p.in),
+		InputRate:  loadFloat(&p.rateEst),
+		Throughput: loadFloat(&p.thEst),
+		Operator:   p.op.Stats(),
+	}
+}
+
+// Latency returns a copy of the recorded latency trace. Call after Run
+// returned.
+func (p *Pipeline) Latency() *metrics.LatencyTrace {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	trace := p.latency
+	return &trace
+}
+
+// Run processes events until the input is closed and drained, or the
+// context is canceled. It is a blocking call; the detector runs on an
+// internal goroutine for its duration.
+func (p *Pipeline) Run(ctx context.Context) error {
+	p.mu.Lock()
+	if p.runCalled {
+		p.mu.Unlock()
+		return fmt.Errorf("runtime: Run called twice")
+	}
+	p.runCalled = true
+	p.mu.Unlock()
+	defer close(p.out)
+
+	detectorDone := make(chan struct{})
+	detectorStop := make(chan struct{})
+	if p.cfg.Detector != nil {
+		go p.detectorLoop(detectorStop, detectorDone)
+		defer func() {
+			close(detectorStop)
+			<-detectorDone
+		}()
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case q, ok := <-p.in:
+			if !ok {
+				p.flush(ctx)
+				return nil
+			}
+			if err := p.processOne(ctx, q); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (p *Pipeline) processOne(ctx context.Context, q queued) error {
+	start := time.Now()
+	before := p.op.Stats()
+	complexEvents := p.op.Process(q.ev)
+	after := p.op.Stats()
+	kept := after.MembershipsKept - before.MembershipsKept
+	if d := p.cfg.ProcessingDelay; d > 0 && kept > 0 {
+		time.Sleep(time.Duration(kept) * d)
+	}
+	p.busyNanos.Add(time.Since(start).Nanoseconds())
+	p.processed.Add(1)
+	p.memberships.Add(after.Memberships - before.Memberships)
+	p.kept.Add(kept)
+
+	lat := time.Since(q.arrived)
+	p.mu.Lock()
+	p.latency.Add(event.Time(start.UnixMicro()), event.Time(lat.Microseconds()))
+	p.lastTS = q.ev.TS
+	p.mu.Unlock()
+
+	for _, ce := range complexEvents {
+		select {
+		case p.out <- ce:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+func (p *Pipeline) flush(ctx context.Context) {
+	p.mu.Lock()
+	last := p.lastTS
+	p.mu.Unlock()
+	for _, ce := range p.op.Flush(last) {
+		select {
+		case p.out <- ce:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// detectorLoop estimates input rate and throughput over poll intervals
+// and forwards overload decisions to the controller.
+func (p *Pipeline) detectorLoop(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(p.cfg.PollInterval)
+	defer ticker.Stop()
+
+	var (
+		lastSubmitted uint64
+		lastKept      uint64
+		lastBusy      int64
+		lastTime      = time.Now()
+	)
+	const alpha = 0.3 // EWMA smoothing for rate and throughput estimates
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-ticker.C:
+			wall := now.Sub(lastTime).Seconds()
+			if wall <= 0 {
+				continue
+			}
+			lastTime = now
+
+			submitted := p.submitted.Load()
+			kept := p.kept.Load()
+			busy := p.busyNanos.Load()
+
+			rate := float64(submitted-lastSubmitted) / wall
+			storeEWMA(&p.rateEst, rate, alpha)
+
+			// Throughput must describe the *unshed* capacity in events/s:
+			// events per busy-second would inflate while shedding (shed
+			// memberships cost almost nothing), so measure the service
+			// rate per kept membership and divide by the cumulative
+			// memberships-per-event overlap factor.
+			memberships := p.memberships.Load()
+			processed := p.processed.Load()
+			if busyDelta := busy - lastBusy; busyDelta > 0 && kept > lastKept && processed > 0 {
+				kbar := float64(memberships) / float64(processed)
+				if kbar > 0 {
+					perKept := float64(kept-lastKept) / (float64(busyDelta) / 1e9)
+					storeEWMA(&p.thEst, perKept/kbar, alpha)
+				}
+			}
+			lastSubmitted, lastKept, lastBusy = submitted, kept, busy
+
+			th := loadFloat(&p.thEst)
+			if th <= 0 {
+				continue
+			}
+			dec := p.cfg.Detector.Evaluate(len(p.in), loadFloat(&p.rateEst), th,
+				p.windowSizeEstimate())
+			p.cfg.Controller.OnDecision(dec)
+		}
+	}
+}
+
+// windowSizeEstimate reads the operator's current expected window size.
+// The window manager itself is owned by the processing goroutine; its
+// ExpectedSize is a best-effort read used only as a shedding hint, and a
+// momentarily stale value merely shifts partition boundaries by a few
+// events. To stay strictly data-race free we cache the spec-derived size.
+func (p *Pipeline) windowSizeEstimate() int {
+	spec := p.cfg.Operator.Window
+	switch {
+	case spec.Count > 0:
+		return spec.Count
+	case spec.SizeHint > 0:
+		return spec.SizeHint
+	default:
+		return 1
+	}
+}
+
+func loadFloat(a *atomic.Uint64) float64 {
+	bits := a.Load()
+	if bits == 0 {
+		return 0
+	}
+	return floatFromBits(bits)
+}
+
+func storeEWMA(a *atomic.Uint64, sample, alpha float64) {
+	prev := loadFloat(a)
+	next := sample
+	if prev > 0 {
+		next = (1-alpha)*prev + alpha*sample
+	}
+	a.Store(floatToBits(next))
+}

@@ -1,0 +1,201 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/operator"
+	"repro/internal/pattern"
+	"repro/internal/window"
+)
+
+const (
+	typeA = event.Type(0)
+	typeB = event.Type(1)
+)
+
+func opConfig(shed operator.Decider) operator.Config {
+	p := pattern.MustCompile(pattern.Pattern{
+		Name: "seq(A;B)",
+		Steps: []pattern.Step{
+			{Types: []event.Type{typeA}},
+			{Types: []event.Type{typeB}},
+		},
+	})
+	return operator.Config{
+		Window:   window.Spec{Mode: window.ModeCount, Count: 10, Slide: 10},
+		Patterns: []*pattern.Compiled{p},
+		Shedder:  shed,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	det, _ := core.NewOverloadDetector(core.DetectorConfig{LatencyBound: event.Second, F: 0.8})
+	if _, err := New(Config{Operator: opConfig(nil), Detector: det}); err == nil {
+		t.Error("detector without controller must fail")
+	}
+	if _, err := New(Config{Operator: operator.Config{}}); err == nil {
+		t.Error("invalid operator config must fail")
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	p, err := New(Config{Operator: opConfig(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background()) }()
+
+	var detected []operator.ComplexEvent
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for ce := range p.Out() {
+			detected = append(detected, ce)
+		}
+	}()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		p.Submit(event.Event{Seq: uint64(i), Type: event.Type(i % 2)})
+	}
+	p.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	<-collected
+	if len(detected) != n/10 {
+		t.Errorf("detected %d complex events, want %d", len(detected), n/10)
+	}
+	st := p.Stats()
+	if st.Submitted != n || st.Processed != n {
+		t.Errorf("stats: %+v", st)
+	}
+	if p.Latency().Len() != n {
+		t.Errorf("latency samples = %d", p.Latency().Len())
+	}
+}
+
+func TestPipelineContextCancel(t *testing.T) {
+	p, err := New(Config{Operator: opConfig(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Run(ctx) }()
+	p.Submit(event.Event{Seq: 0, Type: typeA})
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	p, err := New(Config{Operator: opConfig(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background()) }()
+	go func() {
+		for range p.Out() {
+		}
+	}()
+	// Give the first Run a beat to register.
+	time.Sleep(20 * time.Millisecond)
+	if err := p.Run(context.Background()); err == nil {
+		t.Error("second Run must fail")
+	}
+	p.CloseInput()
+	<-done
+}
+
+func TestPipelineShedsUnderOverload(t *testing.T) {
+	// Artificial per-membership delay of 200µs caps throughput at
+	// ~5000 ev/s; submitting much faster builds the queue and must
+	// trigger shedding with a tight latency bound.
+	model := trainedTestModel(t)
+	shedder, err := core.NewShedder(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.NewOverloadDetector(core.DetectorConfig{
+		LatencyBound: 50 * event.Millisecond,
+		F:            0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		Operator:        opConfig(shedder),
+		Detector:        det,
+		Controller:      shedController{shedder},
+		PollInterval:    2 * time.Millisecond,
+		ProcessingDelay: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background()) }()
+	go func() {
+		for range p.Out() {
+		}
+	}()
+	// Submit 3000 events as fast as possible (≫ 5k ev/s).
+	for i := 0; i < 3000; i++ {
+		p.Submit(event.Event{Seq: uint64(i), Type: event.Type(i % 2)})
+	}
+	p.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Operator.MembershipsShed == 0 {
+		t.Error("overloaded pipeline must shed")
+	}
+	if st.Throughput <= 0 || st.InputRate <= 0 {
+		t.Errorf("estimates not populated: %+v", st)
+	}
+}
+
+// shedController wires detector decisions to a core shedder (the same
+// logic as harness.ESPICEController without the import cycle).
+type shedController struct{ s *core.Shedder }
+
+func (c shedController) OnDecision(dec core.Decision) {
+	if dec.Overloaded && dec.X > 0 {
+		_ = c.s.Configure(dec.Part, dec.X)
+		return
+	}
+	c.s.Deactivate()
+}
+
+// trainedTestModel builds a tiny uniform model where every event is
+// sheddable.
+func trainedTestModel(t *testing.T) *core.Model {
+	t.Helper()
+	ut, err := core.NewUtilityTable(2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := [][]float64{make([]float64, 10), make([]float64, 10)}
+	for p := 0; p < 10; p++ {
+		shares[0][p], shares[1][p] = 0.5, 0.5
+	}
+	m, err := core.NewModelFromTable(ut, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,35 @@
+package tesla
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+// FuzzParse ensures the query parser never panics and that accepted
+// queries always compile to at least one valid pattern with a valid
+// window spec.
+func FuzzParse(f *testing.F) {
+	f.Add("define Q from seq(A; B) within 10 events slide 5")
+	f.Add("define Q from seq(A where kind = rising; any 3 distinct of *) within 60s open A select last")
+	f.Add("define Q from seq(not A; B) within 5s slide 1s")
+	f.Add("define Q from seq(all of A, B; cumulative 2 of *) within 100 events open *")
+	f.Add("define")
+	f.Add("")
+	f.Add("define Q from seq(A) within 999999999999999999999 events slide 5")
+	f.Fuzz(func(t *testing.T, src string) {
+		reg := event.NewRegistry()
+		reg.RegisterAll("A", "B", "C")
+		env := Env{Registry: reg, Schema: event.NewSchema("price")}
+		q, err := Parse(src, env)
+		if err != nil {
+			return
+		}
+		if len(q.Patterns) == 0 {
+			t.Fatal("accepted query without patterns")
+		}
+		if err := q.Window.Validate(); err != nil {
+			t.Fatalf("accepted query with invalid window: %v", err)
+		}
+	})
+}

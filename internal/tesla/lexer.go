@@ -1,0 +1,101 @@
+// Package tesla implements a small event specification language in the
+// spirit of TESLA (Cugola & Margara, DEBS '10), the language the eSPICE
+// paper uses for its example query (Section 2). Textual queries compile
+// to the engine's window specs and patterns, covering the operator
+// classes of the evaluation: sequence, sequence-with-any (optionally
+// distinct), conjunction, negation, cumulative selection, first/last
+// selection policies and zero/consumed consumption policies.
+//
+// Example (the paper's QE, adapted):
+//
+//	define Influence
+//	from seq(LEAD00 where kind = rising; any 20 distinct of * where kind = rising)
+//	within 240s
+//	open LEAD00, LEAD01
+//	select first
+//	anchored
+package tesla
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokWord   tokKind = iota // identifiers and keywords
+	tokNumber                // integer literal, optional duration suffix
+	tokSymbol                // punctuation: ( ) ; , and comparison ops
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset in the source, for error messages
+}
+
+// lex tokenizes the source. Comparison operators are greedy (">=" is one
+// token); comments run from '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '(' || c == ')' || c == ';' || c == ',' || c == '=':
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		case c == '<' || c == '>' || c == '!':
+			sym := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				sym += "="
+				i++
+			} else if c == '!' {
+				return nil, fmt.Errorf("tesla: offset %d: '!' must be followed by '='", i)
+			}
+			toks = append(toks, token{tokSymbol, sym, i})
+			i++
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			// Optional duration suffix: ms, s, m.
+			for i < len(src) && (src[i] == 'm' || src[i] == 's') {
+				i++
+			}
+			toks = append(toks, token{tokNumber, src[start:i], start})
+		case isWordByte(c):
+			start := i
+			for i < len(src) && isWordByte(src[i]) {
+				i++
+			}
+			toks = append(toks, token{tokWord, src[start:i], start})
+		default:
+			return nil, fmt.Errorf("tesla: offset %d: unexpected character %q", i, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c == '*' || c == '.' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// keyword reports whether the token is the given keyword
+// (case-insensitive).
+func (t token) keyword(kw string) bool {
+	return t.kind == tokWord && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,504 @@
+package tesla
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/queries"
+	"repro/internal/window"
+)
+
+// Env supplies the name bindings a query compiles against.
+type Env struct {
+	// Registry resolves type names; required. Unknown type names are an
+	// error — silently registering them would mask typos and desynchronize
+	// the utility table dimensions.
+	Registry *event.Registry
+	// Schema resolves attribute names in where-clauses; optional (queries
+	// using attribute predicates fail without it).
+	Schema *event.Schema
+}
+
+// kindNames maps where-clause kind literals to event kinds.
+var kindNames = map[string]event.Kind{
+	"none":       event.KindNone,
+	"rising":     event.KindRising,
+	"falling":    event.KindFalling,
+	"possession": event.KindPossession,
+	"defend":     event.KindDefend,
+	"position":   event.KindPosition,
+}
+
+// Parse compiles a textual query to an executable queries.Query.
+func Parse(src string, env Env) (queries.Query, error) {
+	if env.Registry == nil {
+		return queries.Query{}, fmt.Errorf("tesla: Env.Registry is required")
+	}
+	toks, err := lex(src)
+	if err != nil {
+		return queries.Query{}, err
+	}
+	p := &parser{toks: toks, env: env}
+	q, err := p.parseQuery()
+	if err != nil {
+		return queries.Query{}, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	env  Env
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("tesla: offset %d (near %q): %s", p.cur().pos, p.cur().text,
+		fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.cur().keyword(kw) {
+		return p.errf("expected %q", kw)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if p.cur().kind != tokSymbol || p.cur().text != sym {
+		return p.errf("expected %q", sym)
+	}
+	p.next()
+	return nil
+}
+
+// parseQuery parses the full query form:
+//
+//	define NAME
+//	from seq(...) [or seq(...)]...
+//	within DURATION | within N events
+//	[open TYPE[, TYPE]...]
+//	[slide N | slide DURATION]
+//	[select first|last]
+//	[consume zero|consumed]
+//	[anchored]
+func (p *parser) parseQuery() (queries.Query, error) {
+	var q queries.Query
+	if err := p.expectKeyword("define"); err != nil {
+		return q, err
+	}
+	if p.cur().kind != tokWord {
+		return q, p.errf("expected query name")
+	}
+	q.Name = p.next().text
+
+	if err := p.expectKeyword("from"); err != nil {
+		return q, err
+	}
+	var protos []pattern.Pattern
+	for {
+		proto, err := p.parseSeq()
+		if err != nil {
+			return q, err
+		}
+		protos = append(protos, proto)
+		if !p.cur().keyword("or") {
+			break
+		}
+		p.next()
+	}
+
+	spec, err := p.parseWindowClauses()
+	if err != nil {
+		return q, err
+	}
+	q.Window = spec
+
+	selection := pattern.SelectFirst
+	consumption := pattern.ConsumeZero
+	anchored := false
+	for {
+		switch {
+		case p.cur().keyword("select"):
+			p.next()
+			switch {
+			case p.cur().keyword("first"):
+				selection = pattern.SelectFirst
+			case p.cur().keyword("last"):
+				selection = pattern.SelectLast
+			default:
+				return q, p.errf("expected first or last")
+			}
+			p.next()
+		case p.cur().keyword("consume"):
+			p.next()
+			switch {
+			case p.cur().keyword("zero"):
+				consumption = pattern.ConsumeZero
+			case p.cur().keyword("consumed"):
+				consumption = pattern.Consumed
+			default:
+				return q, p.errf("expected zero or consumed")
+			}
+			p.next()
+		case p.cur().keyword("anchored"):
+			anchored = true
+			p.next()
+		case p.cur().kind == tokEOF:
+			for i, proto := range protos {
+				proto.Name = q.Name
+				if len(protos) > 1 {
+					proto.Name = fmt.Sprintf("%s#%d", q.Name, i)
+				}
+				proto.Selection = selection
+				proto.Consumption = consumption
+				proto.Anchored = anchored
+				compiled, err := pattern.Compile(proto)
+				if err != nil {
+					return q, err
+				}
+				q.Patterns = append(q.Patterns, compiled)
+			}
+			q.NumTypes = p.env.Registry.Len()
+			return q, nil
+		default:
+			return q, p.errf("unexpected token")
+		}
+	}
+}
+
+// parseSeq parses seq(STEP; STEP; ...).
+func (p *parser) parseSeq() (pattern.Pattern, error) {
+	var proto pattern.Pattern
+	if err := p.expectKeyword("seq"); err != nil {
+		return proto, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return proto, err
+	}
+	for {
+		step, err := p.parseStep()
+		if err != nil {
+			return proto, err
+		}
+		proto.Steps = append(proto.Steps, step)
+		if p.cur().kind == tokSymbol && p.cur().text == ";" {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return proto, err
+	}
+	return proto, nil
+}
+
+// parseStep parses one pattern element:
+//
+//	[not] any N [distinct] of TYPES [where COND]
+//	[not] all of TYPES [where COND]
+//	[not] cumulative [N] [distinct] of TYPES [where COND]
+//	[not] TYPES [where COND]
+func (p *parser) parseStep() (pattern.Step, error) {
+	var s pattern.Step
+	if p.cur().keyword("not") {
+		s.Neg = true
+		p.next()
+	}
+	switch {
+	case p.cur().keyword("any"):
+		p.next()
+		n, err := p.parseInt()
+		if err != nil {
+			return s, err
+		}
+		s.AnyN = n
+		if p.cur().keyword("distinct") {
+			s.Distinct = true
+			p.next()
+		}
+		if err := p.expectKeyword("of"); err != nil {
+			return s, err
+		}
+	case p.cur().keyword("all"):
+		p.next()
+		s.All = true
+		if err := p.expectKeyword("of"); err != nil {
+			return s, err
+		}
+	case p.cur().keyword("cumulative"):
+		p.next()
+		s.Cumulative = true
+		if p.cur().kind == tokNumber {
+			n, err := p.parseInt()
+			if err != nil {
+				return s, err
+			}
+			s.AnyN = n
+		}
+		if p.cur().keyword("distinct") {
+			s.Distinct = true
+			p.next()
+		}
+		if err := p.expectKeyword("of"); err != nil {
+			return s, err
+		}
+	}
+	types, err := p.parseTypeList()
+	if err != nil {
+		return s, err
+	}
+	s.Types = types
+	if p.cur().keyword("where") {
+		p.next()
+		pred, err := p.parseCondition()
+		if err != nil {
+			return s, err
+		}
+		s.Pred = pred
+	}
+	return s, nil
+}
+
+// parseTypeList parses "*" (wildcard: nil) or a comma-separated list of
+// registered type names.
+func (p *parser) parseTypeList() ([]event.Type, error) {
+	if p.cur().kind == tokWord && p.cur().text == "*" {
+		p.next()
+		return nil, nil
+	}
+	var types []event.Type
+	for {
+		if p.cur().kind != tokWord {
+			return nil, p.errf("expected type name")
+		}
+		name := p.next().text
+		id, ok := p.env.Registry.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("tesla: unknown event type %q", name)
+		}
+		types = append(types, id)
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			// Lookahead: a comma inside a type list is only a separator if
+			// a word follows; the window clause "open A, B" reuses this.
+			p.next()
+			continue
+		}
+		break
+	}
+	return types, nil
+}
+
+// parseCondition parses COND ::= TERM ("and" TERM)*, where TERM is
+// "kind = NAME" or "ATTR OP NUMBER".
+func (p *parser) parseCondition() (pattern.Predicate, error) {
+	var preds []pattern.Predicate
+	for {
+		term, err := p.parseCondTerm()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, term)
+		if p.cur().keyword("and") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if len(preds) == 1 {
+		return preds[0], nil
+	}
+	return func(e event.Event) bool {
+		for _, pr := range preds {
+			if !pr(e) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func (p *parser) parseCondTerm() (pattern.Predicate, error) {
+	if p.cur().kind != tokWord {
+		return nil, p.errf("expected attribute or 'kind'")
+	}
+	field := p.next().text
+	if p.cur().kind != tokSymbol {
+		return nil, p.errf("expected comparison operator")
+	}
+	op := p.next().text
+
+	if strings.EqualFold(field, "kind") {
+		if op != "=" && op != "!=" {
+			return nil, fmt.Errorf("tesla: kind only supports = and !=, got %q", op)
+		}
+		if p.cur().kind != tokWord {
+			return nil, p.errf("expected kind name")
+		}
+		name := strings.ToLower(p.next().text)
+		k, ok := kindNames[name]
+		if !ok {
+			return nil, fmt.Errorf("tesla: unknown kind %q", name)
+		}
+		if op == "=" {
+			return func(e event.Event) bool { return e.Kind == k }, nil
+		}
+		return func(e event.Event) bool { return e.Kind != k }, nil
+	}
+
+	if p.env.Schema == nil {
+		return nil, fmt.Errorf("tesla: attribute predicate on %q requires a schema", field)
+	}
+	idx, ok := p.env.Schema.Index(field)
+	if !ok {
+		return nil, fmt.Errorf("tesla: unknown attribute %q", field)
+	}
+	if p.cur().kind != tokNumber {
+		return nil, p.errf("expected numeric literal")
+	}
+	lit, err := strconv.ParseFloat(strings.TrimRight(p.next().text, "ms"), 64)
+	if err != nil {
+		return nil, fmt.Errorf("tesla: bad number: %w", err)
+	}
+	switch op {
+	case "=":
+		return func(e event.Event) bool { return e.Val(idx) == lit }, nil
+	case "!=":
+		return func(e event.Event) bool { return e.Val(idx) != lit }, nil
+	case "<":
+		return func(e event.Event) bool { return e.Val(idx) < lit }, nil
+	case "<=":
+		return func(e event.Event) bool { return e.Val(idx) <= lit }, nil
+	case ">":
+		return func(e event.Event) bool { return e.Val(idx) > lit }, nil
+	case ">=":
+		return func(e event.Event) bool { return e.Val(idx) >= lit }, nil
+	default:
+		return nil, fmt.Errorf("tesla: unknown operator %q", op)
+	}
+}
+
+// parseWindowClauses parses "within ..." plus optional "open"/"slide".
+func (p *parser) parseWindowClauses() (window.Spec, error) {
+	var spec window.Spec
+	if err := p.expectKeyword("within"); err != nil {
+		return spec, err
+	}
+	if p.cur().kind != tokNumber {
+		return spec, p.errf("expected window size")
+	}
+	numTok := p.next()
+	if p.cur().keyword("events") {
+		p.next()
+		n, err := parsePlainInt(numTok.text)
+		if err != nil {
+			return spec, err
+		}
+		spec.Mode = window.ModeCount
+		spec.Count = n
+	} else {
+		d, err := parseDuration(numTok.text)
+		if err != nil {
+			return spec, err
+		}
+		spec.Mode = window.ModeTime
+		spec.Length = d
+	}
+
+	for {
+		switch {
+		case p.cur().keyword("open"):
+			p.next()
+			types, err := p.parseTypeList()
+			if err != nil {
+				return spec, err
+			}
+			if types == nil {
+				spec.Open = func(event.Event) bool { return true }
+			} else {
+				set := make(map[event.Type]struct{}, len(types))
+				for _, t := range types {
+					set[t] = struct{}{}
+				}
+				spec.Open = func(e event.Event) bool {
+					_, ok := set[e.Type]
+					return ok
+				}
+			}
+		case p.cur().keyword("slide"):
+			p.next()
+			if p.cur().kind != tokNumber {
+				return spec, p.errf("expected slide size")
+			}
+			tk := p.next()
+			if spec.Mode == window.ModeCount {
+				n, err := parsePlainInt(tk.text)
+				if err != nil {
+					return spec, err
+				}
+				spec.Slide = n
+				if p.cur().keyword("events") {
+					p.next()
+				}
+			} else {
+				d, err := parseDuration(tk.text)
+				if err != nil {
+					return spec, err
+				}
+				spec.SlideTime = d
+			}
+		default:
+			if err := spec.Validate(); err != nil {
+				return spec, fmt.Errorf("tesla: %w", err)
+			}
+			return spec, nil
+		}
+	}
+}
+
+func (p *parser) parseInt() (int, error) {
+	if p.cur().kind != tokNumber {
+		return 0, p.errf("expected integer")
+	}
+	return parsePlainInt(p.next().text)
+}
+
+func parsePlainInt(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("tesla: bad integer %q: %w", s, err)
+	}
+	return n, nil
+}
+
+// parseDuration parses "240s", "500ms", "4m" or a bare number of seconds.
+func parseDuration(s string) (event.Time, error) {
+	unit := event.Second
+	num := s
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		unit = event.Millisecond
+		num = s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		num = s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		unit = event.Minute
+		num = s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("tesla: bad duration %q: %w", s, err)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("tesla: duration %q must be positive", s)
+	}
+	return event.Time(v * float64(unit)), nil
+}

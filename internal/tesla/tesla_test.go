@@ -1,0 +1,294 @@
+package tesla
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/operator"
+	"repro/internal/pattern"
+	"repro/internal/window"
+)
+
+func testEnv(t *testing.T) Env {
+	t.Helper()
+	reg := event.NewRegistry()
+	reg.RegisterAll("A", "B", "C", "STR", "DEF1", "DEF2")
+	return Env{Registry: reg, Schema: event.NewSchema("price", "change")}
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := lex("seq(A; any 3 of *) >= 2.5 # comment\nnext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.kind != tokEOF {
+			texts = append(texts, tk.text)
+		}
+	}
+	want := "seq ( A ; any 3 of * ) >= 2.5 next"
+	if got := strings.Join(texts, " "); got != want {
+		t.Errorf("tokens = %q, want %q", got, want)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex("a ! b"); err == nil {
+		t.Error("bare '!' must fail")
+	}
+	if _, err := lex("a $ b"); err == nil {
+		t.Error("unknown character must fail")
+	}
+}
+
+func TestParseBasicSequence(t *testing.T) {
+	q, err := Parse(`
+		define Simple
+		from seq(A; B)
+		within 60s
+		slide 30s
+	`, testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "Simple" {
+		t.Errorf("name = %q", q.Name)
+	}
+	if q.Window.Mode != window.ModeTime || q.Window.Length != 60*event.Second {
+		t.Errorf("window = %+v", q.Window)
+	}
+	if q.Window.SlideTime != 30*event.Second {
+		t.Errorf("slide = %v", q.Window.SlideTime)
+	}
+	if len(q.Patterns) != 1 {
+		t.Fatalf("patterns = %d", len(q.Patterns))
+	}
+	steps := q.Patterns[0].Pattern().Steps
+	if len(steps) != 2 || len(steps[0].Types) != 1 || len(steps[1].Types) != 1 {
+		t.Errorf("steps = %+v", steps)
+	}
+}
+
+func TestParseFullQueryRuns(t *testing.T) {
+	// A Q1-like query compiled from text and executed on a small stream.
+	env := testEnv(t)
+	q, err := Parse(`
+		define ManMarking
+		from seq(STR where kind = possession;
+		         any 2 distinct of DEF1, DEF2 where kind = defend)
+		within 10s
+		open STR
+		select first
+		anchored
+	`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := operator.New(operator.Config{Window: q.Window, Patterns: q.Patterns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, _ := env.Registry.Lookup("STR")
+	d1, _ := env.Registry.Lookup("DEF1")
+	d2, _ := env.Registry.Lookup("DEF2")
+	evs := []event.Event{
+		{Seq: 0, Type: str, TS: 0, Kind: event.KindPossession},
+		{Seq: 1, Type: d1, TS: 1 * event.Second, Kind: event.KindDefend},
+		{Seq: 2, Type: d2, TS: 2 * event.Second, Kind: event.KindDefend},
+		{Seq: 3, Type: d1, TS: 20 * event.Second, Kind: event.KindDefend},
+	}
+	var detected []operator.ComplexEvent
+	for _, e := range evs {
+		detected = append(detected, op.Process(e)...)
+	}
+	detected = append(detected, op.Flush(20*event.Second)...)
+	if len(detected) != 1 {
+		t.Fatalf("detected = %d, want 1", len(detected))
+	}
+	if len(detected[0].Constituents) != 3 {
+		t.Errorf("constituents = %v", detected[0].Constituents)
+	}
+}
+
+func TestParseCountWindowWithSlide(t *testing.T) {
+	q, err := Parse(`
+		define Q4ish
+		from seq(A; A; B)
+		within 500 events
+		slide 100
+	`, testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Window.Mode != window.ModeCount || q.Window.Count != 500 || q.Window.Slide != 100 {
+		t.Errorf("window = %+v", q.Window)
+	}
+}
+
+func TestParseOrPatterns(t *testing.T) {
+	q, err := Parse(`
+		define RiseOrFall
+		from seq(A where kind = rising; cumulative 2 of * where kind = rising)
+		  or seq(A where kind = falling; cumulative 2 of * where kind = falling)
+		within 100 events
+		open A
+	`, testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 2 {
+		t.Fatalf("patterns = %d, want 2", len(q.Patterns))
+	}
+	if !strings.Contains(q.Patterns[0].Pattern().Name, "#0") {
+		t.Errorf("pattern names should be disambiguated: %q", q.Patterns[0].Pattern().Name)
+	}
+	last := q.Patterns[0].Pattern().Steps[1]
+	if !last.Cumulative || last.AnyN != 2 || last.Types != nil {
+		t.Errorf("cumulative step = %+v", last)
+	}
+}
+
+func TestParseNegationAndConjunction(t *testing.T) {
+	q, err := Parse(`
+		define Guard
+		from seq(A; not B; all of B, C)
+		within 50 events
+		slide 50
+		consume consumed
+	`, testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := q.Patterns[0].Pattern().Steps
+	if !steps[1].Neg {
+		t.Error("step 1 should be negated")
+	}
+	if !steps[2].All || len(steps[2].Types) != 2 {
+		t.Errorf("step 2 = %+v", steps[2])
+	}
+	if q.Patterns[0].Pattern().Consumption != pattern.Consumed {
+		t.Error("consumption not applied")
+	}
+}
+
+func TestParseAttributePredicates(t *testing.T) {
+	env := testEnv(t)
+	q, err := Parse(`
+		define BigMoves
+		from seq(A where change > 0.5 and price <= 100; B where change != 0)
+		within 10 events
+		slide 10
+	`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := q.Patterns[0].Pattern().Steps[0].Pred
+	if pred == nil {
+		t.Fatal("predicate missing")
+	}
+	ok := pred(event.Event{Vals: []float64{99, 0.6}})
+	if !ok {
+		t.Error("should accept price=99 change=0.6")
+	}
+	if pred(event.Event{Vals: []float64{101, 0.6}}) {
+		t.Error("should reject price=101")
+	}
+	if pred(event.Event{Vals: []float64{99, 0.4}}) {
+		t.Error("should reject change=0.4")
+	}
+}
+
+func TestParseSelectLast(t *testing.T) {
+	q, err := Parse(`
+		define L
+		from seq(A; B)
+		within 10 events
+		slide 5
+		select last
+	`, testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].Pattern().Selection != pattern.SelectLast {
+		t.Error("selection not applied")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	env := testEnv(t)
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing define", `from seq(A) within 10 events slide 5`},
+		{"missing name", `define from seq(A) within 10 events slide 5`},
+		{"unknown type", `define X from seq(NOPE) within 10 events slide 5`},
+		{"missing within", `define X from seq(A) slide 5`},
+		{"no opener", `define X from seq(A) within 10 events`},
+		{"bad select", `define X from seq(A) within 10 events slide 5 select sometimes`},
+		{"bad consume", `define X from seq(A) within 10 events slide 5 consume all`},
+		{"trailing junk", `define X from seq(A) within 10 events slide 5 wat`},
+		{"unknown kind", `define X from seq(A where kind = sideways) within 10 events slide 5`},
+		{"kind bad op", `define X from seq(A where kind > rising) within 10 events slide 5`},
+		{"unknown attr", `define X from seq(A where volume > 1) within 10 events slide 5`},
+		{"attr without number", `define X from seq(A where price > high) within 10 events slide 5`},
+		{"unclosed seq", `define X from seq(A; B within 10 events slide 5`},
+		{"bad duration", `define X from seq(A) within 0s slide 5s`},
+		{"neg with last", `define X from seq(A; not B; C) within 10 events slide 5 select last`},
+		{"anchored any head", `define X from seq(any 2 of A, B; C) within 10 events slide 5 anchored`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src, env); err == nil {
+				t.Errorf("expected parse error for %q", tc.src)
+			}
+		})
+	}
+	if _, err := Parse("define X from seq(A) within 10 events slide 5", Env{}); err == nil {
+		t.Error("missing registry must fail")
+	}
+	noSchema := Env{Registry: env.Registry}
+	if _, err := Parse(`define X from seq(A where price > 1) within 10 events slide 5`, noSchema); err == nil {
+		t.Error("attribute predicate without schema must fail")
+	}
+}
+
+func TestParseWildcardOpen(t *testing.T) {
+	q, err := Parse(`
+		define Every
+		from seq(A)
+		within 5 events
+		open *
+	`, testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Window.Open == nil || !q.Window.Open(event.Event{Type: 3}) {
+		t.Error("wildcard opener should accept everything")
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	for src, want := range map[string]event.Time{
+		"240s":  240 * event.Second,
+		"500ms": 500 * event.Millisecond,
+		"4m":    4 * event.Minute,
+		"2.5s":  2500 * event.Millisecond,
+	} {
+		got, err := parseDuration(src)
+		if err != nil {
+			t.Errorf("parseDuration(%q): %v", src, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseDuration(%q) = %v, want %v", src, got, want)
+		}
+	}
+	for _, bad := range []string{"abc", "-4s", "0s", ""} {
+		if _, err := parseDuration(bad); err == nil {
+			t.Errorf("parseDuration(%q) should fail", bad)
+		}
+	}
+}

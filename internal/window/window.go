@@ -1,0 +1,345 @@
+// Package window partitions input event streams into (possibly
+// overlapping) windows, as assumed by the eSPICE paper (Section 2): a
+// window operator upstream of the CEP operator splits the stream using
+// count-based, time-based, or pattern-based (logical-predicate) policies.
+//
+// A primitive event may belong to several overlapping windows and has an
+// independent position in each of them; that position is the load
+// shedder's second learning feature. Positions are assigned on arrival,
+// before any shedding decision, so that model building and shedding agree
+// on the coordinates of every event.
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// ID identifies a window uniquely within one Manager.
+type ID uint64
+
+// Mode selects how windows are measured.
+type Mode int
+
+// Window measurement modes.
+const (
+	// ModeCount windows span a fixed number of events (count-based).
+	ModeCount Mode = iota
+	// ModeTime windows span a fixed virtual-time length (time-based).
+	ModeTime
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeCount:
+		return "count"
+	case ModeTime:
+		return "time"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// OpenPredicate decides whether an incoming event opens a new window
+// (pattern-based window splitting, e.g. "a new window is opened for each
+// incoming striker event").
+type OpenPredicate func(e event.Event) bool
+
+// Spec describes a windowing policy.
+//
+// Exactly one opening rule applies: if Open is non-nil, a new window opens
+// on every event satisfying it; otherwise Slide (count mode) or SlideTime
+// (time mode) opens windows periodically. The opening event is part of the
+// window it opens, at position 0.
+type Spec struct {
+	Mode   Mode
+	Count  int        // window size in events (ModeCount)
+	Length event.Time // window span (ModeTime)
+
+	Open      OpenPredicate // logical predicate opening (may be nil)
+	Slide     int           // open every Slide events (ModeCount, Open == nil)
+	SlideTime event.Time    // open every SlideTime (ModeTime, Open == nil)
+
+	// Close, when set, closes every open window as soon as an event
+	// satisfying it arrives — the pattern-based window splitting strategy
+	// (Section 2 of the paper lists logical-predicate closing alongside
+	// count and time). The closing event is not part of the windows it
+	// closes; the mode's size bound still applies as a backstop, so
+	// windows stay bounded even if the predicate never fires.
+	Close OpenPredicate
+
+	// SizeHint seeds the expected-size predictor for time-based windows
+	// (events per window); ignored for count-based windows. When zero, the
+	// predictor starts from the first closed window's size.
+	SizeHint int
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s Spec) Validate() error {
+	switch s.Mode {
+	case ModeCount:
+		if s.Count <= 0 {
+			return fmt.Errorf("window: count-based spec needs Count > 0, got %d", s.Count)
+		}
+		if s.Open == nil && s.Slide <= 0 {
+			return fmt.Errorf("window: count-based spec needs Open predicate or Slide > 0")
+		}
+	case ModeTime:
+		if s.Length <= 0 {
+			return fmt.Errorf("window: time-based spec needs Length > 0, got %d", s.Length)
+		}
+		if s.Open == nil && s.SlideTime <= 0 {
+			return fmt.Errorf("window: time-based spec needs Open predicate or SlideTime > 0")
+		}
+	default:
+		return fmt.Errorf("window: unknown mode %d", s.Mode)
+	}
+	return nil
+}
+
+// Entry is an event kept in a window together with its arrival position
+// (0-based, counting dropped events too).
+type Entry struct {
+	Ev  event.Event
+	Pos int
+}
+
+// Window is one window instance: the unit of pattern matching and of
+// shedding decisions. Events are buffered until the window closes, at
+// which point the CEP operator runs the matcher over the kept entries.
+type Window struct {
+	ID      ID
+	OpenSeq uint64     // sequence number of the opening event
+	OpenTS  event.Time // timestamp of the opening event
+
+	// ExpectedSize is ws as known at shedding time: exact for count-based
+	// windows, predicted for time-based windows (Section 3.6: the incoming
+	// window size must be predicted to compute relative positions).
+	ExpectedSize int
+
+	Kept     []Entry
+	Arrivals int // positions handed out, including dropped events
+	Dropped  int
+	closed   bool
+}
+
+// Add appends a kept event at the given position.
+func (w *Window) Add(e event.Event, pos int) {
+	w.Kept = append(w.Kept, Entry{Ev: e, Pos: pos})
+}
+
+// Size returns the total number of events routed to the window (kept +
+// dropped). After the window closes this is the true window size ws.
+func (w *Window) Size() int { return w.Arrivals }
+
+// Closed reports whether the window has been closed by the manager.
+func (w *Window) Closed() bool { return w.closed }
+
+// Membership records that an event belongs to a window at a position.
+type Membership struct {
+	W   *Window
+	Pos int
+}
+
+// Manager routes a stream of events (in global order) into windows
+// according to a Spec. It is a single-goroutine component, owned by the
+// operator's processing loop.
+type Manager struct {
+	spec   Spec
+	nextID ID
+	open   []*Window // in opening order
+
+	sinceOpen  int        // events since last slide-open (count mode)
+	lastOpenTS event.Time // timestamp of last slide-open (time mode)
+	opened     bool       // at least one window opened so far
+
+	// Expected-size predictor for time-based windows: exponential moving
+	// average over closed window sizes.
+	expSize float64
+
+	memberBuf []Membership
+	closedBuf []*Window
+
+	totalOpened uint64
+	totalClosed uint64
+	sizeSum     uint64 // sum of closed window sizes, for AvgSize
+}
+
+// NewManager builds a manager for the given spec. The spec must validate.
+func NewManager(spec Spec) (*Manager, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Manager{spec: spec}
+	if spec.Mode == ModeTime && spec.SizeHint > 0 {
+		m.expSize = float64(spec.SizeHint)
+	}
+	return m, nil
+}
+
+// Spec returns the manager's windowing policy.
+func (m *Manager) Spec() Spec { return m.spec }
+
+// OpenCount reports the number of currently open windows.
+func (m *Manager) OpenCount() int { return len(m.open) }
+
+// TotalOpened reports how many windows were ever opened.
+func (m *Manager) TotalOpened() uint64 { return m.totalOpened }
+
+// TotalClosed reports how many windows were ever closed.
+func (m *Manager) TotalClosed() uint64 { return m.totalClosed }
+
+// AvgSize returns the average size (in events) of closed windows; this is
+// the N used to dimension the utility table for time-based windows.
+func (m *Manager) AvgSize() float64 {
+	if m.totalClosed == 0 {
+		return 0
+	}
+	return float64(m.sizeSum) / float64(m.totalClosed)
+}
+
+// ExpectedSize returns the current window-size prediction used for
+// relative-position scaling (exact Count for count-based windows).
+func (m *Manager) ExpectedSize() int {
+	if m.spec.Mode == ModeCount {
+		return m.spec.Count
+	}
+	if m.expSize <= 0 {
+		return 0
+	}
+	return int(m.expSize + 0.5)
+}
+
+// Route processes the next event in stream order. It returns the windows
+// the event belongs to (with the event's position in each) and any windows
+// that closed before or because of this event. Time-based windows close
+// when an event at or past their end arrives (the event is not part of
+// them); count-based windows close once they contain Count arrivals.
+//
+// The returned slices are reused across calls: callers must consume them
+// before the next Route or Flush call and must not retain them.
+func (m *Manager) Route(e event.Event) (member []Membership, closed []*Window) {
+	m.memberBuf = m.memberBuf[:0]
+	m.closedBuf = m.closedBuf[:0]
+
+	// 1. Close expired time windows (their span ended strictly before e).
+	if m.spec.Mode == ModeTime {
+		m.closeExpired(e.TS)
+	}
+	// 1b. Pattern-based closing: a matching event seals all open windows
+	// before it is routed (it belongs to windows it opens, not closes).
+	if m.spec.Close != nil && m.spec.Close(e) {
+		for _, w := range m.open {
+			m.closeWindow(w)
+		}
+		m.open = m.open[:0]
+	}
+
+	// 2. Possibly open a new window at this event.
+	if m.shouldOpen(e) {
+		w := &Window{
+			ID:           m.nextID,
+			OpenSeq:      e.Seq,
+			OpenTS:       e.TS,
+			ExpectedSize: m.predictSize(),
+		}
+		m.nextID++
+		m.totalOpened++
+		m.open = append(m.open, w)
+	}
+
+	// 3. Assign the event a position in every open window.
+	for _, w := range m.open {
+		m.memberBuf = append(m.memberBuf, Membership{W: w, Pos: w.Arrivals})
+		w.Arrivals++
+	}
+
+	// 4. Close count windows that reached their size.
+	if m.spec.Mode == ModeCount {
+		remaining := m.open[:0]
+		for _, w := range m.open {
+			if w.Arrivals >= m.spec.Count {
+				m.closeWindow(w)
+			} else {
+				remaining = append(remaining, w)
+			}
+		}
+		m.open = remaining
+	}
+
+	return m.memberBuf, m.closedBuf
+}
+
+// Flush closes all remaining open windows (end of stream). The returned
+// slice is reused; see Route.
+func (m *Manager) Flush() []*Window {
+	m.closedBuf = m.closedBuf[:0]
+	for _, w := range m.open {
+		m.closeWindow(w)
+	}
+	m.open = m.open[:0]
+	return m.closedBuf
+}
+
+func (m *Manager) shouldOpen(e event.Event) bool {
+	if m.spec.Open != nil {
+		return m.spec.Open(e)
+	}
+	switch m.spec.Mode {
+	case ModeCount:
+		openNow := m.sinceOpen == 0
+		m.sinceOpen++
+		if m.sinceOpen == m.spec.Slide {
+			m.sinceOpen = 0
+		}
+		return openNow
+	case ModeTime:
+		if !m.opened || e.TS >= m.lastOpenTS+m.spec.SlideTime {
+			m.opened = true
+			m.lastOpenTS = e.TS
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) closeExpired(now event.Time) {
+	remaining := m.open[:0]
+	for _, w := range m.open {
+		if now >= w.OpenTS+m.spec.Length {
+			m.closeWindow(w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	m.open = remaining
+}
+
+func (m *Manager) closeWindow(w *Window) {
+	w.closed = true
+	m.totalClosed++
+	m.sizeSum += uint64(w.Arrivals)
+	m.closedBuf = append(m.closedBuf, w)
+	if m.spec.Mode == ModeTime && w.Arrivals > 0 {
+		// EMA with a mild smoothing factor: adapts to rate changes but is
+		// robust to single odd windows.
+		const alpha = 0.1
+		if m.expSize <= 0 {
+			m.expSize = float64(w.Arrivals)
+		} else {
+			m.expSize = (1-alpha)*m.expSize + alpha*float64(w.Arrivals)
+		}
+	}
+}
+
+func (m *Manager) predictSize() int {
+	if m.spec.Mode == ModeCount {
+		return m.spec.Count
+	}
+	if m.expSize <= 0 {
+		return 0
+	}
+	return int(m.expSize + 0.5)
+}

@@ -1,0 +1,456 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+func ev(seq uint64, ts event.Time) event.Event {
+	return event.Event{Seq: seq, TS: ts}
+}
+
+func typed(seq uint64, ts event.Time, t event.Type) event.Event {
+	return event.Event{Seq: seq, TS: ts, Type: t}
+}
+
+func TestSpecValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    Spec
+		wantErr bool
+	}{
+		{"count ok", Spec{Mode: ModeCount, Count: 10, Slide: 5}, false},
+		{"count pred ok", Spec{Mode: ModeCount, Count: 10, Open: func(event.Event) bool { return true }}, false},
+		{"count missing size", Spec{Mode: ModeCount, Slide: 5}, true},
+		{"count missing opener", Spec{Mode: ModeCount, Count: 10}, true},
+		{"time ok", Spec{Mode: ModeTime, Length: event.Second, SlideTime: event.Second}, false},
+		{"time pred ok", Spec{Mode: ModeTime, Length: event.Second, Open: func(event.Event) bool { return true }}, false},
+		{"time missing length", Spec{Mode: ModeTime, SlideTime: event.Second}, true},
+		{"time missing opener", Spec{Mode: ModeTime, Length: event.Second}, true},
+		{"bad mode", Spec{Mode: Mode(9), Count: 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.spec.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeCount.String() != "count" || ModeTime.String() != "time" {
+		t.Error("mode names wrong")
+	}
+	if Mode(7).String() != "mode(7)" {
+		t.Errorf("got %q", Mode(7).String())
+	}
+}
+
+func TestNewManagerRejectsBadSpec(t *testing.T) {
+	if _, err := NewManager(Spec{Mode: ModeCount}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCountSlidingWindows(t *testing.T) {
+	// ws=4, slide=2: windows [0..3], [2..5], [4..7], ...
+	m, err := NewManager(Spec{Mode: ModeCount, Count: 4, Slide: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type closedWin struct {
+		openSeq uint64
+		size    int
+	}
+	var got []closedWin
+	for i := uint64(0); i < 10; i++ {
+		member, closed := m.Route(ev(i, 0))
+		// Every event belongs to at least one window.
+		if len(member) == 0 {
+			t.Fatalf("event %d in no window", i)
+		}
+		for _, c := range closed {
+			got = []closedWin(append(got, closedWin{c.OpenSeq, c.Size()}))
+		}
+	}
+	want := []closedWin{{0, 4}, {2, 4}, {4, 4}, {6, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("closed %d windows, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("window %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Flush the trailing partial windows.
+	rest := m.Flush()
+	if len(rest) != 1 {
+		t.Fatalf("Flush closed %d windows, want 1", len(rest))
+	}
+	if rest[0].OpenSeq != 8 || rest[0].Size() != 2 {
+		t.Errorf("flushed window = open %d size %d", rest[0].OpenSeq, rest[0].Size())
+	}
+}
+
+func TestCountWindowPositions(t *testing.T) {
+	m, err := NewManager(Spec{Mode: ModeCount, Count: 3, Slide: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With slide=1 every event opens a window; event i has position
+	// i - w.OpenSeq in window w.
+	for i := uint64(0); i < 6; i++ {
+		member, _ := m.Route(ev(i, 0))
+		for _, mb := range member {
+			wantPos := int(i - mb.W.OpenSeq)
+			if mb.Pos != wantPos {
+				t.Errorf("event %d in window open@%d: pos %d, want %d", i, mb.W.OpenSeq, mb.Pos, wantPos)
+			}
+		}
+	}
+}
+
+func TestPredicateOpenedCountWindows(t *testing.T) {
+	leader := event.Type(7)
+	m, err := NewManager(Spec{
+		Mode:  ModeCount,
+		Count: 3,
+		Open:  func(e event.Event) bool { return e.Type == leader },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := []event.Type{1, 7, 2, 3, 7, 4, 5, 6}
+	var closed []*Window
+	for i, typ := range seqs {
+		_, cl := m.Route(typed(uint64(i), 0, typ))
+		closed = append(closed, cl...)
+	}
+	closed = append(closed, m.Flush()...)
+	if len(closed) != 2 {
+		t.Fatalf("closed %d windows, want 2", len(closed))
+	}
+	// First window opens at the leader event (seq 1) and spans 3 events.
+	if closed[0].OpenSeq != 1 || closed[0].Size() != 3 {
+		t.Errorf("w0: open %d size %d", closed[0].OpenSeq, closed[0].Size())
+	}
+	// Second opens at seq 4.
+	if closed[1].OpenSeq != 4 || closed[1].Size() != 3 {
+		t.Errorf("w1: open %d size %d", closed[1].OpenSeq, closed[1].Size())
+	}
+}
+
+func TestTimeWindowsPredicateOpen(t *testing.T) {
+	str := event.Type(1)
+	m, err := NewManager(Spec{
+		Mode:   ModeTime,
+		Length: 10 * event.Second,
+		Open:   func(e event.Event) bool { return e.Type == str },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Striker event at t=0 opens a 10s window; events at 1s..9s inside,
+	// event at 10s closes it (exclusive end).
+	if member, _ := m.Route(typed(0, 0, str)); len(member) != 1 || member[0].Pos != 0 {
+		t.Fatalf("opener membership = %+v", member)
+	}
+	if member, _ := m.Route(typed(1, 5*event.Second, 2)); len(member) != 1 || member[0].Pos != 1 {
+		t.Fatalf("inside membership = %+v", member)
+	}
+	member, closed := m.Route(typed(2, 10*event.Second, 2))
+	if len(member) != 0 {
+		t.Errorf("event at window end must not join, got %+v", member)
+	}
+	if len(closed) != 1 || closed[0].Size() != 2 {
+		t.Fatalf("closed = %+v", closed)
+	}
+}
+
+func TestOverlappingTimeWindowsPositions(t *testing.T) {
+	// Every event opens a window (predicate always true): heavy overlap.
+	m, err := NewManager(Spec{
+		Mode:   ModeTime,
+		Length: 3 * event.Second,
+		Open:   func(event.Event) bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events at t=0,1,2: each belongs to all windows opened at <= its ts.
+	for i := 0; i < 3; i++ {
+		member, _ := m.Route(ev(uint64(i), event.Time(i)*event.Second))
+		if len(member) != i+1 {
+			t.Fatalf("event %d: %d memberships, want %d", i, len(member), i+1)
+		}
+		// In the window opened by event j, this event's position is i-j.
+		for _, mb := range member {
+			j := int(mb.W.OpenSeq)
+			if mb.Pos != i-j {
+				t.Errorf("event %d in w%d: pos %d, want %d", i, j, mb.Pos, i-j)
+			}
+		}
+	}
+}
+
+func TestTimeSlideWindows(t *testing.T) {
+	m, err := NewManager(Spec{
+		Mode:      ModeTime,
+		Length:    4 * event.Second,
+		SlideTime: 2 * event.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closedSizes []int
+	for i := 0; i < 10; i++ {
+		_, closed := m.Route(ev(uint64(i), event.Time(i)*event.Second))
+		for _, c := range closed {
+			closedSizes = append(closedSizes, c.Size())
+		}
+	}
+	// Windows open at t=0,2,4,6,8; each spans 4s and sees 4 events
+	// (1 event per second).
+	for i, s := range closedSizes {
+		if s != 4 {
+			t.Errorf("closed window %d size = %d, want 4", i, s)
+		}
+	}
+	if len(closedSizes) < 3 {
+		t.Fatalf("only %d windows closed", len(closedSizes))
+	}
+}
+
+func TestExpectedSizePrediction(t *testing.T) {
+	m, err := NewManager(Spec{
+		Mode:     ModeTime,
+		Length:   2 * event.Second,
+		Open:     func(e event.Event) bool { return e.Kind == event.KindPossession },
+		SizeHint: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExpectedSize() != 20 {
+		t.Fatalf("initial ExpectedSize = %d, want hint 20", m.ExpectedSize())
+	}
+	// Stream at 10 events/sec: windows hold 20 events; prediction should
+	// stay near 20.
+	seq := uint64(0)
+	for s := 0; s < 50; s++ {
+		for i := 0; i < 10; i++ {
+			e := ev(seq, event.Time(s)*event.Second+event.Time(i)*100*event.Millisecond)
+			if i == 0 && s%3 == 0 {
+				e.Kind = event.KindPossession
+			}
+			m.Route(e)
+			seq++
+		}
+	}
+	got := m.ExpectedSize()
+	if got < 15 || got > 25 {
+		t.Errorf("ExpectedSize = %d, want ~20", got)
+	}
+	if m.AvgSize() < 15 || m.AvgSize() > 25 {
+		t.Errorf("AvgSize = %v, want ~20", m.AvgSize())
+	}
+}
+
+func TestCountExpectedSizeExact(t *testing.T) {
+	m, err := NewManager(Spec{Mode: ModeCount, Count: 42, Slide: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExpectedSize() != 42 {
+		t.Errorf("ExpectedSize = %d, want 42", m.ExpectedSize())
+	}
+	member, _ := m.Route(ev(0, 0))
+	if member[0].W.ExpectedSize != 42 {
+		t.Errorf("window ExpectedSize = %d, want 42", member[0].W.ExpectedSize)
+	}
+}
+
+func TestWindowAddAndDropAccounting(t *testing.T) {
+	var w Window
+	w.Arrivals = 5
+	w.Add(ev(0, 0), 0)
+	w.Add(ev(2, 0), 2)
+	w.Dropped = 3
+	if len(w.Kept) != 2 {
+		t.Fatalf("Kept = %d", len(w.Kept))
+	}
+	if w.Kept[1].Pos != 2 {
+		t.Errorf("pos = %d", w.Kept[1].Pos)
+	}
+	if w.Size() != 5 {
+		t.Errorf("Size() = %d", w.Size())
+	}
+}
+
+func TestManagerCounters(t *testing.T) {
+	m, err := NewManager(Spec{Mode: ModeCount, Count: 2, Slide: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		m.Route(ev(i, 0))
+	}
+	if m.TotalOpened() != 5 || m.TotalClosed() != 5 {
+		t.Errorf("opened/closed = %d/%d, want 5/5", m.TotalOpened(), m.TotalClosed())
+	}
+	if m.AvgSize() != 2 {
+		t.Errorf("AvgSize = %v, want 2", m.AvgSize())
+	}
+	if m.OpenCount() != 0 {
+		t.Errorf("OpenCount = %d", m.OpenCount())
+	}
+}
+
+// Property: for tumbling count windows (slide == count), every event is in
+// exactly one window, positions within each window are 0..count-1, and all
+// windows except possibly the last have exactly count events.
+func TestTumblingCountPartitionProperty(t *testing.T) {
+	f := func(rawCount uint8, rawN uint16) bool {
+		count := int(rawCount)%20 + 1
+		n := int(rawN) % 500
+		m, err := NewManager(Spec{Mode: ModeCount, Count: count, Slide: count})
+		if err != nil {
+			return false
+		}
+		var sizes []int
+		memberships := 0
+		for i := 0; i < n; i++ {
+			member, closed := m.Route(ev(uint64(i), 0))
+			if len(member) != 1 {
+				return false
+			}
+			memberships += len(member)
+			for _, c := range closed {
+				sizes = append(sizes, c.Size())
+			}
+		}
+		for _, c := range m.Flush() {
+			sizes = append(sizes, c.Size())
+		}
+		total := 0
+		for i, s := range sizes {
+			if i < len(sizes)-1 && s != count {
+				return false
+			}
+			total += s
+		}
+		return total == n && memberships == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: positions within any window are strictly increasing and dense
+// (0,1,2,...) in arrival order.
+func TestPositionDensityProperty(t *testing.T) {
+	f := func(rawSlide uint8, rawN uint16) bool {
+		slide := int(rawSlide)%5 + 1
+		n := int(rawN)%300 + 1
+		m, err := NewManager(Spec{Mode: ModeCount, Count: 10, Slide: slide})
+		if err != nil {
+			return false
+		}
+		lastPos := make(map[ID]int)
+		for i := 0; i < n; i++ {
+			member, _ := m.Route(ev(uint64(i), 0))
+			for _, mb := range member {
+				prev, seen := lastPos[mb.W.ID]
+				if !seen {
+					if mb.Pos != 0 {
+						return false
+					}
+				} else if mb.Pos != prev+1 {
+					return false
+				}
+				lastPos[mb.W.ID] = mb.Pos
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatternBasedClose(t *testing.T) {
+	// Session-like windows: open on possession, close on whistle (kind
+	// none from type 9), bounded by a 100-event backstop.
+	openT, closeT := event.Type(1), event.Type(9)
+	m, err := NewManager(Spec{
+		Mode:  ModeCount,
+		Count: 100,
+		Open:  func(e event.Event) bool { return e.Type == openT },
+		Close: func(e event.Event) bool { return e.Type == closeT },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closed []*Window
+	route := func(seq uint64, typ event.Type) []Membership {
+		member, cl := m.Route(event.Event{Seq: seq, Type: typ})
+		closed = append(closed, cl...)
+		return append([]Membership(nil), member...)
+	}
+	route(0, openT)            // opens w0
+	route(1, 2)                // inside
+	member := route(2, closeT) // closes w0, not a member
+	if len(member) != 0 {
+		t.Errorf("closing event joined a window: %+v", member)
+	}
+	if len(closed) != 1 || closed[0].Size() != 2 {
+		t.Fatalf("closed = %+v", closed)
+	}
+	// A close event that also satisfies Open: closes old, opens new.
+	m2, err := NewManager(Spec{
+		Mode:  ModeCount,
+		Count: 100,
+		Open:  func(e event.Event) bool { return e.Type == openT },
+		Close: func(e event.Event) bool { return e.Type == openT },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Route(event.Event{Seq: 0, Type: openT})
+	member2, cl2 := m2.Route(event.Event{Seq: 1, Type: openT})
+	if len(cl2) != 1 || cl2[0].Size() != 1 {
+		t.Fatalf("re-open close: closed = %+v", cl2)
+	}
+	if len(member2) != 1 || member2[0].Pos != 0 {
+		t.Fatalf("re-open close: member = %+v", member2)
+	}
+}
+
+func TestPatternCloseBackstopStillApplies(t *testing.T) {
+	openT := event.Type(1)
+	m, err := NewManager(Spec{
+		Mode:  ModeCount,
+		Count: 3,
+		Open:  func(e event.Event) bool { return e.Type == openT },
+		Close: func(e event.Event) bool { return e.Type == event.Type(99) }, // never fires
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closed []*Window
+	for i := uint64(0); i < 5; i++ {
+		typ := event.Type(2)
+		if i == 0 {
+			typ = openT
+		}
+		_, cl := m.Route(event.Event{Seq: i, Type: typ})
+		closed = append(closed, cl...)
+	}
+	if len(closed) != 1 || closed[0].Size() != 3 {
+		t.Fatalf("count backstop did not close: %+v", closed)
+	}
+}
