@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test bench fmt vet
+
+build:
+	$(GO) build ./...
+
+test: vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...

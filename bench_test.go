@@ -1,9 +1,12 @@
 package espice
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/event"
@@ -150,6 +153,63 @@ func BenchmarkAblationExactVsAtLeast(b *testing.B) {
 			b.ReportMetric(float64(drops)/float64(b.N)*100, "drop%")
 		})
 	}
+}
+
+// BenchmarkPipelineShards measures kept-event throughput of the live
+// pipeline as the shard count grows under ProcessingDelay-induced load:
+// each kept membership costs a fixed sleep, so the serial pipeline is
+// capped at 1/delay memberships per second while N shards overlap N
+// sleeps — throughput should scale near-linearly from 1 to 4 shards.
+func BenchmarkPipelineShards(b *testing.B) {
+	const delay = 50 * time.Microsecond
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p, err := NewPipeline(PipelineConfig{
+				Operator: OperatorConfig{
+					Window:   WindowSpec{Mode: ModeCount, Count: 10, Slide: 10},
+					Patterns: []*CompiledPattern{mustCompileSeqAB(b)},
+				},
+				Shards:          shards,
+				ProcessingDelay: delay,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() { done <- p.Run(context.Background()) }()
+			go func() {
+				for range p.Out() {
+				}
+			}()
+			events := make([]Event, b.N)
+			for i := range events {
+				events[i] = Event{Seq: uint64(i), TS: Time(i), Type: Type(i % 2)}
+			}
+			b.ResetTimer()
+			p.SubmitBatch(events)
+			p.CloseInput()
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+			kept := p.Stats().Operator.MembershipsKept
+			b.ReportMetric(float64(kept)/b.Elapsed().Seconds(), "kept_ev/s")
+		})
+	}
+}
+
+func mustCompileSeqAB(tb testing.TB) *CompiledPattern {
+	tb.Helper()
+	p, err := CompilePattern(Pattern{
+		Name: "seq(A;B)",
+		Steps: []PatternStep{
+			{Types: []Type{Type(0)}},
+			{Types: []Type{Type(1)}},
+		},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
 }
 
 // --- Micro benchmarks on the hot path -----------------------------------

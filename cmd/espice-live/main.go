@@ -1,14 +1,19 @@
 // Command espice-live replays a synthetic dataset through the live
 // goroutine/channel pipeline at a configurable overload and reports
 // latency and quality statistics — a wall-clock counterpart to the
-// deterministic simulator used by espice-bench.
+// deterministic simulator used by espice-bench. With -shards > 1 the
+// pipeline runs as a sharded multi-operator deployment: windows are
+// spread round-robin over parallel operator instances, each with its own
+// load shedder, all commanded in lockstep by one overload detector.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/core"
@@ -23,92 +28,144 @@ import (
 	"repro/internal/sim"
 )
 
+// liveOpts bundles the command-line parameters so the whole replay is
+// callable from tests.
+type liveOpts struct {
+	seconds  int
+	n        int
+	seed     int64
+	delay    time.Duration
+	bound    time.Duration
+	f        float64
+	overload float64
+	shedder  string
+	shards   int
+}
+
+// liveResult carries the counters a caller (or test) may want to assert
+// on after the replay.
+type liveResult struct {
+	stats   runtime.Stats
+	quality metrics.Quality
+}
+
 func main() {
 	log.SetFlags(0)
-	seconds := flag.Int("seconds", 900, "seconds of synthetic RTLS data")
-	n := flag.Int("n", 4, "Q1 pattern size")
-	seed := flag.Int64("seed", 1, "generator seed")
-	delay := flag.Duration("delay", 2*time.Millisecond, "processing cost per kept membership")
-	bound := flag.Duration("bound", 500*time.Millisecond, "latency bound LB")
-	fval := flag.Float64("f", 0.7, "shedding trigger fraction f")
-	overload := flag.Float64("overload", 1.3, "input rate as a multiple of capacity")
-	shedderName := flag.String("shedder", "espice", "shedder: espice, bl, random, none")
+	opts := liveOpts{}
+	flag.IntVar(&opts.seconds, "seconds", 900, "seconds of synthetic RTLS data")
+	flag.IntVar(&opts.n, "n", 4, "Q1 pattern size")
+	flag.Int64Var(&opts.seed, "seed", 1, "generator seed")
+	flag.DurationVar(&opts.delay, "delay", 2*time.Millisecond, "processing cost per kept membership")
+	flag.DurationVar(&opts.bound, "bound", 500*time.Millisecond, "latency bound LB")
+	flag.Float64Var(&opts.f, "f", 0.7, "shedding trigger fraction f")
+	flag.Float64Var(&opts.overload, "overload", 1.3, "input rate as a multiple of capacity")
+	flag.StringVar(&opts.shedder, "shedder", "espice", "shedder: espice, bl, random, none")
+	flag.IntVar(&opts.shards, "shards", 1, "parallel operator instances")
 	flag.Parse()
 
-	meta, events, err := datasets.GenerateRTLS(datasets.RTLSConfig{
-		DurationSec: *seconds, Seed: *seed,
-	})
-	if err != nil {
+	if _, err := runLive(opts, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	query, err := queries.Q1(meta, *n, pattern.SelectFirst, 15)
+}
+
+// newShedPair builds one decider/controller instance of the requested
+// kind; sharded runs call it once per shard so every shard gets its own
+// shedder state.
+func newShedPair(name string, q queries.Query, tr *harness.TrainResult, seed int64) (operator.Decider, sim.Controller, error) {
+	switch name {
+	case "espice":
+		s, err := core.NewShedder(tr.Model)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, harness.ESPICEController{S: s}, nil
+	case "bl":
+		bl, err := newBLShedder(q, tr, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return bl, harness.BLController{B: bl}, nil
+	case "random":
+		r := newRandomShedder(seed)
+		return r, harness.RandomController{R: r}, nil
+	case "none":
+		return nil, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown shedder %q", name)
+	}
+}
+
+func runLive(opts liveOpts, w io.Writer) (*liveResult, error) {
+	if opts.shards < 1 {
+		opts.shards = 1
+	}
+	meta, events, err := datasets.GenerateRTLS(datasets.RTLSConfig{
+		DurationSec: opts.seconds, Seed: opts.seed,
+	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
+	}
+	query, err := queries.Q1(meta, opts.n, pattern.SelectFirst, 15)
+	if err != nil {
+		return nil, err
 	}
 	train, eval := harness.SplitHalf(events)
 	tr, err := harness.Train(query, train, 0, 0)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	fmt.Printf("trained on %d windows (%d matches)\n", tr.Windows, tr.Matches)
+	fmt.Fprintf(w, "trained on %d windows (%d matches)\n", tr.Windows, tr.Matches)
 
 	// Ground truth for quality comparison.
 	truthOp, err := operator.New(operator.Config{Window: query.Window, Patterns: query.Patterns})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	truth, err := sim.ReplayUnshed(eval, truthOp)
 	if err != nil {
-		log.Fatal(err)
-	}
-
-	var (
-		decider operator.Decider
-		ctrl    sim.Controller
-	)
-	switch *shedderName {
-	case "espice":
-		s, err := core.NewShedder(tr.Model)
-		if err != nil {
-			log.Fatal(err)
-		}
-		decider, ctrl = s, harness.ESPICEController{S: s}
-	case "bl":
-		bl, err := newBL(query, tr, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		decider, ctrl = bl.decider, bl.ctrl
-	case "random":
-		r := newRandomPair(*seed)
-		decider, ctrl = r.decider, r.ctrl
-	case "none":
-	default:
-		log.Fatalf("unknown shedder %q", *shedderName)
+		return nil, err
 	}
 
 	cfg := runtime.Config{
 		Operator: operator.Config{
 			Window:   query.Window,
 			Patterns: query.Patterns,
-			Shedder:  decider,
 		},
 		PollInterval:    5 * time.Millisecond,
-		ProcessingDelay: *delay,
+		ProcessingDelay: opts.delay,
+		Shards:          opts.shards,
 	}
-	if ctrl != nil {
+	// One shedder instance per shard (one in total when serial), all
+	// driven in lockstep by a single detector.
+	var controllers runtime.MultiController
+	for i := 0; i < opts.shards; i++ {
+		decider, ctrl, err := newShedPair(opts.shedder, query, tr, opts.seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if decider == nil {
+			break
+		}
+		if opts.shards > 1 {
+			cfg.ShardDeciders = append(cfg.ShardDeciders, decider)
+		} else {
+			cfg.Operator.Shedder = decider
+		}
+		controllers = append(controllers, ctrl)
+	}
+	if len(controllers) > 0 {
 		det, err := core.NewOverloadDetector(core.DetectorConfig{
-			LatencyBound: event.Time(bound.Microseconds()),
-			F:            *fval,
+			LatencyBound: event.Time(opts.bound.Microseconds()),
+			F:            opts.f,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
-		cfg.Detector, cfg.Controller = det, ctrl
+		cfg.Detector, cfg.Controller = det, controllers
 	}
 	pipe, err := runtime.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 
 	done := make(chan error, 1)
@@ -123,51 +180,41 @@ func main() {
 	}()
 
 	kbar := tr.MembershipFactor
-	capacity := float64(time.Second) / float64(*delay) / kbar
-	rate := *overload * capacity
-	fmt.Printf("replaying %d events at %.0f ev/s (capacity ~%.0f ev/s, shedder %s)\n",
-		len(eval), rate, capacity, *shedderName)
+	capacity := float64(opts.shards) * float64(time.Second) / float64(opts.delay) / kbar
+	rate := opts.overload * capacity
+	fmt.Fprintf(w, "replaying %d events at %.0f ev/s (capacity ~%.0f ev/s, shedder %s, shards %d)\n",
+		len(eval), rate, capacity, opts.shedder, opts.shards)
 	interval := time.Duration(float64(time.Second) / rate)
 	start := time.Now()
-	for i, e := range eval {
+	// Submit in paced batches: one clock read per batch instead of per
+	// event keeps the feeder ahead of high target rates.
+	const batch = 64
+	for i := 0; i < len(eval); i += batch {
 		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
 			time.Sleep(d)
 		}
-		pipe.Submit(e)
+		pipe.SubmitBatch(eval[i:min(i+batch, len(eval))])
 	}
 	pipe.CloseInput()
 	if err := <-done; err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	<-collected
 
 	st := pipe.Stats()
 	lat := pipe.Latency()
 	quality := metrics.CompareQuality(truth, detected)
-	fmt.Printf("\nquality:  %s\n", quality)
-	fmt.Printf("shedding: %d of %d memberships (%.1f%%)\n",
+	fmt.Fprintf(w, "\nquality:  %s\n", quality)
+	fmt.Fprintf(w, "shedding: %d of %d memberships (%.1f%%)\n",
 		st.Operator.MembershipsShed, st.Operator.Memberships,
 		100*float64(st.Operator.MembershipsShed)/float64(max(1, st.Operator.Memberships)))
-	fmt.Printf("latency:  mean %.1fms  p95 %.1fms  max %.1fms\n",
-		float64(lat.Mean())/1000, float64(lat.Percentile(95))/1000, float64(lat.Max())/1000)
-	fmt.Printf("violations of LB=%v: %d of %d\n",
-		*bound, lat.ViolationCount(event.Time(bound.Microseconds())), lat.Len())
-}
-
-type shedPair struct {
-	decider operator.Decider
-	ctrl    sim.Controller
-}
-
-func newBL(q queries.Query, tr *harness.TrainResult, seed int64) (shedPair, error) {
-	bl, err := newBLShedder(q, tr, seed)
-	if err != nil {
-		return shedPair{}, err
+	for i, ss := range st.Shards {
+		fmt.Fprintf(w, "  shard %d: %d memberships, %d kept, %d shed, %d windows, %d complex events (th ~%.0f ev/s)\n",
+			i, ss.Memberships, ss.Kept, ss.Shed, ss.WindowsClosed, ss.ComplexEvents, ss.Throughput)
 	}
-	return shedPair{decider: bl, ctrl: harness.BLController{B: bl}}, nil
-}
-
-func newRandomPair(seed int64) shedPair {
-	r := newRandomShedder(seed)
-	return shedPair{decider: r, ctrl: harness.RandomController{R: r}}
+	fmt.Fprintf(w, "latency:  mean %.1fms  p95 %.1fms  max %.1fms\n",
+		float64(lat.Mean())/1000, float64(lat.Percentile(95))/1000, float64(lat.Max())/1000)
+	fmt.Fprintf(w, "violations of LB=%v: %d of %d\n",
+		opts.bound, lat.ViolationCount(event.Time(opts.bound.Microseconds())), lat.Len())
+	return &liveResult{stats: st, quality: quality}, nil
 }

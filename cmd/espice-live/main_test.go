@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunLiveSmoke exercises the whole command end-to-end on a small
+// stream: generate, train, replay through a 2-shard live pipeline with
+// per-shard eSPICE shedders, and report. It is sized to finish in about
+// a second.
+func TestRunLiveSmoke(t *testing.T) {
+	var out strings.Builder
+	res, err := runLive(liveOpts{
+		seconds:  120,
+		n:        3,
+		seed:     1,
+		delay:    200 * time.Microsecond,
+		bound:    200 * time.Millisecond,
+		f:        0.7,
+		overload: 1.3,
+		shedder:  "espice",
+		shards:   2,
+	}, &out)
+	if err != nil {
+		t.Fatalf("runLive: %v\noutput:\n%s", err, out.String())
+	}
+	st := res.stats
+	if st.Processed == 0 || st.Submitted != st.Processed {
+		t.Errorf("no events processed: %+v", st)
+	}
+	if len(st.Shards) != 2 {
+		t.Fatalf("expected 2 shard stats, got %d", len(st.Shards))
+	}
+	for i, ss := range st.Shards {
+		if ss.Memberships == 0 {
+			t.Errorf("shard %d processed no memberships", i)
+		}
+	}
+	if st.Operator.WindowsClosed == 0 {
+		t.Error("no windows closed")
+	}
+	if !strings.Contains(out.String(), "shard 1:") {
+		t.Errorf("per-shard counters missing from report:\n%s", out.String())
+	}
+}
+
+// TestRunLiveSerialSmoke covers the shards=1 path and the "none" shedder
+// wiring.
+func TestRunLiveSerialSmoke(t *testing.T) {
+	var out strings.Builder
+	res, err := runLive(liveOpts{
+		seconds:  60,
+		n:        3,
+		seed:     2,
+		delay:    100 * time.Microsecond,
+		bound:    200 * time.Millisecond,
+		f:        0.7,
+		overload: 0.8,
+		shedder:  "none",
+		shards:   1,
+	}, &out)
+	if err != nil {
+		t.Fatalf("runLive: %v\noutput:\n%s", err, out.String())
+	}
+	if res.stats.Processed == 0 {
+		t.Errorf("no events processed: %+v", res.stats)
+	}
+	if res.stats.Operator.MembershipsShed != 0 {
+		t.Errorf("shedder none must not shed: %+v", res.stats.Operator)
+	}
+}

@@ -345,12 +345,20 @@ func QuickScale() ExperimentScale { return harness.QuickScale() }
 
 // Live runtime.
 type (
-	// Pipeline is a live goroutine-based CEP deployment.
+	// Pipeline is a live goroutine-based CEP deployment. Set
+	// PipelineConfig.Shards > 1 for the sharded multi-operator pipeline:
+	// windows are distributed round-robin over parallel operator
+	// instances and complex events are merged back in window-close order.
 	Pipeline = runtime.Pipeline
 	// PipelineConfig assembles a pipeline.
 	PipelineConfig = runtime.Config
 	// PipelineStats is a counter snapshot.
 	PipelineStats = runtime.Stats
+	// PipelineShardStats is one shard's counter snapshot.
+	PipelineShardStats = runtime.ShardStats
+	// MultiController fans detector decisions out to several controllers,
+	// commanding per-shard shedders in lockstep.
+	MultiController = runtime.MultiController
 )
 
 // NewPipeline builds a live pipeline.

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	espice "repro"
 )
@@ -109,4 +111,98 @@ func main() {
 	fmt.Println("\nThe detector flags the shift; retraining restores quality. In a")
 	fmt.Println("deployment, Shedder.SetModel swaps the retrained model in atomically")
 	fmt.Println("without pausing the event stream (see core.Shedder).")
+
+	// --- Live sharded deployment with an atomic model swap -----------------
+	// The same swap, demonstrated on the live runtime: a 2-shard pipeline
+	// replays phase-2 traffic at 1.3x capacity with per-shard shedders
+	// still holding the stale phase-1 model; halfway through, the
+	// retrained model is swapped into both shards without pausing the
+	// stream.
+	fmt.Println("\n== Live 2-shard pipeline: hot-swapping the retrained model ==")
+	retrained, err := espice.Train(query, trainB, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const shards = 2
+	shedders := make([]*espice.Shedder, shards)
+	deciders := make([]espice.ShedDecider, shards)
+	ctrl := make(espice.MultiController, shards)
+	for i := range shedders {
+		s, err := espice.NewShedder(trained.Model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shedders[i], deciders[i], ctrl[i] = s, s, espice.ESPICEController{S: s}
+	}
+	det, err := espice.NewOverloadDetector(espice.DetectorConfig{
+		LatencyBound: 300 * espice.Millisecond, F: 0.7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const delay = 200 * time.Microsecond
+	pipe, err := espice.NewPipeline(espice.PipelineConfig{
+		Operator: espice.OperatorConfig{
+			Window:   query.Window,
+			Patterns: query.Patterns,
+		},
+		Shards:          shards,
+		ShardDeciders:   deciders,
+		Detector:        det,
+		Controller:      ctrl,
+		PollInterval:    5 * time.Millisecond,
+		ProcessingDelay: delay,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- pipe.Run(context.Background()) }()
+	detected := 0
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for range pipe.Out() {
+			detected++
+		}
+	}()
+
+	liveEvents := evalB
+	if len(liveEvents) > 8000 {
+		liveEvents = liveEvents[:8000]
+	}
+	capacity := float64(shards) * float64(time.Second) / float64(delay) / trained.MembershipFactor
+	interval := time.Duration(float64(time.Second) / (1.3 * capacity))
+	start := time.Now()
+	const batch = 64
+	for i := 0; i < len(liveEvents); i += batch {
+		if i >= len(liveEvents)/2 && i-batch < len(liveEvents)/2 {
+			for _, s := range shedders {
+				if err := s.SetModel(retrained.Model); err != nil {
+					log.Fatal(err)
+				}
+			}
+			fmt.Println("  mid-stream: retrained model swapped into both shard shedders")
+		}
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		end := i + batch
+		if end > len(liveEvents) {
+			end = len(liveEvents)
+		}
+		pipe.SubmitBatch(liveEvents[i:end])
+	}
+	pipe.CloseInput()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	<-collected
+	st := pipe.Stats()
+	fmt.Printf("  replayed %d events, detected %d complex events, shed %d of %d memberships\n",
+		st.Processed, detected, st.Operator.MembershipsShed, st.Operator.Memberships)
+	for i, ss := range st.Shards {
+		fmt.Printf("  shard %d: %d memberships, %d shed, %d windows closed\n",
+			i, ss.Memberships, ss.Shed, ss.WindowsClosed)
+	}
 }

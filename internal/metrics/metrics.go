@@ -90,6 +90,15 @@ func (l *LatencyTrace) Add(at, latency event.Time) {
 // Len reports the number of samples.
 func (l *LatencyTrace) Len() int { return len(l.lat) }
 
+// Merge appends all samples of other to l; the statistics (Mean, Max,
+// Percentile, ViolationCount, Bucketize) are insensitive to the
+// resulting sample order, so traces recorded by concurrent shards can
+// simply be concatenated.
+func (l *LatencyTrace) Merge(other *LatencyTrace) {
+	l.at = append(l.at, other.at...)
+	l.lat = append(l.lat, other.lat...)
+}
+
 // Max returns the maximum latency, 0 when empty.
 func (l *LatencyTrace) Max() event.Time {
 	var m event.Time

@@ -182,30 +182,11 @@ func (o *Operator) Flush(now event.Time) []ComplexEvent {
 
 func (o *Operator) closeWindow(w *window.Window, now event.Time) {
 	o.stats.WindowsClosed++
+	before := len(o.out)
 	var matchedEntries []window.Entry
-	found := false
-	for _, p := range o.patterns {
-		if o.maxMatches == 1 {
-			m, ok := p.Match(w.Kept)
-			if !ok {
-				continue
-			}
-			o.emit(w, p, m, now)
-			matchedEntries = append(matchedEntries, m.Constituents...)
-			found = true
-			break
-		}
-		ms := p.MatchAll(w.Kept, o.maxMatches)
-		if len(ms) == 0 {
-			continue
-		}
-		for _, m := range ms {
-			o.emit(w, p, m, now)
-			matchedEntries = append(matchedEntries, m.Constituents...)
-		}
-		found = true
-		break
-	}
+	var found bool
+	o.out, matchedEntries, found = MatchWindow(o.patterns, o.maxMatches, w, now, o.out, nil)
+	o.stats.ComplexEvents += uint64(len(o.out) - before)
 	if found {
 		o.stats.WindowsWithMatch++
 	}
@@ -214,13 +195,38 @@ func (o *Operator) closeWindow(w *window.Window, now event.Time) {
 	}
 }
 
-func (o *Operator) emit(w *window.Window, p *pattern.Compiled, m pattern.Match, now event.Time) {
-	o.stats.ComplexEvents++
-	o.out = append(o.out, ComplexEvent{
-		WindowID:     w.ID,
-		WindowOpen:   w.OpenSeq,
-		Pattern:      p.Pattern().Name,
-		Constituents: m.Seqs(),
-		DetectedAt:   now,
-	})
+// MatchWindow runs the per-closed-window matching policy shared by the
+// serial operator, the window-parallel executor and the sharded runtime:
+// patterns are tried in order, the first matching pattern wins, and with
+// maxMatches == 1 only its first instance is taken. Complex events and
+// the matched constituent entries are appended to ces and matched
+// (either may be nil) and returned together with whether any pattern
+// matched.
+func MatchWindow(patterns []*pattern.Compiled, maxMatches int, w *window.Window, now event.Time,
+	ces []ComplexEvent, matched []window.Entry) ([]ComplexEvent, []window.Entry, bool) {
+	for _, p := range patterns {
+		var ms []pattern.Match
+		if maxMatches == 1 {
+			if m, ok := p.Match(w.Kept); ok {
+				ms = []pattern.Match{m}
+			}
+		} else {
+			ms = p.MatchAll(w.Kept, maxMatches)
+		}
+		if len(ms) == 0 {
+			continue
+		}
+		for _, m := range ms {
+			ces = append(ces, ComplexEvent{
+				WindowID:     w.ID,
+				WindowOpen:   w.OpenSeq,
+				Pattern:      p.Pattern().Name,
+				Constituents: m.Seqs(),
+				DetectedAt:   now,
+			})
+			matched = append(matched, m.Constituents...)
+		}
+		return ces, matched, true
+	}
+	return ces, matched, false
 }

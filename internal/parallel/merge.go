@@ -1,0 +1,62 @@
+package parallel
+
+import "sync"
+
+// Ticket is a reserved slot in a Sequencer's output order. The producer
+// that computed the slot's value calls Complete exactly once; the
+// sequencer's emitter blocks on tickets in reservation order, so results
+// are delivered in the order slots were opened no matter which producer
+// finishes first.
+type Ticket[T any] struct {
+	done chan T
+}
+
+// Complete publishes the slot's value. It never blocks (the channel is
+// buffered for exactly one value) and must be called exactly once.
+func (t *Ticket[T]) Complete(v T) { t.done <- v }
+
+// Sequencer re-serializes results produced out of order by concurrent
+// workers: Open reserves the next output slot, workers Complete their
+// tickets whenever they finish, and a single emitter goroutine hands each
+// value to the emit callback in reservation order. This is the ordered
+// output stage shared by the window-parallel Executor and the sharded
+// live runtime — both need complex events merged back in window-close
+// order after parallel matching.
+type Sequencer[T any] struct {
+	order chan *Ticket[T]
+	wg    sync.WaitGroup
+}
+
+// NewSequencer starts the emitter. buf bounds how many slots may be open
+// (reserved but not yet emitted) before Open blocks; emit is called from
+// the emitter goroutine only, in slot order.
+func NewSequencer[T any](buf int, emit func(T)) *Sequencer[T] {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &Sequencer[T]{order: make(chan *Ticket[T], buf)}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for t := range s.order {
+			emit(<-t.done)
+		}
+	}()
+	return s
+}
+
+// Open reserves the next output slot. Reservation order — not completion
+// order — is emission order. Must not be called after Close.
+func (s *Sequencer[T]) Open() *Ticket[T] {
+	t := &Ticket[T]{done: make(chan T, 1)}
+	s.order <- t
+	return t
+}
+
+// Close waits for every reserved slot to be completed and emitted, then
+// stops the emitter. Every opened ticket must eventually be completed or
+// Close deadlocks.
+func (s *Sequencer[T]) Close() {
+	close(s.order)
+	s.wg.Wait()
+}

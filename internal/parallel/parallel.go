@@ -24,20 +24,19 @@ type Executor struct {
 	maxMatches int
 	workers    int
 
-	jobs  chan *job
-	order chan *job
-	emit  func(operator.ComplexEvent)
+	jobs chan job
+	seq  *Sequencer[[]operator.ComplexEvent]
+	emit func(operator.ComplexEvent)
 
-	wg        sync.WaitGroup
-	emitterWG sync.WaitGroup
-	started   bool
-	closed    bool
+	wg      sync.WaitGroup
+	started bool
+	closed  bool
 }
 
 type job struct {
-	w    *window.Window
-	now  event.Time
-	done chan []operator.ComplexEvent
+	w      *window.Window
+	now    event.Time
+	ticket *Ticket[[]operator.ComplexEvent]
 }
 
 // Config assembles an executor.
@@ -73,14 +72,21 @@ func New(cfg Config) (*Executor, error) {
 	if maxMatches <= 0 {
 		maxMatches = 1
 	}
-	return &Executor{
+	x := &Executor{
 		patterns:   cfg.Patterns,
 		maxMatches: maxMatches,
 		workers:    workers,
-		jobs:       make(chan *job, 2*workers),
-		order:      make(chan *job, 4*workers),
+		jobs:       make(chan job, 2*workers),
 		emit:       cfg.Emit,
-	}, nil
+	}
+	// The sequencer exists from construction so Submit before Start
+	// buffers safely, exactly as the pre-sequencer implementation did.
+	x.seq = NewSequencer(4*workers, func(ces []operator.ComplexEvent) {
+		for _, ce := range ces {
+			x.emit(ce)
+		}
+	})
+	return x, nil
 }
 
 // Start launches the worker pool and the ordered emitter.
@@ -94,27 +100,16 @@ func (x *Executor) Start() {
 		go func() {
 			defer x.wg.Done()
 			for j := range x.jobs {
-				j.done <- x.matchWindow(j.w, j.now)
+				j.ticket.Complete(x.matchWindow(j.w, j.now))
 			}
 		}()
 	}
-	x.emitterWG.Add(1)
-	go func() {
-		defer x.emitterWG.Done()
-		for j := range x.order {
-			for _, ce := range <-j.done {
-				x.emit(ce)
-			}
-		}
-	}()
 }
 
 // Submit dispatches a closed window for matching. Must not be called
 // after Close. Submissions from a single goroutine preserve order.
 func (x *Executor) Submit(w *window.Window, now event.Time) {
-	j := &job{w: w, now: now, done: make(chan []operator.ComplexEvent, 1)}
-	x.order <- j
-	x.jobs <- j
+	x.jobs <- job{w: w, now: now, ticket: x.seq.Open()}
 }
 
 // Close waits for all submitted windows to be matched and emitted.
@@ -125,35 +120,11 @@ func (x *Executor) Close() {
 	x.closed = true
 	close(x.jobs)
 	x.wg.Wait()
-	close(x.order)
-	x.emitterWG.Wait()
+	x.seq.Close()
 }
 
 func (x *Executor) matchWindow(w *window.Window, now event.Time) []operator.ComplexEvent {
-	var out []operator.ComplexEvent
-	for _, p := range x.patterns {
-		var matches []pattern.Match
-		if x.maxMatches == 1 {
-			if m, ok := p.Match(w.Kept); ok {
-				matches = []pattern.Match{m}
-			}
-		} else {
-			matches = p.MatchAll(w.Kept, x.maxMatches)
-		}
-		if len(matches) == 0 {
-			continue
-		}
-		for _, m := range matches {
-			out = append(out, operator.ComplexEvent{
-				WindowID:     w.ID,
-				WindowOpen:   w.OpenSeq,
-				Pattern:      p.Pattern().Name,
-				Constituents: m.Seqs(),
-				DetectedAt:   now,
-			})
-		}
-		break
-	}
+	out, _, _ := operator.MatchWindow(x.patterns, x.maxMatches, w, now, nil, nil)
 	return out
 }
 

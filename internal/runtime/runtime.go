@@ -4,6 +4,18 @@
 // goroutine periodically estimates input rate and operator throughput,
 // evaluates the overload condition and commands the load shedder.
 //
+// With Config.Shards > 1 the pipeline becomes a sharded multi-operator
+// deployment: a single router goroutine keeps the windowing hot path
+// serial (positions and window identities stay deterministic), windows
+// are assigned to shards round-robin as they open, each shard adds,
+// sheds and matches its windows' memberships on its own goroutine behind
+// its own bounded queue, and complex events are merged back in
+// window-close order through the ordered output stage shared with
+// internal/parallel — so shard=N output equals shard=1 output while the
+// per-membership processing cost spreads across N cores. One overload
+// detector observes the aggregate input rate and the summed per-shard
+// throughput and commands all shedders in lockstep.
+//
 // The runtime mirrors the discrete-event simulator (internal/sim) on real
 // clocks and channels; the simulator is the reproducible instrument for
 // experiments, the runtime is the deployment surface the examples use.
@@ -21,6 +33,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/operator"
 	"repro/internal/sim"
+	"repro/internal/window"
 )
 
 // Config assembles a live pipeline.
@@ -41,6 +54,15 @@ type Config struct {
 	ProcessingDelay time.Duration
 	// OutBuffer is the complex-event channel capacity (default 1024).
 	OutBuffer int
+	// Shards is the number of parallel operator instances (default 1).
+	// Values above 1 spread per-membership processing across goroutines;
+	// complex events are still emitted in window-close order.
+	Shards int
+	// ShardDeciders optionally installs one shedder per shard; its length
+	// must equal Shards. When nil, every shard shares Operator.Shedder
+	// (safe for core.Shedder, whose state is swapped atomically). Ignored
+	// when Shards <= 1.
+	ShardDeciders []operator.Decider
 }
 
 type queued struct {
@@ -52,12 +74,52 @@ type queued struct {
 type Stats struct {
 	Submitted uint64
 	Processed uint64
-	QueueLen  int
+	// QueueLen is the total queued backlog: the input queue plus, when
+	// sharded, every shard queue.
+	QueueLen int
 	// InputRate and Throughput are the detector's current estimates in
-	// events per second.
+	// events per second. When sharded, Throughput is the summed per-shard
+	// estimate.
 	InputRate  float64
 	Throughput float64
-	Operator   operator.Stats
+	// Operator aggregates operator counters; when sharded it is the
+	// roll-up over all shards.
+	Operator operator.Stats
+	// Shards holds one entry per shard when Shards > 1, nil otherwise.
+	Shards []ShardStats
+}
+
+// ShardStats is a snapshot of one shard's counters.
+type ShardStats struct {
+	// Memberships counts (event, window) incidences routed to the shard;
+	// Kept and Shed split them by the shedding decision.
+	Memberships uint64
+	Kept        uint64
+	Shed        uint64
+	// WindowsClosed, ComplexEvents and WindowsWithMatch mirror the
+	// operator counters for windows owned by this shard.
+	WindowsClosed    uint64
+	ComplexEvents    uint64
+	WindowsWithMatch uint64
+	// QueueLen is the shard's current queue backlog (messages).
+	QueueLen int
+	// Throughput is the detector's unshed-capacity estimate for this
+	// shard in events per second.
+	Throughput float64
+}
+
+// MultiController fans every detector decision out to several
+// controllers, letting the single aggregate overload detector command
+// per-shard shedders in lockstep.
+type MultiController []sim.Controller
+
+// OnDecision implements sim.Controller.
+func (m MultiController) OnDecision(dec core.Decision) {
+	for _, c := range m {
+		if c != nil {
+			c.OnDecision(dec)
+		}
+	}
 }
 
 // Pipeline is a running eSPICE-enabled CEP operator.
@@ -66,6 +128,11 @@ type Pipeline struct {
 	op  *operator.Operator
 	in  chan queued
 	out chan operator.ComplexEvent
+
+	// mgr and shards drive the sharded deployment (Config.Shards > 1);
+	// the serial path uses the operator's own manager instead.
+	mgr    *window.Manager
+	shards []*shard
 
 	submitted   atomic.Uint64
 	processed   atomic.Uint64
@@ -88,25 +155,71 @@ func New(cfg Config) (*Pipeline, error) {
 	if (cfg.Detector == nil) != (cfg.Controller == nil) {
 		return nil, fmt.Errorf("runtime: Detector and Controller must be set together")
 	}
+	if cfg.QueueCap < 0 {
+		return nil, fmt.Errorf("runtime: QueueCap must be >= 0, got %d", cfg.QueueCap)
+	}
+	if cfg.OutBuffer < 0 {
+		return nil, fmt.Errorf("runtime: OutBuffer must be >= 0, got %d", cfg.OutBuffer)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("runtime: Shards must be >= 0, got %d", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if n := len(cfg.ShardDeciders); n > 0 && n != cfg.Shards {
+		return nil, fmt.Errorf("runtime: ShardDeciders has %d entries for %d shards", n, cfg.Shards)
+	}
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 10 * time.Millisecond
 	}
-	if cfg.QueueCap <= 0 {
+	if cfg.QueueCap == 0 {
 		cfg.QueueCap = 1 << 16
 	}
-	if cfg.OutBuffer <= 0 {
+	if cfg.OutBuffer == 0 {
 		cfg.OutBuffer = 1024
 	}
 	op, err := operator.New(cfg.Operator)
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		cfg: cfg,
 		op:  op,
 		in:  make(chan queued, cfg.QueueCap),
 		out: make(chan operator.ComplexEvent, cfg.OutBuffer),
-	}, nil
+	}
+	if cfg.Shards > 1 {
+		// The router owns its own manager; the operator above validated
+		// the full configuration and serves the Shards==1 path only.
+		p.mgr, err = window.NewManager(cfg.Operator.Window)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: %w", err)
+		}
+		maxMatches := cfg.Operator.MaxMatchesPerWindow
+		if maxMatches <= 0 {
+			maxMatches = 1
+		}
+		perShardCap := cfg.QueueCap / cfg.Shards
+		if perShardCap < 64 {
+			perShardCap = 64
+		}
+		for i := 0; i < cfg.Shards; i++ {
+			dec := cfg.Operator.Shedder
+			if len(cfg.ShardDeciders) > 0 {
+				dec = cfg.ShardDeciders[i]
+			}
+			p.shards = append(p.shards, &shard{
+				id:         i,
+				in:         make(chan shardMsg, perShardCap),
+				decider:    dec,
+				patterns:   cfg.Operator.Patterns,
+				maxMatches: maxMatches,
+				delay:      cfg.ProcessingDelay,
+			})
+		}
+	}
+	return p, nil
 }
 
 // Submit enqueues an event for processing; it blocks when the input
@@ -114,6 +227,23 @@ func New(cfg Config) (*Pipeline, error) {
 func (p *Pipeline) Submit(e event.Event) {
 	p.submitted.Add(1)
 	p.in <- queued{ev: e, arrived: time.Now()}
+}
+
+// SubmitBatch enqueues a batch of events in stream order, amortizing the
+// clock read over the whole batch; it blocks while the input queue is
+// full. The submitted counter still advances per enqueued event so the
+// detector's input-rate estimate tracks actual arrivals even when a
+// large batch blocks on a full queue. SubmitBatch must not be called
+// after CloseInput.
+func (p *Pipeline) SubmitBatch(events []event.Event) {
+	if len(events) == 0 {
+		return
+	}
+	now := time.Now()
+	for _, e := range events {
+		p.submitted.Add(1)
+		p.in <- queued{ev: e, arrived: now}
+	}
 }
 
 // CloseInput signals end of stream; Run drains the queue and returns.
@@ -132,23 +262,46 @@ func (p *Pipeline) Out() <-chan operator.ComplexEvent { return p.out }
 
 // Stats returns a snapshot of the pipeline counters.
 func (p *Pipeline) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Submitted:  p.submitted.Load(),
 		Processed:  p.processed.Load(),
 		QueueLen:   len(p.in),
 		InputRate:  loadFloat(&p.rateEst),
 		Throughput: loadFloat(&p.thEst),
-		Operator:   p.op.Stats(),
 	}
+	if len(p.shards) == 0 {
+		st.Operator = p.op.Stats()
+		return st
+	}
+	st.Operator.EventsProcessed = st.Processed
+	st.Shards = make([]ShardStats, len(p.shards))
+	for i, s := range p.shards {
+		ss := s.snapshot()
+		st.Shards[i] = ss
+		st.QueueLen += ss.QueueLen
+		st.Operator.Memberships += ss.Memberships
+		st.Operator.MembershipsKept += ss.Kept
+		st.Operator.MembershipsShed += ss.Shed
+		st.Operator.WindowsClosed += ss.WindowsClosed
+		st.Operator.ComplexEvents += ss.ComplexEvents
+		st.Operator.WindowsWithMatch += ss.WindowsWithMatch
+	}
+	return st
 }
 
-// Latency returns a copy of the recorded latency trace. Call after Run
-// returned.
+// Latency returns a copy of the recorded latency trace, merged across
+// all shards when sharded. Call after Run returned.
 func (p *Pipeline) Latency() *metrics.LatencyTrace {
+	merged := &metrics.LatencyTrace{}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	trace := p.latency
-	return &trace
+	merged.Merge(&p.latency)
+	p.mu.Unlock()
+	for _, s := range p.shards {
+		s.mu.Lock()
+		merged.Merge(&s.latency)
+		s.mu.Unlock()
+	}
+	return merged
 }
 
 // Run processes events until the input is closed and drained, or the
@@ -162,6 +315,9 @@ func (p *Pipeline) Run(ctx context.Context) error {
 	}
 	p.runCalled = true
 	p.mu.Unlock()
+	if len(p.shards) > 0 {
+		return p.runSharded(ctx)
+	}
 	defer close(p.out)
 
 	detectorDone := make(chan struct{})

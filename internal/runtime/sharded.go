@@ -1,0 +1,306 @@
+package runtime
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/operator"
+	"repro/internal/parallel"
+	"repro/internal/pattern"
+	"repro/internal/window"
+)
+
+// shardMsg is one unit of work for a shard: a membership to shed-or-add,
+// or (when ticket is set) a window close to match.
+type shardMsg struct {
+	w *window.Window
+
+	// Membership fields.
+	ev  event.Event
+	pos int
+	// arrived/recordLat carry the latency sample for the event's first
+	// membership, so each event is sampled exactly once as in the serial
+	// path.
+	arrived   time.Time
+	recordLat bool
+
+	// Close fields. The ticket is the window's reserved slot in the
+	// ordered output stage; the shard completes it with the match result.
+	now    event.Time
+	ticket *parallel.Ticket[shardResult]
+}
+
+// shardResult is what a shard hands the ordered merge stage for one
+// closed window.
+type shardResult struct {
+	w       *window.Window
+	ces     []operator.ComplexEvent
+	matched []window.Entry
+}
+
+// shard is one parallel operator instance: it owns the windows assigned
+// to it (round-robin by window ID), applies its shedder to their
+// memberships, pays the per-kept-membership processing cost and runs the
+// matcher when the router closes one of its windows. All window mutation
+// for a given window happens on its owning shard's goroutine; the router
+// only opens windows and assigns positions.
+type shard struct {
+	id         int
+	in         chan shardMsg
+	decider    operator.Decider
+	patterns   []*pattern.Compiled
+	maxMatches int
+	delay      time.Duration
+
+	memberships      atomic.Uint64
+	kept             atomic.Uint64
+	shed             atomic.Uint64
+	windowsClosed    atomic.Uint64
+	complexEvents    atomic.Uint64
+	windowsWithMatch atomic.Uint64
+	busyNanos        atomic.Int64
+	thEst            atomic.Uint64 // float64 bits
+
+	mu      sync.Mutex
+	latency metrics.LatencyTrace
+}
+
+// snapshot reads the shard counters.
+func (s *shard) snapshot() ShardStats {
+	return ShardStats{
+		Memberships:      s.memberships.Load(),
+		Kept:             s.kept.Load(),
+		Shed:             s.shed.Load(),
+		WindowsClosed:    s.windowsClosed.Load(),
+		ComplexEvents:    s.complexEvents.Load(),
+		WindowsWithMatch: s.windowsWithMatch.Load(),
+		QueueLen:         len(s.in),
+		Throughput:       loadFloat(&s.thEst),
+	}
+}
+
+// run drains the shard queue until it is closed. After a context cancel
+// it keeps draining but skips all work, completing any pending close
+// tickets with empty results so the merge stage can shut down.
+func (s *shard) run(ctx context.Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for m := range s.in {
+		if m.ticket != nil {
+			s.closeWindow(ctx, m)
+			continue
+		}
+		if ctx.Err() != nil {
+			continue
+		}
+		start := time.Now()
+		s.memberships.Add(1)
+		if s.decider != nil && s.decider.Drop(m.ev.Type, m.pos, m.w.ExpectedSize) {
+			m.w.Dropped++
+			s.shed.Add(1)
+		} else {
+			m.w.Add(m.ev, m.pos)
+			s.kept.Add(1)
+			if s.delay > 0 {
+				time.Sleep(s.delay)
+			}
+		}
+		s.busyNanos.Add(time.Since(start).Nanoseconds())
+		if m.recordLat {
+			lat := time.Since(m.arrived)
+			s.mu.Lock()
+			s.latency.Add(event.Time(start.UnixMicro()), event.Time(lat.Microseconds()))
+			s.mu.Unlock()
+		}
+	}
+}
+
+// closeWindow mirrors operator.closeWindow for one shard-owned window
+// and completes the window's merge ticket with the result.
+func (s *shard) closeWindow(ctx context.Context, m shardMsg) {
+	res := shardResult{w: m.w}
+	if ctx.Err() != nil {
+		m.ticket.Complete(res)
+		return
+	}
+	start := time.Now()
+	s.windowsClosed.Add(1)
+	var found bool
+	res.ces, res.matched, found = operator.MatchWindow(s.patterns, s.maxMatches, m.w, m.now, nil, nil)
+	if found {
+		s.windowsWithMatch.Add(1)
+	}
+	s.complexEvents.Add(uint64(len(res.ces)))
+	s.busyNanos.Add(time.Since(start).Nanoseconds())
+	m.ticket.Complete(res)
+}
+
+// runSharded is the Shards > 1 body of Run: it routes events from the
+// input queue through the central window manager, fans memberships out
+// to the owning shards and merges complex events back in window-close
+// order.
+func (p *Pipeline) runSharded(ctx context.Context) error {
+	defer close(p.out)
+
+	var wg sync.WaitGroup
+	for _, s := range p.shards {
+		wg.Add(1)
+		go s.run(ctx, &wg)
+	}
+	seq := parallel.NewSequencer(4*len(p.shards), func(r shardResult) {
+		if hook := p.cfg.Operator.OnWindowClose; hook != nil {
+			hook(r.w, r.matched)
+		}
+		for _, ce := range r.ces {
+			select {
+			case p.out <- ce:
+			case <-ctx.Done():
+				return
+			}
+		}
+	})
+	// Shard queues close after the router stops (the router is their only
+	// sender); every opened ticket is either queued or completed inline,
+	// so the sequencer always drains.
+	defer func() {
+		for _, s := range p.shards {
+			close(s.in)
+		}
+		wg.Wait()
+		seq.Close()
+	}()
+
+	if p.cfg.Detector != nil {
+		detectorDone := make(chan struct{})
+		detectorStop := make(chan struct{})
+		go p.shardedDetectorLoop(detectorStop, detectorDone)
+		defer func() {
+			close(detectorStop)
+			<-detectorDone
+		}()
+	}
+
+	shardOf := func(w *window.Window) *shard {
+		return p.shards[int(w.ID)%len(p.shards)]
+	}
+	sendClose := func(w *window.Window, now event.Time) {
+		t := seq.Open()
+		select {
+		case shardOf(w).in <- shardMsg{w: w, now: now, ticket: t}:
+		case <-ctx.Done():
+			t.Complete(shardResult{w: w})
+		}
+	}
+
+	var lastTS event.Time
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case q, ok := <-p.in:
+			if !ok {
+				for _, w := range p.mgr.Flush() {
+					sendClose(w, lastTS)
+				}
+				return nil
+			}
+			member, closed := p.mgr.Route(q.ev)
+			for i, mb := range member {
+				msg := shardMsg{
+					w: mb.W, ev: q.ev, pos: mb.Pos,
+					arrived: q.arrived, recordLat: i == 0,
+				}
+				select {
+				case shardOf(mb.W).in <- msg:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			if len(member) == 0 {
+				// No shard sees this event; sample its latency here so
+				// every event still contributes exactly one sample.
+				now := time.Now()
+				p.mu.Lock()
+				p.latency.Add(event.Time(now.UnixMicro()),
+					event.Time(now.Sub(q.arrived).Microseconds()))
+				p.mu.Unlock()
+			}
+			p.processed.Add(1)
+			lastTS = q.ev.TS
+			for _, w := range closed {
+				sendClose(w, q.ev.TS)
+			}
+		}
+	}
+}
+
+// shardedDetectorLoop is the Shards > 1 counterpart of detectorLoop: the
+// input rate is estimated from the aggregate submitted counter, the
+// unshed capacity as the sum of per-shard service-rate estimates, and
+// one decision per tick is forwarded to the controller — commanding all
+// shedders in lockstep when the controller is a MultiController.
+func (p *Pipeline) shardedDetectorLoop(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(p.cfg.PollInterval)
+	defer ticker.Stop()
+
+	lastKept := make([]uint64, len(p.shards))
+	lastBusy := make([]int64, len(p.shards))
+	var lastSubmitted uint64
+	lastTime := time.Now()
+	const alpha = 0.3 // EWMA smoothing, as in the serial detector loop
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-ticker.C:
+			wall := now.Sub(lastTime).Seconds()
+			if wall <= 0 {
+				continue
+			}
+			lastTime = now
+
+			submitted := p.submitted.Load()
+			storeEWMA(&p.rateEst, float64(submitted-lastSubmitted)/wall, alpha)
+			lastSubmitted = submitted
+
+			// kbar is the global memberships-per-event overlap factor;
+			// see detectorLoop for why throughput is measured per kept
+			// membership and scaled by it.
+			var memberships uint64
+			for _, s := range p.shards {
+				memberships += s.memberships.Load()
+			}
+			kbar := 0.0
+			if processed := p.processed.Load(); processed > 0 {
+				kbar = float64(memberships) / float64(processed)
+			}
+
+			total := 0.0
+			for i, s := range p.shards {
+				kept := s.kept.Load()
+				busy := s.busyNanos.Load()
+				if busyDelta := busy - lastBusy[i]; busyDelta > 0 && kept > lastKept[i] && kbar > 0 {
+					perKept := float64(kept-lastKept[i]) / (float64(busyDelta) / 1e9)
+					storeEWMA(&s.thEst, perKept/kbar, alpha)
+				}
+				lastKept[i], lastBusy[i] = kept, busy
+				total += loadFloat(&s.thEst)
+			}
+			p.thEst.Store(floatToBits(total))
+			if total <= 0 {
+				continue
+			}
+			qlen := len(p.in)
+			for _, s := range p.shards {
+				qlen += len(s.in)
+			}
+			dec := p.cfg.Detector.Evaluate(qlen, loadFloat(&p.rateEst), total,
+				p.windowSizeEstimate())
+			p.cfg.Controller.OnDecision(dec)
+		}
+	}
+}

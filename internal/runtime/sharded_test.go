@@ -1,0 +1,277 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/operator"
+	"repro/internal/window"
+)
+
+// runCollect runs the pipeline over the stream and returns its output in
+// emission order.
+func runCollect(t *testing.T, cfg Config, events []event.Event) ([]operator.ComplexEvent, Stats) {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background()) }()
+	var detected []operator.ComplexEvent
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for ce := range p.Out() {
+			detected = append(detected, ce)
+		}
+	}()
+	p.SubmitBatch(events)
+	p.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	<-collected
+	return detected, p.Stats()
+}
+
+// deterministicStream builds a fixed A/B stream whose windows overlap
+// (Slide < Count), so every event fans out to several shards.
+func deterministicStream(n int) []event.Event {
+	events := make([]event.Event, n)
+	for i := range events {
+		events[i] = event.Event{
+			Seq:  uint64(i),
+			TS:   event.Time(i) * event.Millisecond,
+			Type: event.Type(i % 2),
+		}
+	}
+	return events
+}
+
+func overlappingOpConfig() operator.Config {
+	cfg := opConfig(nil)
+	cfg.Window = window.Spec{Mode: window.ModeCount, Count: 10, Slide: 5}
+	return cfg
+}
+
+// TestShardedMatchesSerial asserts (a) that a 4-shard pipeline produces
+// exactly the serial pipeline's complex events, in the same order, on a
+// deterministic stream, and (b) that the merged output arrives in
+// window-close order. Run with -race to exercise the router/shard/merge
+// handoffs.
+func TestShardedMatchesSerial(t *testing.T) {
+	events := deterministicStream(2000)
+	serial, _ := runCollect(t, Config{Operator: overlappingOpConfig()}, events)
+	if len(serial) == 0 {
+		t.Fatal("serial run detected nothing; bad test setup")
+	}
+	for _, shards := range []int{2, 4} {
+		sharded, st := runCollect(t, Config{Operator: overlappingOpConfig(), Shards: shards}, events)
+		if !reflect.DeepEqual(serial, sharded) {
+			t.Fatalf("shards=%d: output differs from serial (%d vs %d complex events)",
+				shards, len(sharded), len(serial))
+		}
+		// Count windows of one fixed size close in open order, so
+		// window-close order means non-decreasing window IDs.
+		for i := 1; i < len(sharded); i++ {
+			if sharded[i].WindowID < sharded[i-1].WindowID {
+				t.Fatalf("shards=%d: complex event %d out of window-close order: %d after %d",
+					shards, i, sharded[i].WindowID, sharded[i-1].WindowID)
+			}
+		}
+		if len(st.Shards) != shards {
+			t.Fatalf("shards=%d: Stats has %d shard entries", shards, len(st.Shards))
+		}
+		var kept uint64
+		for _, ss := range st.Shards {
+			kept += ss.Kept
+		}
+		if kept != st.Operator.MembershipsKept || kept == 0 {
+			t.Errorf("shards=%d: per-shard kept %d != rollup %d", shards, kept, st.Operator.MembershipsKept)
+		}
+		if st.Processed != uint64(len(events)) {
+			t.Errorf("shards=%d: processed %d events, want %d", shards, st.Processed, len(events))
+		}
+	}
+}
+
+// TestShardedLatencySamples asserts every event contributes exactly one
+// latency sample in sharded mode, as in the serial path.
+func TestShardedLatencySamples(t *testing.T) {
+	events := deterministicStream(500)
+	p, err := New(Config{Operator: overlappingOpConfig(), Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background()) }()
+	go func() {
+		for range p.Out() {
+		}
+	}()
+	p.SubmitBatch(events)
+	p.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Latency().Len(); got != len(events) {
+		t.Errorf("latency samples = %d, want %d", got, len(events))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative QueueCap", Config{Operator: opConfig(nil), QueueCap: -1}},
+		{"negative OutBuffer", Config{Operator: opConfig(nil), OutBuffer: -5}},
+		{"negative Shards", Config{Operator: opConfig(nil), Shards: -2}},
+		{"decider count mismatch", Config{
+			Operator: opConfig(nil), Shards: 2,
+			ShardDeciders: []operator.Decider{nil, nil, nil},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", tc.name)
+		}
+	}
+	// Zero values still mean "use defaults".
+	if _, err := New(Config{Operator: opConfig(nil)}); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+func TestSubmitBatchCountsOnce(t *testing.T) {
+	p, err := New(Config{Operator: opConfig(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background()) }()
+	go func() {
+		for range p.Out() {
+		}
+	}()
+	events := deterministicStream(100)
+	p.SubmitBatch(events[:60])
+	p.SubmitBatch(events[60:])
+	p.SubmitBatch(nil)
+	p.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Submitted != 100 || st.Processed != 100 {
+		t.Errorf("stats after batches: %+v", st)
+	}
+}
+
+// TestShardedShedsUnderOverload is the sharded twin of
+// TestPipelineShedsUnderOverload: per-shard shedders commanded in
+// lockstep by the aggregate detector through a MultiController.
+func TestShardedShedsUnderOverload(t *testing.T) {
+	const shards = 2
+	model := trainedTestModel(t)
+	deciders := make([]operator.Decider, shards)
+	ctrl := make(MultiController, shards)
+	for i := range deciders {
+		s, err := core.NewShedder(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deciders[i] = s
+		ctrl[i] = shedController{s}
+	}
+	det, err := core.NewOverloadDetector(core.DetectorConfig{
+		LatencyBound: 50 * event.Millisecond,
+		F:            0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		Operator:        opConfig(nil),
+		Shards:          shards,
+		ShardDeciders:   deciders,
+		Detector:        det,
+		Controller:      ctrl,
+		PollInterval:    2 * time.Millisecond,
+		ProcessingDelay: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background()) }()
+	go func() {
+		for range p.Out() {
+		}
+	}()
+	p.SubmitBatch(deterministicStream(3000))
+	p.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Operator.MembershipsShed == 0 {
+		t.Error("overloaded sharded pipeline must shed")
+	}
+	if st.Throughput <= 0 || st.InputRate <= 0 {
+		t.Errorf("estimates not populated: %+v", st)
+	}
+	for i, ss := range st.Shards {
+		if ss.Memberships == 0 {
+			t.Errorf("shard %d saw no memberships", i)
+		}
+	}
+}
+
+func TestShardedContextCancel(t *testing.T) {
+	p, err := New(Config{Operator: overlappingOpConfig(), Shards: 4,
+		ProcessingDelay: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Run(ctx) }()
+	go func() {
+		for range p.Out() {
+		}
+	}()
+	p.SubmitBatch(deterministicStream(5000))
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sharded Run did not return after cancel")
+	}
+}
+
+func ExamplePipeline_sharded() {
+	p, err := New(Config{Operator: overlappingOpConfig(), Shards: 4})
+	if err != nil {
+		panic(err)
+	}
+	go p.Run(context.Background())
+	go func() {
+		p.SubmitBatch(deterministicStream(40))
+		p.CloseInput()
+	}()
+	n := 0
+	for range p.Out() {
+		n++
+	}
+	fmt.Println("complex events:", n)
+	// Output: complex events: 8
+}
