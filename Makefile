@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: build test bench fmt vet
+.PHONY: build test bench fmt vet doccheck
 
 build:
 	$(GO) build ./...
 
-test: vet
+test: vet doccheck
 	$(GO) test -race ./...
 
 bench:
@@ -16,3 +16,8 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Docs gate: every exported identifier of the public surface (facade +
+# engine) must carry a doc comment.
+doccheck:
+	$(GO) run ./cmd/doccheck

@@ -40,6 +40,7 @@ type liveOpts struct {
 	overload float64
 	shedder  string
 	shards   int
+	queries  string
 }
 
 // liveResult carries the counters a caller (or test) may want to assert
@@ -61,8 +62,16 @@ func main() {
 	flag.Float64Var(&opts.overload, "overload", 1.3, "input rate as a multiple of capacity")
 	flag.StringVar(&opts.shedder, "shedder", "espice", "shedder: espice, bl, random, none")
 	flag.IntVar(&opts.shards, "shards", 1, "parallel operator instances")
+	flag.StringVar(&opts.queries, "queries", "",
+		"multi-query mode: file of Tesla-text define blocks run side by side on the engine")
 	flag.Parse()
 
+	if opts.queries != "" {
+		if _, err := runQueries(opts, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if _, err := runLive(opts, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
@@ -184,17 +193,7 @@ func runLive(opts liveOpts, w io.Writer) (*liveResult, error) {
 	rate := opts.overload * capacity
 	fmt.Fprintf(w, "replaying %d events at %.0f ev/s (capacity ~%.0f ev/s, shedder %s, shards %d)\n",
 		len(eval), rate, capacity, opts.shedder, opts.shards)
-	interval := time.Duration(float64(time.Second) / rate)
-	start := time.Now()
-	// Submit in paced batches: one clock read per batch instead of per
-	// event keeps the feeder ahead of high target rates.
-	const batch = 64
-	for i := 0; i < len(eval); i += batch {
-		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
-			time.Sleep(d)
-		}
-		pipe.SubmitBatch(eval[i:min(i+batch, len(eval))])
-	}
+	pacedReplay(eval, rate, pipe.SubmitBatch)
 	pipe.CloseInput()
 	if err := <-done; err != nil {
 		return nil, err

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -69,5 +71,71 @@ func TestRunLiveSerialSmoke(t *testing.T) {
 	}
 	if res.stats.Operator.MembershipsShed != 0 {
 		t.Errorf("shedder none must not shed: %+v", res.stats.Operator)
+	}
+}
+
+// TestRunQueriesSmoke exercises the -queries multi-query mode end to
+// end: parse a two-query Tesla file, train per-query models on filtered
+// streams, replay through the engine under the global budget.
+func TestRunQueriesSmoke(t *testing.T) {
+	qfile := filepath.Join(t.TempDir(), "queries.tesla")
+	src := `
+# man-marking of striker A by the first markers of team B
+define MarkA
+from seq(STR_A where kind = possession; any 2 distinct of DEF_B00, DEF_B01, DEF_B02, DEF_B03 where kind = defend)
+within 15s
+open STR_A
+anchored
+
+define MarkB
+from seq(STR_B where kind = possession; any 2 distinct of DEF_A00, DEF_A01, DEF_A02, DEF_A03 where kind = defend)
+within 15s
+open STR_B
+anchored
+`
+	if err := os.WriteFile(qfile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	res, err := runQueries(liveOpts{
+		seconds:  240,
+		seed:     1,
+		delay:    300 * time.Microsecond,
+		bound:    200 * time.Millisecond,
+		f:        0.7,
+		overload: 1.3,
+		shedder:  "espice",
+		shards:   1,
+		queries:  qfile,
+	}, &out)
+	if err != nil {
+		t.Fatalf("runQueries: %v\noutput:\n%s", err, out.String())
+	}
+	if len(res.quality) != 2 {
+		t.Fatalf("expected 2 per-query qualities, got %d", len(res.quality))
+	}
+	for _, name := range []string{"MarkA", "MarkB"} {
+		if _, ok := res.quality[name]; !ok {
+			t.Errorf("missing quality for %s", name)
+		}
+	}
+	if len(res.stats.Queries) != 2 {
+		t.Fatalf("expected 2 query stats, got %d", len(res.stats.Queries))
+	}
+	for _, qs := range res.stats.Queries {
+		if qs.Delivered == 0 {
+			t.Errorf("query %s received nothing", qs.Name)
+		}
+		if qs.Skipped == 0 {
+			t.Errorf("query %s filtered nothing (filter inactive?)", qs.Name)
+		}
+	}
+	if !strings.Contains(out.String(), "global budget:") {
+		t.Errorf("missing budget report:\n%s", out.String())
+	}
+
+	// Unknown shedders are rejected in -queries mode.
+	if _, err := runQueries(liveOpts{shedder: "bl", queries: qfile, seconds: 10}, &out); err == nil {
+		t.Error("-queries with shedder bl must fail")
 	}
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"time"
+
+	"repro/internal/event"
+)
+
+// batchSpan bounds how much stream time one submitted batch may cover.
+// runtime.SubmitBatch stamps every event of a batch with one arrival
+// time, so a batch spanning long wall-clock time would (a) inflate the
+// reported queueing latency of the batch's later events and (b) spoof
+// the detector's queue-fill trigger with artificial bursts. Keeping the
+// span a few milliseconds makes both effects negligible while still
+// amortizing the clock read at high rates.
+const batchSpan = 4 * time.Millisecond
+
+// pacedReplay feeds events to submit at the target rate (events per
+// second), batching at most batchSpan worth of stream per call.
+func pacedReplay(events []event.Event, rate float64, submit func([]event.Event)) {
+	interval := time.Duration(float64(time.Second) / rate)
+	batch := int(rate * batchSpan.Seconds())
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > 64 {
+		batch = 64
+	}
+	start := time.Now()
+	for i := 0; i < len(events); i += batch {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		submit(events[i:min(i+batch, len(events))])
+	}
+}

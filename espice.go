@@ -36,6 +36,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/harness"
 	"repro/internal/metrics"
@@ -131,6 +132,10 @@ const (
 
 // CompilePattern validates a pattern for matching.
 func CompilePattern(p Pattern) (*CompiledPattern, error) { return pattern.Compile(p) }
+
+// MustCompilePattern is CompilePattern panicking on error, for
+// statically-known patterns in examples and tests.
+func MustCompilePattern(p Pattern) *CompiledPattern { return pattern.MustCompile(p) }
 
 // Operator.
 type (
@@ -398,9 +403,36 @@ type (
 	QueryEnv = tesla.Env
 )
 
-// ParseQuery compiles a Tesla-style textual query (see internal/tesla
-// for the grammar) into an executable Query.
+// ParseQuery compiles a Tesla-style textual query (see docs/tesla.md for
+// the grammar) into an executable Query.
 func ParseQuery(src string, env QueryEnv) (Query, error) { return tesla.Parse(src, env) }
+
+// ParseQueries compiles a multi-query source — a sequence of `define`
+// blocks, the file format of `espice-live -queries` — into one Query per
+// block.
+func ParseQueries(src string, env QueryEnv) ([]Query, error) { return tesla.ParseMulti(src, env) }
+
+// Multi-query engine.
+type (
+	// Engine is the multi-query deployment layer: one ingress stream
+	// fans out to N registered queries behind per-query type filters,
+	// with a global shedding budget coordinating all per-query shedders.
+	Engine = engine.Engine
+	// EngineConfig assembles an engine.
+	EngineConfig = engine.Config
+	// EngineQueryConfig registers one query with an engine.
+	EngineQueryConfig = engine.QueryConfig
+	// EngineQuery is a registered query handle (output channel, stats,
+	// admission filter).
+	EngineQuery = engine.Query
+	// EngineStats is the merged engine counter snapshot.
+	EngineStats = engine.Stats
+	// EngineQueryStats is one query's slice of the engine statistics.
+	EngineQueryStats = engine.QueryStats
+)
+
+// NewEngine builds a multi-query engine with no queries registered yet.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
 
 // Drift detection (statistical retraining trigger, Section 3.6).
 type (

@@ -2,6 +2,7 @@ package espice_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	espice "repro"
@@ -95,4 +96,108 @@ func ExampleShedder() {
 	// Output:
 	// false
 	// true
+}
+
+// ExampleEngine runs two textual queries side by side on the multi-query
+// engine: one ingress stream fans out behind per-query type filters, and
+// each query delivers complex events on its own channel.
+func ExampleEngine() {
+	reg := espice.NewRegistry()
+	reg.RegisterAll("A", "B", "C")
+	qs, err := espice.ParseQueries(`
+		define AB
+		from seq(A; B)
+		within 6 events
+		slide 6
+
+		define AC
+		from seq(A; C)
+		within 6 events
+		slide 6
+	`, espice.QueryEnv{Registry: reg})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	eng, _ := espice.NewEngine(espice.EngineConfig{
+		LatencyBound: espice.Second, // enables the global budget
+	})
+	var handles []*espice.EngineQuery
+	for _, q := range qs {
+		h, err := eng.Register(espice.EngineQueryConfig{Query: q})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		handles = append(handles, h)
+	}
+	go eng.Run(context.Background())
+
+	events := make([]espice.Event, 300)
+	for i := range events {
+		events[i] = espice.Event{Seq: uint64(i), TS: espice.Time(i), Type: espice.Type(i % 3)}
+	}
+	eng.SubmitBatch(events)
+	eng.CloseInput()
+
+	for _, h := range handles {
+		n := 0
+		for range h.Out() {
+			n++
+		}
+		fmt.Printf("%s: %d complex events, %d delivered, %d filtered out\n",
+			h.Name(), n, h.Stats().Delivered, h.Stats().Skipped)
+	}
+	// Output:
+	// AB: 34 complex events, 200 delivered, 100 filtered out
+	// AC: 34 complex events, 200 delivered, 100 filtered out
+}
+
+// ExampleNewPipeline deploys one query on the live sharded pipeline —
+// the single-query path the README's deployment snippet shows.
+func ExampleNewPipeline() {
+	q := espice.Query{
+		Window: espice.WindowSpec{Mode: espice.ModeCount, Count: 10, Slide: 10},
+		Patterns: []*espice.CompiledPattern{espice.MustCompilePattern(espice.Pattern{
+			Name: "seq(A;B)",
+			Steps: []espice.PatternStep{
+				{Types: []espice.Type{0}},
+				{Types: []espice.Type{1}},
+			},
+		})},
+		NumTypes: 2,
+	}
+	pipe, _ := espice.NewPipeline(espice.PipelineConfig{
+		Operator: espice.OperatorConfig{Window: q.Window, Patterns: q.Patterns},
+		Shards:   2,
+	})
+	go pipe.Run(context.Background())
+
+	events := make([]espice.Event, 100)
+	for i := range events {
+		events[i] = espice.Event{Seq: uint64(i), TS: espice.Time(i), Type: espice.Type(i % 2)}
+	}
+	go func() { pipe.SubmitBatch(events); pipe.CloseInput() }()
+	n := 0
+	for range pipe.Out() {
+		n++
+	}
+	fmt.Println(n, "complex events")
+	// Output: 10 complex events
+}
+
+// Example_quickstart is the README quick-start: generate a synthetic
+// soccer stream, train the utility model on one half, replay the other
+// half under overload with the eSPICE shedder and report quality. It
+// carries no output comment, so `go test` compile-checks it without
+// paying for the full experiment on every run.
+func Example_quickstart() {
+	meta, evs, _ := espice.GenerateRTLS(espice.RTLSConfig{DurationSec: 1200, Seed: 1})
+	q, _ := espice.Q1(meta, 4, espice.SelectFirst, 15)
+	train, eval := espice.SplitHalf(evs)
+	res, _ := espice.RunExperiment(espice.ExperimentConfig{
+		Query: q, Train: train, Eval: eval, OverloadFactor: 1.2,
+	}, espice.ShedESPICE)
+	fmt.Println(res.Quality)
 }

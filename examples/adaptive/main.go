@@ -174,7 +174,16 @@ func main() {
 	capacity := float64(shards) * float64(time.Second) / float64(delay) / trained.MembershipFactor
 	interval := time.Duration(float64(time.Second) / (1.3 * capacity))
 	start := time.Now()
-	const batch = 64
+	// Cap each batch at ~4ms of stream time: SubmitBatch stamps the whole
+	// batch with one arrival time, and longer spans would skew the
+	// latency trace and the detector's queue samples at low rates.
+	batch := int(0.004 / interval.Seconds())
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > 64 {
+		batch = 64
+	}
 	for i := 0; i < len(liveEvents); i += batch {
 		if i >= len(liveEvents)/2 && i-batch < len(liveEvents)/2 {
 			for _, s := range shedders {

@@ -1,0 +1,156 @@
+// Command multiquery demonstrates the multi-query engine: several
+// Tesla-text queries share one RTLS ingress stream behind per-query type
+// filters, each with its own trained eSPICE shedder, all coordinated by
+// the global shedding budget. Mid-run a query is registered live and
+// another deregistered — remaining queries lose no events.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	espice "repro"
+	"repro/internal/engine"
+	"repro/internal/harness"
+)
+
+// querySrc is the multi-query file format of `espice-live -queries`: a
+// sequence of define blocks.
+const querySrc = `
+define MarkA
+from seq(STR_A where kind = possession; any 2 distinct of DEF_B00, DEF_B01, DEF_B02, DEF_B03 where kind = defend)
+within 15s
+open STR_A
+anchored
+
+define MarkB
+from seq(STR_B where kind = possession; any 2 distinct of DEF_A00, DEF_A01, DEF_A02, DEF_A03 where kind = defend)
+within 15s
+open STR_B
+anchored
+`
+
+// lateSrc is registered while traffic is already flowing.
+const lateSrc = `
+define MarkAWide
+from seq(STR_A where kind = possession; any 3 distinct of DEF_B00, DEF_B01, DEF_B02, DEF_B03, DEF_B04, DEF_B05 where kind = defend)
+within 15s
+open STR_A
+anchored
+`
+
+func main() {
+	log.SetFlags(0)
+	meta, events, err := espice.GenerateRTLS(espice.RTLSConfig{DurationSec: 240, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := espice.QueryEnv{Registry: meta.Registry, Schema: meta.Schema}
+	qs, err := espice.ParseQueries(querySrc, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lateQ, err := espice.ParseQuery(lateSrc, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, eval := espice.SplitHalf(events)
+
+	const delay = 100 * time.Microsecond
+	eng, err := espice.NewEngine(espice.EngineConfig{
+		LatencyBound: espice.Time(300 * 1000), // 300ms
+		F:            0.7,
+		PollInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var consumers sync.WaitGroup
+	// register trains the query on its filtered slice of the training
+	// stream and returns the ingress rate at which it saturates (its
+	// pipeline capacity divided by the fraction of traffic it receives).
+	register := func(q espice.Query, weight float64) float64 {
+		filtered := engine.FilterStream(q, train)
+		tr, err := harness.Train(q, filtered, 0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := eng.Register(espice.EngineQueryConfig{
+			Query:           q,
+			Model:           tr.Model,
+			Weight:          weight,
+			ProcessingDelay: delay,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		consumers.Add(1)
+		go func() { // consume detections; a real deployment acts on them
+			defer consumers.Done()
+			n := 0
+			for range h.Out() {
+				n++
+			}
+			fmt.Printf("%-10s detected %d complex events\n", h.Name(), n)
+		}()
+		fmt.Printf("%-10s registered (weight %.0f, trained on %d windows)\n",
+			h.Name(), weight, tr.Windows)
+		share := float64(len(filtered)) / float64(len(train))
+		return float64(time.Second) / float64(delay) / tr.MembershipFactor / share
+	}
+
+	// MarkA carries 4x the utility weight of MarkB: under overload the
+	// budget sheds MarkB harder.
+	capA := register(qs[0], 4)
+	capB := register(qs[1], 1)
+
+	done := make(chan error, 1)
+	go func() { done <- eng.Run(context.Background()) }()
+
+	// Replay at ~1.3x the bottleneck query's ingress capacity to provoke
+	// the budget.
+	rate := 1.3 * min(capA, capB)
+	fmt.Printf("replaying %d events at %.0f ev/s\n", len(eval), rate)
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	budgetEngaged := false
+	for i, ev := range eval {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		eng.Submit(ev)
+		if i%500 == 0 {
+			if st := eng.Stats(); st.Overloaded {
+				budgetEngaged = true
+			}
+		}
+		switch i {
+		case len(eval) / 3:
+			register(lateQ, 2) // live registration mid-stream
+		case 2 * len(eval) / 3:
+			if err := eng.Deregister("MarkB"); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("MarkB     deregistered mid-stream")
+		}
+	}
+	eng.CloseInput()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+
+	consumers.Wait()
+	st := eng.Stats()
+	fmt.Printf("\nengine: %d submitted, %d delivered, %d filtered out; budget engaged: %v\n",
+		st.Submitted, st.Delivered, st.Skipped, budgetEngaged)
+	for _, q := range st.Queries {
+		op := q.Pipeline.Operator
+		fmt.Printf("%-10s delivered %-6d shed %d of %d memberships (%.1f%%)\n",
+			q.Name, q.Delivered, op.MembershipsShed, op.Memberships,
+			100*float64(op.MembershipsShed)/float64(max(1, op.Memberships)))
+	}
+}

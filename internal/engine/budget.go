@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/window"
+)
+
+// Stats is a merged snapshot of the engine counters: the ingress side,
+// the global budget state and one entry per registered query.
+type Stats struct {
+	// Submitted counts events accepted by Submit/SubmitBatch.
+	Submitted uint64
+	// Delivered sums per-query deliveries (one event fanning out to k
+	// queries counts k times), including the lifetime deliveries of
+	// since-deregistered queries, so it is monotonic.
+	Delivered uint64
+	// Skipped sums per-query filter rejections, deregistered queries
+	// included.
+	Skipped uint64
+	// QueueLen is the ingress backlog (fan-out not yet performed).
+	QueueLen int
+	// InputRate is the summed per-query delivered-rate estimate in
+	// events per second.
+	InputRate float64
+	// Capacity is the summed per-query unshed-throughput estimate in
+	// events per second.
+	Capacity float64
+	// Overloaded reports the last global budget decision.
+	Overloaded bool
+	// DropRate is the current global drop-rate target in events per
+	// second (0 when not overloaded).
+	DropRate float64
+	// Queries holds one entry per registered query, in registration
+	// order.
+	Queries []QueryStats
+}
+
+// QueryStats is one query's slice of the engine statistics.
+type QueryStats struct {
+	// Name is the registration key.
+	Name string
+	// Delivered and Skipped count fan-out decisions for this query.
+	Delivered uint64
+	Skipped   uint64
+	// Weight is the query's budget weight.
+	Weight float64
+	// ShedActive reports whether the query's shedder currently drops.
+	ShedActive bool
+	// Pipeline is the underlying pipeline's counter snapshot.
+	Pipeline runtime.Stats
+}
+
+// Stats returns a merged snapshot across the engine and all registered
+// queries. Safe to call while the engine runs.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Submitted:  e.submitted.Load(),
+		QueueLen:   len(e.in),
+		Overloaded: e.overloaded.Load(),
+		DropRate:   math.Float64frombits(e.dropRate.Load()),
+	}
+	e.mu.RLock()
+	qs := append([]*Query(nil), e.queries...)
+	st.Delivered = e.retiredDelivered.Load()
+	st.Skipped = e.retiredSkipped.Load()
+	e.mu.RUnlock()
+	for _, q := range qs {
+		st.Queries = append(st.Queries, q.Stats())
+		last := &st.Queries[len(st.Queries)-1]
+		st.Delivered += last.Delivered
+		st.Skipped += last.Skipped
+		st.InputRate += last.Pipeline.InputRate
+		st.Capacity += last.Pipeline.Throughput
+	}
+	return st
+}
+
+// Stats returns this query's slice of the engine statistics.
+func (q *Query) Stats() QueryStats {
+	return QueryStats{
+		Name:       q.name,
+		Delivered:  q.delivered.Load(),
+		Skipped:    q.skipped.Load(),
+		Weight:     q.cfg.Weight,
+		ShedActive: q.shedder != nil && q.shedder.Active(),
+		Pipeline:   q.pipe.Stats(),
+	}
+}
+
+// windowSizeEstimate resolves the ws used for the query's partitioning:
+// the count-window size or the time-window size hint from the spec,
+// falling back to the trained model's N.
+func (q *Query) windowSizeEstimate() int {
+	spec := q.cfg.Query.Window
+	switch {
+	case spec.Mode == window.ModeCount && spec.Count > 0:
+		return spec.Count
+	case spec.SizeHint > 0:
+		return spec.SizeHint
+	case q.cfg.Model != nil:
+		return q.cfg.Model.N()
+	default:
+		return 0
+	}
+}
+
+// budgetLoop periodically evaluates the global overload condition over
+// the summed backlog and distributes the required drop rate across the
+// shedding-capable queries.
+func (e *Engine) budgetLoop(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(e.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			e.mu.RLock()
+			qs := append([]*Query(nil), e.queries...)
+			e.mu.RUnlock()
+			e.evaluateBudget(qs)
+		}
+	}
+}
+
+// evaluateBudget is one budget tick: measure, decide, distribute,
+// command. Section 3.4's per-operator detector logic is applied at the
+// aggregate level — qmax = LB * summed throughput, trigger = f * qmax,
+// drop rate = rate excess plus backlog correction — and the resulting
+// drop rate is split across queries by distributeBudget.
+func (e *Engine) evaluateBudget(qs []*Query) {
+	type measured struct {
+		q     *Query
+		rate  float64
+		th    float64
+		ws    int
+		stats runtime.Stats
+	}
+	var (
+		ms         []measured
+		totalQueue = len(e.in)
+		rateSum    float64
+		thSum      float64
+	)
+	for _, q := range qs {
+		st := q.pipe.Stats()
+		totalQueue += st.QueueLen
+		rateSum += st.InputRate
+		thSum += st.Throughput
+		if q.shedder == nil {
+			continue
+		}
+		ms = append(ms, measured{q: q, rate: st.InputRate, th: st.Throughput,
+			ws: q.windowSizeEstimate(), stats: st})
+	}
+	if thSum <= 0 {
+		return // no throughput estimates yet; nothing to decide on
+	}
+
+	qmax := e.det.QMax(thSum)
+	trigger := e.cfg.F * qmax
+	if float64(totalQueue) <= trigger {
+		e.overloaded.Store(false)
+		storeFloat(&e.dropRate, 0)
+		for _, m := range ms {
+			m.q.shedder.Deactivate()
+		}
+		return
+	}
+
+	delta := rateSum - thSum
+	if delta < 0 {
+		delta = 0
+	}
+	delta += (float64(totalQueue) - trigger) / e.cfg.LatencyBound.Seconds()
+	e.overloaded.Store(true)
+	storeFloat(&e.dropRate, delta)
+	if delta <= 0 || len(ms) == 0 {
+		return
+	}
+
+	// Cost of one window of query q is ws/th seconds; dividing by the
+	// weight makes high-utility queries expensive to shed, so they shed
+	// less. Queries without usable estimates are excluded this tick.
+	costs := make([]float64, len(ms))
+	caps := make([]float64, len(ms))
+	for i, m := range ms {
+		if m.th <= 0 || m.rate <= 0 || m.ws <= 0 {
+			continue // cost stays 0: excluded from distribution
+		}
+		costs[i] = (float64(m.ws) / m.th) / m.q.cfg.Weight
+		caps[i] = m.rate
+	}
+	shares := distributeBudget(delta, costs, caps)
+	for i, m := range ms {
+		if shares[i] <= 0 {
+			m.q.shedder.Deactivate()
+			continue
+		}
+		qmaxQ := e.det.QMax(m.th)
+		part := core.ComputePartitioning(m.ws, qmaxQ, e.cfg.F)
+		x := shares[i] * float64(part.PSize) / m.rate
+		// Configure only fails for an untrained model; a lost beat just
+		// delays shedding by one poll period.
+		_ = m.q.shedder.Configure(part, x)
+	}
+}
+
+// distributeBudget splits a required drop rate delta across queries
+// proportionally to their costs, capping each query's share at caps[i]
+// (a query cannot drop more than it receives) and redistributing the
+// overflow among the uncapped queries. Entries with cost <= 0 get
+// nothing. The returned slice is parallel to costs.
+func distributeBudget(delta float64, costs, caps []float64) []float64 {
+	out := make([]float64, len(costs))
+	active := make([]bool, len(costs))
+	nActive := 0
+	for i, c := range costs {
+		if c > 0 && caps[i] > 0 {
+			active[i] = true
+			nActive++
+		}
+	}
+	remaining := delta
+	for round := 0; round < len(costs) && nActive > 0 && remaining > 1e-12; round++ {
+		costSum := 0.0
+		for i := range costs {
+			if active[i] {
+				costSum += costs[i]
+			}
+		}
+		if costSum <= 0 {
+			break
+		}
+		allocated := remaining
+		remaining = 0
+		capped := false
+		for i := range costs {
+			if !active[i] {
+				continue
+			}
+			share := allocated * costs[i] / costSum
+			if out[i]+share >= caps[i] {
+				remaining += out[i] + share - caps[i]
+				out[i] = caps[i]
+				active[i] = false
+				nActive--
+				capped = true
+			} else {
+				out[i] += share
+			}
+		}
+		if !capped {
+			break // everything allocated without hitting a cap
+		}
+	}
+	return out
+}
+
+// storeFloat stores a float64 into an atomic bit container.
+func storeFloat(a *atomic.Uint64, v float64) { a.Store(math.Float64bits(v)) }

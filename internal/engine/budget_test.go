@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/harness"
+)
+
+// TestGlobalBudgetSheds drives two model-backed queries into sustained
+// overload (every kept membership costs a fixed delay) and checks that
+// the global budget activates both shedders and that the higher-weight
+// query sheds a smaller fraction of its traffic.
+func TestGlobalBudgetSheds(t *testing.T) {
+	const delay = 100 * time.Microsecond
+	training := syntheticStream(16384)
+	e, err := New(Config{
+		LatencyBound: event.Time(200 * 1000), // 200ms in microseconds
+		F:            0.5,
+		PollInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	weights := []float64{4, 1}
+	handles := make([]*Query, 2)
+	for i := range handles {
+		q := pairQuery(t, i)
+		// Train on the query's filtered stream so model coordinates match
+		// what the engine delivers.
+		filter := typeFilter(q)
+		var filtered []event.Event
+		for _, ev := range training {
+			if filter[ev.Type] {
+				filtered = append(filtered, ev)
+			}
+		}
+		tr, err := harness.Train(q, filtered, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := e.Register(QueryConfig{
+			Query:           q,
+			Model:           tr.Model,
+			Weight:          weights[i],
+			ProcessingDelay: delay,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background()) }()
+	for _, h := range handles {
+		go func(h *Query) {
+			for range h.Out() {
+			}
+		}(h)
+	}
+
+	// Feed at ~1.5x aggregate capacity: each query keeps at most
+	// 1/delay = 10k memberships/s, receives 1/4 of the stream, so a
+	// 60k ev/s ingress rate overloads both.
+	events := syntheticStream(30000)
+	start := time.Now()
+	const rate = 60000.0
+	sawOverload := false
+	for i := 0; i < len(events); i += 256 {
+		if d := time.Until(start.Add(time.Duration(float64(i) / rate * float64(time.Second)))); d > 0 {
+			time.Sleep(d)
+		}
+		end := i + 256
+		if end > len(events) {
+			end = len(events)
+		}
+		e.SubmitBatch(events[i:end])
+		if st := e.Stats(); st.Overloaded && st.DropRate > 0 {
+			sawOverload = true
+		}
+	}
+	e.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	if !sawOverload {
+		t.Error("global budget never reported overload")
+	}
+	shed := make([]uint64, 2)
+	members := make([]uint64, 2)
+	for i, h := range handles {
+		st := h.Stats()
+		shed[i] = st.Pipeline.Operator.MembershipsShed
+		members[i] = st.Pipeline.Operator.Memberships
+		if shed[i] == 0 {
+			t.Errorf("query %s shed nothing under sustained overload: %+v",
+				st.Name, st.Pipeline.Operator)
+		}
+	}
+	if shed[0] > 0 && shed[1] > 0 {
+		frac0 := float64(shed[0]) / float64(members[0])
+		frac1 := float64(shed[1]) / float64(members[1])
+		if frac0 >= frac1 {
+			t.Errorf("weight-4 query shed fraction %.3f >= weight-1 fraction %.3f; "+
+				"budget ignored weights", frac0, frac1)
+		}
+	}
+}

@@ -1,0 +1,507 @@
+// Package engine is the multi-query deployment layer above the live
+// runtime: one ingress stream fans out to N registered queries, each
+// backed by its own runtime.Pipeline (optionally sharded), and a single
+// global shedding budget coordinates all per-query load shedders.
+//
+// The eSPICE paper sheds per-operator; real CEP middleware serves many
+// queries over the same input stream, and the deployable unit is the
+// middleware layer where cross-cutting concerns — admission, filtering,
+// overload control — live. The engine adds exactly that layer:
+//
+//   - Fan-out with per-query type filters. A query only receives the
+//     event types its patterns reference (plus everything, for wildcard
+//     patterns), so background traffic never costs a query anything.
+//     A query's input stream therefore IS the filtered stream: window
+//     positions, trained models and ground truths are all defined over
+//     it, and running the same filtered stream through a standalone
+//     pipeline reproduces the engine's per-query output exactly.
+//   - Per-query pipelines. Each registered query owns a runtime.Pipeline
+//     with its own bounded queue, optional shards and optional trained
+//     eSPICE shedder, and delivers complex events on its own channel.
+//   - A global shedding budget. One aggregate overload check (summed
+//     backlog against the latency bound, Section 3.4 applied at the
+//     engine level) computes the total drop rate needed, and distributes
+//     it across queries proportionally to per-window processing cost
+//     divided by query weight: cheap high-utility queries shed less,
+//     expensive low-utility queries shed more.
+//
+// Queries can be registered and deregistered while traffic flows;
+// remaining queries observe every event exactly once.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/operator"
+	"repro/internal/queries"
+	"repro/internal/runtime"
+)
+
+// Config assembles an engine.
+type Config struct {
+	// QueueCap bounds the engine ingress queue; Submit blocks when full.
+	// Default 1 << 16.
+	QueueCap int
+	// QueryQueueCap is the default per-query pipeline queue capacity
+	// (overridable per query). Default 1 << 14.
+	QueryQueueCap int
+	// OutBuffer is the per-query complex-event channel capacity.
+	// Default 1024.
+	OutBuffer int
+	// LatencyBound enables the global shedding budget: the end-to-end
+	// bound LB that detected complex events must meet across all queries.
+	// Zero disables the budget loop (no shedding).
+	LatencyBound event.Time
+	// F is the queue-fill fraction triggering shedding, as in the
+	// per-operator detector (Section 3.4). Default 0.8.
+	F float64
+	// PollInterval is the budget evaluation period and the per-pipeline
+	// estimator period. Default 10ms.
+	PollInterval time.Duration
+}
+
+// QueryConfig registers one query with the engine.
+type QueryConfig struct {
+	// Query supplies the window spec and compiled patterns (required).
+	Query queries.Query
+	// Name overrides Query.Name as the registration key; names must be
+	// unique within one engine.
+	Name string
+	// Model, when non-nil, installs an eSPICE shedder for the query,
+	// driven by the engine's global budget. Train it on the query's
+	// filtered stream (see Accepts) so positions agree.
+	Model *core.Model
+	// Weight is the query's utility weight for budget distribution:
+	// the drop-rate share is proportional to per-window cost divided by
+	// Weight, so heavier-weighted queries shed less. Default 1.
+	Weight float64
+	// Shards is the pipeline shard count (see runtime.Config.Shards).
+	Shards int
+	// QueueCap overrides Config.QueryQueueCap for this query.
+	QueueCap int
+	// ProcessingDelay is an artificial per-kept-membership cost, for
+	// benchmarks and overload demos (see runtime.Config).
+	ProcessingDelay time.Duration
+	// DisableFilter delivers every event type to this query, not just
+	// the types its patterns reference. Wildcard patterns imply it.
+	DisableFilter bool
+}
+
+// Engine is a running multi-query deployment.
+type Engine struct {
+	cfg Config
+	det *core.OverloadDetector // nil when the budget is disabled
+
+	in        chan event.Event
+	submitted atomic.Uint64
+
+	// retiredDelivered/Skipped carry the lifetime counters of
+	// deregistered queries so the engine-level sums stay monotonic
+	// across Deregister; written under mu (write lock).
+	retiredDelivered atomic.Uint64
+	retiredSkipped   atomic.Uint64
+
+	overloaded atomic.Bool
+	dropRate   atomic.Uint64 // float64 bits: current global drop-rate target
+
+	mu        sync.RWMutex
+	queries   []*Query // registration order; read per event under RLock
+	byName    map[string]*Query
+	ctx       context.Context // set by Run
+	running   bool
+	runCalled bool
+	closed    bool
+	inClosed  bool
+}
+
+// Query is one registered query: a handle to its pipeline, output
+// channel and counters. Obtain it from Register; it stays valid (for
+// Stats and draining Out) after Deregister.
+type Query struct {
+	name string
+	cfg  QueryConfig
+
+	pipe    *runtime.Pipeline
+	filter  []bool // indexed by event.Type; nil accepts every type
+	shedder *core.Shedder
+
+	out      chan operator.ComplexEvent
+	detached chan struct{} // closed by Deregister: stop blocking on out
+
+	delivered atomic.Uint64
+	skipped   atomic.Uint64
+
+	started   bool // guarded by the engine mutex
+	closeOnce sync.Once
+	runDone   chan error
+	runErr    error
+}
+
+// New validates the configuration and builds an engine with no queries
+// registered yet.
+func New(cfg Config) (*Engine, error) {
+	if cfg.QueueCap < 0 {
+		return nil, fmt.Errorf("engine: QueueCap must be >= 0, got %d", cfg.QueueCap)
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 1 << 16
+	}
+	if cfg.QueryQueueCap < 0 {
+		return nil, fmt.Errorf("engine: QueryQueueCap must be >= 0, got %d", cfg.QueryQueueCap)
+	}
+	if cfg.QueryQueueCap == 0 {
+		cfg.QueryQueueCap = 1 << 14
+	}
+	if cfg.OutBuffer == 0 {
+		cfg.OutBuffer = 1024
+	}
+	if cfg.F == 0 {
+		cfg.F = 0.8
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 10 * time.Millisecond
+	}
+	e := &Engine{
+		cfg:    cfg,
+		in:     make(chan event.Event, cfg.QueueCap),
+		byName: make(map[string]*Query),
+	}
+	if cfg.LatencyBound > 0 {
+		det, err := core.NewOverloadDetector(core.DetectorConfig{
+			LatencyBound: cfg.LatencyBound,
+			F:            cfg.F,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		e.det = det
+	}
+	return e, nil
+}
+
+// typeFilter derives the per-query delivery filter from the query's
+// patterns: the union of all step type lists, indexed by type id. A
+// wildcard step (empty type list) disables filtering entirely.
+func typeFilter(q queries.Query) []bool {
+	size := q.NumTypes
+	filter := make([]bool, size)
+	for _, cp := range q.Patterns {
+		for _, step := range cp.Pattern().Steps {
+			if len(step.Types) == 0 {
+				return nil // wildcard: every type may matter
+			}
+			for _, t := range step.Types {
+				if int(t) >= len(filter) {
+					grown := make([]bool, int(t)+1)
+					copy(grown, filter)
+					filter = grown
+				}
+				if t >= 0 {
+					filter[t] = true
+				}
+			}
+		}
+	}
+	return filter
+}
+
+// Register adds a query to the engine and (when the engine is running)
+// immediately starts its pipeline and begins delivering events to it.
+// Safe to call concurrently with Submit.
+func (e *Engine) Register(cfg QueryConfig) (*Query, error) {
+	name := cfg.Name
+	if name == "" {
+		name = cfg.Query.Name
+	}
+	if name == "" {
+		return nil, fmt.Errorf("engine: query needs a name")
+	}
+	if cfg.Weight == 0 {
+		cfg.Weight = 1
+	}
+	if cfg.Weight < 0 {
+		return nil, fmt.Errorf("engine: query %s: Weight must be > 0, got %v", name, cfg.Weight)
+	}
+	queueCap := cfg.QueueCap
+	if queueCap == 0 {
+		queueCap = e.cfg.QueryQueueCap
+	}
+
+	rcfg := runtime.Config{
+		Operator: operator.Config{
+			Window:   cfg.Query.Window,
+			Patterns: cfg.Query.Patterns,
+		},
+		EstimateRates:   true,
+		PollInterval:    e.cfg.PollInterval,
+		QueueCap:        queueCap,
+		OutBuffer:       e.cfg.OutBuffer,
+		ProcessingDelay: cfg.ProcessingDelay,
+		Shards:          cfg.Shards,
+	}
+	q := &Query{
+		name:     name,
+		cfg:      cfg,
+		out:      make(chan operator.ComplexEvent, e.cfg.OutBuffer),
+		detached: make(chan struct{}),
+		runDone:  make(chan error, 1),
+	}
+	if !cfg.DisableFilter {
+		q.filter = typeFilter(cfg.Query)
+	}
+	if cfg.Model != nil {
+		s, err := core.NewShedder(cfg.Model)
+		if err != nil {
+			return nil, fmt.Errorf("engine: query %s: %w", name, err)
+		}
+		q.shedder = s
+		// With Shards > 1 every shard shares this one shedder; its state
+		// swaps atomically, so lockstep commands stay consistent.
+		rcfg.Operator.Shedder = s
+	}
+	pipe, err := runtime.New(rcfg)
+	if err != nil {
+		return nil, fmt.Errorf("engine: query %s: %w", name, err)
+	}
+	q.pipe = pipe
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("engine: closed")
+	}
+	if _, dup := e.byName[name]; dup {
+		return nil, fmt.Errorf("engine: query %q already registered", name)
+	}
+	e.byName[name] = q
+	e.queries = append(e.queries, q)
+	if e.running {
+		e.startQueryLocked(q)
+	}
+	return q, nil
+}
+
+// startQueryLocked launches the query's pipeline and output forwarder;
+// the engine mutex must be held.
+func (e *Engine) startQueryLocked(q *Query) {
+	q.started = true
+	ctx := e.ctx
+	go func() { q.runDone <- q.pipe.Run(ctx) }()
+	go q.forward()
+}
+
+// forward relays pipeline output to the query's own channel. After
+// Deregister detaches the query, delivery degrades to best-effort
+// (buffered sends only) so teardown never blocks on an absent consumer.
+func (q *Query) forward() {
+	defer close(q.out)
+	for ce := range q.pipe.Out() {
+		select {
+		case q.out <- ce:
+		case <-q.detached:
+			select {
+			case q.out <- ce:
+			default: // consumer gone; discard
+			}
+		}
+	}
+}
+
+// shutdown closes the query's pipeline input and waits for it to drain;
+// idempotent and safe to call from Deregister and engine teardown
+// concurrently.
+func (q *Query) shutdown() error {
+	q.closeOnce.Do(func() {
+		if !q.started {
+			close(q.out)
+			return
+		}
+		q.pipe.CloseInput()
+		q.runErr = <-q.runDone
+	})
+	return q.runErr
+}
+
+// Deregister removes a query while traffic flows: delivery to it stops
+// immediately (remaining queries are unaffected and lose no events), its
+// pipeline drains, and its Out channel closes after the already-emitted
+// complex events. Blocks until the query's pipeline has fully stopped.
+func (e *Engine) Deregister(name string) error {
+	e.mu.Lock()
+	q, ok := e.byName[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: query %q not registered", name)
+	}
+	delete(e.byName, name)
+	for i, other := range e.queries {
+		if other == q {
+			e.queries = append(e.queries[:i], e.queries[i+1:]...)
+			break
+		}
+	}
+	// The routing table no longer lists q and fanOut holds the read lock
+	// across a whole delivery, so its counters are final: fold them into
+	// the retired totals to keep the engine-level sums monotonic.
+	e.retiredDelivered.Add(q.delivered.Load())
+	e.retiredSkipped.Add(q.skipped.Load())
+	e.mu.Unlock()
+
+	close(q.detached)
+	return q.shutdown()
+}
+
+// Submit enqueues one event for fan-out; it blocks while the ingress
+// queue is full. Must not be called after CloseInput.
+func (e *Engine) Submit(ev event.Event) {
+	e.submitted.Add(1)
+	e.in <- ev
+}
+
+// SubmitBatch enqueues a batch of events in stream order.
+func (e *Engine) SubmitBatch(events []event.Event) {
+	for _, ev := range events {
+		e.submitted.Add(1)
+		e.in <- ev
+	}
+}
+
+// CloseInput signals end of stream: Run fans out the backlog, closes
+// every query pipeline, waits for them to drain and returns.
+func (e *Engine) CloseInput() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.inClosed {
+		e.inClosed = true
+		close(e.in)
+	}
+}
+
+// Run drives the engine until the input is closed and every query
+// pipeline has drained, or the context is canceled. Blocking; the
+// budget loop runs on an internal goroutine for its duration.
+func (e *Engine) Run(ctx context.Context) error {
+	e.mu.Lock()
+	if e.runCalled {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: Run called twice")
+	}
+	e.runCalled = true
+	e.ctx = ctx
+	e.running = true
+	for _, q := range e.queries {
+		e.startQueryLocked(q)
+	}
+	e.mu.Unlock()
+
+	if e.det != nil {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go e.budgetLoop(stop, done)
+		defer func() {
+			close(stop)
+			<-done
+		}()
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			e.shutdownQueries()
+			return ctx.Err()
+		case ev, ok := <-e.in:
+			if !ok {
+				return e.shutdownQueries()
+			}
+			e.fanOut(ctx, ev)
+		}
+	}
+}
+
+// fanOut delivers one event to every registered query whose filter
+// accepts its type. Holding the read lock across the (possibly blocking)
+// per-query submits means Deregister cannot observe a half-delivered
+// event: once it acquires the write lock, no delivery to the removed
+// query is in flight.
+func (e *Engine) fanOut(ctx context.Context, ev event.Event) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, q := range e.queries {
+		if q.filter != nil && (int(ev.Type) >= len(q.filter) || ev.Type < 0 || !q.filter[ev.Type]) {
+			q.skipped.Add(1)
+			continue
+		}
+		if ctx.Err() != nil {
+			return // pipelines are shutting down; stop delivering
+		}
+		q.delivered.Add(1)
+		q.pipe.Submit(ev)
+	}
+}
+
+// shutdownQueries closes every remaining query pipeline and waits for
+// them; further Register calls fail.
+func (e *Engine) shutdownQueries() error {
+	e.mu.Lock()
+	e.closed = true
+	qs := append([]*Query(nil), e.queries...)
+	e.mu.Unlock()
+	var first error
+	for _, q := range qs {
+		if err := q.shutdown(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Name returns the registration key.
+func (q *Query) Name() string { return q.name }
+
+// Out delivers the query's detected complex events; it closes after the
+// query is deregistered (or the engine shuts down) and its pipeline has
+// drained.
+func (q *Query) Out() <-chan operator.ComplexEvent { return q.out }
+
+// Accepts reports whether the engine would deliver an event of type t to
+// this query — the per-query admission filter. Use it to build the
+// query's view of a stream externally (training, ground truth).
+func (q *Query) Accepts(t event.Type) bool {
+	if q.filter == nil {
+		return true
+	}
+	return t >= 0 && int(t) < len(q.filter) && q.filter[t]
+}
+
+// FilterEvents returns the subsequence of events this query would
+// receive from the engine — its filtered input stream.
+func (q *Query) FilterEvents(events []event.Event) []event.Event {
+	if q.filter == nil {
+		return events
+	}
+	out := make([]event.Event, 0, len(events))
+	for _, ev := range events {
+		if q.Accepts(ev.Type) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Pipeline exposes the query's underlying pipeline (read-only use:
+// stats, latency traces).
+func (q *Query) Pipeline() *runtime.Pipeline { return q.pipe }
+
+// FilterStream returns the subsequence of events the engine would
+// deliver to a query registered with the default filter — the query's
+// input stream. Use it to train models and compute ground truths in the
+// engine's coordinate system before registering the query.
+func FilterStream(q queries.Query, events []event.Event) []event.Event {
+	return (&Query{filter: typeFilter(q)}).FilterEvents(events)
+}

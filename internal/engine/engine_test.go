@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/operator"
+	"repro/internal/pattern"
+	"repro/internal/queries"
+	"repro/internal/runtime"
+	"repro/internal/window"
+)
+
+// numTypes is the synthetic registry size used throughout these tests;
+// query i matches the type pair (2i, 2i+1).
+const numTypes = 8
+
+// pairQuery builds a seq(A;B) query over the type pair (2i, 2i+1) with a
+// tumbling time window.
+func pairQuery(tb testing.TB, i int) queries.Query {
+	tb.Helper()
+	a, b := event.Type(2*i), event.Type(2*i+1)
+	p, err := pattern.Compile(pattern.Pattern{
+		Name: fmt.Sprintf("pair%d", i),
+		Steps: []pattern.Step{
+			{Types: []event.Type{a}},
+			{Types: []event.Type{b}},
+		},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return queries.Query{
+		Name: fmt.Sprintf("pair%d", i),
+		Window: window.Spec{
+			Mode:      window.ModeTime,
+			Length:    64 * event.Millisecond,
+			SlideTime: 64 * event.Millisecond,
+			SizeHint:  16,
+		},
+		Patterns: []*pattern.Compiled{p},
+		NumTypes: numTypes,
+	}
+}
+
+// syntheticStream emits n events cycling through the registry at one
+// event per virtual millisecond.
+func syntheticStream(n int) []event.Event {
+	evs := make([]event.Event, n)
+	for i := range evs {
+		evs[i] = event.Event{
+			Seq:  uint64(i),
+			TS:   event.Time(i) * event.Millisecond,
+			Type: event.Type(i % numTypes),
+		}
+	}
+	return evs
+}
+
+// runStandalone replays events through a fresh standalone pipeline and
+// returns the detected complex events.
+func runStandalone(tb testing.TB, q queries.Query, events []event.Event) []operator.ComplexEvent {
+	tb.Helper()
+	pipe, err := runtime.New(runtime.Config{
+		Operator: operator.Config{Window: q.Window, Patterns: q.Patterns},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- pipe.Run(context.Background()) }()
+	var out []operator.ComplexEvent
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for ce := range pipe.Out() {
+			out = append(out, ce)
+		}
+	}()
+	pipe.SubmitBatch(events)
+	pipe.CloseInput()
+	if err := <-done; err != nil {
+		tb.Fatal(err)
+	}
+	<-collected
+	return out
+}
+
+func TestTypeFilter(t *testing.T) {
+	q := pairQuery(t, 1) // types 2, 3
+	f := typeFilter(q)
+	for typ := 0; typ < numTypes; typ++ {
+		want := typ == 2 || typ == 3
+		if f[typ] != want {
+			t.Errorf("filter[%d] = %v, want %v", typ, f[typ], want)
+		}
+	}
+
+	wild, err := pattern.Compile(pattern.Pattern{
+		Name:  "wild",
+		Steps: []pattern.Step{{Types: []event.Type{0}}, {AnyN: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wq := queries.Query{Name: "w", Window: q.Window,
+		Patterns: []*pattern.Compiled{wild}, NumTypes: numTypes}
+	if typeFilter(wq) != nil {
+		t.Error("wildcard step must disable the filter")
+	}
+}
+
+func TestDistributeBudget(t *testing.T) {
+	// Proportional split, no caps hit.
+	got := distributeBudget(90, []float64{1, 2}, []float64{1000, 1000})
+	if math.Abs(got[0]-30) > 1e-9 || math.Abs(got[1]-60) > 1e-9 {
+		t.Errorf("proportional split = %v, want [30 60]", got)
+	}
+	// Cap on the expensive query redistributes to the cheap one.
+	got = distributeBudget(90, []float64{1, 2}, []float64{1000, 40})
+	if math.Abs(got[1]-40) > 1e-9 || math.Abs(got[0]-50) > 1e-9 {
+		t.Errorf("capped split = %v, want [50 40]", got)
+	}
+	// Zero-cost entries get nothing even under pressure.
+	got = distributeBudget(90, []float64{0, 1}, []float64{1000, 1000})
+	if got[0] != 0 || math.Abs(got[1]-90) > 1e-9 {
+		t.Errorf("zero-cost split = %v, want [0 90]", got)
+	}
+	// Total demand above total capacity: everyone capped, no panic.
+	got = distributeBudget(90, []float64{1, 1}, []float64{10, 20})
+	if got[0] != 10 || got[1] != 20 {
+		t.Errorf("over-capacity split = %v, want [10 20]", got)
+	}
+}
+
+// TestEngineEquivalence is the deterministic end-to-end check: with
+// shedding disabled, each query's output under the engine is identical
+// to running its pipeline standalone on the query's filtered stream.
+func TestEngineEquivalence(t *testing.T) {
+	events := syntheticStream(4096)
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nq = 3
+	handles := make([]*Query, nq)
+	for i := 0; i < nq; i++ {
+		h, err := e.Register(QueryConfig{Query: pairQuery(t, i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background()) }()
+	outs := make([][]operator.ComplexEvent, nq)
+	var wg sync.WaitGroup
+	for i, h := range handles {
+		wg.Add(1)
+		go func(i int, h *Query) {
+			defer wg.Done()
+			for ce := range h.Out() {
+				outs[i] = append(outs[i], ce)
+			}
+		}(i, h)
+	}
+	e.SubmitBatch(events)
+	e.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	for i, h := range handles {
+		filtered := h.FilterEvents(events)
+		if want := len(events) / (numTypes / 2); len(filtered) != want {
+			t.Fatalf("query %d filtered stream has %d events, want %d", i, len(filtered), want)
+		}
+		want := runStandalone(t, pairQuery(t, i), filtered)
+		if len(want) == 0 {
+			t.Fatalf("query %d standalone run detected nothing; test is vacuous", i)
+		}
+		if !reflect.DeepEqual(outs[i], want) {
+			t.Errorf("query %d: engine output diverges from standalone:\n got %d events\nwant %d events",
+				i, len(outs[i]), len(want))
+			continue
+		}
+		// Byte-identical under the canonical complex-event rendering.
+		if fmt.Sprint(outs[i]) != fmt.Sprint(want) {
+			t.Errorf("query %d: rendered outputs differ", i)
+		}
+	}
+
+	st := e.Stats()
+	if st.Submitted != uint64(len(events)) {
+		t.Errorf("Submitted = %d, want %d", st.Submitted, len(events))
+	}
+	perQuery := uint64(len(events) / (numTypes / 2))
+	for _, qs := range st.Queries {
+		if qs.Delivered != perQuery {
+			t.Errorf("query %s delivered %d, want %d", qs.Name, qs.Delivered, perQuery)
+		}
+		if qs.Skipped != uint64(len(events))-perQuery {
+			t.Errorf("query %s skipped %d, want %d", qs.Name, qs.Skipped, uint64(len(events))-perQuery)
+		}
+	}
+}
+
+// TestDeregisterUnderLiveTraffic removes a query mid-stream: the call
+// must not deadlock, the removed query's Out must close, and the
+// remaining queries must still see every one of their events.
+func TestDeregisterUnderLiveTraffic(t *testing.T) {
+	events := syntheticStream(8192)
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*Query, 3)
+	for i := range handles {
+		h, err := e.Register(QueryConfig{Query: pairQuery(t, i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background()) }()
+	var wg sync.WaitGroup
+	for _, h := range handles {
+		wg.Add(1)
+		go func(h *Query) {
+			defer wg.Done()
+			for range h.Out() {
+			}
+		}(h)
+	}
+
+	half := len(events) / 2
+	e.SubmitBatch(events[:half])
+	deregistered := make(chan struct{})
+	go func() {
+		defer close(deregistered)
+		if err := e.Deregister("pair1"); err != nil {
+			t.Errorf("Deregister: %v", err)
+		}
+	}()
+	select {
+	case <-deregistered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Deregister deadlocked")
+	}
+	e.SubmitBatch(events[half:])
+	e.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// pair0 and pair2 survive and saw their full filtered streams.
+	st := e.Stats()
+	if len(st.Queries) != 2 {
+		t.Fatalf("got %d remaining queries, want 2", len(st.Queries))
+	}
+	full := uint64(len(events) / (numTypes / 2))
+	for _, qs := range st.Queries {
+		if qs.Delivered != full {
+			t.Errorf("remaining query %s delivered %d, want %d (events lost)",
+				qs.Name, qs.Delivered, full)
+		}
+	}
+	// The removed query saw at most the first half (its pipeline drained).
+	if got := handles[1].Stats().Delivered; got > uint64(half) {
+		t.Errorf("removed query delivered %d, want <= %d", got, half)
+	}
+	// Engine-level sums stay monotonic across Deregister: they fold in
+	// the removed query's lifetime counters.
+	var total uint64
+	for _, h := range handles {
+		total += h.Stats().Delivered
+	}
+	if st.Delivered != total {
+		t.Errorf("engine Delivered = %d, want %d (deregistered query dropped from sum)",
+			st.Delivered, total)
+	}
+	if err := e.Deregister("pair1"); err == nil {
+		t.Error("double Deregister must fail")
+	}
+}
+
+// TestConcurrentRegisterSubmit hammers Register/Deregister against a
+// concurrent submitter; run under -race this is the registration
+// data-race check.
+func TestConcurrentRegisterSubmit(t *testing.T) {
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register(QueryConfig{Query: pairQuery(t, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background()) }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // submitter
+		defer wg.Done()
+		for _, ev := range syntheticStream(20000) {
+			e.Submit(ev)
+		}
+	}()
+	wg.Add(1)
+	go func() { // churner
+		defer wg.Done()
+		for k := 0; k < 20; k++ {
+			q := pairQuery(t, 1+k%3)
+			q.Name = fmt.Sprintf("churn%d", k)
+			h, err := e.Register(QueryConfig{Query: q, Name: q.Name})
+			if err != nil {
+				t.Errorf("Register: %v", err)
+				return
+			}
+			go func() {
+				for range h.Out() {
+				}
+			}()
+			time.Sleep(time.Millisecond)
+			if err := e.Deregister(q.Name); err != nil {
+				t.Errorf("Deregister: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		h, _ := e.byNameSnapshot("pair0")
+		if h != nil {
+			for range h.Out() {
+			}
+		}
+	}()
+	wg.Wait()
+	e.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// byNameSnapshot looks a handle up for tests.
+func (e *Engine) byNameSnapshot(name string) (*Query, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	q, ok := e.byName[name]
+	return q, ok
+}
+
+// TestRegisterErrors covers the registration error paths.
+func TestRegisterErrors(t *testing.T) {
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register(QueryConfig{}); err == nil {
+		t.Error("unnamed query must fail")
+	}
+	if _, err := e.Register(QueryConfig{Query: pairQuery(t, 0), Weight: -1}); err == nil {
+		t.Error("negative weight must fail")
+	}
+	if _, err := e.Register(QueryConfig{Query: pairQuery(t, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register(QueryConfig{Query: pairQuery(t, 0)}); err == nil {
+		t.Error("duplicate name must fail")
+	}
+	if _, err := New(Config{QueueCap: -1}); err == nil {
+		t.Error("negative QueueCap must fail")
+	}
+	if _, err := New(Config{LatencyBound: event.Second, F: 2}); err == nil {
+		t.Error("invalid F must fail")
+	}
+}

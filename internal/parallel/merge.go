@@ -24,30 +24,38 @@ func (t *Ticket[T]) Complete(v T) { t.done <- v }
 // order after parallel matching.
 type Sequencer[T any] struct {
 	order chan *Ticket[T]
+	emit  func(T)
+	start sync.Once
 	wg    sync.WaitGroup
 }
 
-// NewSequencer starts the emitter. buf bounds how many slots may be open
-// (reserved but not yet emitted) before Open blocks; emit is called from
-// the emitter goroutine only, in slot order.
+// NewSequencer builds the sequencer. buf bounds how many slots may be
+// open (reserved but not yet emitted) before Open blocks; emit is called
+// from the emitter goroutine only, in slot order. The emitter goroutine
+// starts lazily on the first Open, so a sequencer that is never used
+// owns no goroutine and may be abandoned without Close.
 func NewSequencer[T any](buf int, emit func(T)) *Sequencer[T] {
 	if buf < 1 {
 		buf = 1
 	}
-	s := &Sequencer[T]{order: make(chan *Ticket[T], buf)}
+	return &Sequencer[T]{order: make(chan *Ticket[T], buf), emit: emit}
+}
+
+// run launches the emitter goroutine (once, from the first Open).
+func (s *Sequencer[T]) run() {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		for t := range s.order {
-			emit(<-t.done)
+			s.emit(<-t.done)
 		}
 	}()
-	return s
 }
 
 // Open reserves the next output slot. Reservation order — not completion
 // order — is emission order. Must not be called after Close.
 func (s *Sequencer[T]) Open() *Ticket[T] {
+	s.start.Do(s.run)
 	t := &Ticket[T]{done: make(chan T, 1)}
 	s.order <- t
 	return t

@@ -80,7 +80,9 @@ func New(cfg Config) (*Executor, error) {
 		emit:       cfg.Emit,
 	}
 	// The sequencer exists from construction so Submit before Start
-	// buffers safely, exactly as the pre-sequencer implementation did.
+	// buffers safely, exactly as the pre-sequencer implementation did;
+	// its emitter goroutine only starts on first use, so an executor
+	// that is built but never driven leaks nothing.
 	x.seq = NewSequencer(4*workers, func(ces []operator.ComplexEvent) {
 		for _, ce := range ces {
 			x.emit(ce)

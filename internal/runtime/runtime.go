@@ -43,6 +43,11 @@ type Config struct {
 	// Detector and Controller enable load shedding; both nil disables it.
 	Detector   *core.OverloadDetector
 	Controller sim.Controller
+	// EstimateRates keeps the input-rate and throughput estimators running
+	// even without a Detector, so an external supervisor (e.g. the
+	// multi-query engine's global shedding budget) can read
+	// Stats().InputRate and Stats().Throughput. Implied by Detector.
+	EstimateRates bool
 	// PollInterval is the detector period (default 10ms).
 	PollInterval time.Duration
 	// QueueCap bounds the input queue; Submit blocks when full
@@ -148,6 +153,10 @@ type Pipeline struct {
 	lastTS    event.Time
 	inClosed  bool
 	runCalled bool
+	// opStats mirrors the serial operator's counters so Stats() stays
+	// data-race free when called mid-run (the operator itself is owned by
+	// the processing goroutine); updated under mu after every event.
+	opStats operator.Stats
 }
 
 // New validates the configuration and builds a pipeline.
@@ -270,7 +279,9 @@ func (p *Pipeline) Stats() Stats {
 		Throughput: loadFloat(&p.thEst),
 	}
 	if len(p.shards) == 0 {
-		st.Operator = p.op.Stats()
+		p.mu.Lock()
+		st.Operator = p.opStats
+		p.mu.Unlock()
 		return st
 	}
 	st.Operator.EventsProcessed = st.Processed
@@ -322,7 +333,7 @@ func (p *Pipeline) Run(ctx context.Context) error {
 
 	detectorDone := make(chan struct{})
 	detectorStop := make(chan struct{})
-	if p.cfg.Detector != nil {
+	if p.cfg.Detector != nil || p.cfg.EstimateRates {
 		go p.detectorLoop(detectorStop, detectorDone)
 		defer func() {
 			close(detectorStop)
@@ -364,6 +375,7 @@ func (p *Pipeline) processOne(ctx context.Context, q queued) error {
 	p.mu.Lock()
 	p.latency.Add(event.Time(start.UnixMicro()), event.Time(lat.Microseconds()))
 	p.lastTS = q.ev.TS
+	p.opStats = after
 	p.mu.Unlock()
 
 	for _, ce := range complexEvents {
@@ -380,7 +392,11 @@ func (p *Pipeline) flush(ctx context.Context) {
 	p.mu.Lock()
 	last := p.lastTS
 	p.mu.Unlock()
-	for _, ce := range p.op.Flush(last) {
+	ces := p.op.Flush(last)
+	p.mu.Lock()
+	p.opStats = p.op.Stats()
+	p.mu.Unlock()
+	for _, ce := range ces {
 		select {
 		case p.out <- ce:
 		case <-ctx.Done():
@@ -438,7 +454,7 @@ func (p *Pipeline) detectorLoop(stop, done chan struct{}) {
 			lastSubmitted, lastKept, lastBusy = submitted, kept, busy
 
 			th := loadFloat(&p.thEst)
-			if th <= 0 {
+			if th <= 0 || p.cfg.Detector == nil {
 				continue
 			}
 			dec := p.cfg.Detector.Evaluate(len(p.in), loadFloat(&p.rateEst), th,

@@ -199,3 +199,45 @@ func trainedTestModel(t *testing.T) *core.Model {
 	}
 	return m
 }
+
+// TestEstimateRatesWithoutDetector checks that EstimateRates keeps the
+// rate/throughput estimators alive with no detector attached, on both
+// the serial and the sharded path — the multi-query engine's global
+// budget reads these estimates from outside the pipeline.
+func TestEstimateRatesWithoutDetector(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		p, err := New(Config{
+			Operator:        opConfig(nil),
+			EstimateRates:   true,
+			Shards:          shards,
+			PollInterval:    2 * time.Millisecond,
+			ProcessingDelay: 20 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- p.Run(context.Background()) }()
+		go func() {
+			for range p.Out() {
+			}
+		}()
+		for i := 0; i < 4000; i++ {
+			p.Submit(event.Event{Seq: uint64(i), TS: event.Time(i), Type: event.Type(i % 2)})
+			if i%100 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		st := p.Stats()
+		p.CloseInput()
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		if st.InputRate <= 0 {
+			t.Errorf("shards=%d: InputRate not estimated: %+v", shards, st)
+		}
+		if st.Throughput <= 0 {
+			t.Errorf("shards=%d: Throughput not estimated: %+v", shards, st)
+		}
+	}
+}

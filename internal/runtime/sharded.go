@@ -173,7 +173,7 @@ func (p *Pipeline) runSharded(ctx context.Context) error {
 		seq.Close()
 	}()
 
-	if p.cfg.Detector != nil {
+	if p.cfg.Detector != nil || p.cfg.EstimateRates {
 		detectorDone := make(chan struct{})
 		detectorStop := make(chan struct{})
 		go p.shardedDetectorLoop(detectorStop, detectorDone)
@@ -291,7 +291,7 @@ func (p *Pipeline) shardedDetectorLoop(stop, done chan struct{}) {
 				total += loadFloat(&s.thEst)
 			}
 			p.thEst.Store(floatToBits(total))
-			if total <= 0 {
+			if total <= 0 || p.cfg.Detector == nil {
 				continue
 			}
 			qlen := len(p.in)

@@ -46,7 +46,44 @@ func Parse(src string, env Env) (queries.Query, error) {
 	if err != nil {
 		return queries.Query{}, err
 	}
+	if p.cur().kind != tokEOF {
+		return queries.Query{}, p.errf("trailing input after query (use ParseMulti for multi-query sources)")
+	}
 	return q, nil
+}
+
+// ParseMulti compiles a source holding several queries — a sequence of
+// `define ...` blocks, each following the Parse grammar — into one query
+// per block. This is the multi-query file format consumed by the engine
+// deployment layer (`espice-live -queries`): '#' comments and blank lines
+// are free between blocks, and each new `define` keyword starts the next
+// query. Query names must be unique within one source.
+func ParseMulti(src string, env Env) ([]queries.Query, error) {
+	if env.Registry == nil {
+		return nil, fmt.Errorf("tesla: Env.Registry is required")
+	}
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, env: env}
+	var qs []queries.Query
+	seen := make(map[string]struct{})
+	for p.cur().kind != tokEOF {
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := seen[q.Name]; dup {
+			return nil, fmt.Errorf("tesla: duplicate query name %q", q.Name)
+		}
+		seen[q.Name] = struct{}{}
+		qs = append(qs, q)
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("tesla: no queries in source")
+	}
+	return qs, nil
 }
 
 type parser struct {
@@ -151,7 +188,9 @@ func (p *parser) parseQuery() (queries.Query, error) {
 		case p.cur().keyword("anchored"):
 			anchored = true
 			p.next()
-		case p.cur().kind == tokEOF:
+		// A following `define` begins the next query of a multi-query
+		// source (ParseMulti); it ends this one like EOF does.
+		case p.cur().kind == tokEOF, p.cur().keyword("define"):
 			for i, proto := range protos {
 				proto.Name = q.Name
 				if len(protos) > 1 {

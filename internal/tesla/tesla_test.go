@@ -292,3 +292,53 @@ func TestParseDurations(t *testing.T) {
 		}
 	}
 }
+
+// TestParseMulti covers the multi-query file format: several define
+// blocks, comments between them, and the error paths (duplicate names,
+// empty source, trailing garbage rejected by single-query Parse).
+func TestParseMulti(t *testing.T) {
+	env := testEnv(t)
+	src := `
+		# first query
+		define One
+		from seq(A; B)
+		within 60s
+		slide 30s
+
+		define Two
+		from seq(STR; any 2 distinct of DEF1, DEF2)
+		within 10 events
+		slide 5
+		select last
+	`
+	qs, err := ParseMulti(src, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("got %d queries, want 2", len(qs))
+	}
+	if qs[0].Name != "One" || qs[1].Name != "Two" {
+		t.Errorf("names = %q, %q", qs[0].Name, qs[1].Name)
+	}
+	if qs[0].Window.Mode != window.ModeTime || qs[1].Window.Mode != window.ModeCount {
+		t.Errorf("window modes = %v, %v", qs[0].Window.Mode, qs[1].Window.Mode)
+	}
+	if got := qs[1].Patterns[0].Pattern().Selection; got != pattern.SelectLast {
+		t.Errorf("query Two selection = %v, want last", got)
+	}
+
+	if _, err := ParseMulti(src+"\n\ndefine One\nfrom seq(A)\nwithin 5 events\nslide 5", env); err == nil {
+		t.Error("duplicate query name must fail")
+	}
+	if _, err := ParseMulti("# nothing here", env); err == nil {
+		t.Error("empty source must fail")
+	}
+	if _, err := ParseMulti("", Env{}); err == nil {
+		t.Error("missing registry must fail")
+	}
+	// Single-query Parse must reject a multi-query source.
+	if _, err := Parse(src, env); err == nil {
+		t.Error("Parse must reject trailing define blocks")
+	}
+}
