@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: build test bench fmt vet doccheck
+# Hot-path benchmark selection and budget for `make bench`. CI overrides
+# BENCHTIME to keep runs short; the committed BENCH_results.json is
+# produced at the default 1s.
+BENCH ?= BenchmarkOperatorProcess|BenchmarkShedderDecision|BenchmarkPipelineShards/nodelay|BenchmarkEngineFanout/nodelay
+BENCHTIME ?= 1s
+BENCHLABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
+
+.PHONY: build test bench bench-figures fmt vet doccheck
 
 build:
 	$(GO) build ./...
@@ -8,7 +15,20 @@ build:
 test: vet doccheck
 	$(GO) test -race ./...
 
+# Run the hot-path benchmark suite with -benchmem and record the results
+# in BENCH_results.json (appended as one labeled run), so every PR can
+# regression-check against the recorded trajectory. The bench output goes
+# through a temp file so a failing/panicking benchmark fails the target
+# instead of being masked by the pipe.
 bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime=$(BENCHTIME) -benchmem . > bench.out \
+		|| { cat bench.out; rm -f bench.out; exit 1; }
+	cat bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_results.json -label $(BENCHLABEL) < bench.out
+	rm -f bench.out
+
+# Full figure-reproduction sweep (slow; one iteration each).
+bench-figures:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 fmt:

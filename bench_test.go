@@ -157,46 +157,112 @@ func BenchmarkAblationExactVsAtLeast(b *testing.B) {
 	}
 }
 
-// BenchmarkPipelineShards measures kept-event throughput of the live
-// pipeline as the shard count grows under ProcessingDelay-induced load:
-// each kept membership costs a fixed sleep, so the serial pipeline is
-// capped at 1/delay memberships per second while N shards overlap N
-// sleeps — throughput should scale near-linearly from 1 to 4 shards.
+// BenchmarkPipelineShards measures the live pipeline in two regimes. The
+// delayed variants grow the shard count under ProcessingDelay-induced
+// load: each kept membership costs a fixed sleep, so the serial pipeline
+// is capped at 1/delay memberships per second while N shards overlap N
+// sleeps — throughput should scale near-linearly from 1 to 4 shards. The
+// nodelay variants run the raw data path (overlapping count windows, 8
+// memberships per event) at full speed, so ns/op and allocs/op reflect
+// the real per-event cost of routing, shedding, buffering and matching.
 func BenchmarkPipelineShards(b *testing.B) {
 	const delay = 50 * time.Microsecond
+	run := func(b *testing.B, shards int, d time.Duration, spec WindowSpec) {
+		p, err := NewPipeline(PipelineConfig{
+			Operator: OperatorConfig{
+				Window:   spec,
+				Patterns: []*CompiledPattern{mustCompileSeqAB(b)},
+			},
+			Shards:          shards,
+			ProcessingDelay: d,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- p.Run(context.Background()) }()
+		go func() {
+			for range p.Out() {
+			}
+		}()
+		events := make([]Event, b.N)
+		for i := range events {
+			events[i] = Event{Seq: uint64(i), TS: Time(i), Type: Type(i % 2)}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		p.SubmitBatch(events)
+		p.CloseInput()
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		kept := p.Stats().Operator.MembershipsKept
+		b.ReportMetric(float64(kept)/b.Elapsed().Seconds(), "kept_ev/s")
+	}
 	for _, shards := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			p, err := NewPipeline(PipelineConfig{
-				Operator: OperatorConfig{
-					Window:   WindowSpec{Mode: ModeCount, Count: 10, Slide: 10},
-					Patterns: []*CompiledPattern{mustCompileSeqAB(b)},
-				},
-				Shards:          shards,
-				ProcessingDelay: delay,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			done := make(chan error, 1)
-			go func() { done <- p.Run(context.Background()) }()
-			go func() {
-				for range p.Out() {
-				}
-			}()
-			events := make([]Event, b.N)
-			for i := range events {
-				events[i] = Event{Seq: uint64(i), TS: Time(i), Type: Type(i % 2)}
-			}
-			b.ResetTimer()
-			p.SubmitBatch(events)
-			p.CloseInput()
-			if err := <-done; err != nil {
-				b.Fatal(err)
-			}
-			kept := p.Stats().Operator.MembershipsKept
-			b.ReportMetric(float64(kept)/b.Elapsed().Seconds(), "kept_ev/s")
+			run(b, shards, delay, WindowSpec{Mode: ModeCount, Count: 10, Slide: 10})
 		})
 	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("nodelay/shards=%d", shards), func(b *testing.B) {
+			run(b, shards, 0, WindowSpec{Mode: ModeCount, Count: 128, Slide: 16})
+		})
+	}
+}
+
+// BenchmarkOperatorProcess measures the serial operator data path alone —
+// no channels, no goroutines: route into 8 overlapping count windows,
+// shed (in the shed variant), buffer, and match seq(A;B) on every window
+// close. This is the per-event cost the load shedder's O(1) budget is
+// measured against; allocs/op should be ~0 in steady state.
+func BenchmarkOperatorProcess(b *testing.B) {
+	mkEvents := func() []Event {
+		events := make([]Event, 4096)
+		for i := range events {
+			events[i] = Event{Seq: uint64(i), TS: Time(i), Type: Type(i % 4)}
+		}
+		return events
+	}
+	b.Run("noshed", func(b *testing.B) {
+		op, err := NewOperator(OperatorConfig{
+			Window:   WindowSpec{Mode: ModeCount, Count: 128, Slide: 16},
+			Patterns: []*CompiledPattern{mustCompileSeqAB(b)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events := mkEvents()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op.Process(events[i%len(events)])
+		}
+	})
+	b.Run("shed", func(b *testing.B) {
+		m := syntheticModel(b, 4, 128)
+		s, err := core.NewShedder(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Configure(core.ComputePartitioning(128, 64, 0.8), 4); err != nil {
+			b.Fatal(err)
+		}
+		op, err := NewOperator(OperatorConfig{
+			Window:   WindowSpec{Mode: ModeCount, Count: 128, Slide: 16},
+			Patterns: []*CompiledPattern{mustCompileSeqAB(b)},
+			Shedder:  s,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events := mkEvents()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op.Process(events[i%len(events)])
+		}
+	})
 }
 
 func mustCompileSeqAB(tb testing.TB) *CompiledPattern {
@@ -409,7 +475,7 @@ func BenchmarkEngineFanout(b *testing.B) {
 		b.ReportMetric(usefulCount(events)/b.Elapsed().Seconds(), "useful_kept_ev/s")
 	})
 
-	b.Run("engine", func(b *testing.B) {
+	runEngine := func(b *testing.B, perQueryDelay time.Duration) {
 		events := makeEvents(b.N)
 		eng, err := engine.New(engine.Config{})
 		if err != nil {
@@ -419,13 +485,14 @@ func BenchmarkEngineFanout(b *testing.B) {
 		for i := range handles {
 			h, err := eng.Register(engine.QueryConfig{
 				Query:           benchPairQuery(b, i),
-				ProcessingDelay: delay,
+				ProcessingDelay: perQueryDelay,
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
 			handles[i] = h
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		done := make(chan error, 1)
 		go func() { done <- eng.Run(context.Background()) }()
@@ -445,5 +512,10 @@ func BenchmarkEngineFanout(b *testing.B) {
 			useful += float64(h.Stats().Delivered)
 		}
 		b.ReportMetric(useful/b.Elapsed().Seconds(), "useful_kept_ev/s")
-	})
+	}
+
+	b.Run("engine", func(b *testing.B) { runEngine(b, delay) })
+	// nodelay runs the same fan-out at full speed: ns/op and allocs/op
+	// reflect the real ingress + fan-out + per-query data path cost.
+	b.Run("nodelay/engine", func(b *testing.B) { runEngine(b, 0) })
 }

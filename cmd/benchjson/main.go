@@ -1,0 +1,140 @@
+// Command benchjson converts `go test -bench` output read from stdin
+// into a machine-readable JSON record, so the repository can track its
+// performance trajectory (BENCH_results.json) and CI can publish it as
+// an artifact. Each invocation appends one labeled run:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -out BENCH_results.json -label pr3
+//
+// Without -out the single run is printed to stdout. An existing -out
+// file is extended (its previous runs are kept), which is what makes
+// regression checks across PRs a simple diff of the same file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metrics maps a metric unit (ns/op, B/op, allocs/op, kept_ev/s, ...)
+// to its measured value.
+type Metrics map[string]float64
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name    string  `json:"name"`
+	Runs    int64   `json:"runs"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// Run is one labeled benchmark invocation.
+type Run struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the trajectory file layout: one run appended per invocation.
+type File struct {
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	out := flag.String("out", "", "append the run to this JSON file (default: print to stdout)")
+	label := flag.String("label", "", "label for this run (e.g. a PR number or git revision)")
+	flag.Parse()
+
+	run := Run{Label: *label, Date: time.Now().UTC().Format("2006-01-02")}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			run.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				run.Benchmarks = append(run.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(run.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	if *out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(run); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var file File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fatal(fmt.Errorf("%s: %w", *out, err))
+		}
+	}
+	file.Runs = append(file.Runs, run)
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended %d benchmarks to %s (%d runs)\n",
+		len(run.Benchmarks), *out, len(file.Runs))
+}
+
+// parseLine parses one result line of the standard bench output format:
+// name, run count, then (value, unit) pairs separated by whitespace. The
+// trailing -<GOMAXPROCS> suffix is stripped from the name so runs from
+// machines with different CPU counts stay diffable against each other.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Runs: runs, Metrics: Metrics{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

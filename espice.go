@@ -130,6 +130,11 @@ const (
 	Consumed    = pattern.Consumed
 )
 
+// MatchScratch is the reusable per-goroutine working memory of the
+// matcher: pass one to CompiledPattern.MatchWith/MatchAllWith and
+// steady-state matching allocates nothing. The zero value is ready.
+type MatchScratch = pattern.MatchScratch
+
 // CompilePattern validates a pattern for matching.
 func CompilePattern(p Pattern) (*CompiledPattern, error) { return pattern.Compile(p) }
 
@@ -147,10 +152,25 @@ type (
 	ComplexEvent = operator.ComplexEvent
 	// ShedDecider is the per-membership shedding decision interface.
 	ShedDecider = operator.Decider
+	// BatchingShedDecider is the optional ShedDecider extension that
+	// tallies decision counters per processing batch instead of per
+	// membership; the operator and the sharded runtime prefer it
+	// automatically (core.Shedder implements it).
+	BatchingShedDecider = operator.BatchingDecider
+	// WindowMatcher bundles compiled patterns with reusable match
+	// scratch for allocation-free per-window matching; one per
+	// processing goroutine.
+	WindowMatcher = operator.Matcher
 )
 
 // NewOperator builds a CEP operator.
 func NewOperator(cfg OperatorConfig) (*Operator, error) { return operator.New(cfg) }
+
+// NewWindowMatcher builds a matcher over compiled patterns; maxMatches
+// <= 0 defaults to one complex event per window.
+func NewWindowMatcher(patterns []*CompiledPattern, maxMatches int) *WindowMatcher {
+	return operator.NewMatcher(patterns, maxMatches)
+}
 
 // eSPICE core.
 type (

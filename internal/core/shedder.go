@@ -168,40 +168,72 @@ func (s *Shedder) Deactivate() {
 // type t at position pos within a window of (predicted) size ws should be
 // dropped from that window. The same event may be dropped from one window
 // and kept in another, because its position — and hence its utility —
-// differs per window.
+// differs per window. Drop updates the observability counters with two
+// atomic adds per call; hot loops making many decisions per batch should
+// use DropCounted + TallyDecisions instead.
 func (s *Shedder) Drop(t event.Type, pos, ws int) bool {
+	drop, counted := s.DropCounted(t, pos, ws)
+	if counted {
+		s.decisions.Add(1)
+		if drop {
+			s.drops.Add(1)
+		}
+	}
+	return drop
+}
+
+// DropCounted is the decision core of Drop without the counter updates:
+// counted reports whether shedding was active (i.e. whether the call
+// counts as a decision). Callers batch the outcomes locally and flush
+// them through TallyDecisions once per processing batch, replacing two
+// contended atomic adds per membership with two per batch.
+func (s *Shedder) DropCounted(t event.Type, pos, ws int) (drop, counted bool) {
 	st := s.state.Load()
 	if st.uth == nil {
-		return false
+		return false, false
 	}
-	s.decisions.Add(1)
 	if ws <= 0 {
 		ws = st.model.N()
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	if pos >= ws {
+		// Stale size prediction (the window outgrew ws): late events
+		// belong to the last partition and read the last utility cell,
+		// exactly as if the prediction had been pos+1.
+		pos = ws - 1
 	}
 	// Partition of the event: partitions divide the actual window size.
 	part := pos * st.part.Rho / ws
 	if part >= st.part.Rho {
 		part = st.part.Rho - 1
 	}
-	if part < 0 {
-		part = 0
-	}
 	u := st.model.UT().Utility(t, pos, ws)
 	switch {
 	case u < st.uth[part]:
-		s.drops.Add(1)
-		return true
+		return true, true
 	case u == st.uth[part]:
 		q := 1.0
 		if s.exact.Load() {
 			q = st.borderProb[part]
 		}
 		if q >= 1 || s.randFloat() < q {
-			s.drops.Add(1)
-			return true
+			return true, true
 		}
 	}
-	return false
+	return false, true
+}
+
+// TallyDecisions folds a batch of locally counted DropCounted outcomes
+// into the shedder's observability counters. Safe for concurrent use.
+func (s *Shedder) TallyDecisions(decisions, drops uint64) {
+	if decisions > 0 {
+		s.decisions.Add(decisions)
+	}
+	if drops > 0 {
+		s.drops.Add(drops)
+	}
 }
 
 // randFloat returns a cheap deterministic pseudo-random value in [0, 1)

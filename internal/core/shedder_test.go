@@ -334,3 +334,85 @@ func TestShedderExactVsAtLeastExpectedDrops(t *testing.T) {
 		t.Errorf("exact mode dropped %v per window, want ~3", exact)
 	}
 }
+
+// --- Stale size predictions, batched counters, allocation freedom -------
+
+// TestDropClampsStaleSizePrediction is the regression test for
+// under-predicted time windows: when the window outgrows its predicted
+// size (pos >= ws), the event must land in the last partition and read
+// the last utility cell — exactly the decision made at pos = ws-1 — and
+// the out-of-range position must never panic or skew the partition index.
+func TestDropClampsStaleSizePrediction(t *testing.T) {
+	s, err := NewShedder(trainedModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetExactAmount(false) // deterministic threshold comparison
+	part := Partitioning{Rho: 5, PSize: 1, WS: 5}
+	if err := s.Configure(part, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range []event.Type{0, 1} {
+		want := s.Drop(typ, 4, 5) // last in-range position
+		for _, pos := range []int{5, 6, 50, 1 << 20} {
+			if got := s.Drop(typ, pos, 5); got != want {
+				t.Errorf("Drop(type %d, pos %d, ws 5) = %v, want %v (same as pos 4)",
+					typ, pos, got, want)
+			}
+		}
+	}
+	// Negative positions clamp to the first partition likewise.
+	want := s.Drop(0, 0, 5)
+	if got := s.Drop(0, -3, 5); got != want {
+		t.Errorf("Drop(pos -3) = %v, want %v (same as pos 0)", got, want)
+	}
+}
+
+func TestDropCountedBatchesCounters(t *testing.T) {
+	s, err := NewShedder(trainedModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inactive: not a decision.
+	if drop, counted := s.DropCounted(0, 0, 5); drop || counted {
+		t.Fatalf("inactive DropCounted = (%v, %v), want (false, false)", drop, counted)
+	}
+	if err := s.Configure(Partitioning{Rho: 1, PSize: 5, WS: 5}, 2); err != nil {
+		t.Fatal(err)
+	}
+	var decisions, drops uint64
+	for pos := 0; pos < 5; pos++ {
+		drop, counted := s.DropCounted(0, pos, 5)
+		if !counted {
+			t.Fatalf("active DropCounted at pos %d not counted", pos)
+		}
+		decisions++
+		if drop {
+			drops++
+		}
+	}
+	if s.Decisions() != 0 || s.Drops() != 0 {
+		t.Fatalf("DropCounted touched the shared counters: %d/%d", s.Decisions(), s.Drops())
+	}
+	s.TallyDecisions(decisions, drops)
+	if s.Decisions() != decisions || s.Drops() != drops {
+		t.Errorf("tally = %d/%d, want %d/%d", s.Decisions(), s.Drops(), decisions, drops)
+	}
+}
+
+func TestDropZeroAlloc(t *testing.T) {
+	s, err := NewShedder(trainedModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Configure(Partitioning{Rho: 5, PSize: 1, WS: 5}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s.Drop(event.Type(pos%2), pos%7, 5) // pos%7 also crosses the clamp path
+		pos++
+	}); allocs != 0 {
+		t.Errorf("Drop allocates %.3f/decision, want 0", allocs)
+	}
+}

@@ -130,6 +130,10 @@ type Query struct {
 	pipe    *runtime.Pipeline
 	filter  []bool // indexed by event.Type; nil accepts every type
 	shedder *core.Shedder
+	// sendBuf is the reusable fan-out staging buffer for this query; it
+	// is owned by the engine's Run goroutine (under the read lock) and
+	// safe to reuse because Pipeline.SubmitBatch copies.
+	sendBuf []event.Event
 
 	out      chan operator.ComplexEvent
 	detached chan struct{} // closed by Deregister: stop blocking on out
@@ -410,6 +414,11 @@ func (e *Engine) Run(ctx context.Context) error {
 		}()
 	}
 
+	// The fan-out drains the ingress queue opportunistically into a
+	// batch, so per-query delivery amortizes filtering, counter updates
+	// and the pipeline submit over many events when traffic is dense,
+	// while a lone event still flows through immediately.
+	batch := make([]event.Event, 0, fanoutChunk)
 	for {
 		select {
 		case <-ctx.Done():
@@ -419,29 +428,69 @@ func (e *Engine) Run(ctx context.Context) error {
 			if !ok {
 				return e.shutdownQueries()
 			}
-			e.fanOut(ctx, ev)
+			batch = append(batch[:0], ev)
+			closed := false
+		drain:
+			for len(batch) < fanoutChunk {
+				select {
+				case ev2, ok2 := <-e.in:
+					if !ok2 {
+						closed = true
+						break drain
+					}
+					batch = append(batch, ev2)
+				default:
+					break drain
+				}
+			}
+			e.fanOut(ctx, batch)
+			if closed {
+				return e.shutdownQueries()
+			}
 		}
 	}
 }
 
-// fanOut delivers one event to every registered query whose filter
-// accepts its type. Holding the read lock across the (possibly blocking)
-// per-query submits means Deregister cannot observe a half-delivered
-// event: once it acquires the write lock, no delivery to the removed
-// query is in flight.
-func (e *Engine) fanOut(ctx context.Context, ev event.Event) {
+// fanoutChunk bounds how many queued ingress events one fan-out round
+// delivers per query.
+const fanoutChunk = 256
+
+// fanOut delivers a batch of events to every registered query whose
+// filter accepts their types, one pipeline submit per query. Holding the
+// read lock across the (possibly blocking) per-query submits means
+// Deregister cannot observe a half-delivered batch: once it acquires the
+// write lock, no delivery to the removed query is in flight.
+func (e *Engine) fanOut(ctx context.Context, events []event.Event) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	for _, q := range e.queries {
-		if q.filter != nil && (int(ev.Type) >= len(q.filter) || ev.Type < 0 || !q.filter[ev.Type]) {
-			q.skipped.Add(1)
-			continue
-		}
 		if ctx.Err() != nil {
 			return // pipelines are shutting down; stop delivering
 		}
-		q.delivered.Add(1)
-		q.pipe.Submit(ev)
+		if q.filter == nil {
+			// Wildcard query: SubmitBatch copies, so the batch goes in
+			// directly without a staging copy.
+			q.delivered.Add(uint64(len(events)))
+			q.pipe.SubmitBatch(events)
+			continue
+		}
+		buf := q.sendBuf[:0]
+		var skipped uint64
+		for _, ev := range events {
+			if q.Accepts(ev.Type) {
+				buf = append(buf, ev)
+			} else {
+				skipped++
+			}
+		}
+		q.sendBuf = buf
+		if skipped > 0 {
+			q.skipped.Add(skipped)
+		}
+		if len(buf) > 0 {
+			q.delivered.Add(uint64(len(buf)))
+			q.pipe.SubmitBatch(buf)
+		}
 	}
 }
 

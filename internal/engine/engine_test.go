@@ -384,3 +384,59 @@ func TestRegisterErrors(t *testing.T) {
 		t.Error("invalid F must fail")
 	}
 }
+
+// TestEngineShardedPoolChurn runs the fan-out with a sharded query next
+// to a serial one, long enough to recycle thousands of pooled windows,
+// and asserts both queries still reproduce their standalone outputs
+// exactly. Run with -race: it exercises the pool plumbing end to end
+// (engine fan-out -> sharded router -> shards -> merge -> release).
+func TestEngineShardedPoolChurn(t *testing.T) {
+	events := syntheticStream(20000)
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := e.Register(QueryConfig{Query: pairQuery(t, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := e.Register(QueryConfig{Query: pairQuery(t, 1), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background()) }()
+	outs := make(map[string][]operator.ComplexEvent)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, q := range []*Query{serial, sharded} {
+		wg.Add(1)
+		go func(q *Query) {
+			defer wg.Done()
+			var ces []operator.ComplexEvent
+			for ce := range q.Out() {
+				ces = append(ces, ce)
+			}
+			mu.Lock()
+			outs[q.Name()] = ces
+			mu.Unlock()
+		}(q)
+	}
+	e.SubmitBatch(events)
+	e.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, q := range []*Query{serial, sharded} {
+		want := runStandalone(t, pairQuery(t, i), q.FilterEvents(events))
+		got := outs[q.Name()]
+		if len(got) == 0 {
+			t.Fatalf("query %s detected nothing; bad test setup", q.Name())
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %s: engine output (%d) differs from standalone (%d)",
+				q.Name(), len(got), len(want))
+		}
+	}
+}

@@ -5,8 +5,11 @@ import (
 	"testing"
 
 	"repro/internal/event"
+	"repro/internal/operator"
 	"repro/internal/pattern"
 	"repro/internal/queries"
+	"repro/internal/sim"
+	"repro/internal/window"
 )
 
 // testScale keeps unit-test runtime low.
@@ -241,5 +244,50 @@ func TestMeasureShedderOverhead(t *testing.T) {
 		if y <= 0 || y > 100 {
 			t.Errorf("overhead[%d] = %v%%, implausible", i, y)
 		}
+	}
+}
+
+// TestHookRetentionCaught enforces the window-pool retention contract:
+// an OnWindowClose hook that holds on to a closed window's entries past
+// its return sees them poisoned (Pos = -1, zeroed event) once the
+// operator recycles the window — the violation surfaces as clobbered
+// data here instead of silent aliasing in production. The model builder
+// obeys the contract by copying (deferred mode) or reading synchronously.
+func TestHookRetentionCaught(t *testing.T) {
+	p := pattern.MustCompile(pattern.Pattern{
+		Name:  "any",
+		Steps: []pattern.Step{{}},
+	})
+	var retained [][]window.Entry
+	op, err := operator.New(operator.Config{
+		Window:   window.Spec{Mode: window.ModeCount, Count: 4, Slide: 4},
+		Patterns: []*pattern.Compiled{p},
+		OnWindowClose: func(w *window.Window, matched []window.Entry) {
+			retained = append(retained, w.Kept) // contract violation
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make([]event.Event, 32)
+	for i := range events {
+		events[i] = event.Event{Seq: uint64(i + 1), TS: event.Time(i)}
+	}
+	if _, err := sim.ReplayUnshed(events, op); err != nil {
+		t.Fatal(err)
+	}
+	if len(retained) < 2 {
+		t.Fatalf("retained %d windows, want >= 2", len(retained))
+	}
+	caught := 0
+	for _, kept := range retained {
+		for _, ent := range kept {
+			if ent.Pos == -1 && ent.Ev.Seq == 0 {
+				caught++
+			}
+		}
+	}
+	if caught == 0 {
+		t.Fatal("retained entries were not poisoned; the retention contract is unenforced")
 	}
 }

@@ -25,6 +25,22 @@ type Decider interface {
 	Drop(t event.Type, pos, ws int) bool
 }
 
+// BatchingDecider is an optional Decider extension for deciders that
+// keep observability counters behind atomics (core.Shedder): the caller
+// makes raw decisions through DropCounted, tallies them locally, and
+// flushes once per processing batch through TallyDecisions — two atomic
+// adds per batch instead of two per membership. The operator and the
+// sharded runtime detect this interface and prefer it automatically.
+type BatchingDecider interface {
+	Decider
+	// DropCounted returns the drop decision and whether the call counts
+	// as a decision (shedding active).
+	DropCounted(t event.Type, pos, ws int) (drop, counted bool)
+	// TallyDecisions folds locally accumulated decision/drop counts into
+	// the decider's counters.
+	TallyDecisions(decisions, drops uint64)
+}
+
 // ComplexEvent is the operator's output: a detected situation with the
 // identity of its constituent primitive events.
 type ComplexEvent struct {
@@ -61,6 +77,30 @@ func appendUint(b []byte, v uint64) []byte {
 		v /= 10
 	}
 	return append(b, tmp[i:]...)
+}
+
+// ShedDecision runs one membership shedding decision through the
+// batching fast path when available (batched non-nil), accumulating the
+// counter deltas into *decisions/*drops for a later TallyDecisions
+// flush; otherwise it falls back to the plain Decider. Shared by the
+// serial operator and the sharded runtime so the two deployments count
+// identically.
+func ShedDecision(plain Decider, batched BatchingDecider, t event.Type, pos, ws int,
+	decisions, drops *uint64) bool {
+	if batched != nil {
+		dropped, counted := batched.DropCounted(t, pos, ws)
+		if counted {
+			*decisions++
+			if dropped {
+				*drops++
+			}
+		}
+		return dropped
+	}
+	if plain != nil {
+		return plain.Drop(t, pos, ws)
+	}
+	return false
 }
 
 // WindowCloseHook observes every closed window together with the
@@ -100,11 +140,11 @@ type Stats struct {
 // Operator is a single CEP operator instance. It is a single-goroutine
 // component: the owner (simulator or runtime pump) calls Process serially.
 type Operator struct {
-	mgr        *window.Manager
-	patterns   []*pattern.Compiled
-	shedder    Decider
-	onClose    WindowCloseHook
-	maxMatches int
+	mgr     *window.Manager
+	matcher *Matcher
+	shedder Decider
+	batched BatchingDecider // non-nil when shedder supports batching
+	onClose WindowCloseHook
 
 	stats Stats
 	out   []ComplexEvent // reused buffer returned by Process/Flush
@@ -124,22 +164,21 @@ func New(cfg Config) (*Operator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("operator: %w", err)
 	}
-	maxMatches := cfg.MaxMatchesPerWindow
-	if maxMatches <= 0 {
-		maxMatches = 1
+	o := &Operator{
+		mgr:     mgr,
+		matcher: NewMatcher(cfg.Patterns, cfg.MaxMatchesPerWindow),
+		onClose: cfg.OnWindowClose,
 	}
-	return &Operator{
-		mgr:        mgr,
-		patterns:   cfg.Patterns,
-		shedder:    cfg.Shedder,
-		onClose:    cfg.OnWindowClose,
-		maxMatches: maxMatches,
-	}, nil
+	o.SetShedder(cfg.Shedder)
+	return o, nil
 }
 
 // SetShedder installs or replaces the shedding decider (nil disables).
 // Must be called from the processing goroutine.
-func (o *Operator) SetShedder(d Decider) { o.shedder = d }
+func (o *Operator) SetShedder(d Decider) {
+	o.shedder = d
+	o.batched, _ = d.(BatchingDecider)
+}
 
 // Stats returns a snapshot of the operator counters.
 func (o *Operator) Stats() Stats { return o.stats }
@@ -149,20 +188,29 @@ func (o *Operator) Stats() Stats { return o.stats }
 func (o *Operator) WindowManager() *window.Manager { return o.mgr }
 
 // Process consumes the next event in stream order and returns any complex
-// events completed by it. The returned slice is reused across calls.
+// events completed by it. The returned slice is reused across calls. In
+// steady state (warm window pool, warm matcher scratch) processing an
+// event allocates nothing; only complex-event emission allocates, since
+// those escape to the caller.
 func (o *Operator) Process(e event.Event) []ComplexEvent {
 	o.out = o.out[:0]
 	o.stats.EventsProcessed++
 	member, closed := o.mgr.Route(e)
+	var decisions, drops uint64
 	for _, mb := range member {
 		o.stats.Memberships++
-		if o.shedder != nil && o.shedder.Drop(e.Type, mb.Pos, mb.W.ExpectedSize) {
+		dropped := ShedDecision(o.shedder, o.batched, e.Type, mb.Pos, mb.W.ExpectedSize,
+			&decisions, &drops)
+		if dropped {
 			mb.W.Dropped++
 			o.stats.MembershipsShed++
 			continue
 		}
 		mb.W.Add(e, mb.Pos)
 		o.stats.MembershipsKept++
+	}
+	if decisions > 0 {
+		o.batched.TallyDecisions(decisions, drops)
 	}
 	for _, w := range closed {
 		o.closeWindow(w, e.TS)
@@ -185,7 +233,7 @@ func (o *Operator) closeWindow(w *window.Window, now event.Time) {
 	before := len(o.out)
 	var matchedEntries []window.Entry
 	var found bool
-	o.out, matchedEntries, found = MatchWindow(o.patterns, o.maxMatches, w, now, o.out, nil)
+	o.out, matchedEntries, found = o.matcher.MatchClosed(w, now, o.out)
 	o.stats.ComplexEvents += uint64(len(o.out) - before)
 	if found {
 		o.stats.WindowsWithMatch++
@@ -193,30 +241,55 @@ func (o *Operator) closeWindow(w *window.Window, now event.Time) {
 	if o.onClose != nil {
 		o.onClose(w, matchedEntries)
 	}
+	// The matcher and the hook are done with the window: recycle it.
+	o.mgr.Release(w)
 }
 
-// MatchWindow runs the per-closed-window matching policy shared by the
+// Matcher runs the per-closed-window matching policy shared by the
 // serial operator, the window-parallel executor and the sharded runtime:
 // patterns are tried in order, the first matching pattern wins, and with
-// maxMatches == 1 only its first instance is taken. Complex events and
-// the matched constituent entries are appended to ces and matched
-// (either may be nil) and returned together with whether any pattern
-// matched.
-func MatchWindow(patterns []*pattern.Compiled, maxMatches int, w *window.Window, now event.Time,
-	ces []ComplexEvent, matched []window.Entry) ([]ComplexEvent, []window.Entry, bool) {
-	for _, p := range patterns {
-		var ms []pattern.Match
-		if maxMatches == 1 {
-			if m, ok := p.Match(w.Kept); ok {
-				ms = []pattern.Match{m}
+// maxMatches == 1 only its first instance is taken. A Matcher owns the
+// reusable match scratch, so it belongs to exactly one processing
+// goroutine; the Compiled patterns behind it stay shared.
+type Matcher struct {
+	patterns   []*pattern.Compiled
+	maxMatches int
+
+	scratch pattern.MatchScratch
+	matches []pattern.Match
+	matched []window.Entry
+}
+
+// NewMatcher builds a matcher over the compiled patterns; maxMatches <= 0
+// defaults to 1 (the paper's one-complex-event-per-window setting).
+func NewMatcher(patterns []*pattern.Compiled, maxMatches int) *Matcher {
+	if maxMatches <= 0 {
+		maxMatches = 1
+	}
+	return &Matcher{patterns: patterns, maxMatches: maxMatches}
+}
+
+// MatchClosed matches one closed window: complex events are appended to
+// ces and returned together with the matched constituent entries and
+// whether any pattern matched. The matched entries alias the matcher's
+// scratch — valid only until the next MatchClosed call; copy them to
+// retain them (the serial operator hands them to the OnWindowClose hook
+// under exactly that contract).
+func (mt *Matcher) MatchClosed(w *window.Window, now event.Time, ces []ComplexEvent) ([]ComplexEvent, []window.Entry, bool) {
+	for _, p := range mt.patterns {
+		mt.matches = mt.matches[:0]
+		if mt.maxMatches == 1 {
+			if m, ok := p.MatchWith(&mt.scratch, w.Kept); ok {
+				mt.matches = append(mt.matches, m)
 			}
 		} else {
-			ms = p.MatchAll(w.Kept, maxMatches)
+			mt.matches = p.MatchAllWith(&mt.scratch, w.Kept, mt.maxMatches, mt.matches)
 		}
-		if len(ms) == 0 {
+		if len(mt.matches) == 0 {
 			continue
 		}
-		for _, m := range ms {
+		mt.matched = mt.matched[:0]
+		for _, m := range mt.matches {
 			ces = append(ces, ComplexEvent{
 				WindowID:     w.ID,
 				WindowOpen:   w.OpenSeq,
@@ -224,9 +297,9 @@ func MatchWindow(patterns []*pattern.Compiled, maxMatches int, w *window.Window,
 				Constituents: m.Seqs(),
 				DetectedAt:   now,
 			})
-			matched = append(matched, m.Constituents...)
+			mt.matched = append(mt.matched, m.Constituents...)
 		}
-		return ces, matched, true
+		return ces, mt.matched, true
 	}
-	return ces, matched, false
+	return ces, nil, false
 }

@@ -300,3 +300,102 @@ func BenchmarkOperatorProcess(b *testing.B) {
 		op.Process(event.Event{Seq: uint64(i), Type: event.Type(i % 3)})
 	}
 }
+
+// --- Hot-path memory discipline and batched shedder counters ------------
+
+// countingBatchedDecider is a BatchingDecider double: it drops every even
+// position and records how its counters are reported.
+type countingBatchedDecider struct {
+	dropCalls  int // plain Drop invocations (must stay 0 on the hot path)
+	rawCalls   int // DropCounted invocations
+	tallyCalls int // TallyDecisions invocations
+	decisions  uint64
+	drops      uint64
+}
+
+func (d *countingBatchedDecider) Drop(t event.Type, pos, ws int) bool {
+	d.dropCalls++
+	return pos%2 == 0
+}
+
+func (d *countingBatchedDecider) DropCounted(t event.Type, pos, ws int) (bool, bool) {
+	d.rawCalls++
+	return pos%2 == 0, true
+}
+
+func (d *countingBatchedDecider) TallyDecisions(decisions, drops uint64) {
+	d.tallyCalls++
+	d.decisions += decisions
+	d.drops += drops
+}
+
+func TestBatchedDeciderTallies(t *testing.T) {
+	dec := &countingBatchedDecider{}
+	op, err := New(Config{
+		Window:   window.Spec{Mode: window.ModeCount, Count: 4, Slide: 2},
+		Patterns: []*pattern.Compiled{seqAB(t)},
+		Shedder:  dec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream(typeA, typeB, typeA, typeB, typeA, typeB, typeA, typeB) {
+		op.Process(e)
+	}
+	st := op.Stats()
+	if dec.dropCalls != 0 {
+		t.Errorf("plain Drop called %d times; batching path must use DropCounted", dec.dropCalls)
+	}
+	if uint64(dec.rawCalls) != st.Memberships {
+		t.Errorf("DropCounted calls = %d, memberships = %d", dec.rawCalls, st.Memberships)
+	}
+	if dec.decisions != st.Memberships {
+		t.Errorf("tallied decisions = %d, want %d", dec.decisions, st.Memberships)
+	}
+	if dec.drops != st.MembershipsShed {
+		t.Errorf("tallied drops = %d, shed = %d", dec.drops, st.MembershipsShed)
+	}
+	// Flushes happen per Process batch, not per membership: with 2
+	// memberships per event, there must be at most one tally per event.
+	if dec.tallyCalls > int(st.EventsProcessed) {
+		t.Errorf("tally flushes = %d for %d events; want at most one per event",
+			dec.tallyCalls, st.EventsProcessed)
+	}
+}
+
+// TestProcessSteadyStateZeroAlloc is the hot-path gate: with a warm
+// window pool and matcher scratch, processing an event — including the
+// window open/close edges crossed on the way — allocates nothing as long
+// as no complex event is emitted (emitted events escape to the caller
+// and intrinsically cost their constituent slice).
+func TestProcessSteadyStateZeroAlloc(t *testing.T) {
+	noMatch := pattern.MustCompile(pattern.Pattern{
+		Name:  "never",
+		Steps: []pattern.Step{{Types: []event.Type{typeX}}, {Types: []event.Type{typeX}}},
+	})
+	op, err := New(Config{
+		Window:   window.Spec{Mode: window.ModeCount, Count: 64, Slide: 8},
+		Patterns: []*pattern.Compiled{noMatch},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := stream(typeA, typeB, typeA, typeB)
+	seq := uint64(0)
+	step := func() {
+		e := events[seq%uint64(len(events))]
+		e.Seq = seq
+		e.TS = event.Time(seq)
+		seq++
+		op.Process(e)
+	}
+	for i := 0; i < 2048; i++ { // warm pool, buffers and scratch
+		step()
+	}
+	if allocs := testing.AllocsPerRun(2000, step); allocs != 0 {
+		t.Errorf("steady-state Process allocates %.3f/event, want 0", allocs)
+	}
+	if st := op.Stats(); st.WindowsClosed == 0 {
+		t.Fatalf("measurement crossed no window edges: %+v", st)
+	}
+}

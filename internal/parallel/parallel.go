@@ -91,7 +91,9 @@ func New(cfg Config) (*Executor, error) {
 	return x, nil
 }
 
-// Start launches the worker pool and the ordered emitter.
+// Start launches the worker pool and the ordered emitter. Each worker
+// owns its reusable match scratch (operator.Matcher); the compiled
+// patterns stay shared and immutable.
 func (x *Executor) Start() {
 	if x.started {
 		return
@@ -101,8 +103,10 @@ func (x *Executor) Start() {
 		x.wg.Add(1)
 		go func() {
 			defer x.wg.Done()
+			mt := operator.NewMatcher(x.patterns, x.maxMatches)
 			for j := range x.jobs {
-				j.ticket.Complete(x.matchWindow(j.w, j.now))
+				ces, _, _ := mt.MatchClosed(j.w, j.now, nil)
+				j.ticket.Complete(ces)
 			}
 		}()
 	}
@@ -123,11 +127,6 @@ func (x *Executor) Close() {
 	close(x.jobs)
 	x.wg.Wait()
 	x.seq.Close()
-}
-
-func (x *Executor) matchWindow(w *window.Window, now event.Time) []operator.ComplexEvent {
-	out, _, _ := operator.MatchWindow(x.patterns, x.maxMatches, w, now, nil, nil)
-	return out
 }
 
 // Replay routes a full stream through a window manager and matches every

@@ -11,16 +11,17 @@ import (
 // matching is not complete once negation is involved — a negated event
 // between the greedy choice and the next step may be avoidable by
 // anchoring a later instance — so positive steps try every candidate
-// start position in order and backtrack on failure.
+// start position in order and backtrack on failure. Constituents are
+// appended to s.consts (truncated back on failure).
 //
 // Negation semantics follow SASE/Snoop: a negation step between two
 // positive steps requires that no event accepted by it occurs strictly
 // between the two steps' matched events; a trailing negation step
 // requires that no accepted event occurs between the last positive match
 // and the window close.
-func (c *Compiled) matchWithNeg(entries []window.Entry, stepStart, entFrom int) (Match, bool) {
+func (c *Compiled) matchWithNeg(s *MatchScratch, entries []window.Entry, stepStart, entFrom int) bool {
 	steps := c.p.Steps
-	consts := make([]window.Entry, 0, c.width)
+	base := len(s.consts)
 
 	var rec func(si, from int) bool
 	rec = func(si, from int) bool {
@@ -48,12 +49,12 @@ func (c *Compiled) matchWithNeg(entries []window.Entry, stepStart, entFrom int) 
 			// event accepted by both the step and the negation matches the
 			// step (match-wins semantics).
 			if c.stepFirstEventAccepts(si, entries[j].Ev) {
-				mark := len(consts)
-				next, ok := c.consumeStep(si, entries, j, &consts)
+				mark := len(s.consts)
+				next, ok := c.consumeStep(s, si, entries, j)
 				if ok && rec(si+1, next) {
 					return true
 				}
-				consts = consts[:mark]
+				s.consts = s.consts[:mark]
 			}
 			if negIdx >= 0 && c.stepAccepts(negIdx, entries[j].Ev) {
 				// A negated event precedes every remaining candidate: no
@@ -65,9 +66,10 @@ func (c *Compiled) matchWithNeg(entries []window.Entry, stepStart, entFrom int) 
 	}
 
 	if !rec(stepStart, entFrom) {
-		return Match{}, false
+		s.consts = s.consts[:base]
+		return false
 	}
-	return Match{Constituents: consts}, true
+	return true
 }
 
 // stepFirstEventAccepts reports whether e can be the first consumed event
@@ -78,40 +80,39 @@ func (c *Compiled) stepFirstEventAccepts(si int, e event.Event) bool {
 }
 
 // consumeStep consumes step si's events greedily starting at entries[j]
-// (which must satisfy stepFirstEventAccepts) and appends the constituents.
-// It returns the entry index following the last consumed event.
-func (c *Compiled) consumeStep(si int, entries []window.Entry, j int, consts *[]window.Entry) (int, bool) {
-	s := &c.p.Steps[si]
+// (which must satisfy stepFirstEventAccepts) and appends the constituents
+// to s.consts. It returns the entry index following the last consumed
+// event. The shared type-set scratch is free here: consumeStep never
+// nests inside another step's set use.
+func (c *Compiled) consumeStep(s *MatchScratch, si int, entries []window.Entry, j int) (int, bool) {
+	st := &c.p.Steps[si]
 	switch {
-	case s.All:
-		remaining := make(map[event.Type]struct{}, len(s.Types))
-		for _, t := range s.Types {
-			remaining[t] = struct{}{}
-		}
+	case st.All:
+		need := s.loadStep(st.Types)
 		i := j
-		for ; i < len(entries) && len(remaining) > 0; i++ {
+		for ; i < len(entries) && need > 0; i++ {
 			e := entries[i].Ev
-			if _, need := remaining[e.Type]; !need {
+			if !s.setHas(e.Type) {
 				continue
 			}
-			if s.Pred != nil && !s.Pred(e) {
+			if st.Pred != nil && !st.Pred(e) {
 				continue
 			}
-			*consts = append(*consts, entries[i])
-			delete(remaining, e.Type)
+			s.consts = append(s.consts, entries[i])
+			s.setRemove(e.Type)
+			need--
 		}
-		if len(remaining) > 0 {
+		if need > 0 {
 			return 0, false
 		}
 		return i, true
-	case s.Cumulative:
-		min := s.AnyN
+	case st.Cumulative:
+		min := st.AnyN
 		if min < 1 {
 			min = 1
 		}
-		var taken map[event.Type]struct{}
-		if s.Distinct {
-			taken = make(map[event.Type]struct{})
+		if st.Distinct {
+			s.loadStep(nil)
 		}
 		got := 0
 		for i := j; i < len(entries); i++ {
@@ -119,38 +120,31 @@ func (c *Compiled) consumeStep(si int, entries []window.Entry, j int, consts *[]
 			if !c.stepAccepts(si, e) {
 				continue
 			}
-			if s.Distinct {
-				if _, dup := taken[e.Type]; dup {
-					continue
-				}
-				taken[e.Type] = struct{}{}
+			if st.Distinct && !s.takeDistinct(e.Type) {
+				continue
 			}
-			*consts = append(*consts, entries[i])
+			s.consts = append(s.consts, entries[i])
 			got++
 		}
 		if got < min {
 			return 0, false
 		}
 		return len(entries), true
-	case s.AnyN > 0:
-		var taken map[event.Type]struct{}
-		if s.Distinct {
-			taken = make(map[event.Type]struct{}, s.AnyN)
+	case st.AnyN > 0:
+		if st.Distinct {
+			s.loadStep(nil)
 		}
-		need := s.AnyN
+		need := st.AnyN
 		i := j
 		for ; i < len(entries) && need > 0; i++ {
 			e := entries[i].Ev
 			if !c.stepAccepts(si, e) {
 				continue
 			}
-			if s.Distinct {
-				if _, dup := taken[e.Type]; dup {
-					continue
-				}
-				taken[e.Type] = struct{}{}
+			if st.Distinct && !s.takeDistinct(e.Type) {
+				continue
 			}
-			*consts = append(*consts, entries[i])
+			s.consts = append(s.consts, entries[i])
 			need--
 		}
 		if need > 0 {
@@ -158,7 +152,7 @@ func (c *Compiled) consumeStep(si int, entries []window.Entry, j int, consts *[]
 		}
 		return i, true
 	default:
-		*consts = append(*consts, entries[j])
+		s.consts = append(s.consts, entries[j])
 		return j + 1, true
 	}
 }

@@ -133,13 +133,15 @@ func (m Match) Seqs() []uint64 {
 	return out
 }
 
-// Compiled is a validated pattern with per-step type sets precomputed for
-// O(1) type membership tests during matching.
+// Compiled is a validated pattern with per-step type bitsets precomputed
+// for O(1) type membership tests during matching. A Compiled is immutable
+// after Compile and safe to share across goroutines; all per-match
+// working memory lives in a caller-owned MatchScratch.
 type Compiled struct {
 	p      Pattern
-	sets   []map[event.Type]struct{} // nil => wildcard
-	width  int                       // total events a full match consumes
-	hasNeg bool                      // negation requires the backtracker
+	sets   []*stepTypes // nil => wildcard
+	width  int          // total events a full match consumes
+	hasNeg bool         // negation requires the backtracker
 }
 
 // Compile validates the pattern and prepares it for matching.
@@ -158,10 +160,15 @@ func Compile(p Pattern) (*Compiled, error) {
 			return nil, fmt.Errorf("pattern %q step %d: cumulative selection requires the first selection policy", p.Name, i)
 		}
 	}
-	c := &Compiled{p: p, sets: make([]map[event.Type]struct{}, len(p.Steps))}
+	c := &Compiled{p: p, sets: make([]*stepTypes, len(p.Steps))}
 	for i, s := range p.Steps {
 		if s.AnyN < 0 {
 			return nil, fmt.Errorf("pattern %q step %d: negative AnyN %d", p.Name, i, s.AnyN)
+		}
+		for _, t := range s.Types {
+			if t < 0 {
+				return nil, fmt.Errorf("pattern %q step %d: invalid type id %d", p.Name, i, t)
+			}
 		}
 		if s.AnyN > 0 && s.Distinct && len(s.Types) > 0 && s.AnyN > len(s.Types) {
 			return nil, fmt.Errorf("pattern %q step %d: AnyN %d exceeds %d distinct types",
@@ -196,11 +203,8 @@ func Compile(p Pattern) (*Compiled, error) {
 			}
 		}
 		if len(s.Types) > 0 {
-			set := make(map[event.Type]struct{}, len(s.Types))
-			for _, t := range s.Types {
-				set[t] = struct{}{}
-			}
-			c.sets[i] = set
+			// Type ids were validated non-negative above.
+			c.sets[i] = newStepTypes(s.Types)
 		}
 		switch {
 		case s.Neg:
@@ -246,10 +250,8 @@ func (c *Compiled) Width() int { return c.width }
 
 // stepAccepts reports whether entry e can satisfy step i.
 func (c *Compiled) stepAccepts(i int, e event.Event) bool {
-	if set := c.sets[i]; set != nil {
-		if _, ok := set[e.Type]; !ok {
-			return false
-		}
+	if set := c.sets[i]; set != nil && !set.has(e.Type) {
+		return false
 	}
 	if pred := c.p.Steps[i].Pred; pred != nil {
 		return pred(e)
@@ -259,19 +261,41 @@ func (c *Compiled) stepAccepts(i int, e event.Event) bool {
 
 // Match finds at most one match in the window entries according to the
 // pattern's selection policy — the paper's evaluation setting of one
-// complex event per window. Entries must be in window order.
+// complex event per window. Entries must be in window order. The returned
+// constituents are freshly scoped to this call; hot paths should use
+// MatchWith with a reused scratch instead.
 func (c *Compiled) Match(entries []window.Entry) (Match, bool) {
+	var s MatchScratch
+	return c.MatchWith(&s, entries)
+}
+
+// MatchWith is Match using caller-owned scratch memory: in steady state
+// (warm scratch) it performs no allocation. The returned Match's
+// Constituents alias the scratch and are only valid until the next
+// MatchWith/MatchAllWith call with the same scratch; copy them (e.g. via
+// Seqs) before that if they must outlive it.
+func (c *Compiled) MatchWith(s *MatchScratch, entries []window.Entry) (Match, bool) {
+	s.consts = s.consts[:0]
+	if !c.matchOnce(s, entries) {
+		return Match{}, false
+	}
+	return Match{Constituents: s.consts}, true
+}
+
+// matchOnce dispatches one match attempt per the selection policy,
+// appending the constituents to s.consts.
+func (c *Compiled) matchOnce(s *MatchScratch, entries []window.Entry) bool {
 	if c.p.Anchored {
-		return c.matchAnchored(entries)
+		return c.matchAnchored(s, entries)
 	}
 	if c.hasNeg {
-		return c.matchWithNeg(entries, 0, 0)
+		return c.matchWithNeg(s, entries, 0, 0)
 	}
 	switch c.p.Selection {
 	case SelectLast:
-		return c.matchLast(entries, 0, 0)
+		return c.matchLast(s, entries, 0, 0)
 	default:
-		return c.matchFirst(entries, 0, 0, nil)
+		return c.matchFirst(s, entries, 0, 0, false)
 	}
 }
 
@@ -279,224 +303,214 @@ func (c *Compiled) Match(entries []window.Entry) (Match, bool) {
 // (position 0); the remaining steps follow the selection policy. If
 // shedding dropped the opening event, the match fails — the pattern's
 // anchor is gone.
-func (c *Compiled) matchAnchored(entries []window.Entry) (Match, bool) {
+func (c *Compiled) matchAnchored(s *MatchScratch, entries []window.Entry) bool {
 	if len(entries) == 0 || entries[0].Pos != 0 || !c.stepAccepts(0, entries[0].Ev) {
-		return Match{}, false
+		return false
 	}
-	var (
-		m  Match
-		ok bool
-	)
+	base := len(s.consts)
+	s.consts = append(s.consts, entries[0])
 	if len(c.p.Steps) == 1 {
-		return Match{Constituents: []window.Entry{entries[0]}}, true
+		return true
 	}
+	ok := false
 	switch {
 	case c.hasNeg:
-		m, ok = c.matchWithNeg(entries, 1, 1)
+		ok = c.matchWithNeg(s, entries, 1, 1)
 	case c.p.Selection == SelectLast:
-		m, ok = c.matchLast(entries, 1, 1)
+		ok = c.matchLast(s, entries, 1, 1)
 	default:
-		m, ok = c.matchFirst(entries, 1, 1, nil)
+		ok = c.matchFirst(s, entries, 1, 1, false)
 	}
 	if !ok {
-		return Match{}, false
+		s.consts = s.consts[:base]
 	}
-	m.Constituents = append([]window.Entry{entries[0]}, m.Constituents...)
-	return m, true
+	return ok
 }
 
 // matchFirst performs greedy skip-till-next matching of steps[stepStart:]
-// from entry index `from`, choosing the earliest instances. `skip` marks
-// entry indices that are consumed and unavailable (nil means none).
-// Greedy earliest selection is complete for sequence patterns: if any
-// match exists, the greedy one exists (standard exchange argument).
-func (c *Compiled) matchFirst(entries []window.Entry, stepStart, from int, skip []bool) (Match, bool) {
-	consts := make([]window.Entry, 0, c.width)
+// from entry index `from`, choosing the earliest instances and appending
+// them to s.consts. With useSkip, s.skip marks entry indices that are
+// consumed and unavailable. Greedy earliest selection is complete for
+// sequence patterns: if any match exists, the greedy one exists (standard
+// exchange argument).
+func (c *Compiled) matchFirst(s *MatchScratch, entries []window.Entry, stepStart, from int, useSkip bool) bool {
+	base := len(s.consts)
 	i := from
 	for si := stepStart; si < len(c.p.Steps); si++ {
-		s := &c.p.Steps[si]
-		if s.All {
+		st := &c.p.Steps[si]
+		if st.All {
 			// Conjunction: collect one event of every required type, any
 			// order (earliest instances).
-			remaining := make(map[event.Type]struct{}, len(s.Types))
-			for _, t := range s.Types {
-				remaining[t] = struct{}{}
-			}
-			for ; i < len(entries) && len(remaining) > 0; i++ {
-				if skip != nil && skip[i] {
+			need := s.loadStep(st.Types)
+			for ; i < len(entries) && need > 0; i++ {
+				if useSkip && s.skip[i] {
 					continue
 				}
 				e := entries[i].Ev
-				if _, need := remaining[e.Type]; !need {
+				if !s.setHas(e.Type) {
 					continue
 				}
-				if s.Pred != nil && !s.Pred(e) {
+				if st.Pred != nil && !st.Pred(e) {
 					continue
 				}
-				consts = append(consts, entries[i])
-				delete(remaining, e.Type)
+				s.consts = append(s.consts, entries[i])
+				s.setRemove(e.Type)
+				need--
 			}
-			if len(remaining) > 0 {
-				return Match{}, false
+			if need > 0 {
+				s.consts = s.consts[:base]
+				return false
 			}
 			continue
 		}
-		if s.Cumulative {
+		if st.Cumulative {
 			// Cumulative selection: every matching event to the window
 			// end, at least max(1, AnyN) of them.
-			min := s.AnyN
+			min := st.AnyN
 			if min < 1 {
 				min = 1
 			}
-			var taken map[event.Type]struct{}
-			if s.Distinct {
-				taken = make(map[event.Type]struct{})
+			if st.Distinct {
+				s.loadStep(nil) // taken set starts empty
 			}
 			got := 0
 			for ; i < len(entries); i++ {
-				if skip != nil && skip[i] {
+				if useSkip && s.skip[i] {
 					continue
 				}
 				e := entries[i].Ev
 				if !c.stepAccepts(si, e) {
 					continue
 				}
-				if s.Distinct {
-					if _, dup := taken[e.Type]; dup {
-						continue
-					}
-					taken[e.Type] = struct{}{}
+				if st.Distinct && !s.takeDistinct(e.Type) {
+					continue
 				}
-				consts = append(consts, entries[i])
+				s.consts = append(s.consts, entries[i])
 				got++
 			}
 			if got < min {
-				return Match{}, false
+				s.consts = s.consts[:base]
+				return false
 			}
 			continue
 		}
-		if s.AnyN == 0 {
+		if st.AnyN == 0 {
 			found := false
 			for ; i < len(entries); i++ {
-				if skip != nil && skip[i] {
+				if useSkip && s.skip[i] {
 					continue
 				}
 				if c.stepAccepts(si, entries[i].Ev) {
-					consts = append(consts, entries[i])
+					s.consts = append(s.consts, entries[i])
 					i++
 					found = true
 					break
 				}
 			}
 			if !found {
-				return Match{}, false
+				s.consts = s.consts[:base]
+				return false
 			}
 			continue
 		}
 		// "any" step: collect the next AnyN acceptable events.
-		var taken map[event.Type]struct{}
-		if s.Distinct {
-			taken = make(map[event.Type]struct{}, s.AnyN)
+		if st.Distinct {
+			s.loadStep(nil)
 		}
-		need := s.AnyN
+		need := st.AnyN
 		for ; i < len(entries) && need > 0; i++ {
-			if skip != nil && skip[i] {
+			if useSkip && s.skip[i] {
 				continue
 			}
 			e := entries[i].Ev
 			if !c.stepAccepts(si, e) {
 				continue
 			}
-			if s.Distinct {
-				if _, dup := taken[e.Type]; dup {
-					continue
-				}
-				taken[e.Type] = struct{}{}
+			if st.Distinct && !s.takeDistinct(e.Type) {
+				continue
 			}
-			consts = append(consts, entries[i])
+			s.consts = append(s.consts, entries[i])
 			need--
 		}
 		if need > 0 {
-			return Match{}, false
+			s.consts = s.consts[:base]
+			return false
 		}
 	}
-	return Match{Constituents: consts}, true
+	return true
 }
 
 // matchLast chooses the latest instances for steps[stepStart:] over
 // entries[entStart:]: it scans backward with the steps reversed, which is
 // the mirror image of matchFirst and equally complete.
-func (c *Compiled) matchLast(entries []window.Entry, stepStart, entStart int) (Match, bool) {
-	consts := make([]window.Entry, 0, c.width)
+func (c *Compiled) matchLast(s *MatchScratch, entries []window.Entry, stepStart, entStart int) bool {
+	base := len(s.consts)
 	i := len(entries) - 1
 	for si := len(c.p.Steps) - 1; si >= stepStart; si-- {
-		s := &c.p.Steps[si]
-		if s.All {
+		st := &c.p.Steps[si]
+		if st.All {
 			// Conjunction with latest instances: scan backward collecting
 			// one event of every required type.
-			remaining := make(map[event.Type]struct{}, len(s.Types))
-			for _, t := range s.Types {
-				remaining[t] = struct{}{}
-			}
-			for ; i >= entStart && len(remaining) > 0; i-- {
+			need := s.loadStep(st.Types)
+			for ; i >= entStart && need > 0; i-- {
 				e := entries[i].Ev
-				if _, need := remaining[e.Type]; !need {
+				if !s.setHas(e.Type) {
 					continue
 				}
-				if s.Pred != nil && !s.Pred(e) {
+				if st.Pred != nil && !st.Pred(e) {
 					continue
 				}
-				consts = append(consts, entries[i])
-				delete(remaining, e.Type)
+				s.consts = append(s.consts, entries[i])
+				s.setRemove(e.Type)
+				need--
 			}
-			if len(remaining) > 0 {
-				return Match{}, false
+			if need > 0 {
+				s.consts = s.consts[:base]
+				return false
 			}
 			continue
 		}
-		if s.AnyN == 0 {
+		if st.AnyN == 0 {
 			found := false
 			for ; i >= entStart; i-- {
 				if c.stepAccepts(si, entries[i].Ev) {
-					consts = append(consts, entries[i])
+					s.consts = append(s.consts, entries[i])
 					i--
 					found = true
 					break
 				}
 			}
 			if !found {
-				return Match{}, false
+				s.consts = s.consts[:base]
+				return false
 			}
 			continue
 		}
-		var taken map[event.Type]struct{}
-		if s.Distinct {
-			taken = make(map[event.Type]struct{}, s.AnyN)
+		if st.Distinct {
+			s.loadStep(nil)
 		}
-		need := s.AnyN
+		need := st.AnyN
 		for ; i >= entStart && need > 0; i-- {
 			e := entries[i].Ev
 			if !c.stepAccepts(si, e) {
 				continue
 			}
-			if s.Distinct {
-				if _, dup := taken[e.Type]; dup {
-					continue
-				}
-				taken[e.Type] = struct{}{}
+			if st.Distinct && !s.takeDistinct(e.Type) {
+				continue
 			}
-			consts = append(consts, entries[i])
+			s.consts = append(s.consts, entries[i])
 			need--
 		}
 		if need > 0 {
-			return Match{}, false
+			s.consts = s.consts[:base]
+			return false
 		}
 	}
-	// Reverse into window order.
-	for l, r := 0, len(consts)-1; l < r; l, r = l+1, r-1 {
-		consts[l], consts[r] = consts[r], consts[l]
+	// Reverse the appended tail into window order.
+	for l, r := base, len(s.consts)-1; l < r; l, r = l+1, r-1 {
+		s.consts[l], s.consts[r] = s.consts[r], s.consts[l]
 	}
-	return Match{Constituents: consts}, true
+	return true
 }
 
 // MatchAll finds every match under the pattern's consumption policy, in
@@ -505,33 +519,41 @@ func (c *Compiled) matchLast(entries []window.Entry, stepStart, entStart int) (M
 // ConsumeZero, instances may be reused, with successive matches anchored
 // at successive occurrences of the first step (skip-till-next semantics).
 func (c *Compiled) MatchAll(entries []window.Entry, limit int) []Match {
-	var out []Match
+	var s MatchScratch
+	return c.MatchAllWith(&s, entries, limit, nil)
+}
+
+// MatchAllWith is MatchAll with caller-owned scratch: matches are
+// appended to out and returned. In steady state only the out slice (and
+// the shared constituent backing, when a window yields more matches than
+// any before it) may grow. All returned Constituents alias the scratch
+// and are valid until the next MatchWith/MatchAllWith call with s.
+func (c *Compiled) MatchAllWith(s *MatchScratch, entries []window.Entry, limit int, out []Match) []Match {
+	s.consts = s.consts[:0]
 	if c.p.Anchored || c.hasNeg {
 		// An anchored pattern has a unique anchor (the window opener);
 		// negation patterns report a single earliest match (interval
 		// constraints make multi-match enumeration ambiguous).
-		if m, ok := c.Match(entries); ok {
-			out = append(out, m)
+		if c.matchOnce(s, entries) {
+			out = append(out, Match{Constituents: s.consts})
 		}
 		return out
 	}
 	switch c.p.Consumption {
 	case Consumed:
-		skip := make([]bool, len(entries))
+		s.resetSkip(len(entries))
 		for {
-			m, ok := c.matchFirst(entries, 0, 0, skip)
-			if !ok {
+			base := len(s.consts)
+			if !c.matchFirst(s, entries, 0, 0, true) {
 				break
 			}
+			m := Match{Constituents: s.consts[base:]}
 			out = append(out, m)
 			for _, ct := range m.Constituents {
-				// Mark consumed entries by index: positions are unique per
-				// window, so find by position.
-				for i := range entries {
-					if entries[i].Pos == ct.Pos {
-						skip[i] = true
-						break
-					}
+				// Mark consumed entries by index: entries are in window
+				// order, so the position locates the index in O(log n).
+				if i := indexOfPos(entries, ct.Pos); i >= 0 {
+					s.skip[i] = true
 				}
 			}
 			if limit > 0 && len(out) >= limit {
@@ -552,11 +574,11 @@ func (c *Compiled) MatchAll(entries []window.Entry, limit int) []Match {
 			if anchor < 0 {
 				break
 			}
-			m, ok := c.matchFirst(entries, 0, anchor, nil)
-			if !ok {
+			base := len(s.consts)
+			if !c.matchFirst(s, entries, 0, anchor, false) {
 				break
 			}
-			out = append(out, m)
+			out = append(out, Match{Constituents: s.consts[base:]})
 			if limit > 0 && len(out) >= limit {
 				break
 			}

@@ -47,6 +47,7 @@ func TestCompileValidation(t *testing.T) {
 		{"negative anyN", Pattern{Steps: []Step{{AnyN: -1}}}, true},
 		{"anyN exceeds distinct types", Pattern{Steps: []Step{{Types: []event.Type{1, 2}, AnyN: 3, Distinct: true}}}, true},
 		{"anyN wildcard ok", Pattern{Steps: []Step{{AnyN: 3}}}, false},
+		{"negative type id", Pattern{Steps: []Step{{Types: []event.Type{1, event.NoType}}}}, true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -543,5 +544,185 @@ func TestAnchoredValidation(t *testing.T) {
 	})
 	if err == nil {
 		t.Error("anchored pattern starting with an any step must fail")
+	}
+}
+
+// --- MatchScratch (reusable matcher memory, bitset type sets) -----------
+
+// TestMatchWithScratchReuse verifies that a reused scratch produces the
+// same matches as the allocating entry points, call after call.
+func TestMatchWithScratchReuse(t *testing.T) {
+	c := MustCompile(Pattern{
+		Name: "mixed",
+		Steps: []Step{
+			{Types: []event.Type{1}},
+			{Types: []event.Type{2, 3, 4}, AnyN: 2, Distinct: true},
+			{Types: []event.Type{5, 6}, All: true},
+		},
+	})
+	streams := [][]window.Entry{
+		entries(1, 2, 3, 5, 6),
+		entries(1, 2, 2, 3, 6, 5),
+		entries(7, 1, 4, 3, 5, 5, 6),
+		entries(1, 2, 5, 6), // fails: any-step needs 2 distinct
+		nil,
+	}
+	var s MatchScratch
+	for i, ents := range streams {
+		want, wantOK := c.Match(ents)
+		got, gotOK := c.MatchWith(&s, ents)
+		if wantOK != gotOK {
+			t.Fatalf("stream %d: MatchWith ok = %v, Match ok = %v", i, gotOK, wantOK)
+		}
+		if !gotOK {
+			continue
+		}
+		if !reflect.DeepEqual(seqs(got), seqs(want)) {
+			t.Errorf("stream %d: MatchWith = %v, Match = %v", i, seqs(got), seqs(want))
+		}
+	}
+}
+
+// TestMatchAllWithScratchReuse checks MatchAllWith against MatchAll under
+// both consumption policies with a shared scratch.
+func TestMatchAllWithScratchReuse(t *testing.T) {
+	for _, cons := range []ConsumptionPolicy{ConsumeZero, Consumed} {
+		c := MustCompile(Pattern{
+			Name:        "ab",
+			Consumption: cons,
+			Steps:       []Step{{Types: []event.Type{1}}, {Types: []event.Type{2}}},
+		})
+		var s MatchScratch
+		ents := entries(1, 1, 2, 2, 1, 2)
+		for round := 0; round < 3; round++ {
+			want := c.MatchAll(ents, 0)
+			got := c.MatchAllWith(&s, ents, 0, nil)
+			if len(got) != len(want) {
+				t.Fatalf("%v round %d: %d matches, want %d", cons, round, len(got), len(want))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(seqs(got[i]), seqs(want[i])) {
+					t.Errorf("%v round %d match %d: %v, want %v", cons, round, i, seqs(got[i]), seqs(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestMatchWithZeroAlloc gates the scratch design: once warm, matching
+// (including conjunction and distinct-any steps, which used per-call hash
+// sets before) allocates nothing.
+func TestMatchWithZeroAlloc(t *testing.T) {
+	c := MustCompile(Pattern{
+		Name: "hot",
+		Steps: []Step{
+			{Types: []event.Type{1}},
+			{Types: []event.Type{2, 3}, AnyN: 2, Distinct: true},
+			{Types: []event.Type{4, 5}, All: true},
+		},
+	})
+	ents := entries(1, 2, 9, 3, 5, 4)
+	var s MatchScratch
+	if _, ok := c.MatchWith(&s, ents); !ok { // warm the scratch
+		t.Fatal("pattern should match")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := c.MatchWith(&s, ents); !ok {
+			t.Fatal("pattern should match")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm MatchWith allocates %.2f/match, want 0", allocs)
+	}
+
+	cz := MustCompile(Pattern{
+		Name:        "hot-all",
+		Consumption: Consumed,
+		Steps:       []Step{{Types: []event.Type{1}}, {Types: []event.Type{2}}},
+	})
+	entsAll := entries(1, 2, 1, 2, 1)
+	cz.MatchAllWith(&s, entsAll, 0, nil) // warm
+	out := make([]Match, 0, 4)
+	allocs = testing.AllocsPerRun(1000, func() {
+		out = cz.MatchAllWith(&s, entsAll, 0, out[:0])
+		if len(out) != 2 {
+			t.Fatalf("matches = %d, want 2", len(out))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm MatchAllWith allocates %.2f/window, want 0", allocs)
+	}
+}
+
+// TestConsumedMarkingLargeWindow exercises the index-by-position marking
+// on a larger window (formerly an O(n^2) rescan per constituent).
+func TestConsumedMarkingLargeWindow(t *testing.T) {
+	c := MustCompile(Pattern{
+		Name:        "ab",
+		Consumption: Consumed,
+		Steps:       []Step{{Types: []event.Type{1}}, {Types: []event.Type{2}}},
+	})
+	const pairs = 500
+	ents := make([]window.Entry, 0, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		ents = append(ents,
+			window.Entry{Ev: event.Event{Seq: uint64(2 * i), Type: 1}, Pos: 3 * i},
+			window.Entry{Ev: event.Event{Seq: uint64(2*i + 1), Type: 2}, Pos: 3*i + 1},
+		)
+	}
+	ms := c.MatchAll(ents, 0)
+	if len(ms) != pairs {
+		t.Fatalf("matches = %d, want %d", len(ms), pairs)
+	}
+	for i, m := range ms {
+		got := seqs(m)
+		if len(got) != 2 || got[0] != uint64(2*i) || got[1] != uint64(2*i+1) {
+			t.Fatalf("match %d = %v, want [%d %d]", i, got, 2*i, 2*i+1)
+		}
+	}
+}
+
+// TestDistinctDedupNegativeTypes pins the hash-set matcher's handling of
+// events carrying invalid (negative) type ids: distinct dedup treats
+// them per id (they live in the sparse overflow set), so two NoType
+// events cannot satisfy a 2-distinct wildcard step.
+func TestDistinctDedupNegativeTypes(t *testing.T) {
+	c := MustCompile(Pattern{
+		Name:  "distinct-wild",
+		Steps: []Step{{AnyN: 2, Distinct: true}},
+	})
+	if _, ok := c.Match(entries(event.NoType, event.NoType)); ok {
+		t.Error("two NoType events must not count as distinct")
+	}
+	if _, ok := c.Match(entries(event.NoType, 1)); !ok {
+		t.Error("NoType plus a real type are distinct")
+	}
+}
+
+// TestHugeTypeIdsBoundedMemory pins the sparse fallback: type ids far
+// beyond the dense-bitset range (raw/un-interned values a caller can
+// push through the ingress) must match correctly — including distinct
+// dedup and conjunctions — without growing O(maxType) scratch.
+func TestHugeTypeIdsBoundedMemory(t *testing.T) {
+	huge1, huge2 := event.Type(1<<30), event.Type(1<<30+1)
+
+	distinct := MustCompile(Pattern{Steps: []Step{{AnyN: 2, Distinct: true}}})
+	var s MatchScratch
+	if _, ok := distinct.MatchWith(&s, entries(huge1, huge1)); ok {
+		t.Error("duplicate huge type must not count as distinct")
+	}
+	if _, ok := distinct.MatchWith(&s, entries(huge1, huge2)); !ok {
+		t.Error("two distinct huge types must match")
+	}
+	if words := len(s.tset); words > maxDenseType/64 {
+		t.Errorf("dense scratch grew to %d words for a huge id", words)
+	}
+
+	conj := MustCompile(Pattern{Steps: []Step{{Types: []event.Type{5, huge1}, All: true}}})
+	if _, ok := conj.MatchWith(&s, entries(huge1, 5)); !ok {
+		t.Error("conjunction over a huge listed id must match")
+	}
+	if _, ok := conj.MatchWith(&s, entries(huge2, 5)); ok {
+		t.Error("conjunction must not accept a different huge id")
 	}
 }

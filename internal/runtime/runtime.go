@@ -50,8 +50,11 @@ type Config struct {
 	EstimateRates bool
 	// PollInterval is the detector period (default 10ms).
 	PollInterval time.Duration
-	// QueueCap bounds the input queue; Submit blocks when full
-	// (backpressure). Default 1 << 16.
+	// QueueCap bounds the input-queue backlog in events; Submit and
+	// SubmitBatch block when full (backpressure). Stats().QueueLen and
+	// the overload detector see the backlog in events as well; a
+	// SubmitBatch may overshoot the bound by up to one 256-event chunk.
+	// Default 1 << 16.
 	QueueCap int
 	// ProcessingDelay adds an artificial cost per kept membership,
 	// letting examples provoke overload on small machines. Zero means
@@ -74,6 +77,20 @@ type queued struct {
 	ev      event.Event
 	arrived time.Time
 }
+
+// inMsg is one input-queue message: a single event (batch == nil) or a
+// chunk of events submitted together. Chunking amortizes the channel
+// send/receive rendezvous — the dominant per-event cost of the pump once
+// the data path itself is allocation-free — over up to submitChunk
+// events; the queued-event backlog is tracked separately (Pipeline.qlen)
+// so overload detection still sees events, not messages.
+type inMsg struct {
+	one   queued
+	batch []queued
+}
+
+// submitChunk bounds how many events one input message may carry.
+const submitChunk = 256
 
 // Stats is a snapshot of pipeline counters.
 type Stats struct {
@@ -131,7 +148,7 @@ func (m MultiController) OnDecision(dec core.Decision) {
 type Pipeline struct {
 	cfg Config
 	op  *operator.Operator
-	in  chan queued
+	in  chan inMsg
 	out chan operator.ComplexEvent
 
 	// mgr and shards drive the sharded deployment (Config.Shards > 1);
@@ -141,9 +158,17 @@ type Pipeline struct {
 
 	submitted   atomic.Uint64
 	processed   atomic.Uint64
+	qlen        atomic.Int64 // events enqueued and not yet processed
 	busyNanos   atomic.Int64
 	memberships atomic.Uint64
 	kept        atomic.Uint64
+
+	// Event-based backpressure: producers block on flowCond while qlen
+	// is at QueueCap; the pump wakes them as the backlog drains.
+	// hasWaiters keeps the pump's fast path to one atomic load.
+	flowMu     sync.Mutex
+	flowCond   *sync.Cond
+	hasWaiters atomic.Bool
 
 	rateEst atomic.Uint64 // float64 bits
 	thEst   atomic.Uint64 // float64 bits
@@ -195,9 +220,10 @@ func New(cfg Config) (*Pipeline, error) {
 	p := &Pipeline{
 		cfg: cfg,
 		op:  op,
-		in:  make(chan queued, cfg.QueueCap),
+		in:  make(chan inMsg, cfg.QueueCap),
 		out: make(chan operator.ComplexEvent, cfg.OutBuffer),
 	}
+	p.flowCond = sync.NewCond(&p.flowMu)
 	if cfg.Shards > 1 {
 		// The router owns its own manager; the operator above validated
 		// the full configuration and serves the Shards==1 path only.
@@ -218,40 +244,88 @@ func New(cfg Config) (*Pipeline, error) {
 			if len(cfg.ShardDeciders) > 0 {
 				dec = cfg.ShardDeciders[i]
 			}
-			p.shards = append(p.shards, &shard{
-				id:         i,
-				in:         make(chan shardMsg, perShardCap),
-				decider:    dec,
-				patterns:   cfg.Operator.Patterns,
-				maxMatches: maxMatches,
-				delay:      cfg.ProcessingDelay,
-			})
+			sh := &shard{
+				id:          i,
+				in:          make(chan shardMsg, perShardCap),
+				decider:     dec,
+				matcher:     operator.NewMatcher(cfg.Operator.Patterns, maxMatches),
+				wantMatched: cfg.Operator.OnWindowClose != nil,
+				delay:       cfg.ProcessingDelay,
+			}
+			sh.batched, _ = dec.(operator.BatchingDecider)
+			p.shards = append(p.shards, sh)
 		}
 	}
 	return p, nil
 }
 
+// waitCapacity blocks the producer until the event backlog is below
+// QueueCap. Submit and SubmitBatch share it, so mixed producers see one
+// event-based bound; the channel's message capacity is only a secondary
+// backstop. Wake-up is condvar-driven by the pump as it drains.
+func (p *Pipeline) waitCapacity() {
+	if int(p.qlen.Load()) < p.cfg.QueueCap {
+		return
+	}
+	p.flowMu.Lock()
+	for int(p.qlen.Load()) >= p.cfg.QueueCap {
+		p.hasWaiters.Store(true)
+		p.flowCond.Wait()
+	}
+	p.flowMu.Unlock()
+}
+
+// releaseSlot marks one queued event processed and wakes blocked
+// producers once the backlog falls back below QueueCap. The no-waiter
+// fast path is a single atomic load.
+func (p *Pipeline) releaseSlot() {
+	if int(p.qlen.Add(-1)) < p.cfg.QueueCap && p.hasWaiters.Load() {
+		p.flowMu.Lock()
+		p.hasWaiters.Store(false)
+		p.flowCond.Broadcast()
+		p.flowMu.Unlock()
+	}
+}
+
 // Submit enqueues an event for processing; it blocks when the input
 // queue is full. Submit must not be called after CloseInput.
 func (p *Pipeline) Submit(e event.Event) {
+	p.waitCapacity()
 	p.submitted.Add(1)
-	p.in <- queued{ev: e, arrived: time.Now()}
+	p.qlen.Add(1)
+	p.in <- inMsg{one: queued{ev: e, arrived: time.Now()}}
 }
 
 // SubmitBatch enqueues a batch of events in stream order, amortizing the
-// clock read over the whole batch; it blocks while the input queue is
-// full. The submitted counter still advances per enqueued event so the
-// detector's input-rate estimate tracks actual arrivals even when a
-// large batch blocks on a full queue. SubmitBatch must not be called
-// after CloseInput.
+// clock read and the channel rendezvous over chunks of the batch; it
+// blocks while the input queue is full. Events are copied into the
+// chunks, so the caller may reuse the slice immediately. The submitted
+// counter still advances per enqueued event so the detector's input-rate
+// estimate tracks actual arrivals even when a large batch blocks on a
+// full queue. SubmitBatch must not be called after CloseInput.
 func (p *Pipeline) SubmitBatch(events []event.Event) {
 	if len(events) == 0 {
 		return
 	}
 	now := time.Now()
-	for _, e := range events {
-		p.submitted.Add(1)
-		p.in <- queued{ev: e, arrived: now}
+	for len(events) > 0 {
+		// The channel bounds messages, so chunked submission alone would
+		// weaken the event-based backpressure by up to submitChunk x.
+		// Gate each chunk on the event backlog instead; the overshoot is
+		// at most one chunk per producer.
+		p.waitCapacity()
+		n := len(events)
+		if n > submitChunk {
+			n = submitChunk
+		}
+		chunk := make([]queued, n)
+		for i, e := range events[:n] {
+			chunk[i] = queued{ev: e, arrived: now}
+			p.submitted.Add(1)
+		}
+		p.qlen.Add(int64(n))
+		p.in <- inMsg{batch: chunk}
+		events = events[n:]
 	}
 }
 
@@ -274,7 +348,7 @@ func (p *Pipeline) Stats() Stats {
 	st := Stats{
 		Submitted:  p.submitted.Load(),
 		Processed:  p.processed.Load(),
-		QueueLen:   len(p.in),
+		QueueLen:   int(p.qlen.Load()),
 		InputRate:  loadFloat(&p.rateEst),
 		Throughput: loadFloat(&p.thEst),
 	}
@@ -345,16 +419,33 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case q, ok := <-p.in:
+		case msg, ok := <-p.in:
 			if !ok {
 				p.flush(ctx)
 				return nil
 			}
-			if err := p.processOne(ctx, q); err != nil {
+			if err := p.processMsg(ctx, msg); err != nil {
 				return err
 			}
 		}
 	}
+}
+
+// processMsg unpacks one input message (single event or chunk).
+func (p *Pipeline) processMsg(ctx context.Context, msg inMsg) error {
+	if msg.batch == nil {
+		err := p.processOne(ctx, msg.one)
+		p.releaseSlot()
+		return err
+	}
+	for _, q := range msg.batch {
+		err := p.processOne(ctx, q)
+		p.releaseSlot()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (p *Pipeline) processOne(ctx context.Context, q queued) error {
@@ -366,12 +457,14 @@ func (p *Pipeline) processOne(ctx context.Context, q queued) error {
 	if d := p.cfg.ProcessingDelay; d > 0 && kept > 0 {
 		time.Sleep(time.Duration(kept) * d)
 	}
-	p.busyNanos.Add(time.Since(start).Nanoseconds())
+	// One clock read serves both the busy-time and the latency sample.
+	end := time.Now()
+	p.busyNanos.Add(end.Sub(start).Nanoseconds())
 	p.processed.Add(1)
 	p.memberships.Add(after.Memberships - before.Memberships)
 	p.kept.Add(kept)
 
-	lat := time.Since(q.arrived)
+	lat := end.Sub(q.arrived)
 	p.mu.Lock()
 	p.latency.Add(event.Time(start.UnixMicro()), event.Time(lat.Microseconds()))
 	p.lastTS = q.ev.TS
@@ -457,7 +550,7 @@ func (p *Pipeline) detectorLoop(stop, done chan struct{}) {
 			if th <= 0 || p.cfg.Detector == nil {
 				continue
 			}
-			dec := p.cfg.Detector.Evaluate(len(p.in), loadFloat(&p.rateEst), th,
+			dec := p.cfg.Detector.Evaluate(int(p.qlen.Load()), loadFloat(&p.rateEst), th,
 				p.windowSizeEstimate())
 			p.cfg.Controller.OnDecision(dec)
 		}

@@ -2,6 +2,8 @@ package runtime
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -239,5 +241,79 @@ func TestEstimateRatesWithoutDetector(t *testing.T) {
 		if st.Throughput <= 0 {
 			t.Errorf("shards=%d: Throughput not estimated: %+v", shards, st)
 		}
+	}
+}
+
+// TestBackpressureEventBound pins the event-based QueueCap bound: mixed
+// Submit/SubmitBatch producers against a slow pump may overshoot by at
+// most one chunk each, every producer eventually unblocks (condvar
+// wake-on-drain, no missed wakeups), and nothing is lost.
+func TestBackpressureEventBound(t *testing.T) {
+	const (
+		queueCap  = 64
+		producers = 4
+		perProd   = 600
+	)
+	p, err := New(Config{
+		Operator: opConfig(nil),
+		QueueCap: queueCap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background()) }()
+	go func() {
+		for range p.Out() {
+		}
+	}()
+
+	var maxSeen atomic.Int64
+	stopWatch := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopWatch:
+				return
+			default:
+				if q := p.qlen.Load(); q > maxSeen.Load() {
+					maxSeen.Store(q)
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				for j := 0; j < perProd; j++ {
+					p.Submit(event.Event{Seq: uint64(i*perProd + j), TS: event.Time(j)})
+				}
+				return
+			}
+			batch := make([]event.Event, perProd)
+			for j := range batch {
+				batch[j] = event.Event{Seq: uint64(i*perProd + j), TS: event.Time(j)}
+			}
+			p.SubmitBatch(batch)
+		}(i)
+	}
+	wg.Wait()
+	close(stopWatch)
+	p.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Processed != producers*perProd {
+		t.Fatalf("processed %d events, want %d", st.Processed, producers*perProd)
+	}
+	// Each producer may overshoot by at most one chunk past the bound.
+	limit := int64(queueCap + producers*submitChunk)
+	if got := maxSeen.Load(); got > limit {
+		t.Errorf("backlog peaked at %d events, want <= %d", got, limit)
 	}
 }

@@ -10,26 +10,34 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/operator"
 	"repro/internal/parallel"
-	"repro/internal/pattern"
 	"repro/internal/window"
 )
 
-// shardMsg is one unit of work for a shard: a membership to shed-or-add,
-// or (when ticket is set) a window close to match.
-type shardMsg struct {
-	w *window.Window
+// shardMsgCap bounds how many of one event's memberships a single shard
+// message bundles: with overlapping windows an event belongs to several
+// windows owned by the same shard, and bundling them shares one channel
+// rendezvous. Overflow simply flushes an extra message.
+const shardMsgCap = 8
 
-	// Membership fields.
-	ev  event.Event
-	pos int
-	// arrived/recordLat carry the latency sample for the event's first
-	// membership, so each event is sampled exactly once as in the serial
+// shardMsg is one unit of work for a shard: a bundle of one event's
+// memberships to shed-or-add, or (when ticket is set) a window close to
+// match.
+type shardMsg struct {
+	// Membership fields: the event belongs to wins[:n] at poss[:n]. The
+	// arrays are inline so a bundle costs no allocation.
+	ev   event.Event
+	n    int32
+	poss [shardMsgCap]int32
+	wins [shardMsgCap]*window.Window
+	// arrived/recordLat carry the latency sample for one of the event's
+	// messages, so each event is sampled exactly once as in the serial
 	// path.
 	arrived   time.Time
 	recordLat bool
 
 	// Close fields. The ticket is the window's reserved slot in the
 	// ordered output stage; the shard completes it with the match result.
+	w      *window.Window
 	now    event.Time
 	ticket *parallel.Ticket[shardResult]
 }
@@ -49,16 +57,20 @@ type shardResult struct {
 // for a given window happens on its owning shard's goroutine; the router
 // only opens windows and assigns positions.
 type shard struct {
-	id         int
-	in         chan shardMsg
-	decider    operator.Decider
-	patterns   []*pattern.Compiled
-	maxMatches int
-	delay      time.Duration
+	id      int
+	in      chan shardMsg
+	decider operator.Decider
+	batched operator.BatchingDecider // non-nil when decider batches counters
+	matcher *operator.Matcher        // per-shard match scratch
+	// wantMatched records whether an OnWindowClose hook consumes matched
+	// entries; only then does a close copy them out of the match scratch.
+	wantMatched bool
+	delay       time.Duration
 
 	memberships      atomic.Uint64
 	kept             atomic.Uint64
 	shed             atomic.Uint64
+	queued           atomic.Int64 // memberships routed but not yet processed
 	windowsClosed    atomic.Uint64
 	complexEvents    atomic.Uint64
 	windowsWithMatch atomic.Uint64
@@ -69,7 +81,9 @@ type shard struct {
 	latency metrics.LatencyTrace
 }
 
-// snapshot reads the shard counters.
+// snapshot reads the shard counters. QueueLen reports the queued
+// memberships (not bundled messages), matching the serial pipeline's
+// event-based backlog accounting.
 func (s *shard) snapshot() ShardStats {
 	return ShardStats{
 		Memberships:      s.memberships.Load(),
@@ -78,35 +92,64 @@ func (s *shard) snapshot() ShardStats {
 		WindowsClosed:    s.windowsClosed.Load(),
 		ComplexEvents:    s.complexEvents.Load(),
 		WindowsWithMatch: s.windowsWithMatch.Load(),
-		QueueLen:         len(s.in),
+		QueueLen:         int(s.queued.Load()),
 		Throughput:       loadFloat(&s.thEst),
 	}
 }
 
+// tallyFlushBatch caps how many shedding decisions a shard accumulates
+// locally before folding them into the shedder's shared atomic counters.
+const tallyFlushBatch = 1024
+
 // run drains the shard queue until it is closed. After a context cancel
 // it keeps draining but skips all work, completing any pending close
-// tickets with empty results so the merge stage can shut down.
+// tickets with empty results so the merge stage can shut down. Shedding
+// counters are tallied locally and flushed in batches — when the queue
+// momentarily drains or every tallyFlushBatch decisions — instead of two
+// contended atomic adds per membership.
 func (s *shard) run(ctx context.Context, wg *sync.WaitGroup) {
 	defer wg.Done()
+	var decisions, drops uint64
+	flush := func() {
+		if decisions > 0 {
+			s.batched.TallyDecisions(decisions, drops)
+			decisions, drops = 0, 0
+		}
+	}
+	defer flush()
 	for m := range s.in {
 		if m.ticket != nil {
 			s.closeWindow(ctx, m)
 			continue
 		}
 		if ctx.Err() != nil {
+			s.queued.Add(-int64(m.n)) // drained, not processed
 			continue
 		}
 		start := time.Now()
-		s.memberships.Add(1)
-		if s.decider != nil && s.decider.Drop(m.ev.Type, m.pos, m.w.ExpectedSize) {
-			m.w.Dropped++
-			s.shed.Add(1)
-		} else {
-			m.w.Add(m.ev, m.pos)
-			s.kept.Add(1)
-			if s.delay > 0 {
-				time.Sleep(s.delay)
+		var kept, shed uint64
+		for i := 0; i < int(m.n); i++ {
+			w, pos := m.wins[i], int(m.poss[i])
+			dropped := operator.ShedDecision(s.decider, s.batched, m.ev.Type, pos, w.ExpectedSize,
+				&decisions, &drops)
+			if dropped {
+				w.Dropped++
+				shed++
+			} else {
+				w.Add(m.ev, pos)
+				kept++
+				if s.delay > 0 {
+					time.Sleep(s.delay)
+				}
 			}
+		}
+		s.memberships.Add(uint64(m.n))
+		s.queued.Add(-int64(m.n))
+		if kept > 0 {
+			s.kept.Add(kept)
+		}
+		if shed > 0 {
+			s.shed.Add(shed)
 		}
 		s.busyNanos.Add(time.Since(start).Nanoseconds())
 		if m.recordLat {
@@ -114,6 +157,9 @@ func (s *shard) run(ctx context.Context, wg *sync.WaitGroup) {
 			s.mu.Lock()
 			s.latency.Add(event.Time(start.UnixMicro()), event.Time(lat.Microseconds()))
 			s.mu.Unlock()
+		}
+		if decisions >= tallyFlushBatch || len(s.in) == 0 {
+			flush()
 		}
 	}
 }
@@ -128,10 +174,16 @@ func (s *shard) closeWindow(ctx context.Context, m shardMsg) {
 	}
 	start := time.Now()
 	s.windowsClosed.Add(1)
+	var matched []window.Entry
 	var found bool
-	res.ces, res.matched, found = operator.MatchWindow(s.patterns, s.maxMatches, m.w, m.now, nil, nil)
+	res.ces, matched, found = s.matcher.MatchClosed(m.w, m.now, nil)
 	if found {
 		s.windowsWithMatch.Add(1)
+	}
+	if s.wantMatched && len(matched) > 0 {
+		// matched aliases the shard's match scratch and the result crosses
+		// to the merge goroutine, so the hook gets its own copy.
+		res.matched = append([]window.Entry(nil), matched...)
 	}
 	s.complexEvents.Add(uint64(len(res.ces)))
 	s.busyNanos.Add(time.Since(start).Nanoseconds())
@@ -150,6 +202,11 @@ func (p *Pipeline) runSharded(ctx context.Context) error {
 		wg.Add(1)
 		go s.run(ctx, &wg)
 	}
+	// Fully merged windows funnel back to the router for freelist reuse:
+	// the window Manager is single-goroutine, so the merge stage may not
+	// release windows itself. A full channel just means the router is
+	// busy; the window is left to the garbage collector then.
+	releases := make(chan *window.Window, 4*len(p.shards)+64)
 	seq := parallel.NewSequencer(4*len(p.shards), func(r shardResult) {
 		if hook := p.cfg.Operator.OnWindowClose; hook != nil {
 			hook(r.w, r.matched)
@@ -160,6 +217,10 @@ func (p *Pipeline) runSharded(ctx context.Context) error {
 			case <-ctx.Done():
 				return
 			}
+		}
+		select {
+		case releases <- r.w:
+		default:
 		}
 	})
 	// Shard queues close after the router stops (the router is their only
@@ -195,43 +256,99 @@ func (p *Pipeline) runSharded(ctx context.Context) error {
 		}
 	}
 
+	// pending accumulates one event's memberships per shard so that a
+	// shard receives at most ceil(overlap/shardMsgCap) bundled messages
+	// per event instead of one message per membership.
+	pending := make([]shardMsg, len(p.shards))
 	var lastTS event.Time
+	routeOne := func(q queued) error {
+		// Recycle windows the merge stage has fully retired.
+		for drained := false; !drained; {
+			select {
+			case w := <-releases:
+				p.mgr.Release(w)
+			default:
+				drained = true
+			}
+		}
+		member, closed := p.mgr.Route(q.ev)
+		sampled := false
+		send := func(si int) error {
+			msg := &pending[si]
+			msg.ev = q.ev
+			msg.arrived = q.arrived
+			msg.recordLat = !sampled
+			sampled = true
+			// Count the backlog before the send: the shard decrements
+			// after processing, so the counter never dips negative.
+			p.shards[si].queued.Add(int64(msg.n))
+			var err error
+			select {
+			case p.shards[si].in <- *msg:
+			case <-ctx.Done():
+				p.shards[si].queued.Add(-int64(msg.n))
+				err = ctx.Err()
+			}
+			msg.n = 0
+			return err
+		}
+		for _, mb := range member {
+			si := int(mb.W.ID) % len(p.shards)
+			msg := &pending[si]
+			if int(msg.n) == shardMsgCap {
+				if err := send(si); err != nil {
+					return err
+				}
+			}
+			msg.wins[msg.n] = mb.W
+			msg.poss[msg.n] = int32(mb.Pos)
+			msg.n++
+		}
+		for si := range pending {
+			if pending[si].n > 0 {
+				if err := send(si); err != nil {
+					return err
+				}
+			}
+		}
+		if !sampled {
+			// No shard sees this event; sample its latency here so every
+			// event still contributes exactly one sample.
+			now := time.Now()
+			p.mu.Lock()
+			p.latency.Add(event.Time(now.UnixMicro()),
+				event.Time(now.Sub(q.arrived).Microseconds()))
+			p.mu.Unlock()
+		}
+		p.processed.Add(1)
+		p.releaseSlot()
+		lastTS = q.ev.TS
+		for _, w := range closed {
+			sendClose(w, q.ev.TS)
+		}
+		return nil
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case q, ok := <-p.in:
+		case msg, ok := <-p.in:
 			if !ok {
 				for _, w := range p.mgr.Flush() {
 					sendClose(w, lastTS)
 				}
 				return nil
 			}
-			member, closed := p.mgr.Route(q.ev)
-			for i, mb := range member {
-				msg := shardMsg{
-					w: mb.W, ev: q.ev, pos: mb.Pos,
-					arrived: q.arrived, recordLat: i == 0,
+			if msg.batch == nil {
+				if err := routeOne(msg.one); err != nil {
+					return err
 				}
-				select {
-				case shardOf(mb.W).in <- msg:
-				case <-ctx.Done():
-					return ctx.Err()
+				continue
+			}
+			for _, q := range msg.batch {
+				if err := routeOne(q); err != nil {
+					return err
 				}
-			}
-			if len(member) == 0 {
-				// No shard sees this event; sample its latency here so
-				// every event still contributes exactly one sample.
-				now := time.Now()
-				p.mu.Lock()
-				p.latency.Add(event.Time(now.UnixMicro()),
-					event.Time(now.Sub(q.arrived).Microseconds()))
-				p.mu.Unlock()
-			}
-			p.processed.Add(1)
-			lastTS = q.ev.TS
-			for _, w := range closed {
-				sendClose(w, q.ev.TS)
 			}
 		}
 	}
@@ -294,9 +411,11 @@ func (p *Pipeline) shardedDetectorLoop(stop, done chan struct{}) {
 			if total <= 0 || p.cfg.Detector == nil {
 				continue
 			}
-			qlen := len(p.in)
+			// Backlog = events not yet routed plus memberships queued at
+			// the shards (bundling is invisible here by design).
+			qlen := int(p.qlen.Load())
 			for _, s := range p.shards {
-				qlen += len(s.in)
+				qlen += int(s.queued.Load())
 			}
 			dec := p.cfg.Detector.Evaluate(qlen, loadFloat(&p.rateEst), total,
 				p.windowSizeEstimate())

@@ -275,3 +275,49 @@ func ExamplePipeline_sharded() {
 	fmt.Println("complex events:", n)
 	// Output: complex events: 8
 }
+
+// TestShardedWindowReuseHookIntegrity churns thousands of pooled windows
+// through a sharded pipeline with an OnWindowClose hook and asserts the
+// hook always observes live (un-poisoned, in-range) data: the release
+// funnel back to the router must never recycle a window before the merge
+// stage is done with it. Run with -race to exercise the full handoff.
+func TestShardedWindowReuseHookIntegrity(t *testing.T) {
+	var hookWindows, hookEntries, badEntries int64
+	cfg := overlappingOpConfig()
+	cfg.OnWindowClose = func(w *window.Window, matched []window.Entry) {
+		hookWindows++
+		if !w.Closed() {
+			badEntries++
+		}
+		lastPos := -1
+		for _, ent := range w.Kept {
+			hookEntries++
+			if ent.Pos <= lastPos || ent.Pos >= w.Size() {
+				badEntries++
+			}
+			lastPos = ent.Pos
+			if ent.Ev.Type != event.Type(ent.Ev.Seq%2) {
+				badEntries++ // poisoned or cross-window data
+			}
+		}
+		for _, ent := range matched {
+			if ent.Pos < 0 || ent.Pos >= w.Size() {
+				badEntries++
+			}
+		}
+	}
+	events := deterministicStream(6000)
+	detected, st := runCollect(t, Config{Operator: cfg, Shards: 4}, events)
+	if len(detected) == 0 {
+		t.Fatal("no complex events; bad test setup")
+	}
+	if hookWindows == 0 || hookEntries == 0 {
+		t.Fatal("hook never ran")
+	}
+	if badEntries != 0 {
+		t.Fatalf("%d poisoned/corrupt entries observed in OnWindowClose", badEntries)
+	}
+	if uint64(hookWindows) != st.Operator.WindowsClosed {
+		t.Errorf("hook saw %d windows, closed %d", hookWindows, st.Operator.WindowsClosed)
+	}
+}

@@ -109,6 +109,14 @@ type Entry struct {
 // Window is one window instance: the unit of pattern matching and of
 // shedding decisions. Events are buffered until the window closes, at
 // which point the CEP operator runs the matcher over the kept entries.
+//
+// Windows are pooled: once a closed window has been handed back to its
+// Manager via Release, the struct and its Kept buffer are recycled for a
+// future window. Consumers of closed windows (matchers, OnWindowClose
+// hooks) must therefore not retain the *Window or any Kept entries past
+// their return — copy what must survive. Release poisons the entries
+// (Pos = -1, zeroed event) so a violated contract surfaces as corrupt
+// data in tests rather than as silent aliasing in production.
 type Window struct {
 	ID      ID
 	OpenSeq uint64     // sequence number of the opening event
@@ -161,6 +169,14 @@ type Manager struct {
 
 	memberBuf []Membership
 	closedBuf []*Window
+
+	// free recycles released windows (and their Kept buffers): the data
+	// path opens and closes windows continuously, and reusing the buffers
+	// makes the steady-state hot path allocation-free. The Manager is a
+	// single-goroutine component, so the freelist needs no locking; cross-
+	// goroutine deployments (the sharded runtime) funnel releases back to
+	// the owning goroutine.
+	free []*Window
 
 	totalOpened uint64
 	totalClosed uint64
@@ -237,14 +253,21 @@ func (m *Manager) Route(e event.Event) (member []Membership, closed []*Window) {
 		m.open = m.open[:0]
 	}
 
-	// 2. Possibly open a new window at this event.
+	// 2. Possibly open a new window at this event, recycling a released
+	// window struct when one is available.
 	if m.shouldOpen(e) {
-		w := &Window{
-			ID:           m.nextID,
-			OpenSeq:      e.Seq,
-			OpenTS:       e.TS,
-			ExpectedSize: m.predictSize(),
+		var w *Window
+		if n := len(m.free); n > 0 {
+			w = m.free[n-1]
+			m.free[n-1] = nil
+			m.free = m.free[:n-1]
+		} else {
+			w = &Window{}
 		}
+		w.ID = m.nextID
+		w.OpenSeq = e.Seq
+		w.OpenTS = e.TS
+		w.ExpectedSize = m.predictSize()
 		m.nextID++
 		m.totalOpened++
 		m.open = append(m.open, w)
@@ -332,6 +355,27 @@ func (m *Manager) closeWindow(w *Window) {
 			m.expSize = (1-alpha)*m.expSize + alpha*float64(w.Arrivals)
 		}
 	}
+}
+
+// Release hands a closed window back to the manager for reuse. Call it
+// after the window's consumers (matcher, OnWindowClose hook) have
+// returned; the window and its entries must not be referenced afterwards.
+// Release poisons the kept entries — Pos becomes -1 and the event is
+// zeroed — so a consumer that illegally retained them observes clobbered
+// data instead of silently reading a recycled window. Releasing is
+// optional (an unreleased window is simply garbage collected) and must
+// happen on the manager's goroutine. Still-open windows and double
+// releases are ignored.
+func (m *Manager) Release(w *Window) {
+	if w == nil || !w.closed {
+		return
+	}
+	for i := range w.Kept {
+		w.Kept[i] = Entry{Pos: -1}
+	}
+	kept := w.Kept[:0]
+	*w = Window{Kept: kept}
+	m.free = append(m.free, w)
 }
 
 func (m *Manager) predictSize() int {

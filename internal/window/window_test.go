@@ -454,3 +454,91 @@ func TestPatternCloseBackstopStillApplies(t *testing.T) {
 		t.Fatalf("count backstop did not close: %+v", closed)
 	}
 }
+
+// --- Window pooling (freelist reuse, poisoning, allocation freedom) -----
+
+func TestReleaseRecyclesWindows(t *testing.T) {
+	m, err := NewManager(Spec{Mode: ModeCount, Count: 2, Slide: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *Window
+	_, _ = m.Route(ev(0, 0))
+	_, closed := m.Route(ev(1, 1))
+	if len(closed) != 1 {
+		t.Fatalf("closed = %d windows, want 1", len(closed))
+	}
+	first = closed[0]
+	first.Add(ev(0, 0), 0)
+	first.Add(ev(1, 1), 1)
+	kept := first.Kept // retain illegally, to observe the poisoning
+	m.Release(first)
+
+	for i, e := range kept {
+		if e.Pos != -1 || e.Ev.Seq != 0 {
+			t.Errorf("released entry %d not poisoned: %+v", i, e)
+		}
+	}
+	if first.Closed() || first.Arrivals != 0 || first.Dropped != 0 || len(first.Kept) != 0 {
+		t.Errorf("released window not reset: %+v", first)
+	}
+
+	// The next opened window must reuse the released struct.
+	member, _ := m.Route(ev(2, 2))
+	if len(member) != 1 || member[0].W != first {
+		t.Errorf("freelist not reused: got %p, want %p", member[0].W, first)
+	}
+	if member[0].W.ID != 1 || member[0].W.OpenSeq != 2 {
+		t.Errorf("reused window fields stale: %+v", member[0].W)
+	}
+}
+
+func TestReleaseIgnoresOpenAndDoubleRelease(t *testing.T) {
+	m, err := NewManager(Spec{Mode: ModeCount, Count: 4, Slide: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	member, _ := m.Route(ev(0, 0))
+	open := member[0].W
+	m.Release(open) // still open: must be ignored
+	if len(m.free) != 0 {
+		t.Fatalf("open window entered freelist")
+	}
+	m.Release(nil) // nil: ignored
+
+	_, closed := m.Route(ev(1, 1))
+	_, closed = m.Route(ev(2, 2))
+	_, closed = m.Route(ev(3, 3))
+	if len(closed) != 1 {
+		t.Fatalf("closed = %d, want 1", len(closed))
+	}
+	m.Release(closed[0])
+	m.Release(closed[0]) // double release: ignored (closed flag was reset)
+	if len(m.free) != 1 {
+		t.Fatalf("freelist = %d entries, want 1", len(m.free))
+	}
+}
+
+func TestRouteSteadyStateZeroAlloc(t *testing.T) {
+	m, err := NewManager(Spec{Mode: ModeCount, Count: 64, Slide: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(0)
+	step := func() {
+		member, closed := m.Route(ev(seq, event.Time(seq)))
+		seq++
+		for _, mb := range member {
+			mb.W.Add(ev(mb.W.OpenSeq, 0), mb.Pos)
+		}
+		for _, w := range closed {
+			m.Release(w)
+		}
+	}
+	for i := 0; i < 1024; i++ { // warm pool and buffers
+		step()
+	}
+	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+		t.Errorf("steady-state Route+Add+Release allocates %.2f/event, want 0", allocs)
+	}
+}
