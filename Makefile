@@ -19,11 +19,14 @@ test: vet doccheck
 # in BENCH_results.json (appended as one labeled run), so every PR can
 # regression-check against the recorded trajectory. The bench output goes
 # through a temp file so a failing/panicking benchmark fails the target
-# instead of being masked by the pipe.
+# instead of being masked by the pipe. Before appending, the run is
+# compared against the committed trajectory (>15% ns/op or any zero-alloc
+# gate regression); the `-` prefix keeps the report non-blocking.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime=$(BENCHTIME) -benchmem . > bench.out \
 		|| { cat bench.out; rm -f bench.out; exit 1; }
 	cat bench.out
+	-$(GO) run ./cmd/benchjson compare -baseline BENCH_results.json < bench.out
 	$(GO) run ./cmd/benchjson -out BENCH_results.json -label $(BENCHLABEL) < bench.out
 	rm -f bench.out
 

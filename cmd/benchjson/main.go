@@ -8,6 +8,19 @@
 // Without -out the single run is printed to stdout. An existing -out
 // file is extended (its previous runs are kept), which is what makes
 // regression checks across PRs a simple diff of the same file.
+//
+// The compare subcommand diffs a fresh bench run (stdin) against the
+// recorded trajectory and exits non-zero on regressions:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson compare -baseline BENCH_results.json
+//
+// The baseline per benchmark is its best (lowest ns/op) recording in
+// the trajectory, so regressions cannot ratchet in through appended
+// slow runs. A benchmark regresses when its ns/op worsens by more than
+// -threshold (default 15%), or — for the zero-alloc gates, i.e.
+// benchmarks whose baseline records allocs/op == 0 — when it allocates
+// at all or its B/op grows. `make bench` runs the comparison as a
+// non-blocking report before appending the new run.
 package main
 
 import (
@@ -48,34 +61,17 @@ type File struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		compareCmd(os.Args[2:])
+		return
+	}
 	out := flag.String("out", "", "append the run to this JSON file (default: print to stdout)")
 	label := flag.String("label", "", "label for this run (e.g. a PR number or git revision)")
 	flag.Parse()
 
-	run := Run{Label: *label, Date: time.Now().UTC().Format("2006-01-02")}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			run.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			run.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "cpu:"):
-			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			if b, ok := parseLine(line); ok {
-				run.Benchmarks = append(run.Benchmarks, b)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fatal(err)
-	}
-	if len(run.Benchmarks) == 0 {
-		fatal(fmt.Errorf("no benchmark lines on stdin"))
-	}
+	run := readRun(os.Stdin)
+	run.Label = *label
+	run.Date = time.Now().UTC().Format("2006-01-02")
 
 	if *out == "" {
 		enc := json.NewEncoder(os.Stdout)
@@ -102,6 +98,108 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: appended %d benchmarks to %s (%d runs)\n",
 		len(run.Benchmarks), *out, len(file.Runs))
+}
+
+// readRun parses a full `go test -bench` output stream into one Run.
+func readRun(r *os.File) Run {
+	var run Run
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			run.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				run.Benchmarks = append(run.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(run.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	return run
+}
+
+// compareCmd diffs the bench output on stdin against the most recent
+// baseline recording of each benchmark and exits 1 on regressions:
+// ns/op worse than the threshold, or — for zero-alloc gates (baseline
+// allocs/op == 0) — any allocation or B/op growth.
+func compareCmd(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	baseline := fs.String("baseline", "BENCH_results.json", "trajectory file to compare against")
+	threshold := fs.Float64("threshold", 0.15, "allowed fractional ns/op regression")
+	_ = fs.Parse(args)
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	var file File
+	if err := json.Unmarshal(data, &file); err != nil {
+		fatal(fmt.Errorf("%s: %w", *baseline, err))
+	}
+	// Baseline per benchmark: the best (lowest ns/op) recording across
+	// the whole trajectory, not the most recent one — comparing against
+	// the latest run would let regressions ratchet (a slow run appended
+	// by a previous `make bench` becomes the next run's baseline, and
+	// creep below the threshold compounds undetected).
+	base := make(map[string]Benchmark)
+	baseLabel := make(map[string]string)
+	for _, run := range file.Runs {
+		for _, b := range run.Benchmarks {
+			have, ok := base[b.Name]
+			if ok && have.Metrics["ns/op"] > 0 &&
+				(b.Metrics["ns/op"] <= 0 || b.Metrics["ns/op"] >= have.Metrics["ns/op"]) {
+				continue
+			}
+			base[b.Name] = b
+			baseLabel[b.Name] = run.Label
+		}
+	}
+
+	cur := readRun(os.Stdin)
+	regressions := 0
+	for _, b := range cur.Benchmarks {
+		ref, ok := base[b.Name]
+		if !ok {
+			fmt.Printf("new      %-50s (no baseline)\n", b.Name)
+			continue
+		}
+		var problems []string
+		if refNs, curNs := ref.Metrics["ns/op"], b.Metrics["ns/op"]; refNs > 0 && curNs > refNs*(1+*threshold) {
+			problems = append(problems, fmt.Sprintf("ns/op %+.1f%% (%.1f -> %.1f)",
+				100*(curNs/refNs-1), refNs, curNs))
+		}
+		if refAllocs, hasAllocs := ref.Metrics["allocs/op"]; hasAllocs && refAllocs == 0 {
+			if curAllocs := b.Metrics["allocs/op"]; curAllocs > 0 {
+				problems = append(problems, fmt.Sprintf("zero-alloc gate broken: allocs/op %.0f", curAllocs))
+			}
+			if refB, curB := ref.Metrics["B/op"], b.Metrics["B/op"]; curB > refB {
+				problems = append(problems, fmt.Sprintf("zero-alloc gate B/op %.0f -> %.0f", refB, curB))
+			}
+		}
+		if len(problems) == 0 {
+			fmt.Printf("ok       %-50s vs %s\n", b.Name, baseLabel[b.Name])
+			continue
+		}
+		regressions++
+		fmt.Printf("REGRESSED %-49s vs %s: %s\n", b.Name, baseLabel[b.Name], strings.Join(problems, "; "))
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond the %.0f%% budget\n",
+			regressions, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchjson: no regressions against", *baseline)
 }
 
 // parseLine parses one result line of the standard bench output format:

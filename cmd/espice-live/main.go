@@ -41,6 +41,9 @@ type liveOpts struct {
 	shedder  string
 	shards   int
 	queries  string
+	retrain  bool
+	drift    bool
+	warmup   int
 }
 
 // liveResult carries the counters a caller (or test) may want to assert
@@ -64,6 +67,12 @@ func main() {
 	flag.IntVar(&opts.shards, "shards", 1, "parallel operator instances")
 	flag.StringVar(&opts.queries, "queries", "",
 		"multi-query mode: file of Tesla-text define blocks run side by side on the engine")
+	flag.BoolVar(&opts.retrain, "retrain", false,
+		"online model lifecycle: start untrained and train the eSPICE model from live traffic")
+	flag.BoolVar(&opts.drift, "drift", false,
+		"with -retrain: retrain automatically when the drift detector alarms")
+	flag.IntVar(&opts.warmup, "warmup", 16,
+		"with -retrain: sampled windows required before a model is built")
 	flag.Parse()
 
 	if opts.queries != "" {
@@ -79,11 +88,12 @@ func main() {
 
 // newShedPair builds one decider/controller instance of the requested
 // kind; sharded runs call it once per shard so every shard gets its own
-// shedder state.
-func newShedPair(name string, q queries.Query, tr *harness.TrainResult, seed int64) (operator.Decider, sim.Controller, error) {
+// shedder state. model is the eSPICE starting model — the offline-trained
+// one, or an untrained placeholder in -retrain mode.
+func newShedPair(name string, q queries.Query, tr *harness.TrainResult, model *core.Model, seed int64) (operator.Decider, sim.Controller, error) {
 	switch name {
 	case "espice":
-		s, err := core.NewShedder(tr.Model)
+		s, err := core.NewShedder(model)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -144,11 +154,35 @@ func runLive(opts liveOpts, w io.Writer) (*liveResult, error) {
 		ProcessingDelay: opts.delay,
 		Shards:          opts.shards,
 	}
+	// In -retrain mode the pipeline owns the model lifecycle: shedders
+	// start over an untrained model and come online once the in-flight
+	// training is warm; -drift arms automatic retraining on input shift.
+	shedModel := tr.Model
+	if opts.retrain {
+		if opts.shedder != "espice" {
+			return nil, fmt.Errorf("-retrain needs shedder espice, got %q", opts.shedder)
+		}
+		n := query.Window.SizeHint
+		if n <= 0 {
+			n = 1
+		}
+		shedModel, err = core.NewUntrainedModel(query.NumTypes, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Lifecycle = &runtime.LifecycleConfig{
+			Types:         query.NumTypes,
+			WarmupWindows: opts.warmup,
+		}
+		if opts.drift {
+			cfg.Lifecycle.Drift = &core.DriftConfig{}
+		}
+	}
 	// One shedder instance per shard (one in total when serial), all
 	// driven in lockstep by a single detector.
 	var controllers runtime.MultiController
 	for i := 0; i < opts.shards; i++ {
-		decider, ctrl, err := newShedPair(opts.shedder, query, tr, opts.seed+int64(i))
+		decider, ctrl, err := newShedPair(opts.shedder, query, tr, shedModel, opts.seed+int64(i))
 		if err != nil {
 			return nil, err
 		}
@@ -210,6 +244,11 @@ func runLive(opts liveOpts, w io.Writer) (*liveResult, error) {
 	for i, ss := range st.Shards {
 		fmt.Fprintf(w, "  shard %d: %d memberships, %d kept, %d shed, %d windows, %d complex events (th ~%.0f ev/s)\n",
 			i, ss.Memberships, ss.Kept, ss.Shed, ss.WindowsClosed, ss.ComplexEvents, ss.Throughput)
+	}
+	if st.Lifecycle != nil {
+		ls := st.Lifecycle
+		fmt.Fprintf(w, "lifecycle: trained=%v builds=%d drift-alarms=%d sampled-windows=%d (model: %d windows, %d matches)\n",
+			ls.Trained, ls.Builds, ls.DriftAlarms, ls.WindowsSampled, ls.ModelWindows, ls.ModelMatches)
 	}
 	fmt.Fprintf(w, "latency:  mean %.1fms  p95 %.1fms  max %.1fms\n",
 		float64(lat.Mean())/1000, float64(lat.Percentile(95))/1000, float64(lat.Max())/1000)

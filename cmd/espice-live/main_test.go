@@ -139,3 +139,45 @@ anchored
 		t.Error("-queries with shedder bl must fail")
 	}
 }
+
+// TestRunLiveRetrainSmoke covers the -retrain -drift online-lifecycle
+// path: the pipeline starts with an untrained shedder, trains itself
+// from live traffic and reports the lifecycle counters.
+func TestRunLiveRetrainSmoke(t *testing.T) {
+	var out strings.Builder
+	res, err := runLive(liveOpts{
+		seconds:  240,
+		n:        3,
+		seed:     1,
+		delay:    200 * time.Microsecond,
+		bound:    200 * time.Millisecond,
+		f:        0.7,
+		overload: 1.3,
+		shedder:  "espice",
+		shards:   2,
+		retrain:  true,
+		drift:    true,
+		warmup:   4,
+	}, &out)
+	if err != nil {
+		t.Fatalf("runLive -retrain: %v\noutput:\n%s", err, out.String())
+	}
+	st := res.stats
+	if st.Processed == 0 || st.Submitted != st.Processed {
+		t.Errorf("events lost under the lifecycle: %+v", st)
+	}
+	if st.Lifecycle == nil {
+		t.Fatal("lifecycle stats missing")
+	}
+	if !st.Lifecycle.Trained || st.Lifecycle.Builds == 0 {
+		t.Errorf("online training never came online: %+v\noutput:\n%s", *st.Lifecycle, out.String())
+	}
+	if !strings.Contains(out.String(), "lifecycle: trained=true") {
+		t.Errorf("lifecycle report missing:\n%s", out.String())
+	}
+
+	// -retrain is an eSPICE-only mode.
+	if _, err := runLive(liveOpts{shedder: "bl", retrain: true, seconds: 10, shards: 1}, &out); err == nil {
+		t.Error("-retrain with shedder bl must fail")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/engine"
 	"repro/internal/event"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/operator"
 	"repro/internal/queries"
+	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/tesla"
 )
@@ -35,6 +37,9 @@ func runQueries(opts liveOpts, w io.Writer) (*queriesResult, error) {
 	}
 	if opts.shedder != "espice" && opts.shedder != "none" {
 		return nil, fmt.Errorf("-queries mode supports shedder espice or none, got %q", opts.shedder)
+	}
+	if opts.retrain && opts.shedder != "espice" {
+		return nil, fmt.Errorf("-retrain needs shedder espice, got %q", opts.shedder)
 	}
 	meta, events, err := datasets.GenerateRTLS(datasets.RTLSConfig{
 		DurationSec: opts.seconds, Seed: opts.seed,
@@ -97,7 +102,19 @@ func runQueries(opts liveOpts, w io.Writer) (*queriesResult, error) {
 			Shards:          opts.shards,
 		}
 		if opts.shedder == "espice" {
-			qcfg.Model = tr.Model
+			if opts.retrain {
+				// Online lifecycle: register untrained, train from the
+				// query's own filtered traffic (-drift adds automatic
+				// retraining); the offline model stays a reference only.
+				qcfg.Lifecycle = &runtime.LifecycleConfig{
+					WarmupWindows: opts.warmup,
+				}
+				if opts.drift {
+					qcfg.Lifecycle.Drift = &core.DriftConfig{}
+				}
+			} else {
+				qcfg.Model = tr.Model
+			}
 		}
 		h, err := eng.Register(qcfg)
 		if err != nil {
@@ -153,6 +170,10 @@ func runQueries(opts liveOpts, w io.Writer) (*queriesResult, error) {
 			r.h.Name(), qual, qst.Delivered, qst.Skipped,
 			op.MembershipsShed, op.Memberships,
 			100*float64(op.MembershipsShed)/float64(max(1, op.Memberships)))
+		if ls := qst.Pipeline.Lifecycle; ls != nil {
+			fmt.Fprintf(w, "%-12s lifecycle trained=%v builds=%d drift-alarms=%d sampled-windows=%d\n",
+				"", ls.Trained, ls.Builds, ls.DriftAlarms, ls.WindowsSampled)
+		}
 	}
 	return res, nil
 }

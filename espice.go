@@ -359,6 +359,13 @@ func RunExperiment(cfg ExperimentConfig, kind ShedderKind) (*ExperimentResult, e
 	return harness.RunExperiment(cfg, kind)
 }
 
+// EvalWithModel runs the ground-truth pass and the overloaded shedding
+// pass for a pre-trained model — e.g. one produced (and hot-swapped) by
+// the online lifecycle — without a training pass.
+func EvalWithModel(cfg ExperimentConfig, tr *TrainResult, kind ShedderKind) (*ExperimentResult, error) {
+	return harness.EvalWithModel(cfg, tr, kind)
+}
+
 // SplitHalf divides a stream into training and evaluation halves.
 func SplitHalf(evs []Event) (train, eval []Event) { return harness.SplitHalf(evs) }
 
@@ -388,6 +395,39 @@ type (
 
 // NewPipeline builds a live pipeline.
 func NewPipeline(cfg PipelineConfig) (*Pipeline, error) { return runtime.New(cfg) }
+
+// Online model lifecycle.
+type (
+	// LifecycleConfig enables in-flight model training on a pipeline (or
+	// an engine query): the runtime samples its own window closes into a
+	// model builder, swaps the model into every shedder once warm, and —
+	// with Drift set — retrains when the input distribution shifts.
+	LifecycleConfig = runtime.LifecycleConfig
+	// LifecycleStats is a snapshot of the lifecycle counters.
+	LifecycleStats = runtime.LifecycleStats
+	// ModelLifecycle is the supervisor handle: stats, the currently
+	// published model, explicit retrains.
+	ModelLifecycle = runtime.Lifecycle
+	// FeedbackTap is the sampled window-close observer feeding the
+	// online trainer and drift detector; pipelines with a Lifecycle
+	// install taps automatically.
+	FeedbackTap = operator.FeedbackTap
+)
+
+// NewUntrainedModel returns a model with no training evidence — the
+// starting point for shedders governed by the online lifecycle; it
+// refuses to shed until a trained model is swapped in.
+func NewUntrainedModel(types, n, binSize int) (*Model, error) {
+	return core.NewUntrainedModel(types, n, binSize)
+}
+
+// NewFeedbackTap builds a standalone sampled window-close tap over a
+// model builder (every <= 1 observes all closes); install its
+// OnWindowClose as an operator hook to accumulate training statistics
+// outside a managed pipeline.
+func NewFeedbackTap(builder *ModelBuilder, every int) (*FeedbackTap, error) {
+	return operator.NewFeedbackTap(builder, every)
+}
 
 // Model persistence.
 

@@ -75,8 +75,20 @@ func (d *DriftDetector) ObserveWindow(w *window.Window, matched []window.Entry) 
 	if len(matched) == 0 || w == nil || w.Size() == 0 {
 		return
 	}
+	// Snapshot the model exactly once per call, outside the per-entry
+	// loop: the lifecycle may swap it concurrently, and all constituents
+	// of one window must be judged against the same table. Guard against
+	// a model without a table (possible after Reset with a hand-built
+	// model): no table means no evidence to mismatch against.
+	m := d.modelSnapshot()
+	if m == nil {
+		return
+	}
+	ut := m.UT()
+	if ut == nil {
+		return
+	}
 	low := 0
-	ut := d.modelSnapshot().UT()
 	for _, ent := range matched {
 		if ut.Utility(ent.Ev.Type, ent.Pos, w.Size()) <= d.cfg.LowUtility {
 			low++
@@ -119,14 +131,20 @@ func (d *DriftDetector) MismatchMean() float64 {
 	return d.mean
 }
 
-// Reset installs a (typically retrained) model and clears the statistic.
+// Reset clears the Page-Hinkley statistic and the drift flag, installing
+// model as the new reference when non-nil. Passing nil keeps the current
+// model — the swap-then-rearm sequence of the online lifecycle calls
+// Reset(newModel) right after Shedder.SwapModel, while a bare rearm
+// (e.g. after an operator-acknowledged false alarm) passes nil.
 func (d *DriftDetector) Reset(model *Model) error {
-	if model == nil {
-		return fmt.Errorf("core: Reset needs a model")
-	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.model = model
+	if model != nil {
+		d.model = model
+	}
+	if d.model == nil {
+		return fmt.Errorf("core: Reset needs a model")
+	}
 	d.n = 0
 	d.mean = 0
 	d.cumDev = 0
@@ -134,6 +152,9 @@ func (d *DriftDetector) Reset(model *Model) error {
 	d.drifted = false
 	return nil
 }
+
+// Model returns the current reference model.
+func (d *DriftDetector) Model() *Model { return d.modelSnapshot() }
 
 func (d *DriftDetector) modelSnapshot() *Model {
 	d.mu.Lock()

@@ -45,8 +45,48 @@ func TestNewDriftDetectorValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Reset(nil); err == nil {
-		t.Error("Reset(nil) must fail")
+	// Reset(nil) is a bare rearm: the current model is kept.
+	if err := d.Reset(nil); err != nil {
+		t.Errorf("Reset(nil) rearm: %v", err)
+	}
+	if d.Model() == nil {
+		t.Error("rearm dropped the model")
+	}
+}
+
+// TestDriftRearmAfterAlarm covers the swap-then-rearm sequence: a bare
+// Reset(nil) clears the alarm and statistic while keeping the reference
+// model, and observing windows afterwards works (no nil-UT panic).
+func TestDriftRearmAfterAlarm(t *testing.T) {
+	d, err := NewDriftDetector(driftModel(t), DriftConfig{MinWindows: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		w, matched := driftWindow(i % 5)
+		d.ObserveWindow(w, matched)
+	}
+	for i := 0; i < 300; i++ {
+		w, matched := driftWindow(5 + i%5)
+		d.ObserveWindow(w, matched)
+	}
+	if !d.Drifted() {
+		t.Fatal("expected drift")
+	}
+	before := d.Model()
+	if err := d.Reset(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.Drifted() || d.Windows() != 0 {
+		t.Error("rearm did not clear the alarm")
+	}
+	if d.Model() != before {
+		t.Error("rearm replaced the model")
+	}
+	w, matched := driftWindow(0)
+	d.ObserveWindow(w, matched)
+	if d.Windows() != 1 {
+		t.Errorf("post-rearm observation not counted: %d", d.Windows())
 	}
 }
 

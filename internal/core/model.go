@@ -159,7 +159,7 @@ func (b *ModelBuilder) ObserveWindow(w *window.Window, matched []window.Entry) {
 		b.matchesSeen++
 	}
 	if b.deferred {
-		ents := append([]window.Entry(nil), w.Kept...)
+		ents := w.CopyKept(nil)
 		b.bufWindows = append(b.bufWindows, ents)
 		b.bufSizes = append(b.bufSizes, ws)
 		idx := make([]int, 0, len(matched))
@@ -177,10 +177,16 @@ func (b *ModelBuilder) ObserveWindow(w *window.Window, matched []window.Entry) {
 	n := b.cfg.N
 	bins := (n + b.cfg.BinSize - 1) / b.cfg.BinSize
 	for _, ent := range w.Kept {
+		if ent.Ev.Type < 0 || int(ent.Ev.Type) >= b.cfg.Types {
+			continue // outside the configured registry slice: no cell to count
+		}
 		bin := scaledBin(ent.Pos, ws, n, b.cfg.BinSize, bins)
 		b.posCounts[int(ent.Ev.Type)*bins+bin]++
 	}
 	for _, ent := range matched {
+		if ent.Ev.Type < 0 || int(ent.Ev.Type) >= b.cfg.Types {
+			continue
+		}
 		bin := scaledBin(ent.Pos, ws, n, b.cfg.BinSize, bins)
 		b.matchCounts[int(ent.Ev.Type)*bins+bin]++
 	}
@@ -199,6 +205,66 @@ func (b *ModelBuilder) AvgWindowSize() float64 {
 	}
 	return float64(b.sizeSum) / float64(b.windows)
 }
+
+// Merge folds another builder's accumulated statistics into b, leaving o
+// untouched. Both builders must share the same configuration (types, N,
+// bin size). Merging per-shard builders is numerically identical to
+// feeding all their windows through a single builder, which is what lets
+// shards accumulate statistics without contention and a supervisor
+// combine them at (re)training time.
+func (b *ModelBuilder) Merge(o *ModelBuilder) error {
+	if o == nil {
+		return nil
+	}
+	if o.cfg != b.cfg {
+		return fmt.Errorf("core: cannot merge model builders with different configs (%+v vs %+v)",
+			o.cfg, b.cfg)
+	}
+	if b.deferred {
+		b.bufWindows = append(b.bufWindows, o.bufWindows...)
+		b.bufSizes = append(b.bufSizes, o.bufSizes...)
+		b.bufMatchIdx = append(b.bufMatchIdx, o.bufMatchIdx...)
+	} else {
+		for i, c := range o.matchCounts {
+			b.matchCounts[i] += c
+		}
+		for i, c := range o.posCounts {
+			b.posCounts[i] += c
+		}
+	}
+	b.windows += o.windows
+	b.matchesSeen += o.matchesSeen
+	b.sizeSum += o.sizeSum
+	return nil
+}
+
+// Snapshot returns an independent copy of the builder's current
+// statistics: cheap — proportional to the table size, not to the windows
+// observed — so a supervisor can capture a shard's state while the shard
+// keeps accumulating. Buffered windows (deferred mode) are shared
+// structurally; they are immutable once observed.
+func (b *ModelBuilder) Snapshot() *ModelBuilder {
+	cp := &ModelBuilder{
+		cfg:         b.cfg,
+		windows:     b.windows,
+		matchesSeen: b.matchesSeen,
+		sizeSum:     b.sizeSum,
+		deferred:    b.deferred,
+	}
+	if b.matchCounts != nil {
+		cp.matchCounts = append([]float64(nil), b.matchCounts...)
+		cp.posCounts = append([]float64(nil), b.posCounts...)
+	}
+	if b.deferred {
+		cp.bufWindows = append([][]window.Entry(nil), b.bufWindows...)
+		cp.bufSizes = append([]int(nil), b.bufSizes...)
+		cp.bufMatchIdx = append([][]int(nil), b.bufMatchIdx...)
+	}
+	return cp
+}
+
+// Config returns the builder's (defaulted) configuration.
+func (b *ModelBuilder) Config() ModelBuilderConfig { return b.cfg }
 
 // Reset clears all accumulated statistics, for retraining after input
 // distribution change (Section 3.6, "Model Retraining").
@@ -237,11 +303,17 @@ func (b *ModelBuilder) Build() (*Model, error) {
 		for wi, ents := range b.bufWindows {
 			ws := b.bufSizes[wi]
 			for _, ent := range ents {
+				if ent.Ev.Type < 0 || int(ent.Ev.Type) >= b.cfg.Types {
+					continue
+				}
 				bin := scaledBin(ent.Pos, ws, n, b.cfg.BinSize, bins)
 				posCounts[int(ent.Ev.Type)*bins+bin]++
 			}
 			for _, i := range b.bufMatchIdx[wi] {
 				ent := ents[i]
+				if ent.Ev.Type < 0 || int(ent.Ev.Type) >= b.cfg.Types {
+					continue
+				}
 				bin := scaledBin(ent.Pos, ws, n, b.cfg.BinSize, bins)
 				matchCounts[int(ent.Ev.Type)*bins+bin]++
 			}
@@ -282,6 +354,23 @@ func (b *ModelBuilder) Build() (*Model, error) {
 		n:       n,
 		windows: b.windows,
 		matches: b.matchesSeen,
+	}, nil
+}
+
+// NewUntrainedModel returns a model with no training evidence: all
+// utilities and shares are zero and Trained() reports false, so a shedder
+// built over it refuses to shed. It is the starting point of the online
+// model lifecycle — a pipeline or query registers untrained and comes
+// online once the lifecycle's first model is built and swapped in.
+func NewUntrainedModel(types, n, binSize int) (*Model, error) {
+	ut, err := NewUtilityTable(types, n, binSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		ut:     ut,
+		shares: make([]float64, types*ut.Bins()),
+		n:      n,
 	}, nil
 }
 

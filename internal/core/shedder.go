@@ -75,14 +75,54 @@ func (s *Shedder) ExactAmount() bool { return s.exact.Load() }
 
 // SetModel swaps in a retrained model. The shedder deactivates until the
 // next Configure call, since thresholds derived from the old model may
-// not fit the new utility distribution.
+// not fit the new utility distribution. Use SwapModel to keep an active
+// overload configuration shedding across the swap.
 func (s *Shedder) SetModel(model *Model) error {
 	if model == nil {
 		return fmt.Errorf("core: SetModel needs a model")
 	}
-	s.state.Store(&shedState{model: model})
-	return nil
+	for {
+		old := s.state.Load()
+		if s.state.CompareAndSwap(old, &shedState{model: model}) {
+			return nil
+		}
+	}
 }
+
+// SwapModel atomically republishes the shedder around a retrained model
+// without disturbing an active overload configuration: when shedding is
+// active, the CDT and the per-partition thresholds are re-derived from
+// the new model under the current partitioning and drop amount x, and the
+// whole state is swapped in one atomic publish — concurrent Drop calls
+// see either the old model with its thresholds or the new model with its
+// thresholds, never a mix. An inactive shedder just adopts the model.
+// Swapping in an untrained model deactivates shedding until the next
+// Configure (there is no evidence to discriminate utilities).
+// Safe to call concurrently with Drop, Configure and Deactivate.
+func (s *Shedder) SwapModel(model *Model) error {
+	if model == nil {
+		return fmt.Errorf("core: SwapModel needs a model")
+	}
+	for {
+		old := s.state.Load()
+		next := &shedState{model: model}
+		if old.uth != nil && model.Trained() {
+			cdt, err := BuildCDT(model, old.part)
+			if err != nil {
+				return err
+			}
+			next = activeShedState(model, old.part, cdt, old.x)
+		}
+		if s.state.CompareAndSwap(old, next) {
+			return nil
+		}
+	}
+}
+
+// SeedRNG resets the border-probability random generator to a known
+// state, making the probabilistic at-threshold dropping path
+// deterministic — for tests and reproducible replays.
+func (s *Shedder) SeedRNG(seed uint64) { s.rngState.Store(seed) }
 
 // Model returns the current model.
 func (s *Shedder) Model() *Model { return s.state.Load().model }
@@ -113,22 +153,37 @@ func (s *Shedder) Thresholds() []int {
 // cheap lookup). An untrained model refuses to shed — there is no
 // evidence to discriminate utilities yet.
 func (s *Shedder) Configure(part Partitioning, x float64) error {
-	old := s.state.Load()
-	if !old.model.Trained() {
-		return fmt.Errorf("core: refusing to shed with an untrained model")
-	}
-	if x <= 0 {
-		s.Deactivate()
-		return nil
-	}
-	cdt := old.cdt
-	if cdt == nil || old.part != part {
-		var err error
-		cdt, err = BuildCDT(old.model, part)
-		if err != nil {
-			return err
+	for {
+		old := s.state.Load()
+		if !old.model.Trained() {
+			return fmt.Errorf("core: refusing to shed with an untrained model")
+		}
+		if x <= 0 {
+			s.Deactivate()
+			return nil
+		}
+		cdt := old.cdt
+		if cdt == nil || old.part != part {
+			var err error
+			cdt, err = BuildCDT(old.model, part)
+			if err != nil {
+				return err
+			}
+		}
+		// Publish-by-CAS: a concurrent SwapModel may have republished the
+		// state while the CDT was building; retrying re-reads the model so
+		// thresholds never mix models.
+		if s.state.CompareAndSwap(old, activeShedState(old.model, part, cdt, x)) {
+			return nil
 		}
 	}
+}
+
+// activeShedState derives the published shedding state for a model under
+// a partitioning and per-partition drop amount x: threshold lookup plus
+// the at-threshold border probabilities for exact-amount dropping.
+// Shared by Configure and SwapModel so both derive identically.
+func activeShedState(model *Model, part Partitioning, cdt *CDT, x float64) *shedState {
 	uth := cdt.Thresholds(x)
 	border := make([]float64, len(uth))
 	for p, u := range uth {
@@ -144,24 +199,28 @@ func (s *Shedder) Configure(part Partitioning, x float64) error {
 			}
 		}
 	}
-	s.state.Store(&shedState{
-		model:      old.model,
+	return &shedState{
+		model:      model,
 		part:       part,
 		cdt:        cdt,
 		uth:        uth,
 		borderProb: border,
 		x:          x,
-	})
-	return nil
+	}
 }
 
 // Deactivate stops shedding; the model and any cached CDT are kept.
 func (s *Shedder) Deactivate() {
-	old := s.state.Load()
-	if old.uth == nil {
-		return
+	for {
+		old := s.state.Load()
+		if old.uth == nil {
+			return
+		}
+		next := &shedState{model: old.model, part: old.part, cdt: old.cdt}
+		if s.state.CompareAndSwap(old, next) {
+			return
+		}
 	}
-	s.state.Store(&shedState{model: old.model, part: old.part, cdt: old.cdt})
 }
 
 // Drop implements applyLS (Algorithm 2): it reports whether the event of

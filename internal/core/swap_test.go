@@ -1,0 +1,227 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// swapModels builds two trained models over the same dimensions with
+// opposite utility placement, so a swap visibly changes decisions.
+func swapModels(t *testing.T) (*Model, *Model) {
+	t.Helper()
+	mk := func(firstHalfHigh bool) *Model {
+		ut, err := NewUtilityTable(1, 10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares := [][]float64{make([]float64, 10)}
+		for p := 0; p < 10; p++ {
+			high := p < 5
+			if !firstHalfHigh {
+				high = !high
+			}
+			if high {
+				ut.Set(0, p, 90)
+			}
+			shares[0][p] = 1
+		}
+		m, err := NewModelFromTable(ut, shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	return mk(true), mk(false)
+}
+
+// TestSwapModelPreservesActiveConfig: swapping a model into an actively
+// shedding shedder must keep it active under the same partitioning and
+// drop amount, with thresholds re-derived from the new model — identical
+// to a fresh shedder configured directly over the new model.
+func TestSwapModelPreservesActiveConfig(t *testing.T) {
+	a, b := swapModels(t)
+	part := Partitioning{Rho: 2, PSize: 5, WS: 10}
+	const x = 2.5
+
+	s, err := NewShedder(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Configure(part, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SwapModel(b); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Active() {
+		t.Fatal("swap deactivated an active shedder")
+	}
+	if s.Partitioning() != part || s.X() != x {
+		t.Fatalf("swap disturbed the overload config: part=%+v x=%v", s.Partitioning(), s.X())
+	}
+	if s.Model() != b {
+		t.Fatal("model not swapped")
+	}
+
+	ref, err := NewShedder(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Configure(part, x); err != nil {
+		t.Fatal(err)
+	}
+	got, want := s.Thresholds(), ref.Thresholds()
+	if len(got) != len(want) {
+		t.Fatalf("threshold count %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("threshold[%d] = %d, want %d (fresh Configure over new model)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSwapModelInactiveAdopts(t *testing.T) {
+	a, b := swapModels(t)
+	s, err := NewShedder(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SwapModel(b); err != nil {
+		t.Fatal(err)
+	}
+	if s.Active() {
+		t.Error("inactive shedder became active on swap")
+	}
+	if s.Model() != b {
+		t.Error("model not adopted")
+	}
+	if err := s.SwapModel(nil); err == nil {
+		t.Error("SwapModel(nil) must fail")
+	}
+}
+
+// TestSwapModelUntrainedDeactivates: swapping an untrained model into an
+// active shedder must stop shedding (no evidence to discriminate).
+func TestSwapModelUntrainedDeactivates(t *testing.T) {
+	a, _ := swapModels(t)
+	s, err := NewShedder(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Configure(Partitioning{Rho: 2, PSize: 5, WS: 10}, 2); err != nil {
+		t.Fatal(err)
+	}
+	um, err := NewUntrainedModel(1, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SwapModel(um); err != nil {
+		t.Fatal(err)
+	}
+	if s.Active() {
+		t.Error("untrained swap left the shedder active")
+	}
+	if s.Drop(0, 0, 10) {
+		t.Error("deactivated shedder dropped")
+	}
+}
+
+// TestSwapModelConcurrentDrop hammers Drop from several goroutines while
+// the model is swapped back and forth and the detector reconfigures —
+// the lifecycle's hot-swap scenario. Run under -race; also asserts no
+// decision is ever lost (decisions == drops + keeps accounting holds).
+func TestSwapModelConcurrentDrop(t *testing.T) {
+	a, b := swapModels(t)
+	part := Partitioning{Rho: 2, PSize: 5, WS: 10}
+	s, err := NewShedder(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Configure(part, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var decided atomic.Uint64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pos := g
+			for !stop.Load() {
+				var dec, drops uint64
+				for i := 0; i < 64; i++ {
+					drop, counted := s.DropCounted(0, pos%10, 10)
+					if counted {
+						dec++
+						if drop {
+							drops++
+						}
+					}
+					pos++
+				}
+				s.TallyDecisions(dec, drops)
+				decided.Add(dec)
+			}
+		}(g)
+	}
+	for i := 0; i < 500; i++ {
+		m := a
+		if i%2 == 0 {
+			m = b
+		}
+		if err := s.SwapModel(m); err != nil {
+			t.Errorf("swap %d: %v", i, err)
+			break
+		}
+		if i%7 == 0 {
+			if err := s.Configure(part, float64(1+i%4)); err != nil {
+				t.Errorf("configure %d: %v", i, err)
+				break
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if s.Decisions() != decided.Load() {
+		t.Errorf("decision counter lost updates: %d vs %d", s.Decisions(), decided.Load())
+	}
+	if !s.Active() {
+		t.Error("shedder ended inactive")
+	}
+}
+
+// TestSeedRNGDeterministic: with the same seed, two shedders configured
+// identically make identical border-probability decisions.
+func TestSeedRNGDeterministic(t *testing.T) {
+	mk := func() *Shedder {
+		m := trainedModel(t)
+		s, err := NewShedder(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// x = 0.5 on single-event partitions forces the at-threshold
+		// probabilistic path.
+		if err := s.Configure(Partitioning{Rho: 5, PSize: 1, WS: 5}, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		s.SeedRNG(12345)
+		return s
+	}
+	s1, s2 := mk(), mk()
+	for i := 0; i < 2000; i++ {
+		d1 := s1.Drop(event.Type(i%2), i%5, 5)
+		d2 := s2.Drop(event.Type(i%2), i%5, 5)
+		if d1 != d2 {
+			t.Fatalf("decision %d diverged: %v vs %v", i, d1, d2)
+		}
+	}
+	if s1.Drops() == 0 || s1.Drops() == s1.Decisions() {
+		t.Errorf("border path not probabilistic: %d/%d drops", s1.Drops(), s1.Decisions())
+	}
+}

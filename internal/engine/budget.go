@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/runtime"
-	"repro/internal/window"
 )
 
 // Stats is a merged snapshot of the engine counters: the ingress side,
@@ -92,21 +91,26 @@ func (q *Query) Stats() QueryStats {
 	}
 }
 
-// windowSizeEstimate resolves the ws used for the query's partitioning:
-// the count-window size or the time-window size hint from the spec,
-// falling back to the trained model's N.
+// windowSizeEstimate resolves the ws used for the query's partitioning
+// and per-window cost: the count-window size or the time-window size
+// hint from the spec, falling back to the N of the shedder's *current*
+// model — not the registration-time one — so after the online lifecycle
+// swaps a retrained model in, the next budget tick recomputes the
+// query's per-window cost (and hence its drop-rate share) against the
+// new model.
 func (q *Query) windowSizeEstimate() int {
-	spec := q.cfg.Query.Window
-	switch {
-	case spec.Mode == window.ModeCount && spec.Count > 0:
-		return spec.Count
-	case spec.SizeHint > 0:
-		return spec.SizeHint
-	case q.cfg.Model != nil:
-		return q.cfg.Model.N()
-	default:
-		return 0
+	if ws := runtime.SpecWindowSize(q.cfg.Query.Window); ws > 0 {
+		return ws
 	}
+	if q.shedder != nil {
+		if m := q.shedder.Model(); m != nil && m.Trained() {
+			return m.N()
+		}
+	}
+	if q.cfg.Model != nil {
+		return q.cfg.Model.N()
+	}
+	return 0
 }
 
 // budgetLoop periodically evaluates the global overload condition over
@@ -154,6 +158,12 @@ func (e *Engine) evaluateBudget(qs []*Query) {
 		rateSum += st.InputRate
 		thSum += st.Throughput
 		if q.shedder == nil {
+			continue
+		}
+		if m := q.shedder.Model(); m == nil || !m.Trained() {
+			// A lifecycle query still warming up cannot shed yet; leave
+			// it out of the distribution instead of assigning it a share
+			// its Configure would refuse.
 			continue
 		}
 		ms = append(ms, measured{q: q, rate: st.InputRate, th: st.Throughput,

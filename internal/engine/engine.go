@@ -77,6 +77,14 @@ type QueryConfig struct {
 	// driven by the engine's global budget. Train it on the query's
 	// filtered stream (see Accepts) so positions agree.
 	Model *core.Model
+	// Lifecycle, when non-nil, puts the query's model under the online
+	// lifecycle (runtime.Config.Lifecycle): the query's pipeline trains
+	// the model from its own filtered traffic and swaps retrained models
+	// into the shedder without a pause. Model may then be nil — the
+	// query registers untrained and starts shedding once the first model
+	// is warm; a non-nil Model is the starting point the lifecycle
+	// adapts from. Lifecycle.Types defaults to Query.NumTypes.
+	Lifecycle *runtime.LifecycleConfig
 	// Weight is the query's utility weight for budget distribution:
 	// the drop-rate share is proportional to per-window cost divided by
 	// Weight, so heavier-weighted queries shed less. Default 1.
@@ -189,6 +197,22 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// untrainedModel dimensions the placeholder model an untrained lifecycle
+// query starts from, using the *effective* lifecycle config so the swap
+// target and the tap builders agree on the type count. The placeholder
+// never sheds — Trained() is false — so N is only a label until the
+// lifecycle's first real model replaces it.
+func untrainedModel(cfg QueryConfig, lcfg *runtime.LifecycleConfig) (*core.Model, error) {
+	n := lcfg.N
+	if n == 0 {
+		n = runtime.SpecWindowSize(cfg.Query.Window)
+	}
+	if n == 0 {
+		n = 1
+	}
+	return core.NewUntrainedModel(lcfg.Types, n, lcfg.BinSize)
+}
+
 // typeFilter derives the per-query delivery filter from the query's
 // patterns: the union of all step type lists, indexed by type id. A
 // wildcard step (empty type list) disables filtering entirely.
@@ -259,8 +283,30 @@ func (e *Engine) Register(cfg QueryConfig) (*Query, error) {
 	if !cfg.DisableFilter {
 		q.filter = typeFilter(cfg.Query)
 	}
-	if cfg.Model != nil {
-		s, err := core.NewShedder(cfg.Model)
+	// The effective lifecycle config is resolved first so the untrained
+	// placeholder model and the tap builders agree on the type count.
+	var lcfg *runtime.LifecycleConfig
+	if cfg.Lifecycle != nil {
+		c := *cfg.Lifecycle
+		if c.Types == 0 {
+			c.Types = cfg.Query.NumTypes
+		}
+		lcfg = &c
+		rcfg.Lifecycle = lcfg
+	}
+	model := cfg.Model
+	if model == nil && lcfg != nil {
+		// Untrained registration: the shedder exists (so the budget can
+		// command it) but refuses to shed until the lifecycle's first
+		// model is swapped in.
+		m, err := untrainedModel(cfg, lcfg)
+		if err != nil {
+			return nil, fmt.Errorf("engine: query %s: %w", name, err)
+		}
+		model = m
+	}
+	if model != nil {
+		s, err := core.NewShedder(model)
 		if err != nil {
 			return nil, fmt.Errorf("engine: query %s: %w", name, err)
 		}

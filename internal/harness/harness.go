@@ -129,6 +129,65 @@ func tableDims(q queries.Query, n, binSize int) (int, int) {
 	return n, binSize
 }
 
+// replayTraining replays events unshed through one query's operator,
+// feeding the eSPICE model builder plus the per-type frequency counts BL
+// derives its quotas from. It returns the measured membership factor (0
+// when no events were processed). Train and TrainMulti share it: Train
+// runs it once, TrainMulti runs it once per query variant over its own
+// builder and merges the builders into one model.
+func replayTraining(q queries.Query, events []event.Event, mb *core.ModelBuilder,
+	typeCounts []float64, windows *int) (float64, error) {
+	op, err := operator.New(operator.Config{
+		Window:   q.Window,
+		Patterns: q.Patterns,
+		OnWindowClose: func(w *window.Window, matched []window.Entry) {
+			mb.ObserveWindow(w, matched)
+			if w.Size() == 0 {
+				return
+			}
+			*windows++
+			for _, ent := range w.Kept {
+				if ent.Ev.Type >= 0 && int(ent.Ev.Type) < len(typeCounts) {
+					typeCounts[ent.Ev.Type]++
+				}
+			}
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := sim.ReplayUnshed(events, op); err != nil {
+		return 0, err
+	}
+	st := op.Stats()
+	if st.EventsProcessed == 0 {
+		return 0, nil
+	}
+	return float64(st.Memberships) / float64(st.EventsProcessed), nil
+}
+
+// finishTraining normalizes the frequency counts and assembles the
+// TrainResult from a fully fed builder.
+func finishTraining(mb *core.ModelBuilder, typeCounts []float64, windows int,
+	factor float64) (*TrainResult, error) {
+	model, err := mb.Build()
+	if err != nil {
+		return nil, err
+	}
+	if windows > 0 {
+		for t := range typeCounts {
+			typeCounts[t] /= float64(windows)
+		}
+	}
+	return &TrainResult{
+		Model:            model,
+		TypeFreq:         typeCounts,
+		MembershipFactor: factor,
+		Windows:          mb.WindowsSeen(),
+		Matches:          mb.MatchesSeen(),
+	}, nil
+}
+
 // Train replays events unshed through the query's operator, feeding the
 // eSPICE model builder and collecting the statistics both shedders need.
 // binSize and n configure the utility table (0 = defaults: n from the
@@ -148,49 +207,14 @@ func Train(q queries.Query, events []event.Event, binSize, n int) (*TrainResult,
 	}
 	typeCounts := make([]float64, q.NumTypes)
 	windows := 0
-	op, err := operator.New(operator.Config{
-		Window:   q.Window,
-		Patterns: q.Patterns,
-		OnWindowClose: func(w *window.Window, matched []window.Entry) {
-			mb.ObserveWindow(w, matched)
-			if w.Size() == 0 {
-				return
-			}
-			windows++
-			for _, ent := range w.Kept {
-				if ent.Ev.Type >= 0 && int(ent.Ev.Type) < len(typeCounts) {
-					typeCounts[ent.Ev.Type]++
-				}
-			}
-		},
-	})
+	factor, err := replayTraining(q, events, mb, typeCounts, &windows)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sim.ReplayUnshed(events, op); err != nil {
-		return nil, err
+	if factor == 0 {
+		factor = 1
 	}
-	model, err := mb.Build()
-	if err != nil {
-		return nil, err
-	}
-	if windows > 0 {
-		for t := range typeCounts {
-			typeCounts[t] /= float64(windows)
-		}
-	}
-	st := op.Stats()
-	factor := 1.0
-	if st.EventsProcessed > 0 {
-		factor = float64(st.Memberships) / float64(st.EventsProcessed)
-	}
-	return &TrainResult{
-		Model:            model,
-		TypeFreq:         typeCounts,
-		MembershipFactor: factor,
-		Windows:          mb.WindowsSeen(),
-		Matches:          mb.MatchesSeen(),
-	}, nil
+	return finishTraining(mb, typeCounts, windows, factor)
 }
 
 // RunConfig parameterizes one quality experiment.
@@ -244,8 +268,12 @@ type RunResult struct {
 
 // TrainMulti trains one shared model across several query variants
 // (e.g. the same pattern over different window sizes — the mixed-size
-// training of the variable-window experiment, Section 3.6). Every variant
-// replays the full training stream into the shared model builder.
+// training of the variable-window experiment, Section 3.6). Every
+// variant replays the full training stream into its own builder; the
+// per-variant builders are then merged (core.ModelBuilder.Merge — the
+// same mechanism the online lifecycle uses to combine per-shard
+// statistics), which is numerically identical to feeding one shared
+// builder.
 func TrainMulti(qs []queries.Query, events []event.Event, binSize, n int) (*TrainResult, error) {
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("harness: TrainMulti needs at least one query")
@@ -254,11 +282,12 @@ func TrainMulti(qs []queries.Query, events []event.Event, binSize, n int) (*Trai
 		return nil, fmt.Errorf("harness: no training events")
 	}
 	n, binSize = tableDims(qs[0], n, binSize)
-	mb, err := core.NewModelBuilder(core.ModelBuilderConfig{
+	bcfg := core.ModelBuilderConfig{
 		Types:   qs[0].NumTypes,
 		N:       n,
 		BinSize: binSize,
-	})
+	}
+	merged, err := core.NewModelBuilder(bcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -266,49 +295,20 @@ func TrainMulti(qs []queries.Query, events []event.Event, binSize, n int) (*Trai
 	windows := 0
 	factorSum := 0.0
 	for _, q := range qs {
-		op, err := operator.New(operator.Config{
-			Window:   q.Window,
-			Patterns: q.Patterns,
-			OnWindowClose: func(w *window.Window, matched []window.Entry) {
-				mb.ObserveWindow(w, matched)
-				if w.Size() == 0 {
-					return
-				}
-				windows++
-				for _, ent := range w.Kept {
-					if ent.Ev.Type >= 0 && int(ent.Ev.Type) < len(typeCounts) {
-						typeCounts[ent.Ev.Type]++
-					}
-				}
-			},
-		})
+		mb, err := core.NewModelBuilder(bcfg)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := sim.ReplayUnshed(events, op); err != nil {
+		factor, err := replayTraining(q, events, mb, typeCounts, &windows)
+		if err != nil {
 			return nil, err
 		}
-		st := op.Stats()
-		if st.EventsProcessed > 0 {
-			factorSum += float64(st.Memberships) / float64(st.EventsProcessed)
+		factorSum += factor
+		if err := merged.Merge(mb); err != nil {
+			return nil, err
 		}
 	}
-	model, err := mb.Build()
-	if err != nil {
-		return nil, err
-	}
-	if windows > 0 {
-		for t := range typeCounts {
-			typeCounts[t] /= float64(windows)
-		}
-	}
-	return &TrainResult{
-		Model:            model,
-		TypeFreq:         typeCounts,
-		MembershipFactor: factorSum / float64(len(qs)),
-		Windows:          mb.WindowsSeen(),
-		Matches:          mb.MatchesSeen(),
-	}, nil
+	return finishTraining(merged, typeCounts, windows, factorSum/float64(len(qs)))
 }
 
 // RunExperiment executes the full pipeline for one shedder kind.

@@ -71,6 +71,14 @@ type Config struct {
 	// (safe for core.Shedder, whose state is swapped atomically). Ignored
 	// when Shards <= 1.
 	ShardDeciders []operator.Decider
+	// Lifecycle enables the online model lifecycle: the pipeline samples
+	// its own window closes into an in-flight model builder, builds the
+	// utility model once warm, and swaps it into every *core.Shedder
+	// found in Operator.Shedder / ShardDeciders in lockstep — retraining
+	// on drift alarms (Lifecycle.Drift) or explicit Retrain calls. The
+	// shedders may start over an untrained model (core.NewUntrainedModel)
+	// and come online once the first model is built.
+	Lifecycle *LifecycleConfig
 }
 
 type queued struct {
@@ -109,6 +117,9 @@ type Stats struct {
 	Operator operator.Stats
 	// Shards holds one entry per shard when Shards > 1, nil otherwise.
 	Shards []ShardStats
+	// Lifecycle is the online model lifecycle snapshot, nil when the
+	// lifecycle is disabled.
+	Lifecycle *LifecycleStats
 }
 
 // ShardStats is a snapshot of one shard's counters.
@@ -155,6 +166,9 @@ type Pipeline struct {
 	// the serial path uses the operator's own manager instead.
 	mgr    *window.Manager
 	shards []*shard
+
+	// lifecycle supervises online model training (Config.Lifecycle).
+	lifecycle *Lifecycle
 
 	submitted   atomic.Uint64
 	processed   atomic.Uint64
@@ -213,15 +227,70 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.OutBuffer == 0 {
 		cfg.OutBuffer = 1024
 	}
+	// The lifecycle is assembled before the operator so the serial
+	// window-close hook chain can include its feedback tap.
+	var (
+		lc        *Lifecycle
+		shardTaps []*operator.FeedbackTap
+	)
+	if cfg.Lifecycle != nil {
+		var shedders []*core.Shedder
+		addShedder := func(d operator.Decider) {
+			s, ok := d.(*core.Shedder)
+			if !ok {
+				return
+			}
+			for _, have := range shedders {
+				if have == s {
+					return
+				}
+			}
+			shedders = append(shedders, s)
+		}
+		addShedder(cfg.Operator.Shedder)
+		for _, d := range cfg.ShardDeciders {
+			addShedder(d)
+		}
+		var err error
+		lc, err = newLifecycle(*cfg.Lifecycle, shedders, cfg.Operator.Window)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Shards > 1 {
+			// One tap per shard: statistics accumulate on the shard
+			// goroutines without contention and merge at (re)train time.
+			for i := 0; i < cfg.Shards; i++ {
+				tap, err := lc.newTap()
+				if err != nil {
+					return nil, err
+				}
+				shardTaps = append(shardTaps, tap)
+			}
+		} else {
+			tap, err := lc.newTap()
+			if err != nil {
+				return nil, err
+			}
+			if user := cfg.Operator.OnWindowClose; user != nil {
+				cfg.Operator.OnWindowClose = func(w *window.Window, matched []window.Entry) {
+					tap.OnWindowClose(w, matched)
+					user(w, matched)
+				}
+			} else {
+				cfg.Operator.OnWindowClose = tap.OnWindowClose
+			}
+		}
+	}
 	op, err := operator.New(cfg.Operator)
 	if err != nil {
 		return nil, err
 	}
 	p := &Pipeline{
-		cfg: cfg,
-		op:  op,
-		in:  make(chan inMsg, cfg.QueueCap),
-		out: make(chan operator.ComplexEvent, cfg.OutBuffer),
+		cfg:       cfg,
+		op:        op,
+		lifecycle: lc,
+		in:        make(chan inMsg, cfg.QueueCap),
+		out:       make(chan operator.ComplexEvent, cfg.OutBuffer),
 	}
 	p.flowCond = sync.NewCond(&p.flowMu)
 	if cfg.Shards > 1 {
@@ -251,6 +320,9 @@ func New(cfg Config) (*Pipeline, error) {
 				matcher:     operator.NewMatcher(cfg.Operator.Patterns, maxMatches),
 				wantMatched: cfg.Operator.OnWindowClose != nil,
 				delay:       cfg.ProcessingDelay,
+			}
+			if shardTaps != nil {
+				sh.tap = shardTaps[i]
 			}
 			sh.batched, _ = dec.(operator.BatchingDecider)
 			p.shards = append(p.shards, sh)
@@ -352,6 +424,10 @@ func (p *Pipeline) Stats() Stats {
 		InputRate:  loadFloat(&p.rateEst),
 		Throughput: loadFloat(&p.thEst),
 	}
+	if p.lifecycle != nil {
+		ls := p.lifecycle.Stats()
+		st.Lifecycle = &ls
+	}
 	if len(p.shards) == 0 {
 		p.mu.Lock()
 		st.Operator = p.opStats
@@ -389,6 +465,37 @@ func (p *Pipeline) Latency() *metrics.LatencyTrace {
 	return merged
 }
 
+// Retrain asks the online model lifecycle for an explicit rebuild from
+// the statistics accumulated since the last swap; it errors when the
+// pipeline was built without Config.Lifecycle. The rebuild happens on
+// the supervisor goroutine as soon as the warm-up threshold is met.
+func (p *Pipeline) Retrain() error {
+	if p.lifecycle == nil {
+		return fmt.Errorf("runtime: Retrain needs Config.Lifecycle")
+	}
+	p.lifecycle.Retrain()
+	return nil
+}
+
+// Lifecycle returns the online model lifecycle supervisor (nil when
+// disabled): stats, the currently published model, explicit retrains.
+func (p *Pipeline) Lifecycle() *Lifecycle { return p.lifecycle }
+
+// startLifecycle launches the lifecycle supervisor goroutine and returns
+// its stop function (a no-op when the lifecycle is disabled).
+func (p *Pipeline) startLifecycle() func() {
+	if p.lifecycle == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go p.lifecycle.run(stop, done)
+	return func() {
+		close(stop)
+		<-done
+	}
+}
+
 // Run processes events until the input is closed and drained, or the
 // context is canceled. It is a blocking call; the detector runs on an
 // internal goroutine for its duration.
@@ -404,6 +511,7 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		return p.runSharded(ctx)
 	}
 	defer close(p.out)
+	defer p.startLifecycle()()
 
 	detectorDone := make(chan struct{})
 	detectorStop := make(chan struct{})

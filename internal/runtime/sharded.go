@@ -65,7 +65,12 @@ type shard struct {
 	// wantMatched records whether an OnWindowClose hook consumes matched
 	// entries; only then does a close copy them out of the match scratch.
 	wantMatched bool
-	delay       time.Duration
+	// tap feeds the shard's window closes to the online model lifecycle
+	// (nil when disabled). It observes on the shard goroutine, before the
+	// close result crosses to the merge stage, so per-shard statistics
+	// accumulate without contention.
+	tap   *operator.FeedbackTap
+	delay time.Duration
 
 	memberships      atomic.Uint64
 	kept             atomic.Uint64
@@ -180,6 +185,11 @@ func (s *shard) closeWindow(ctx context.Context, m shardMsg) {
 	if found {
 		s.windowsWithMatch.Add(1)
 	}
+	if s.tap != nil {
+		// The tap reads the window and the scratch-aliased matched
+		// entries synchronously; nothing is retained past this call.
+		s.tap.OnWindowClose(m.w, matched)
+	}
 	if s.wantMatched && len(matched) > 0 {
 		// matched aliases the shard's match scratch and the result crosses
 		// to the merge goroutine, so the hook gets its own copy.
@@ -225,13 +235,17 @@ func (p *Pipeline) runSharded(ctx context.Context) error {
 	})
 	// Shard queues close after the router stops (the router is their only
 	// sender); every opened ticket is either queued or completed inline,
-	// so the sequencer always drains.
+	// so the sequencer always drains. The lifecycle supervisor stops
+	// last, after the shards drained, so its final step sees every
+	// sampled window.
+	stopLifecycle := p.startLifecycle()
 	defer func() {
 		for _, s := range p.shards {
 			close(s.in)
 		}
 		wg.Wait()
 		seq.Close()
+		stopLifecycle()
 	}()
 
 	if p.cfg.Detector != nil || p.cfg.EstimateRates {

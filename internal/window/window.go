@@ -142,6 +142,19 @@ func (w *Window) Add(e event.Event, pos int) {
 // dropped). After the window closes this is the true window size ws.
 func (w *Window) Size() int { return w.Arrivals }
 
+// CopyKept appends copies of the window's kept entries to dst and returns
+// the extended slice. Hooks and taps that must keep entries past their
+// OnWindowClose return use it to honor the pooling contract: the window's
+// own Kept buffer is recycled (and poisoned) by Release.
+func (w *Window) CopyKept(dst []Entry) []Entry {
+	return append(dst, w.Kept...)
+}
+
+// Poisoned reports whether the entry was clobbered by Release — i.e. some
+// consumer illegally retained it past the window's recycling. Valid
+// entries always carry a non-negative position.
+func (e Entry) Poisoned() bool { return e.Pos < 0 }
+
 // Closed reports whether the window has been closed by the manager.
 func (w *Window) Closed() bool { return w.closed }
 
