@@ -3,11 +3,15 @@ GO ?= go
 # Hot-path benchmark selection and budget for `make bench`. CI overrides
 # BENCHTIME to keep runs short; the committed BENCH_results.json is
 # produced at the default 1s.
-BENCH ?= BenchmarkOperatorProcess|BenchmarkShedderDecision|BenchmarkPipelineShards/nodelay|BenchmarkEngineFanout/nodelay
+BENCH ?= BenchmarkOperatorProcess|BenchmarkShedderDecision|BenchmarkPipelineShards/nodelay|BenchmarkEngineFanout/nodelay|BenchmarkCodecDecode
 BENCHTIME ?= 1s
 BENCHLABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: build test bench bench-figures fmt vet doccheck
+# Per-target budget for the fuzz smoke (CI runs this; long local fuzzing
+# goes through `go test -fuzz` directly).
+FUZZTIME ?= 10s
+
+.PHONY: build test bench bench-figures fmt vet doccheck fuzz-smoke loadtest
 
 build:
 	$(GO) build ./...
@@ -33,6 +37,20 @@ bench:
 # Full figure-reproduction sweep (slow; one iteration each).
 bench-figures:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Short fuzzing pass over the wire codec and frame parser (go test
+# allows one -fuzz pattern per invocation, hence two runs). New
+# crashers land in internal/transport/testdata/fuzz; commit them.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz '^FuzzServerFrame$$' -fuzztime=$(FUZZTIME) ./internal/transport
+
+# Drive the networked ingest path end to end (in-process loopback
+# server) and leave a machine-readable latency summary next to
+# BENCH_results.json; CI uploads it as an artifact.
+loadtest:
+	$(GO) run ./cmd/espice-loadgen -selftest -events 200000 -conns 4 -rate 0 \
+		-seconds 240 -json loadgen_summary.json
 
 fmt:
 	gofmt -l -w .

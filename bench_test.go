@@ -519,3 +519,48 @@ func BenchmarkEngineFanout(b *testing.B) {
 	// reflect the real ingress + fan-out + per-query data path cost.
 	b.Run("nodelay/engine", func(b *testing.B) { runEngine(b, 0) })
 }
+
+// BenchmarkCodecDecode measures the wire-to-event hot path of the
+// ingest server: decoding one 256-event binary frame into the decoder's
+// recycled scratch. In steady state this must be allocation-free (the
+// zero-alloc gate lives in internal/transport); the retain variant pays
+// exactly one Vals-slab allocation per frame for hand-off to a
+// pipeline.
+func BenchmarkCodecDecode(b *testing.B) {
+	mkPayload := func() []byte {
+		events := make([]Event, 256)
+		for i := range events {
+			events[i] = Event{
+				Seq:  uint64(i),
+				Type: Type(i % 16),
+				TS:   Time(i) * Millisecond,
+				Kind: Kind(i % 4),
+				Vals: []float64{float64(i), 1.5, -3},
+			}
+		}
+		var enc WireEncoder
+		return enc.AppendEvents(nil, events)
+	}
+	b.Run("scratch", func(b *testing.B) {
+		payload := mkPayload()
+		var dec WireDecoder
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dec.DecodeEvents(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("retain", func(b *testing.B) {
+		payload := mkPayload()
+		dec := WireDecoder{Retain: true}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dec.DecodeEvents(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,9 +1,10 @@
 // Command doccheck is the documentation gate: it fails (exit 1) when an
 // exported identifier in the target packages lacks a doc comment. The
 // default targets are the public surface of the repository — the facade
-// package at the root and the engine deployment layer:
+// package at the root, the engine deployment layer and the wire
+// transport:
 //
-//	go run ./cmd/doccheck            # check . and ./internal/engine
+//	go run ./cmd/doccheck            # check ., ./internal/engine, ./internal/transport
 //	go run ./cmd/doccheck ./dir ...  # check explicit directories
 //
 // Rules, mirroring revive's exported rule: top-level exported functions,
@@ -25,7 +26,7 @@ import (
 func main() {
 	targets := os.Args[1:]
 	if len(targets) == 0 {
-		targets = []string{".", "./internal/engine"}
+		targets = []string{".", "./internal/engine", "./internal/transport"}
 	}
 	bad := 0
 	for _, dir := range targets {

@@ -14,6 +14,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -44,6 +45,13 @@ type liveOpts struct {
 	retrain  bool
 	drift    bool
 	warmup   int
+
+	// cleanup registers the pipeline/engine teardown (idempotent: close
+	// input, join the run and collector goroutines). Tests pass
+	// t.Cleanup so an early test failure still drains every goroutine;
+	// when nil, the teardown runs when the replay returns — including
+	// the error paths.
+	cleanup func(func())
 }
 
 // liveResult carries the counters a caller (or test) may want to assert
@@ -84,6 +92,31 @@ func main() {
 	if _, err := runLive(opts, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// makeShutdown builds the idempotent teardown shared by runLive and
+// runQueries: seal the input, join the run goroutine (capturing its
+// error behind the returned pointer) and wait for the output collector.
+// Every exit routes through it — it is registered with opts.cleanup
+// (tests pass t.Cleanup, so even an early test failure drains all
+// goroutines) and additionally deferred by the caller for the non-test
+// path.
+func makeShutdown(opts liveOpts, closeInput func(), done chan error, collected chan struct{}) (func(), *error) {
+	var (
+		once   sync.Once
+		runErr error
+	)
+	shutdown := func() {
+		once.Do(func() {
+			closeInput()
+			runErr = <-done
+			<-collected
+		})
+	}
+	if opts.cleanup != nil {
+		opts.cleanup(shutdown)
+	}
+	return shutdown, &runErr
 }
 
 // newShedPair builds one decider/controller instance of the requested
@@ -221,6 +254,8 @@ func runLive(opts liveOpts, w io.Writer) (*liveResult, error) {
 			detected = append(detected, ce)
 		}
 	}()
+	shutdown, runErr := makeShutdown(opts, pipe.CloseInput, done, collected)
+	defer shutdown()
 
 	kbar := tr.MembershipFactor
 	capacity := float64(opts.shards) * float64(time.Second) / float64(opts.delay) / kbar
@@ -228,11 +263,10 @@ func runLive(opts liveOpts, w io.Writer) (*liveResult, error) {
 	fmt.Fprintf(w, "replaying %d events at %.0f ev/s (capacity ~%.0f ev/s, shedder %s, shards %d)\n",
 		len(eval), rate, capacity, opts.shedder, opts.shards)
 	pacedReplay(eval, rate, pipe.SubmitBatch)
-	pipe.CloseInput()
-	if err := <-done; err != nil {
-		return nil, err
+	shutdown()
+	if *runErr != nil {
+		return nil, *runErr
 	}
-	<-collected
 
 	st := pipe.Stats()
 	lat := pipe.Latency()

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/harness"
 )
 
 // TestRunLiveSmoke exercises the whole command end-to-end on a small
@@ -13,8 +15,10 @@ import (
 // per-shard eSPICE shedders, and report. It is sized to finish in about
 // a second.
 func TestRunLiveSmoke(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	var out strings.Builder
 	res, err := runLive(liveOpts{
+		cleanup:  t.Cleanup,
 		seconds:  120,
 		n:        3,
 		seed:     1,
@@ -51,8 +55,10 @@ func TestRunLiveSmoke(t *testing.T) {
 // TestRunLiveSerialSmoke covers the shards=1 path and the "none" shedder
 // wiring.
 func TestRunLiveSerialSmoke(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	var out strings.Builder
 	res, err := runLive(liveOpts{
+		cleanup:  t.Cleanup,
 		seconds:  60,
 		n:        3,
 		seed:     2,
@@ -78,6 +84,7 @@ func TestRunLiveSerialSmoke(t *testing.T) {
 // end: parse a two-query Tesla file, train per-query models on filtered
 // streams, replay through the engine under the global budget.
 func TestRunQueriesSmoke(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	qfile := filepath.Join(t.TempDir(), "queries.tesla")
 	src := `
 # man-marking of striker A by the first markers of team B
@@ -98,6 +105,7 @@ anchored
 	}
 	var out strings.Builder
 	res, err := runQueries(liveOpts{
+		cleanup:  t.Cleanup,
 		seconds:  240,
 		seed:     1,
 		delay:    300 * time.Microsecond,
@@ -144,8 +152,10 @@ anchored
 // path: the pipeline starts with an untrained shedder, trains itself
 // from live traffic and reports the lifecycle counters.
 func TestRunLiveRetrainSmoke(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	var out strings.Builder
 	res, err := runLive(liveOpts{
+		cleanup:  t.Cleanup,
 		seconds:  240,
 		n:        3,
 		seed:     1,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -134,16 +135,30 @@ func runQueries(opts liveOpts, w io.Writer) (*queriesResult, error) {
 
 	done := make(chan error, 1)
 	go func() { done <- eng.Run(context.Background()) }()
+	// One drain goroutine per query: a sequential drain would stop
+	// reading the later queries' channels, and a query that fills its
+	// OutBuffer stalls its pipeline and backpressures the whole engine.
 	detected := make(map[string][]operator.ComplexEvent, len(regs))
+	var detectedMu sync.Mutex
+	var drains sync.WaitGroup
 	collected := make(chan struct{})
+	for _, r := range regs {
+		drains.Add(1)
+		go func(h *engine.Query) {
+			defer drains.Done()
+			for ce := range h.Out() {
+				detectedMu.Lock()
+				detected[h.Name()] = append(detected[h.Name()], ce)
+				detectedMu.Unlock()
+			}
+		}(r.h)
+	}
 	go func() {
 		defer close(collected)
-		for _, r := range regs {
-			for ce := range r.h.Out() {
-				detected[r.h.Name()] = append(detected[r.h.Name()], ce)
-			}
-		}
+		drains.Wait()
 	}()
+	shutdown, runErr := makeShutdown(opts, eng.CloseInput, done, collected)
+	defer shutdown()
 
 	rate := opts.overload * capacity
 	if rate <= 0 {
@@ -152,11 +167,10 @@ func runQueries(opts liveOpts, w io.Writer) (*queriesResult, error) {
 	fmt.Fprintf(w, "replaying %d events at %.0f ev/s across %d queries (bottleneck capacity ~%.0f ev/s, shedder %s)\n",
 		len(eval), rate, len(regs), capacity, opts.shedder)
 	pacedReplay(eval, rate, eng.SubmitBatch)
-	eng.CloseInput()
-	if err := <-done; err != nil {
-		return nil, err
+	shutdown()
+	if *runErr != nil {
+		return nil, *runErr
 	}
-	<-collected
 
 	res := &queriesResult{stats: eng.Stats(), quality: make(map[string]metrics.Quality, len(regs))}
 	fmt.Fprintf(w, "\nglobal budget: overloaded=%v drop-rate=%.0f ev/s\n",

@@ -1,0 +1,325 @@
+// Command espice-loadgen is the deterministic seeded load generator for
+// espice-serve: it regenerates the same synthetic dataset the server
+// derived its registry from (same -seconds/-seed flags), tiles it to
+// the requested event budget, and replays it at a target rate over N
+// concurrent binary-framed connections. Event content is fully
+// determined by the seed; only the pacing is wall-clock.
+//
+// The report covers both sides of the wire: the client ledger (events
+// sent/accepted, flush latencies, credit-wait time — the client-visible
+// shape of server backpressure) and, when the server exposes its stats
+// document, the server-side kept/shed/latency counters. With -json the
+// summary is written as a machine-readable artifact (CI uploads it next
+// to BENCH_results.json).
+//
+// -selftest spins up an in-process espice-serve-equivalent on loopback
+// first, so the whole wire path can be exercised by one command with no
+// external server — that is what CI runs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/operator"
+	"repro/internal/pattern"
+	"repro/internal/queries"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+// loadgenOpts bundles the command-line parameters.
+type loadgenOpts struct {
+	addr     string
+	seconds  int
+	seed     int64
+	events   int
+	rate     float64
+	conns    int
+	batch    int
+	jsonOut  string
+	selftest bool
+}
+
+func main() {
+	log.SetFlags(0)
+	opts := loadgenOpts{}
+	flag.StringVar(&opts.addr, "addr", "127.0.0.1:7071", "espice-serve address")
+	flag.IntVar(&opts.seconds, "seconds", 900, "seconds of synthetic RTLS data (must match the server)")
+	flag.Int64Var(&opts.seed, "seed", 1, "generator seed (must match the server)")
+	flag.IntVar(&opts.events, "events", 500000, "total events to send, tiling the dataset as needed")
+	flag.Float64Var(&opts.rate, "rate", 100000, "target total event rate (events/s, 0 = as fast as credit allows)")
+	flag.IntVar(&opts.conns, "conns", 4, "concurrent connections")
+	flag.IntVar(&opts.batch, "batch", 256, "client flush threshold in events")
+	flag.StringVar(&opts.jsonOut, "json", "", "write the machine-readable summary to this file")
+	flag.BoolVar(&opts.selftest, "selftest", false,
+		"serve an in-process pipeline on loopback and drive it (ignores -addr)")
+	flag.Parse()
+
+	if err := run(opts, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// summary is the machine-readable result document (-json artifact).
+type summary struct {
+	Events       int                    `json:"events"`
+	Conns        int                    `json:"conns"`
+	TargetRate   float64                `json:"target_rate"`
+	AchievedRate float64                `json:"achieved_rate"`
+	WallSeconds  float64                `json:"wall_seconds"`
+	Sent         uint64                 `json:"sent"`
+	Accepted     uint64                 `json:"accepted"`
+	Redials      uint64                 `json:"redials"`
+	CreditWaitMS float64                `json:"credit_wait_ms"`
+	FlushLatency metrics.LatencySummary `json:"flush_latency"`
+	ServerStats  json.RawMessage        `json:"server_stats,omitempty"`
+}
+
+// run drives the whole load generation and reporting; factored from
+// main for tests.
+func run(opts loadgenOpts, w io.Writer) error {
+	if opts.conns < 1 {
+		opts.conns = 1
+	}
+	meta, events, err := datasets.GenerateRTLS(datasets.RTLSConfig{
+		DurationSec: opts.seconds, Seed: opts.seed,
+	})
+	if err != nil {
+		return err
+	}
+	addr := opts.addr
+	if opts.selftest {
+		stop, selfAddr, err := startSelftestServer(meta)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		addr = selfAddr
+		fmt.Fprintf(w, "selftest server on %s\n", addr)
+	}
+
+	fmt.Fprintf(w, "replaying %d events over %d conns at %.0f ev/s (dataset: %d events, seed %d)\n",
+		opts.events, opts.conns, opts.rate, len(events), opts.seed)
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		flushes metrics.LatencyTrace
+		total   transport.ClientStats
+		firstE  error
+		doc     []byte
+	)
+	perConn := opts.events / opts.conns
+	perRate := opts.rate / float64(opts.conns)
+	start := time.Now()
+	for ci := 0; ci < opts.conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			extra := 0
+			if ci == 0 {
+				extra = opts.events - perConn*opts.conns
+			}
+			st, trace, sdoc, err := driveConn(addr, events, ci, perConn+extra, perRate, opts.batch, ci == 0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstE == nil {
+				firstE = fmt.Errorf("conn %d: %w", ci, err)
+				return
+			}
+			total.Sent += st.Sent
+			total.Accepted += st.Accepted
+			total.Redials += st.Redials
+			total.CreditWait += st.CreditWait
+			flushes.Merge(trace)
+			if sdoc != nil {
+				doc = sdoc
+			}
+		}(ci)
+	}
+	wg.Wait()
+	if firstE != nil {
+		return firstE
+	}
+	wall := time.Since(start)
+
+	sum := summary{
+		Events:       opts.events,
+		Conns:        opts.conns,
+		TargetRate:   opts.rate,
+		AchievedRate: float64(total.Sent) / wall.Seconds(),
+		WallSeconds:  wall.Seconds(),
+		Sent:         total.Sent,
+		Accepted:     total.Accepted,
+		Redials:      total.Redials,
+		CreditWaitMS: float64(total.CreditWait.Milliseconds()),
+		FlushLatency: flushes.Summary(),
+		ServerStats:  doc,
+	}
+	if sum.TargetRate > 0 {
+		fmt.Fprintf(w, "sent %d, accepted %d (%.1f%% of target rate, %.2fs wall)\n",
+			sum.Sent, sum.Accepted, 100*sum.AchievedRate/sum.TargetRate, sum.WallSeconds)
+	} else {
+		fmt.Fprintf(w, "sent %d, accepted %d (%.0f ev/s, %.2fs wall)\n",
+			sum.Sent, sum.Accepted, sum.AchievedRate, sum.WallSeconds)
+	}
+	fmt.Fprintf(w, "flush latency: mean %.1fms p95 %.1fms max %.1fms; credit wait %.0fms total\n",
+		sum.FlushLatency.MeanUS/1000, sum.FlushLatency.P95US/1000, sum.FlushLatency.MaxUS/1000,
+		sum.CreditWaitMS)
+	if doc != nil {
+		fmt.Fprintf(w, "server: %s\n", doc)
+	}
+	if opts.jsonOut != "" {
+		blob, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.jsonOut, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "summary written to %s\n", opts.jsonOut)
+	}
+	return nil
+}
+
+// driveConn replays total events (tiling the base stream, sequence
+// numbers rewritten to stay unique across connections) at the target
+// per-connection rate, recording per-flush latencies. The stats
+// requester additionally fetches the server's stats document before
+// closing.
+func driveConn(addr string, base []event.Event, ci, total int, rate float64, batch int, wantStats bool) (transport.ClientStats, *metrics.LatencyTrace, []byte, error) {
+	trace := &metrics.LatencyTrace{}
+	c, err := transport.Dial(transport.ClientConfig{
+		Addr:        addr,
+		BatchEvents: batch,
+		Reconnect:   true,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		return transport.ClientStats{}, trace, nil, err
+	}
+	buf := make([]event.Event, 0, batch)
+	sent := 0
+	seq := uint64(ci) << 40 // disjoint per-connection sequence ranges
+	start := time.Now()
+	interval := time.Duration(0)
+	if rate > 0 {
+		interval = time.Duration(float64(time.Second) / rate)
+	}
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		t0 := time.Now()
+		if err := c.SubmitBatch(buf); err != nil {
+			return err
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		trace.Add(event.Time(t0.UnixMicro()), event.Time(time.Since(t0).Microseconds()))
+		buf = buf[:0]
+		return nil
+	}
+	for sent < total {
+		for _, ev := range base {
+			if sent == total {
+				break
+			}
+			ev.Seq = seq
+			seq++
+			buf = append(buf, ev)
+			sent++
+			if len(buf) == batch {
+				if interval > 0 {
+					if d := time.Until(start.Add(time.Duration(sent) * interval)); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				if err := flush(); err != nil {
+					return c.Stats(), trace, nil, err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return c.Stats(), trace, nil, err
+	}
+	var doc []byte
+	if wantStats {
+		doc, err = c.ServerStats()
+		if err != nil {
+			return c.Stats(), trace, nil, err
+		}
+	}
+	st, err := c.Close()
+	return st, trace, doc, err
+}
+
+// startSelftestServer assembles a loopback espice-serve equivalent — a
+// 2-shard Q1 pipeline behind a transport server — and returns its
+// teardown and address.
+func startSelftestServer(meta *datasets.RTLSMeta) (stop func(), addr string, err error) {
+	query, err := queries.Q1(meta, 3, pattern.SelectFirst, 15)
+	if err != nil {
+		return nil, "", err
+	}
+	pipe, err := runtime.New(runtime.Config{
+		Operator:           operator.Config{Window: query.Window, Patterns: query.Patterns},
+		Shards:             2,
+		LatencySampleEvery: 256,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- pipe.Run(context.Background()) }()
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for range pipe.Out() {
+		}
+	}()
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Sink:     pipe,
+		Registry: meta.Registry,
+		StatsJSON: func() []byte {
+			doc, merr := json.Marshal(map[string]any{
+				"stats":   pipe.Stats(),
+				"latency": pipe.Latency().Summary(),
+			})
+			if merr != nil {
+				return []byte("{}")
+			}
+			return doc
+		},
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	stop = func() {
+		srv.Close()
+		<-serveDone
+		pipe.CloseInput()
+		<-runDone
+		<-collected
+	}
+	return stop, ln.Addr().String(), nil
+}

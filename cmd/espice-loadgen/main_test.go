@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestLoadgenSelftest runs the whole command in -selftest mode: spin up
+// the loopback server, drive it over 4 connections, and write the JSON
+// summary artifact — the exact invocation CI uses.
+func TestLoadgenSelftest(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	jsonOut := filepath.Join(t.TempDir(), "summary.json")
+	var out strings.Builder
+	err := run(loadgenOpts{
+		seconds:  120,
+		seed:     1,
+		events:   30000,
+		rate:     0,
+		conns:    4,
+		batch:    256,
+		jsonOut:  jsonOut,
+		selftest: true,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	blob, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal(blob, &sum); err != nil {
+		t.Fatalf("summary artifact: %v\n%s", err, blob)
+	}
+	if sum.Sent != 30000 || sum.Accepted != 30000 {
+		t.Errorf("ledger: sent=%d accepted=%d, want 30000 each", sum.Sent, sum.Accepted)
+	}
+	if sum.FlushLatency.Count == 0 {
+		t.Error("no flush latencies recorded")
+	}
+	if len(sum.ServerStats) == 0 {
+		t.Error("no server stats document collected")
+	}
+	if !strings.Contains(out.String(), "summary written to") {
+		t.Errorf("missing artifact confirmation:\n%s", out.String())
+	}
+}
+
+// TestLoadgenPaced covers the rate-paced path (low budget, high rate so
+// the test stays fast) and the uneven events/conns remainder.
+func TestLoadgenPaced(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	var out strings.Builder
+	err := run(loadgenOpts{
+		seconds:  60,
+		seed:     2,
+		events:   10001,
+		rate:     2_000_000,
+		conns:    3,
+		batch:    128,
+		selftest: true,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "sent 10001, accepted 10001") {
+		t.Errorf("remainder events lost:\n%s", out.String())
+	}
+}

@@ -1,0 +1,417 @@
+// Command espice-serve is the networked ingest deployment of the live
+// eSPICE pipeline: it listens on TCP, accepts primitive events in the
+// binary framing or as NDJSON lines (see docs/wire.md), and feeds them
+// into a sharded runtime.Pipeline — or, with -queries, into the
+// multi-query engine — with load shedding driven by the overload
+// detector. Backpressure reaches clients through per-connection credit
+// windows, so an overloaded server sheds by utility instead of
+// buffering without bound.
+//
+// The event-type registry is derived deterministically from the dataset
+// flags (-seconds, -seed), exactly as cmd/espice-loadgen derives it, so
+// a loadgen started with the same flags speaks the same type ids.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/operator"
+	"repro/internal/pattern"
+	"repro/internal/queries"
+	"repro/internal/runtime"
+	"repro/internal/tesla"
+	"repro/internal/transport"
+)
+
+// serveOpts bundles the command-line parameters so the whole server is
+// constructable from tests.
+type serveOpts struct {
+	addr    string
+	seconds int
+	seed    int64
+	n       int
+	winSec  int
+	shards  int
+	shedder string
+	bound   time.Duration
+	f       float64
+	delay   time.Duration
+	queries string
+	credit  int
+	latEvry int
+	report  time.Duration
+}
+
+func main() {
+	log.SetFlags(0)
+	opts := serveOpts{}
+	flag.StringVar(&opts.addr, "addr", ":7071", "listen address")
+	flag.IntVar(&opts.seconds, "seconds", 900, "seconds of synthetic RTLS data for registry + training")
+	flag.Int64Var(&opts.seed, "seed", 1, "generator seed (must match the load generator)")
+	flag.IntVar(&opts.n, "n", 4, "Q1 pattern size")
+	flag.IntVar(&opts.winSec, "window-sec", 15, "Q1 window length in seconds")
+	flag.IntVar(&opts.shards, "shards", 1, "parallel operator instances")
+	flag.StringVar(&opts.shedder, "shedder", "espice", "shedder: espice or none")
+	flag.DurationVar(&opts.bound, "bound", 500*time.Millisecond, "latency bound LB")
+	flag.Float64Var(&opts.f, "f", 0.7, "shedding trigger fraction f")
+	flag.DurationVar(&opts.delay, "delay", 0, "artificial processing cost per kept membership")
+	flag.StringVar(&opts.queries, "queries", "",
+		"multi-query mode: file of Tesla-text define blocks served side by side on the engine")
+	flag.IntVar(&opts.credit, "credit", transport.DefaultWindow, "per-connection credit window in events")
+	flag.IntVar(&opts.latEvry, "latency-sample", 256, "record 1 in N end-to-end latency samples")
+	flag.DurationVar(&opts.report, "report", 10*time.Second, "stderr stats interval (0 disables)")
+	flag.Parse()
+
+	app, err := buildServe(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := app.run(ctx, ln, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serveApp is a fully assembled ingest deployment: transport server in
+// front of either a pipeline or an engine.
+type serveApp struct {
+	opts serveOpts
+	srv  *transport.Server
+
+	// Exactly one of pipe/eng is set.
+	pipe    *runtime.Pipeline
+	eng     *engine.Engine
+	handles []*engine.Query
+
+	complexEvents atomic.Uint64
+}
+
+// buildServe assembles the deployment described by opts: generate the
+// dataset (registry + training data), train the model(s) when shedding
+// is on, and wire pipeline/engine, shedders, detector and transport
+// server together.
+func buildServe(opts serveOpts) (*serveApp, error) {
+	if opts.shards < 1 {
+		opts.shards = 1
+	}
+	if opts.shedder != "espice" && opts.shedder != "none" {
+		return nil, fmt.Errorf("espice-serve: shedder must be espice or none, got %q", opts.shedder)
+	}
+	meta, events, err := datasets.GenerateRTLS(datasets.RTLSConfig{
+		DurationSec: opts.seconds, Seed: opts.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	app := &serveApp{opts: opts}
+	if opts.queries != "" {
+		if err := app.buildEngine(meta, events); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := app.buildPipeline(meta, events); err != nil {
+			return nil, err
+		}
+	}
+	var sink transport.Sink = app.pipe
+	if app.eng != nil {
+		sink = app.eng
+	}
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Sink:      sink,
+		Registry:  meta.Registry,
+		Window:    opts.credit,
+		StatsJSON: app.statsJSON,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	app.srv = srv
+	return app, nil
+}
+
+// buildPipeline assembles the single-query (Q1) deployment.
+func (app *serveApp) buildPipeline(meta *datasets.RTLSMeta, events []event.Event) error {
+	opts := app.opts
+	query, err := queries.Q1(meta, opts.n, pattern.SelectFirst, opts.winSec)
+	if err != nil {
+		return err
+	}
+	cfg := runtime.Config{
+		Operator: operator.Config{
+			Window:   query.Window,
+			Patterns: query.Patterns,
+		},
+		EstimateRates:      true,
+		PollInterval:       5 * time.Millisecond,
+		ProcessingDelay:    opts.delay,
+		Shards:             opts.shards,
+		LatencySampleEvery: opts.latEvry,
+	}
+	if opts.shedder == "espice" {
+		tr, err := harness.Train(query, events, 0, 0)
+		if err != nil {
+			return err
+		}
+		shedder, err := core.NewShedder(tr.Model)
+		if err != nil {
+			return err
+		}
+		det, err := core.NewOverloadDetector(core.DetectorConfig{
+			LatencyBound: event.Time(opts.bound.Microseconds()),
+			F:            opts.f,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Operator.Shedder = shedder
+		cfg.Detector = det
+		cfg.Controller = harness.ESPICEController{S: shedder}
+	}
+	pipe, err := runtime.New(cfg)
+	if err != nil {
+		return err
+	}
+	app.pipe = pipe
+	return nil
+}
+
+// buildEngine assembles the multi-query deployment from a Tesla file:
+// each query is trained on its filtered view of the generated stream
+// and registered under the engine's global shedding budget.
+func (app *serveApp) buildEngine(meta *datasets.RTLSMeta, events []event.Event) error {
+	opts := app.opts
+	src, err := os.ReadFile(opts.queries)
+	if err != nil {
+		return err
+	}
+	qs, err := tesla.ParseMulti(string(src), tesla.Env{Registry: meta.Registry, Schema: meta.Schema})
+	if err != nil {
+		return err
+	}
+	ecfg := engine.Config{PollInterval: 5 * time.Millisecond}
+	if opts.shedder == "espice" {
+		ecfg.LatencyBound = event.Time(opts.bound.Microseconds())
+		ecfg.F = opts.f
+	}
+	eng, err := engine.New(ecfg)
+	if err != nil {
+		return err
+	}
+	for _, q := range qs {
+		qcfg := engine.QueryConfig{
+			Query:           q,
+			Shards:          opts.shards,
+			ProcessingDelay: opts.delay,
+		}
+		if opts.shedder == "espice" {
+			ftrain := engine.FilterStream(q, events)
+			if len(ftrain) == 0 {
+				return fmt.Errorf("espice-serve: query %s: filter leaves no training events", q.Name)
+			}
+			tr, err := harness.Train(q, ftrain, 0, 0)
+			if err != nil {
+				return fmt.Errorf("espice-serve: query %s: %w", q.Name, err)
+			}
+			qcfg.Model = tr.Model
+		}
+		h, err := eng.Register(qcfg)
+		if err != nil {
+			return err
+		}
+		app.handles = append(app.handles, h)
+	}
+	app.eng = eng
+	return nil
+}
+
+// run serves on ln until ctx is canceled, then drains in order:
+// transport first (no new events), then the stream (pipelines flush
+// their windows), then the output collectors. It is the blocking body
+// of main, factored for tests.
+func (app *serveApp) run(ctx context.Context, ln net.Listener, w io.Writer) error {
+	runDone := make(chan error, 1)
+	collected := make(chan struct{})
+	if app.pipe != nil {
+		go func() { runDone <- app.pipe.Run(context.Background()) }()
+		go func() {
+			defer close(collected)
+			for range app.pipe.Out() {
+				app.complexEvents.Add(1)
+			}
+		}()
+	} else {
+		go func() { runDone <- app.eng.Run(context.Background()) }()
+		// One collector per query: a sequential drain would stop reading
+		// the other queries' channels, and a query whose OutBuffer fills
+		// stalls its pipeline — which backpressures the whole engine and
+		// wedges ingestion.
+		var wg sync.WaitGroup
+		for _, h := range app.handles {
+			wg.Add(1)
+			go func(h *engine.Query) {
+				defer wg.Done()
+				for range h.Out() {
+					app.complexEvents.Add(1)
+				}
+			}(h)
+		}
+		go func() {
+			defer close(collected)
+			wg.Wait()
+		}()
+	}
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- app.srv.Serve(ln) }()
+	fmt.Fprintf(w, "espice-serve: listening on %s (%s)\n", ln.Addr(), app.mode())
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if app.opts.report > 0 {
+		ticker = time.NewTicker(app.opts.report)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	// Drain order matters: close the wire, seal the stream, wait for
+	// the windows to flush, then read the last output. Both exits — the
+	// signal and a fatal listener error — route through it, so the run
+	// and collector goroutines never leak.
+	drain := func() error {
+		if err := app.srv.Close(); err != nil {
+			fmt.Fprintf(w, "espice-serve: close: %v\n", err)
+		}
+		if app.pipe != nil {
+			app.pipe.CloseInput()
+		} else {
+			app.eng.CloseInput()
+		}
+		err := <-runDone
+		<-collected
+		doc, _ := json.Marshal(app.stats())
+		fmt.Fprintf(w, "espice-serve: final %s\n", doc)
+		return err
+	}
+	for {
+		select {
+		case <-tick:
+			doc, _ := json.Marshal(app.stats())
+			fmt.Fprintf(w, "espice-serve: %s\n", doc)
+		case <-ctx.Done():
+			return drain()
+		case err := <-serveDone:
+			if derr := drain(); err == nil {
+				err = derr
+			}
+			return err
+		}
+	}
+}
+
+// mode names the deployment for the startup line.
+func (app *serveApp) mode() string {
+	switch {
+	case app.eng != nil:
+		return fmt.Sprintf("engine, %d queries", len(app.handles))
+	case app.opts.shards > 1:
+		return fmt.Sprintf("sharded pipeline, %d shards", app.opts.shards)
+	default:
+		return "serial pipeline"
+	}
+}
+
+// serveStats is the statistics document served to FrameStatsReq clients
+// and logged periodically; the JSON field names are the wire contract
+// the load generator reports from.
+type serveStats struct {
+	Server        transport.ServerStats  `json:"server"`
+	Submitted     uint64                 `json:"submitted"`
+	Processed     uint64                 `json:"processed"`
+	QueueLen      int                    `json:"queue_len"`
+	Memberships   uint64                 `json:"memberships"`
+	Kept          uint64                 `json:"kept"`
+	Shed          uint64                 `json:"shed"`
+	ComplexEvents uint64                 `json:"complex_events"`
+	Latency       metrics.LatencySummary `json:"latency"`
+	Queries       []serveQueryStats      `json:"queries,omitempty"`
+}
+
+// serveQueryStats is the per-query slice of the stats document in
+// engine mode.
+type serveQueryStats struct {
+	Name      string `json:"name"`
+	Delivered uint64 `json:"delivered"`
+	Skipped   uint64 `json:"skipped"`
+	Kept      uint64 `json:"kept"`
+	Shed      uint64 `json:"shed"`
+}
+
+// stats assembles the current statistics document.
+func (app *serveApp) stats() serveStats {
+	st := serveStats{
+		Server:        app.srv.Stats(),
+		ComplexEvents: app.complexEvents.Load(),
+	}
+	if app.pipe != nil {
+		ps := app.pipe.Stats()
+		st.Submitted = ps.Submitted
+		st.Processed = ps.Processed
+		st.QueueLen = ps.QueueLen
+		st.Memberships = ps.Operator.Memberships
+		st.Kept = ps.Operator.MembershipsKept
+		st.Shed = ps.Operator.MembershipsShed
+		st.Latency = app.pipe.Latency().Summary()
+		return st
+	}
+	es := app.eng.Stats()
+	st.Submitted = es.Submitted
+	for _, h := range app.handles {
+		qs := h.Stats()
+		st.Processed += qs.Pipeline.Processed
+		st.QueueLen += qs.Pipeline.QueueLen
+		st.Memberships += qs.Pipeline.Operator.Memberships
+		st.Kept += qs.Pipeline.Operator.MembershipsKept
+		st.Shed += qs.Pipeline.Operator.MembershipsShed
+		st.Queries = append(st.Queries, serveQueryStats{
+			Name:      h.Name(),
+			Delivered: qs.Delivered,
+			Skipped:   qs.Skipped,
+			Kept:      qs.Pipeline.Operator.MembershipsKept,
+			Shed:      qs.Pipeline.Operator.MembershipsShed,
+		})
+	}
+	return st
+}
+
+// statsJSON is the transport.ServerConfig hook.
+func (app *serveApp) statsJSON() []byte {
+	doc, err := json.Marshal(app.stats())
+	if err != nil {
+		return []byte("{}")
+	}
+	return doc
+}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/tesla"
+	"repro/internal/transport"
 	"repro/internal/window"
 )
 
@@ -517,3 +518,45 @@ type (
 	// RandomController drives the random shedder.
 	RandomController = harness.RandomController
 )
+
+// Networked ingestion (internal/transport): the TCP wire boundary in
+// front of a Pipeline or Engine. See docs/wire.md for the frame format,
+// the credit protocol and the backpressure semantics.
+type (
+	// IngestServer accepts binary-framed or NDJSON event streams over
+	// TCP and feeds them into an IngestSink under per-connection credit
+	// windows, so overload is resolved by the load shedder rather than
+	// by unbounded buffering.
+	IngestServer = transport.Server
+	// IngestServerConfig assembles an ingest server.
+	IngestServerConfig = transport.ServerConfig
+	// IngestServerStats is a snapshot of server counters.
+	IngestServerStats = transport.ServerStats
+	// IngestSink absorbs ingested event batches; Pipeline and Engine
+	// both satisfy it.
+	IngestSink = transport.Sink
+	// IngestClient is the batching, reconnecting, credit-aware producer
+	// for the binary framing.
+	IngestClient = transport.Client
+	// IngestClientConfig assembles an ingest client.
+	IngestClientConfig = transport.ClientConfig
+	// IngestClientStats is the client's ledger: events sent and
+	// acknowledged, flushes, redials and cumulative credit-wait time.
+	IngestClientStats = transport.ClientStats
+	// WireEncoder serializes event batches into the binary framing.
+	WireEncoder = transport.Encoder
+	// WireDecoder parses binary event frames with recycled scratch
+	// (allocation-free in steady state; see the Retain field for the
+	// hand-off mode).
+	WireDecoder = transport.Decoder
+)
+
+// NewIngestServer builds a TCP ingest server around a sink.
+func NewIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
+	return transport.NewServer(cfg)
+}
+
+// DialIngest connects an ingest client to an espice-serve address.
+func DialIngest(cfg IngestClientConfig) (*IngestClient, error) {
+	return transport.Dial(cfg)
+}

@@ -14,6 +14,7 @@ import (
 // the global budget activates both shedders and that the higher-weight
 // query sheds a smaller fraction of its traffic.
 func TestGlobalBudgetSheds(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	const delay = 100 * time.Microsecond
 	training := syntheticStream(16384)
 	e, err := New(Config{

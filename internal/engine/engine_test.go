@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/harness"
 	"repro/internal/operator"
 	"repro/internal/pattern"
 	"repro/internal/queries"
@@ -143,6 +144,7 @@ func TestDistributeBudget(t *testing.T) {
 // shedding disabled, each query's output under the engine is identical
 // to running its pipeline standalone on the query's filtered stream.
 func TestEngineEquivalence(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	events := syntheticStream(4096)
 	e, err := New(Config{})
 	if err != nil {
@@ -216,6 +218,7 @@ func TestEngineEquivalence(t *testing.T) {
 // must not deadlock, the removed query's Out must close, and the
 // remaining queries must still see every one of their events.
 func TestDeregisterUnderLiveTraffic(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	events := syntheticStream(8192)
 	e, err := New(Config{})
 	if err != nil {
@@ -297,6 +300,7 @@ func TestDeregisterUnderLiveTraffic(t *testing.T) {
 // concurrent submitter; run under -race this is the registration
 // data-race check.
 func TestConcurrentRegisterSubmit(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	e, err := New(Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -391,6 +395,7 @@ func TestRegisterErrors(t *testing.T) {
 // exactly. Run with -race: it exercises the pool plumbing end to end
 // (engine fan-out -> sharded router -> shards -> merge -> release).
 func TestEngineShardedPoolChurn(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	events := syntheticStream(20000)
 	e, err := New(Config{})
 	if err != nil {
@@ -446,6 +451,7 @@ func TestEngineShardedPoolChurn(t *testing.T) {
 // train itself from its filtered traffic and swap the model into its
 // shedder, while the plain query keeps receiving every event.
 func TestQueryLifecycleComesOnline(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	eng, err := New(Config{LatencyBound: 50 * event.Millisecond})
 	if err != nil {
 		t.Fatal(err)

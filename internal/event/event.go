@@ -12,6 +12,7 @@ package event
 import (
 	"fmt"
 	"strconv"
+	"strings"
 )
 
 // Type identifies an event type (e.g., a stock symbol or a player id).
@@ -63,24 +64,44 @@ const (
 	KindPosition        // plain position update (background traffic)
 )
 
+// kindNames is the single name table shared by Kind.String and
+// ParseKind, indexed by Kind, so rendering and parsing cannot drift;
+// add new bundled kinds here.
+var kindNames = [...]string{
+	KindNone:       "none",
+	KindRising:     "rising",
+	KindFalling:    "falling",
+	KindPossession: "possession",
+	KindDefend:     "defend",
+	KindPosition:   "position",
+}
+
 // String returns the name of the kind.
 func (k Kind) String() string {
-	switch k {
-	case KindNone:
-		return "none"
-	case KindRising:
-		return "rising"
-	case KindFalling:
-		return "falling"
-	case KindPossession:
-		return "possession"
-	case KindDefend:
-		return "defend"
-	case KindPosition:
-		return "position"
-	default:
-		return "kind(" + strconv.Itoa(int(k)) + ")"
+	if int(k) < len(kindNames) {
+		return kindNames[k]
 	}
+	return "kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// ParseKind resolves a kind name as rendered by Kind.String back to the
+// Kind value. It accepts the bundled kinds (via the shared kindNames
+// table) plus the "kind(<n>)" fallback spelling, so any String output
+// round-trips; wire codecs (NDJSON ingest) use it to accept kinds by
+// name.
+func ParseKind(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	if strings.HasPrefix(name, "kind(") && strings.HasSuffix(name, ")") {
+		n, err := strconv.Atoi(name[len("kind(") : len(name)-1])
+		if err == nil && n >= len(kindNames) && n <= 255 {
+			return Kind(n), true
+		}
+	}
+	return KindNone, false
 }
 
 // Event is a primitive event in an input event stream.

@@ -210,3 +210,18 @@ func TestRegistryDenseIDsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestParseKind(t *testing.T) {
+	// Every bundled kind round-trips through its String form.
+	for _, k := range []Kind{KindNone, KindRising, KindFalling, KindPossession, KindDefend, KindPosition, Kind(77)} {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	for _, bad := range []string{"", "Rising", "kind(-1)", "kind(256)", "kind(x)", "unknown"} {
+		if _, ok := ParseKind(bad); ok {
+			t.Errorf("ParseKind(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the leak checker needs; taking the
+// interface keeps this production file free of a testing import.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// VerifyNoLeaks registers a cleanup that fails the test when goroutines
+// started during the test outlive it. Call it first thing in a test
+// (before any shutdown is registered with Cleanup, so the check runs
+// last); every pipeline, engine and transport test should, so a missing
+// CloseInput/Close/drain surfaces as a test failure instead of a silent
+// goroutine leak.
+//
+// The checker snapshots the live goroutine ids at call time and, at
+// cleanup, waits (with backoff, up to about two seconds) for every
+// goroutine not in the snapshot to exit. Runtime-internal and testing
+// goroutines are ignored; anything else still alive is reported with
+// its stack.
+func VerifyNoLeaks(t TB) {
+	t.Helper()
+	before := goroutineIDs()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []goroutineStack
+		for {
+			leaked = leaked[:0]
+			for _, g := range goroutineStacks() {
+				if _, existed := before[g.id]; existed || g.ignorable() {
+					continue
+				}
+				leaked = append(leaked, g)
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		sort.Slice(leaked, func(i, j int) bool { return leaked[i].id < leaked[j].id })
+		var sb strings.Builder
+		for _, g := range leaked {
+			fmt.Fprintf(&sb, "\n%s", g.dump)
+		}
+		t.Errorf("harness: %d goroutine(s) leaked by this test:%s", len(leaked), sb.String())
+	})
+}
+
+// goroutineStack is one parsed entry of a full runtime.Stack dump.
+type goroutineStack struct {
+	id   uint64
+	dump string // full entry, header included
+}
+
+// ignorable reports whether the goroutine belongs to the runtime or
+// the testing framework rather than to code under test.
+func (g goroutineStack) ignorable() bool {
+	for _, marker := range []string{
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.runTests",
+		"testing.tRunner",
+		"runtime.goexit0",
+		"runtime/trace",
+		"os/signal.signal_recv",
+		"created by runtime",
+		"runtime.MutexProfile",
+		"runtime.gc",
+	} {
+		if strings.Contains(g.dump, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// goroutineStacks captures and parses the full goroutine dump.
+func goroutineStacks() []goroutineStack {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutineStack
+	for _, entry := range strings.Split(string(buf), "\n\n") {
+		if !strings.HasPrefix(entry, "goroutine ") {
+			continue
+		}
+		rest := entry[len("goroutine "):]
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			continue
+		}
+		id, err := strconv.ParseUint(rest[:sp], 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, goroutineStack{id: id, dump: entry})
+	}
+	return out
+}
+
+// goroutineIDs returns the set of currently live goroutine ids.
+func goroutineIDs() map[uint64]struct{} {
+	ids := make(map[uint64]struct{})
+	for _, g := range goroutineStacks() {
+		ids[g.id] = struct{}{}
+	}
+	return ids
+}

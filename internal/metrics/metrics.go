@@ -122,6 +122,55 @@ func (l *LatencyTrace) Mean() event.Time {
 	return event.Time(sum / int64(len(l.lat)))
 }
 
+// LatencySummary condenses a trace into the fixed set of statistics the
+// load generator and the ingest server report. All latencies are in
+// microseconds; the JSON field names are the wire/artifact contract
+// (cmd/espice-loadgen writes this next to BENCH_results.json in CI).
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// Summary computes the condensed statistics of the trace with a single
+// sort of one copy, so live deployments can serve it per stats request
+// without re-sorting per percentile.
+func (l *LatencyTrace) Summary() LatencySummary {
+	if len(l.lat) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]event.Time(nil), l.lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p float64) float64 {
+		idx := int(p / 100 * float64(len(sorted)-1))
+		return float64(sorted[idx])
+	}
+	return LatencySummary{
+		Count:  len(sorted),
+		MeanUS: float64(l.Mean()),
+		P50US:  at(50),
+		P95US:  at(95),
+		P99US:  at(99),
+		MaxUS:  float64(sorted[len(sorted)-1]),
+	}
+}
+
+// Decimate drops every second sample in place, halving the trace.
+// Long-running pipelines call it (doubling their sampling stride at the
+// same time) to keep the trace bounded while the remaining samples stay
+// uniformly spread over the run.
+func (l *LatencyTrace) Decimate() {
+	n := 0
+	for i := 0; i < len(l.lat); i += 2 {
+		l.at[n], l.lat[n] = l.at[i], l.lat[i]
+		n++
+	}
+	l.at, l.lat = l.at[:n], l.lat[:n]
+}
+
 // Percentile returns the p-th percentile latency (p in [0,100]).
 func (l *LatencyTrace) Percentile(p float64) event.Time {
 	if len(l.lat) == 0 {

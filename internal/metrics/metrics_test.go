@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -137,4 +138,59 @@ func TestBucketize(t *testing.T) {
 	if ts, _ := empty.Bucketize(event.Second); ts != nil {
 		t.Error("empty trace must return nil")
 	}
+}
+
+func TestLatencySummary(t *testing.T) {
+	var l LatencyTrace
+	for i := 1; i <= 100; i++ {
+		l.Add(event.Time(i)*event.Millisecond, event.Time(i)*event.Millisecond)
+	}
+	s := l.Summary()
+	if s.Count != 100 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.MaxUS != float64(100*event.Millisecond) {
+		t.Errorf("max = %v", s.MaxUS)
+	}
+	if s.P50US <= 0 || s.P50US > s.P95US || s.P95US > s.P99US || s.P99US > s.MaxUS {
+		t.Errorf("percentiles disordered: %+v", s)
+	}
+	if s.MeanUS != float64(l.Mean()) {
+		t.Errorf("mean = %v, want %v", s.MeanUS, float64(l.Mean()))
+	}
+	// JSON field names are the artifact contract.
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"} {
+		if !strings.Contains(string(blob), `"`+key+`"`) {
+			t.Errorf("summary JSON lacks %q: %s", key, blob)
+		}
+	}
+
+	var empty LatencyTrace
+	if s := empty.Summary(); s.Count != 0 || s.MaxUS != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestLatencyTraceDecimate(t *testing.T) {
+	var l LatencyTrace
+	for i := 0; i < 9; i++ {
+		l.Add(event.Time(i), event.Time(i*10))
+	}
+	l.Decimate()
+	if l.Len() != 5 {
+		t.Fatalf("len = %d, want 5", l.Len())
+	}
+	// Survivors are the even-indexed samples, still uniformly spread.
+	if l.lat[0] != 0 || l.lat[1] != 20 || l.lat[4] != 80 {
+		t.Errorf("decimated lat = %v", l.lat)
+	}
+	if l.at[2] != 4 {
+		t.Errorf("decimated at = %v", l.at)
+	}
+	var empty LatencyTrace
+	empty.Decimate() // must not panic
 }

@@ -134,6 +134,7 @@ func TestLifecycleShardMergeEquivalence(t *testing.T) {
 // shedder trains itself from live traffic and swaps the model in, losing
 // no events — in both deployment modes.
 func TestLifecycleComesOnlineLive(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	for _, shards := range []int{1, 4} {
 		t.Run(map[int]string{1: "serial", 4: "sharded"}[shards], func(t *testing.T) {
 			q := lcQuery(t, 10)
@@ -279,6 +280,7 @@ func evalFP(t *testing.T, q queries.Query, model *core.Model, factor float64, ev
 // false-positive metric) of a model freshly trained on the shifted
 // distribution, while the frozen phase-1 model does not.
 func TestLifecycleDriftRetrainRecovery(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	q, a, b := rtlsPhases(t, 900)
 
 	um, err := core.NewUntrainedModel(q.NumTypes, q.Window.SizeHint, 0)
@@ -372,6 +374,7 @@ func TestLifecycleDriftRetrainRecovery(t *testing.T) {
 // TestLifecycleExplicitRetrainKeepsStats: Retrain rebuilds from the
 // statistics already accumulated (no discard), as soon as warm.
 func TestLifecycleExplicitRetrainKeepsStats(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	q := lcQuery(t, 10)
 	um, err := core.NewUntrainedModel(2, 10, 0)
 	if err != nil {

@@ -62,6 +62,15 @@ type Config struct {
 	ProcessingDelay time.Duration
 	// OutBuffer is the complex-event channel capacity (default 1024).
 	OutBuffer int
+	// LatencySampleEvery records one end-to-end latency sample per this
+	// many processed events (default 1: every event). Whatever the
+	// initial stride, the trace is hard-bounded: once it reaches
+	// maxLatencySamples the pipeline halves it (dropping every second
+	// sample) and doubles the stride, so an indefinitely running ingest
+	// server keeps a uniformly spread, fixed-memory trace. Percentiles
+	// remain meaningful under uniform 1-in-N sampling; raising the
+	// initial stride just spends less hot-path time on clock reads.
+	LatencySampleEvery int
 	// Shards is the number of parallel operator instances (default 1).
 	// Values above 1 spread per-membership processing across goroutines;
 	// complex events are still emitted in window-close order.
@@ -170,6 +179,14 @@ type Pipeline struct {
 	// lifecycle supervises online model training (Config.Lifecycle).
 	lifecycle *Lifecycle
 
+	// Latency sampling state, touched only by the processing (or
+	// router) goroutine: events since the last sample, the current
+	// stride (doubled on every decimation), and the samples recorded
+	// since the last decimation check.
+	latSkip    int
+	latEvery   int
+	latSamples int
+
 	submitted   atomic.Uint64
 	processed   atomic.Uint64
 	qlen        atomic.Int64 // events enqueued and not yet processed
@@ -205,6 +222,12 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.QueueCap < 0 {
 		return nil, fmt.Errorf("runtime: QueueCap must be >= 0, got %d", cfg.QueueCap)
+	}
+	if cfg.LatencySampleEvery < 0 {
+		return nil, fmt.Errorf("runtime: LatencySampleEvery must be >= 0, got %d", cfg.LatencySampleEvery)
+	}
+	if cfg.LatencySampleEvery == 0 {
+		cfg.LatencySampleEvery = 1
 	}
 	if cfg.OutBuffer < 0 {
 		return nil, fmt.Errorf("runtime: OutBuffer must be >= 0, got %d", cfg.OutBuffer)
@@ -289,6 +312,7 @@ func New(cfg Config) (*Pipeline, error) {
 		cfg:       cfg,
 		op:        op,
 		lifecycle: lc,
+		latEvery:  cfg.LatencySampleEvery,
 		in:        make(chan inMsg, cfg.QueueCap),
 		out:       make(chan operator.ComplexEvent, cfg.OutBuffer),
 	}
@@ -451,7 +475,9 @@ func (p *Pipeline) Stats() Stats {
 }
 
 // Latency returns a copy of the recorded latency trace, merged across
-// all shards when sharded. Call after Run returned.
+// all shards when sharded. Safe to call mid-run (every trace is
+// lock-protected); the ingest server snapshots it for live statistics,
+// while experiment reports read it after Run returned.
 func (p *Pipeline) Latency() *metrics.LatencyTrace {
 	merged := &metrics.LatencyTrace{}
 	p.mu.Lock()
@@ -572,9 +598,12 @@ func (p *Pipeline) processOne(ctx context.Context, q queued) error {
 	p.memberships.Add(after.Memberships - before.Memberships)
 	p.kept.Add(kept)
 
+	sampleLat := p.sampleLatency()
 	lat := end.Sub(q.arrived)
 	p.mu.Lock()
-	p.latency.Add(event.Time(start.UnixMicro()), event.Time(lat.Microseconds()))
+	if sampleLat {
+		p.latency.Add(event.Time(start.UnixMicro()), event.Time(lat.Microseconds()))
+	}
 	p.lastTS = q.ev.TS
 	p.opStats = after
 	p.mu.Unlock()
@@ -663,6 +692,39 @@ func (p *Pipeline) detectorLoop(stop, done chan struct{}) {
 			p.cfg.Controller.OnDecision(dec)
 		}
 	}
+}
+
+// maxLatencySamples bounds the total recorded latency samples per
+// pipeline (~4 MiB across all traces); reaching it halves every trace
+// and doubles the sampling stride.
+const maxLatencySamples = 1 << 18
+
+// sampleLatency reports whether the current event contributes a latency
+// sample (1 in latEvery, initially Config.LatencySampleEvery). Called
+// only from the single processing/router goroutine. When the recorded
+// samples reach maxLatencySamples the traces are decimated and the
+// stride doubles, keeping the memory and Summary cost of an unbounded
+// run fixed.
+func (p *Pipeline) sampleLatency() bool {
+	p.latSkip++
+	if p.latSkip < p.latEvery {
+		return false
+	}
+	p.latSkip = 0
+	p.latSamples++
+	if p.latSamples >= maxLatencySamples {
+		p.latSamples /= 2
+		p.latEvery *= 2
+		p.mu.Lock()
+		p.latency.Decimate()
+		p.mu.Unlock()
+		for _, s := range p.shards {
+			s.mu.Lock()
+			s.latency.Decimate()
+			s.mu.Unlock()
+		}
+	}
+	return true
 }
 
 // windowSizeEstimate reads the operator's current expected window size.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/harness"
 	"repro/internal/operator"
 	"repro/internal/pattern"
 	"repro/internal/window"
@@ -45,6 +46,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestPipelineEndToEnd(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	p, err := New(Config{Operator: opConfig(nil)})
 	if err != nil {
 		t.Fatal(err)
@@ -83,6 +85,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 }
 
 func TestPipelineContextCancel(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	p, err := New(Config{Operator: opConfig(nil)})
 	if err != nil {
 		t.Fatal(err)
@@ -123,6 +126,7 @@ func TestRunTwiceFails(t *testing.T) {
 }
 
 func TestPipelineShedsUnderOverload(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	// Artificial per-membership delay of 200µs caps throughput at
 	// ~5000 ev/s; submitting much faster builds the queue and must
 	// trigger shedding with a tight latency bound.
@@ -207,6 +211,7 @@ func trainedTestModel(t *testing.T) *core.Model {
 // the serial and the sharded path — the multi-query engine's global
 // budget reads these estimates from outside the pipeline.
 func TestEstimateRatesWithoutDetector(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	for _, shards := range []int{1, 2} {
 		p, err := New(Config{
 			Operator:        opConfig(nil),
@@ -249,6 +254,7 @@ func TestEstimateRatesWithoutDetector(t *testing.T) {
 // most one chunk each, every producer eventually unblocks (condvar
 // wake-on-drain, no missed wakeups), and nothing is lost.
 func TestBackpressureEventBound(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	const (
 		queueCap  = 64
 		producers = 4

@@ -286,12 +286,13 @@ func (p *Pipeline) runSharded(ctx context.Context) error {
 			}
 		}
 		member, closed := p.mgr.Route(q.ev)
+		wantSample := p.sampleLatency()
 		sampled := false
 		send := func(si int) error {
 			msg := &pending[si]
 			msg.ev = q.ev
 			msg.arrived = q.arrived
-			msg.recordLat = !sampled
+			msg.recordLat = wantSample && !sampled
 			sampled = true
 			// Count the backlog before the send: the shard decrements
 			// after processing, so the counter never dips negative.
@@ -325,9 +326,9 @@ func (p *Pipeline) runSharded(ctx context.Context) error {
 				}
 			}
 		}
-		if !sampled {
+		if wantSample && !sampled {
 			// No shard sees this event; sample its latency here so every
-			// event still contributes exactly one sample.
+			// sampled event still contributes exactly one sample.
 			now := time.Now()
 			p.mu.Lock()
 			p.latency.Add(event.Time(now.UnixMicro()),

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/harness"
 	"repro/internal/operator"
 	"repro/internal/window"
 )
@@ -66,6 +67,7 @@ func overlappingOpConfig() operator.Config {
 // window-close order. Run with -race to exercise the router/shard/merge
 // handoffs.
 func TestShardedMatchesSerial(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	events := deterministicStream(2000)
 	serial, _ := runCollect(t, Config{Operator: overlappingOpConfig()}, events)
 	if len(serial) == 0 {
@@ -104,6 +106,7 @@ func TestShardedMatchesSerial(t *testing.T) {
 // TestShardedLatencySamples asserts every event contributes exactly one
 // latency sample in sharded mode, as in the serial path.
 func TestShardedLatencySamples(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	events := deterministicStream(500)
 	p, err := New(Config{Operator: overlappingOpConfig(), Shards: 3})
 	if err != nil {
@@ -150,6 +153,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestSubmitBatchCountsOnce(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	p, err := New(Config{Operator: opConfig(nil)})
 	if err != nil {
 		t.Fatal(err)
@@ -177,6 +181,7 @@ func TestSubmitBatchCountsOnce(t *testing.T) {
 // TestPipelineShedsUnderOverload: per-shard shedders commanded in
 // lockstep by the aggregate detector through a MultiController.
 func TestShardedShedsUnderOverload(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	const shards = 2
 	model := trainedTestModel(t)
 	deciders := make([]operator.Decider, shards)
@@ -234,6 +239,7 @@ func TestShardedShedsUnderOverload(t *testing.T) {
 }
 
 func TestShardedContextCancel(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	p, err := New(Config{Operator: overlappingOpConfig(), Shards: 4,
 		ProcessingDelay: 50 * time.Microsecond})
 	if err != nil {
@@ -282,6 +288,7 @@ func ExamplePipeline_sharded() {
 // funnel back to the router must never recycle a window before the merge
 // stage is done with it. Run with -race to exercise the full handoff.
 func TestShardedWindowReuseHookIntegrity(t *testing.T) {
+	harness.VerifyNoLeaks(t)
 	var hookWindows, hookEntries, badEntries int64
 	cfg := overlappingOpConfig()
 	cfg.OnWindowClose = func(w *window.Window, matched []window.Entry) {

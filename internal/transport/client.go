@@ -1,0 +1,432 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/event"
+)
+
+// ClientConfig assembles an ingest client.
+type ClientConfig struct {
+	// Addr is the server address (required), e.g. "127.0.0.1:7071".
+	Addr string
+	// BatchEvents is the flush threshold: Submit buffers events and
+	// flushes a FrameEvents once this many are pending (or on an
+	// explicit Flush/Close). Default DefaultBatchEvents.
+	BatchEvents int
+	// DialTimeout bounds each dial attempt (default 5s).
+	DialTimeout time.Duration
+	// Reconnect enables transparent redialing: when a write or read
+	// fails mid-stream, the client redials (with exponential backoff up
+	// to MaxRedials attempts) and keeps going. Events already written to
+	// the broken connection may be lost — the transport is at-most-once
+	// across reconnects; ClientStats reports both sides of the ledger.
+	Reconnect bool
+	// MaxRedials bounds consecutive failed dial attempts before the
+	// client gives up (default 5; only meaningful with Reconnect).
+	MaxRedials int
+	// Logf logs reconnect events (nil silences them).
+	Logf func(format string, args ...any)
+}
+
+// DefaultBatchEvents is the client's flush threshold.
+const DefaultBatchEvents = 256
+
+// ClientStats counts the client's view of the stream.
+type ClientStats struct {
+	// Sent counts events written to the wire; Accepted is the server's
+	// count from the final FrameDone — the whole stream when no redial
+	// happened, otherwise only the final connection's share (frames in
+	// flight across a reconnect are lost; the transport is at-most-once).
+	Sent     uint64
+	Accepted uint64
+	// Flushes counts FrameEvents written; Redials counts successful
+	// reconnections.
+	Flushes uint64
+	Redials uint64
+	// CreditWait is the cumulative time spent blocked waiting for the
+	// server to replenish the credit window — the client-visible shape
+	// of server-side backpressure.
+	CreditWait time.Duration
+}
+
+// Client is a batching, credit-aware binary-mode producer. It is
+// single-goroutine by design: credit frames are read exactly when the
+// window is exhausted, so no background reader is needed. A Client is
+// not safe for concurrent use.
+type Client struct {
+	cfg     ClientConfig
+	conn    net.Conn
+	scan    *frameScanner
+	enc     Encoder
+	pending []event.Event
+	payload []byte // encoded-events scratch, sized before framing
+	frame   []byte
+	read    []byte
+
+	credit uint64
+	window uint64 // server's credit window, learned from the initial grant
+	stats  ClientStats
+	closed bool
+}
+
+// Dial connects to a server and performs the binary preface. The
+// initial credit window arrives with the server's first frame.
+func Dial(cfg ClientConfig) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("transport: ClientConfig.Addr is required")
+	}
+	if cfg.BatchEvents <= 0 {
+		cfg.BatchEvents = DefaultBatchEvents
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.MaxRedials <= 0 {
+		cfg.MaxRedials = 5
+	}
+	c := &Client{
+		cfg:  cfg,
+		scan: newFrameScanner(DefaultMaxFrame),
+		read: make([]byte, 32<<10),
+	}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect dials, writes the preface and waits for the initial credit.
+func (c *Client) connect() error {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write([]byte{Magic, ProtocolVersion}); err != nil {
+		conn.Close()
+		return err
+	}
+	c.conn = conn
+	c.credit = 0
+	c.scan = newFrameScanner(DefaultMaxFrame)
+	// The server grants the full window immediately after the preface;
+	// remember it so flush chunks never exceed what a single window can
+	// cover (a larger frame would be a credit violation by protocol).
+	if err := c.waitCredit(1); err != nil {
+		conn.Close()
+		c.conn = nil
+		return err
+	}
+	c.window = c.credit
+	return nil
+}
+
+// redial replaces a broken connection, with exponential backoff across
+// consecutive dial failures. In-flight frames of the old connection are
+// considered lost.
+func (c *Client) redial() error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	if !c.cfg.Reconnect {
+		return fmt.Errorf("transport: connection lost (reconnect disabled)")
+	}
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxRedials; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err := c.connect(); err != nil {
+			lastErr = err
+			if c.cfg.Logf != nil {
+				c.cfg.Logf("transport: redial %d/%d: %v", attempt+1, c.cfg.MaxRedials, err)
+			}
+			continue
+		}
+		c.stats.Redials++
+		return nil
+	}
+	return fmt.Errorf("transport: redial failed after %d attempts: %w", c.cfg.MaxRedials, lastErr)
+}
+
+// waitCredit blocks until at least need events of credit are available,
+// consuming server frames. Unexpected frames are a protocol error.
+func (c *Client) waitCredit(need uint64) error {
+	waited := false
+	start := time.Now()
+	defer func() {
+		if waited {
+			c.stats.CreditWait += time.Since(start)
+		}
+	}()
+	for c.credit < need {
+		waited = true
+		typ, payload, err := c.readFrame()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case FrameCredit:
+			n, k := binary.Uvarint(payload)
+			if k <= 0 {
+				return fmt.Errorf("transport: malformed credit frame")
+			}
+			c.credit += n
+		case FrameError:
+			return fmt.Errorf("transport: server error: %s", payload)
+		default:
+			return fmt.Errorf("transport: unexpected frame 0x%02x while awaiting credit", typ)
+		}
+	}
+	return nil
+}
+
+// ensureConn reports a usable connection; after a failed redial (or a
+// drop with Reconnect disabled) the client is connectionless and every
+// wire operation degrades to this error instead of a nil dereference.
+func (c *Client) ensureConn() error {
+	if c.conn == nil {
+		return fmt.Errorf("transport: connection lost")
+	}
+	return nil
+}
+
+// readFrame pops the next server frame, reading from the connection as
+// needed. The returned payload aliases the scanner buffer.
+func (c *Client) readFrame() (byte, []byte, error) {
+	if err := c.ensureConn(); err != nil {
+		return 0, nil, err
+	}
+	for {
+		typ, payload, ok, err := c.scan.Next()
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			return typ, payload, nil
+		}
+		n, err := c.conn.Read(c.read)
+		if n > 0 {
+			c.scan.Feed(c.read[:n])
+			continue
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+// Submit buffers one event, flushing when the batch threshold is
+// reached. The event (and its Vals) is copied immediately, so the
+// caller may reuse its buffers.
+func (c *Client) Submit(ev event.Event) error {
+	return c.SubmitBatch([]event.Event{ev})
+}
+
+// SubmitBatch buffers a batch of events in stream order, flushing as
+// the batch threshold is crossed. The event structs are copied, but
+// their Vals backing arrays are referenced (not copied) until the
+// events are flushed; Events treat Vals as immutable throughout the
+// repository, so this is only a constraint for callers that recycle
+// value buffers — Flush before reusing them.
+func (c *Client) SubmitBatch(events []event.Event) error {
+	if c.closed {
+		return fmt.Errorf("transport: client closed")
+	}
+	for _, ev := range events {
+		c.pending = append(c.pending, ev)
+		if len(c.pending) >= c.cfg.BatchEvents {
+			if err := c.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush writes the pending events, waiting for window credit as
+// needed; the credit protocol keeps at most one server window of events
+// in flight, so a flush against an overloaded server blocks — that is
+// the backpressure reaching the producer.
+func (c *Client) Flush() error {
+	if c.closed {
+		return fmt.Errorf("transport: client closed")
+	}
+	chunkMax := c.cfg.BatchEvents
+	if c.window > 0 && uint64(chunkMax) > c.window {
+		chunkMax = int(c.window)
+	}
+	off := 0
+	for off < len(c.pending) {
+		n := len(c.pending) - off
+		if n > chunkMax {
+			n = chunkMax
+		}
+		sent, err := c.writeChunk(c.pending[off : off+n])
+		off += sent
+		if err != nil {
+			// Keep only the unsent tail pending — a byte-split chunk may
+			// have delivered a prefix before failing, and resending that
+			// prefix would duplicate events (delivery is at-most-once).
+			c.pending = c.pending[:copy(c.pending, c.pending[off:])]
+			return err
+		}
+	}
+	c.pending = c.pending[:0]
+	return nil
+}
+
+// maxChunkPayload bounds the encoded payload of one FrameEvents the
+// client will emit; kept below the server's DefaultMaxFrame with slack
+// for the frame header, so a batch of large-Vals events is split by
+// bytes rather than rejected as an oversized frame.
+const maxChunkPayload = DefaultMaxFrame - 64
+
+// writeChunk sends the chunk as FrameEvents, splitting by encoded size
+// when the events are too large to fit a single frame, and redialing on
+// connection failure when enabled. It reports how many of the chunk's
+// events were written, so a partial split failure never gets the
+// already-sent prefix resent (delivery stays at-most-once).
+func (c *Client) writeChunk(chunk []event.Event) (int, error) {
+	payload := c.enc.AppendEvents(c.payload[:0], chunk)
+	c.payload = payload
+	if len(payload) > maxChunkPayload {
+		if len(chunk) == 1 {
+			return 0, fmt.Errorf("transport: event %d encodes to %d bytes, exceeding the %d-byte frame bound",
+				chunk[0].Seq, len(payload), maxChunkPayload)
+		}
+		half := len(chunk) / 2
+		sent, err := c.writeChunk(chunk[:half])
+		if err != nil {
+			return sent, err
+		}
+		more, err := c.writeChunk(chunk[half:])
+		return sent + more, err
+	}
+	for {
+		if err := c.waitCredit(uint64(len(chunk))); err != nil {
+			if isConnErr(err) {
+				if rerr := c.redial(); rerr != nil {
+					return 0, rerr
+				}
+				continue
+			}
+			return 0, err
+		}
+		c.frame = AppendFrame(c.frame[:0], FrameEvents, payload)
+		if _, err := c.conn.Write(c.frame); err != nil {
+			if rerr := c.redial(); rerr != nil {
+				return 0, rerr
+			}
+			continue
+		}
+		c.credit -= uint64(len(chunk))
+		c.stats.Sent += uint64(len(chunk))
+		c.stats.Flushes++
+		return len(chunk), nil
+	}
+}
+
+// isConnErr reports whether err is a connection-level failure (as
+// opposed to a protocol error that redialing cannot fix).
+func isConnErr(err error) bool {
+	var ne net.Error
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.As(err, &ne)
+}
+
+// ServerStats flushes pending events, then requests the server's
+// statistics document (the ServerConfig.StatsJSON hook; empty when the
+// server exposes none).
+func (c *Client) ServerStats() ([]byte, error) {
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	if err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+	if _, err := c.conn.Write(AppendFrame(nil, FrameStatsReq, nil)); err != nil {
+		return nil, err
+	}
+	for {
+		typ, payload, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case FrameStats:
+			return append([]byte(nil), payload...), nil
+		case FrameCredit:
+			n, k := binary.Uvarint(payload)
+			if k <= 0 {
+				return nil, fmt.Errorf("transport: malformed credit frame")
+			}
+			c.credit += n
+		case FrameError:
+			return nil, fmt.Errorf("transport: server error: %s", payload)
+		default:
+			return nil, fmt.Errorf("transport: unexpected frame 0x%02x while awaiting stats", typ)
+		}
+	}
+}
+
+// Close flushes pending events, signals end of stream and waits for
+// the server's FrameDone — so when Close returns without error, every
+// accepted event has been submitted to the server's sink. It returns
+// the final statistics.
+func (c *Client) Close() (ClientStats, error) {
+	if c.closed {
+		return c.stats, nil
+	}
+	defer func() {
+		c.closed = true
+		if c.conn != nil {
+			c.conn.Close()
+		}
+	}()
+	if err := c.Flush(); err != nil {
+		return c.stats, err
+	}
+	if err := c.ensureConn(); err != nil {
+		return c.stats, err
+	}
+	if _, err := c.conn.Write(AppendFrame(nil, FrameEOF, nil)); err != nil {
+		return c.stats, err
+	}
+	for {
+		typ, payload, err := c.readFrame()
+		if err != nil {
+			return c.stats, err
+		}
+		switch typ {
+		case FrameDone:
+			n, k := binary.Uvarint(payload)
+			if k <= 0 {
+				return c.stats, fmt.Errorf("transport: malformed done frame")
+			}
+			c.stats.Accepted = n
+			return c.stats, nil
+		case FrameCredit:
+			n, k := binary.Uvarint(payload)
+			if k <= 0 {
+				return c.stats, fmt.Errorf("transport: malformed credit frame")
+			}
+			c.credit += n
+		case FrameError:
+			return c.stats, fmt.Errorf("transport: server error: %s", payload)
+		default:
+			return c.stats, fmt.Errorf("transport: unexpected frame 0x%02x while awaiting done", typ)
+		}
+	}
+}
+
+// Stats returns the client's counters so far.
+func (c *Client) Stats() ClientStats { return c.stats }

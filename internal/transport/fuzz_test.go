@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// FuzzCodecRoundTrip hardens the binary event codec: arbitrary input
+// must either be rejected with an error or decode to a batch that
+// re-encodes and re-decodes to the same events — and it must never
+// panic, over-read, or let a malformed length smuggle an oversized
+// allocation past the bounds.
+func FuzzCodecRoundTrip(f *testing.F) {
+	var enc Encoder
+	f.Add(enc.AppendEvents(nil, genEvents(0)))
+	f.Add(enc.AppendEvents(nil, genEvents(1)))
+	f.Add(enc.AppendEvents(nil, genEvents(17)))
+	f.Add(enc.AppendEvents(nil, []event.Event{
+		{Seq: 1 << 62, Type: 1<<31 - 1, TS: -1, Kind: 255, Vals: []float64{0}},
+	}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // huge count, no events
+	f.Add([]byte{0x01, 0x00})                   // one event, truncated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := Decoder{MaxVals: 64, MaxBatch: 4096}
+		events, err := dec.DecodeEvents(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip bit-exactly through the encoder.
+		// Copy the batch first: the decoder's scratch is recycled.
+		first := append([]event.Event(nil), events...)
+		for i := range first {
+			first[i].Vals = append([]float64(nil), first[i].Vals...)
+		}
+		var enc Encoder
+		payload := enc.AppendEvents(nil, first)
+		again, err := dec.DecodeEvents(payload)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded batch failed: %v", err)
+		}
+		if !eventsEqual(first, again) {
+			t.Fatalf("round-trip mismatch:\n first=%v\nagain=%v", first, again)
+		}
+	})
+}
+
+// FuzzServerFrame hardens the frame layer: arbitrary byte streams fed
+// through the scanner in arbitrary chunkings must never panic or
+// over-read, must respect the frame bound, and must produce the same
+// frame sequence regardless of chunking.
+func FuzzServerFrame(f *testing.F) {
+	var enc Encoder
+	f.Add(AppendFrame(nil, FrameEvents, enc.AppendEvents(nil, genEvents(3))), uint8(1))
+	f.Add(AppendFrame(nil, FrameEOF, nil), uint8(0))
+	f.Add(AppendCreditFrame(nil, 1<<40), uint8(3))
+	f.Add(append([]byte{FrameEvents}, bytes.Repeat([]byte{0x80}, 12)...), uint8(2))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64), uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		const maxFrame = 1 << 12
+		type frame struct {
+			typ     byte
+			payload []byte
+		}
+		parse := func(step int) (frames []frame, failed bool) {
+			s := newFrameScanner(maxFrame)
+			for off := 0; off < len(data); off += step {
+				end := off + step
+				if end > len(data) {
+					end = len(data)
+				}
+				s.Feed(data[off:end])
+				for {
+					typ, payload, ok, err := s.Next()
+					if err != nil {
+						return frames, true
+					}
+					if !ok {
+						break
+					}
+					if len(payload) > maxFrame {
+						t.Fatalf("payload of %d bytes exceeds scanner bound %d", len(payload), maxFrame)
+					}
+					frames = append(frames, frame{typ, append([]byte(nil), payload...)})
+				}
+			}
+			return frames, false
+		}
+		whole, wholeErr := parse(len(data) + 1)
+		step := int(chunk%16) + 1
+		chunked, chunkedErr := parse(step)
+		// Chunking must not change the outcome: same frames, and an
+		// error in one feeding order is an error in the other.
+		if wholeErr != chunkedErr {
+			t.Fatalf("chunking changed the error outcome: whole=%v chunked=%v (step %d)", wholeErr, chunkedErr, step)
+		}
+		if len(whole) != len(chunked) {
+			t.Fatalf("chunking changed the frame count: %d vs %d (step %d)", len(whole), len(chunked), step)
+		}
+		for i := range whole {
+			if whole[i].typ != chunked[i].typ || !bytes.Equal(whole[i].payload, chunked[i].payload) {
+				t.Fatalf("frame %d differs between chunkings", i)
+			}
+		}
+		// Every FrameEvents payload must survive the decoder without a
+		// panic, whatever it holds.
+		dec := Decoder{MaxVals: 64, MaxBatch: 4096}
+		for _, fr := range whole {
+			if fr.typ == FrameEvents {
+				_, _ = dec.DecodeEvents(fr.payload)
+			}
+		}
+	})
+}

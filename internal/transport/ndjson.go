@@ -1,0 +1,110 @@
+// NDJSON ingest: the debug- and interop-friendly alternative to the
+// binary codec. A connection whose first byte is not the binary Magic
+// is read as newline-delimited JSON objects, one event per line:
+//
+//	{"seq":17,"type":"STR_A","ts":1500000,"kind":"possession","vals":[1.5,2]}
+//
+// "type" is either the registry-interned numeric id or the registered
+// type name; "kind" is either the numeric kind or its name (see
+// event.ParseKind). NDJSON connections get no credit frames —
+// backpressure degrades to the bounded read window: the server only
+// reads as fast as the sink absorbs events, so a fast producer
+// eventually blocks in the kernel's TCP flow control.
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/event"
+)
+
+// ndjsonEvent is the wire shape of one NDJSON line.
+type ndjsonEvent struct {
+	Seq  uint64          `json:"seq"`
+	Type json.RawMessage `json:"type"`
+	TS   int64           `json:"ts"`
+	Kind json.RawMessage `json:"kind"`
+	Vals []float64       `json:"vals,omitempty"`
+}
+
+// decodeNDJSONLine parses one line into an event, resolving type names
+// (and validating type ids) against reg when non-nil.
+func decodeNDJSONLine(line []byte, reg *event.Registry) (event.Event, error) {
+	var raw ndjsonEvent
+	if err := json.Unmarshal(line, &raw); err != nil {
+		return event.Event{}, fmt.Errorf("transport: ndjson: %w", err)
+	}
+	e := event.Event{Seq: raw.Seq, TS: event.Time(raw.TS), Vals: raw.Vals}
+
+	switch {
+	case len(raw.Type) == 0:
+		return event.Event{}, fmt.Errorf("transport: ndjson: missing type")
+	case raw.Type[0] == '"':
+		var name string
+		if err := json.Unmarshal(raw.Type, &name); err != nil {
+			return event.Event{}, fmt.Errorf("transport: ndjson type: %w", err)
+		}
+		if reg == nil {
+			return event.Event{}, fmt.Errorf("transport: ndjson: type by name %q needs a registry", name)
+		}
+		id, ok := reg.Lookup(name)
+		if !ok {
+			return event.Event{}, fmt.Errorf("transport: ndjson: unknown type %q", name)
+		}
+		e.Type = id
+	default:
+		id, err := strconv.ParseInt(string(raw.Type), 10, 32)
+		if err != nil || id < 0 {
+			return event.Event{}, fmt.Errorf("transport: ndjson: bad type id %q", raw.Type)
+		}
+		if reg != nil && int(id) >= reg.Len() {
+			return event.Event{}, fmt.Errorf("transport: ndjson: unknown type id %d (registry has %d)", id, reg.Len())
+		}
+		e.Type = event.Type(id)
+	}
+
+	switch {
+	case len(raw.Kind) == 0:
+		e.Kind = event.KindNone
+	case raw.Kind[0] == '"':
+		var name string
+		if err := json.Unmarshal(raw.Kind, &name); err != nil {
+			return event.Event{}, fmt.Errorf("transport: ndjson kind: %w", err)
+		}
+		k, ok := event.ParseKind(name)
+		if !ok {
+			return event.Event{}, fmt.Errorf("transport: ndjson: unknown kind %q", name)
+		}
+		e.Kind = k
+	default:
+		k, err := strconv.ParseUint(string(raw.Kind), 10, 8)
+		if err != nil {
+			return event.Event{}, fmt.Errorf("transport: ndjson: bad kind %q", raw.Kind)
+		}
+		e.Kind = event.Kind(k)
+	}
+	return e, nil
+}
+
+// AppendNDJSON appends the NDJSON line (with trailing newline) for e to
+// dst, rendering the type by name through reg when non-nil.
+func AppendNDJSON(dst []byte, e event.Event, reg *event.Registry) []byte {
+	raw := ndjsonEvent{Seq: e.Seq, TS: int64(e.TS), Vals: e.Vals}
+	if reg != nil {
+		name, _ := json.Marshal(reg.Name(e.Type))
+		raw.Type = name
+	} else {
+		raw.Type = json.RawMessage(strconv.FormatInt(int64(e.Type), 10))
+	}
+	raw.Kind = json.RawMessage(strconv.FormatUint(uint64(e.Kind), 10))
+	line, err := json.Marshal(raw)
+	if err != nil {
+		// ndjsonEvent contains only marshalable fields; NaN/Inf values
+		// are the single failure mode and are a caller data error.
+		panic(fmt.Sprintf("transport: ndjson marshal: %v", err))
+	}
+	dst = append(dst, line...)
+	return append(dst, '\n')
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package transport
+
+// raceEnabled reports whether the race detector instruments this build;
+// the soak test scales its event budget down under instrumentation.
+const raceEnabled = false

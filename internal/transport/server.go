@@ -1,0 +1,445 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/event"
+)
+
+// Sink absorbs ingested event batches in connection order. Both
+// runtime.Pipeline and engine.Engine satisfy it; SubmitBatch must copy
+// the slice (both do) and may block — that block is exactly the
+// backpressure the credit protocol propagates to clients.
+type Sink interface {
+	SubmitBatch(events []event.Event)
+}
+
+// ServerConfig assembles an ingest server.
+type ServerConfig struct {
+	// Sink receives every accepted event (required).
+	Sink Sink
+	// Registry bounds the acceptable binary type ids and resolves NDJSON
+	// type names. Nil disables both (any non-negative id passes).
+	Registry *event.Registry
+	// Window is the per-connection credit window in events: the maximum
+	// number of events a binary client may have sent beyond what the
+	// sink has absorbed. Default DefaultWindow.
+	Window int
+	// MaxFrame bounds a single frame's payload bytes
+	// (DefaultMaxFrame when zero).
+	MaxFrame int
+	// MaxVals bounds the per-event attribute count
+	// (DefaultMaxVals when zero).
+	MaxVals int
+	// StatsJSON, when non-nil, answers FrameStatsReq with its result —
+	// the hook espice-serve uses to expose pipeline/shedder statistics
+	// to load generators. Called from connection goroutines; must be
+	// safe for concurrent use.
+	StatsJSON func() []byte
+	// Logf logs connection-level events (nil silences them).
+	Logf func(format string, args ...any)
+}
+
+// DefaultWindow is the per-connection credit window in events.
+const DefaultWindow = 8192
+
+// ServerStats is a snapshot of server counters.
+type ServerStats struct {
+	// ConnsAccepted counts every accepted connection; ConnsActive the
+	// currently open ones.
+	ConnsAccepted uint64
+	ConnsActive   int
+	// Events counts accepted events, split by framing.
+	EventsBinary uint64
+	EventsNDJSON uint64
+	// Frames counts parsed binary frames of every type.
+	Frames uint64
+	// ProtocolErrors counts connections dropped for malformed input.
+	ProtocolErrors uint64
+}
+
+// Server is a TCP ingest server; build it with NewServer and drive it
+// with Serve or ListenAndServe.
+type Server struct {
+	cfg ServerConfig
+
+	accepted  atomic.Uint64
+	evBinary  atomic.Uint64
+	evNDJSON  atomic.Uint64
+	frames    atomic.Uint64
+	protoErrs atomic.Uint64
+	activeCt  atomic.Int64
+
+	mu        sync.Mutex
+	ln        net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+	serving   bool // a Serve call took ownership and will close serveDone
+	serveDone chan struct{}
+}
+
+// NewServer validates the configuration and builds a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Sink == nil {
+		return nil, fmt.Errorf("transport: ServerConfig.Sink is required")
+	}
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("transport: Window must be >= 0, got %d", cfg.Window)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxFrame == 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	return &Server{
+		cfg:       cfg,
+		conns:     make(map[net.Conn]struct{}),
+		serveDone: make(chan struct{}),
+	}, nil
+}
+
+// logf forwards to the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close (or a fatal listener
+// error) and blocks until every connection handler has returned. The
+// listener is closed on return.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("transport: server closed")
+	}
+	if s.serving {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("transport: Serve called twice")
+	}
+	s.ln = ln
+	s.serving = true
+	s.mu.Unlock()
+
+	var wg sync.WaitGroup
+	defer close(s.serveDone)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.accepted.Add(1)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			wg.Wait()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.activeCt.Add(1)
+			defer s.activeCt.Add(-1)
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every open connection and waits for
+// Serve to return. Events already decoded are still submitted before
+// their handlers exit; close the sink's input only after Close returns.
+// Idempotent, and safe before Serve was ever called: the wait applies
+// only when a Serve call owns the serveDone channel and will close it.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		serving := s.serving
+		s.mu.Unlock()
+		if serving {
+			<-s.serveDone
+		}
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	serving := s.serving
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	if serving {
+		<-s.serveDone
+	}
+	return err
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		ConnsAccepted:  s.accepted.Load(),
+		ConnsActive:    int(s.activeCt.Load()),
+		EventsBinary:   s.evBinary.Load(),
+		EventsNDJSON:   s.evNDJSON.Load(),
+		Frames:         s.frames.Load(),
+		ProtocolErrors: s.protoErrs.Load(),
+	}
+}
+
+// handle serves one connection: sniff the framing from the first byte,
+// then run the matching read loop until EOF or error.
+func (s *Server) handle(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 32<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return // closed before the first byte; nothing to do
+	}
+	if first[0] == Magic {
+		s.handleBinary(conn, br)
+		return
+	}
+	s.handleNDJSON(conn, br)
+}
+
+// protoError counts, reports (best effort) and logs a protocol error.
+func (s *Server) protoError(conn net.Conn, err error) {
+	s.protoErrs.Add(1)
+	s.logf("transport: %s: %v", conn.RemoteAddr(), err)
+	// Best-effort error frame; the peer may already be gone.
+	_, _ = conn.Write(AppendFrame(nil, FrameError, []byte(err.Error())))
+}
+
+// handleBinary runs the framed read loop. Credit accounting: the
+// client starts with Window events of credit; every FrameEvents spends
+// its event count (overspending is a protocol error, which makes the
+// window a hard bound on per-connection buffering); after the frame's
+// events have been submitted to the sink — which blocks while the
+// pipeline's bounded queue is full — the same amount is granted back.
+// Decode, submit and credit writes all happen on this one goroutine, so
+// a connection never buffers more than one frame beyond the window.
+func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
+	var preface [2]byte
+	if _, err := io.ReadFull(br, preface[:]); err != nil {
+		return
+	}
+	if preface[1] != ProtocolVersion {
+		s.protoError(conn, fmt.Errorf("transport: protocol version %d not supported", preface[1]))
+		return
+	}
+	window := uint64(s.cfg.Window)
+	writeBuf := AppendCreditFrame(nil, window)
+	if _, err := conn.Write(writeBuf); err != nil {
+		return
+	}
+
+	dec := Decoder{Retain: true, MaxVals: s.cfg.MaxVals, MaxBatch: s.cfg.Window}
+	if s.cfg.Registry != nil {
+		dec.MaxTypes = s.cfg.Registry.Len()
+	}
+	scan := newFrameScanner(s.cfg.MaxFrame)
+	read := make([]byte, 32<<10)
+	credit := window
+	var accepted uint64
+	var sawEOF bool
+	for {
+		n, err := br.Read(read)
+		if n > 0 {
+			scan.Feed(read[:n])
+			for {
+				typ, payload, ok, serr := scan.Next()
+				if serr != nil {
+					s.protoError(conn, serr)
+					return
+				}
+				if !ok {
+					break
+				}
+				s.frames.Add(1)
+				switch typ {
+				case FrameEvents:
+					if sawEOF {
+						s.protoError(conn, fmt.Errorf("transport: events after EOF frame"))
+						return
+					}
+					events, derr := dec.DecodeEvents(payload)
+					if derr != nil {
+						s.protoError(conn, derr)
+						return
+					}
+					if uint64(len(events)) > credit {
+						s.protoError(conn, fmt.Errorf("transport: %d events exceed remaining credit %d", len(events), credit))
+						return
+					}
+					credit -= uint64(len(events))
+					if len(events) > 0 {
+						s.cfg.Sink.SubmitBatch(events)
+						accepted += uint64(len(events))
+						s.evBinary.Add(uint64(len(events)))
+						credit += uint64(len(events))
+						writeBuf = AppendCreditFrame(writeBuf[:0], uint64(len(events)))
+						if _, werr := conn.Write(writeBuf); werr != nil {
+							return
+						}
+					}
+				case FrameEOF:
+					sawEOF = true
+					var tmp [binary.MaxVarintLen64]byte
+					done := AppendFrame(writeBuf[:0], FrameDone, tmp[:binary.PutUvarint(tmp[:], accepted)])
+					_, _ = conn.Write(done)
+					// Keep reading: the client may still request stats
+					// before closing; further events are a protocol error.
+				case FrameStatsReq:
+					var stats []byte
+					if s.cfg.StatsJSON != nil {
+						stats = s.cfg.StatsJSON()
+					}
+					if _, werr := conn.Write(AppendFrame(writeBuf[:0], FrameStats, stats)); werr != nil {
+						return
+					}
+				default:
+					s.protoError(conn, fmt.Errorf("transport: unknown frame type 0x%02x", typ))
+					return
+				}
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("transport: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+	}
+}
+
+// handleNDJSON runs the line read loop: parse each line into an event,
+// batch adjacent buffered lines, and submit whenever the read buffer
+// runs dry (so a lone line is never delayed). Backpressure is the
+// bounded read: the loop will not read more lines while the sink
+// blocks, which eventually blocks the producer in TCP flow control.
+func (s *Server) handleNDJSON(conn net.Conn, br *bufio.Reader) {
+	const maxBatch = 256
+	batch := make([]event.Event, 0, maxBatch)
+	flush := func() {
+		if len(batch) > 0 {
+			s.cfg.Sink.SubmitBatch(batch)
+			s.evNDJSON.Add(uint64(len(batch)))
+			batch = batch[:0]
+		}
+	}
+	var lineBuf []byte
+	for {
+		line, err := readLineBounded(br, &lineBuf, s.cfg.MaxFrame)
+		if err == errLineTooLong {
+			flush()
+			s.protoErrs.Add(1)
+			s.logf("transport: %s: ndjson line exceeds %d bytes", conn.RemoteAddr(), s.cfg.MaxFrame)
+			fmt.Fprintf(conn, "{\"error\":%q}\n", "line too long")
+			return
+		}
+		if trimmed := trimLine(line); len(trimmed) > 0 {
+			ev, perr := decodeNDJSONLine(trimmed, s.cfg.Registry)
+			if perr != nil {
+				flush()
+				s.protoErrs.Add(1)
+				s.logf("transport: %s: %v", conn.RemoteAddr(), perr)
+				fmt.Fprintf(conn, "{\"error\":%q}\n", perr.Error())
+				return
+			}
+			batch = append(batch, ev)
+		}
+		if err != nil {
+			flush()
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("transport: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if len(batch) >= maxBatch || br.Buffered() == 0 {
+			flush()
+		}
+	}
+}
+
+// errLineTooLong reports an NDJSON line exceeding the frame bound.
+var errLineTooLong = errors.New("transport: ndjson line too long")
+
+// readLineBounded reads one newline-terminated line into *buf (reused
+// across calls), failing with errLineTooLong as soon as the
+// accumulated length exceeds max — unlike bufio's ReadBytes, it never
+// buffers an unbounded line before checking, so one newline-less
+// connection cannot grow server memory past the frame bound.
+func readLineBounded(br *bufio.Reader, buf *[]byte, max int) ([]byte, error) {
+	line := (*buf)[:0]
+	for {
+		chunk, err := br.ReadSlice('\n')
+		line = append(line, chunk...)
+		if len(line) > max {
+			*buf = line[:0]
+			return nil, errLineTooLong
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		*buf = line
+		return line, err
+	}
+}
+
+// trimLine strips the trailing newline and optional carriage return.
+func trimLine(line []byte) []byte {
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	return line
+}

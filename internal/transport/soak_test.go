@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/event"
+	"repro/internal/harness"
+	"repro/internal/operator"
+	"repro/internal/pattern"
+	"repro/internal/queries"
+	"repro/internal/runtime"
+	"repro/internal/window"
+)
+
+// TestSoakOverloadedShardedServer drives at least a million events over
+// eight connections through an overloaded 4-shard server with an eSPICE
+// shedder and pins three properties of the whole networked path:
+//
+//  1. Bounded heap: steady-state ingestion allocates per frame, not per
+//     event, so the post-GC heap does not grow with the stream.
+//  2. Conservation: every event the transport accepted reaches the
+//     pipeline, and every membership is either kept or accounted to the
+//     shedder — drops happen in the shedder, never in the transport.
+//  3. Clean drain: after the clients finish, server close + input close
+//     leaves no goroutine behind (VerifyNoLeaks) and loses no output.
+//
+// Skipped in -short mode; under the race detector the event budget is
+// scaled down to keep CI latency sane (the full budget runs in the
+// uninstrumented tier-1 suite).
+func TestSoakOverloadedShardedServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	harness.VerifyNoLeaks(t)
+
+	totalEvents := 1 << 20 // >= 1M canonical budget
+	if raceEnabled {
+		totalEvents = 1 << 17
+	}
+	const conns = 8
+	const shards = 4
+
+	// Base stream and a count-window variant of Q1: count windows keep
+	// the window population independent of the cross-connection arrival
+	// interleaving (eight clients replay tiles concurrently, so global
+	// timestamp order is not preserved — exactly the situation a real
+	// multi-producer ingest faces).
+	meta, base, err := datasets.GenerateRTLS(datasets.RTLSConfig{DurationSec: 240, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := queries.Q1(meta, 3, pattern.SelectFirst, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep Q1's possession-opened windows but bound them by count: the
+	// window population then does not depend on global timestamp order,
+	// which the eight interleaved connections cannot preserve.
+	q.Window = window.Spec{Mode: window.ModeCount, Count: 128, Open: q.Window.Open}
+	tr, err := harness.Train(q, base, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Model.Trained() {
+		t.Fatalf("training produced an untrained model (%d windows, %d matches)", tr.Windows, tr.Matches)
+	}
+
+	shedder, err := core.NewShedder(tr.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.NewOverloadDetector(core.DetectorConfig{
+		LatencyBound: 20 * event.Millisecond,
+		F:            0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := runtime.New(runtime.Config{
+		Operator: operator.Config{
+			Window:   q.Window,
+			Patterns: q.Patterns,
+			Shedder:  shedder,
+		},
+		Detector:           det,
+		Controller:         harness.ESPICEController{S: shedder},
+		PollInterval:       2 * time.Millisecond,
+		ProcessingDelay:    100 * time.Microsecond,
+		QueueCap:           1 << 14,
+		LatencySampleEvery: 1024,
+		Shards:             shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- pipe.Run(context.Background()) }()
+	var complexEvents uint64
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for range pipe.Out() {
+			complexEvents++
+		}
+	}()
+	srv := startServer(t, ServerConfig{Sink: pipe, Registry: meta.Registry, Window: 4096})
+
+	// Heap baseline once the machinery is up.
+	heapStart := heapInUse()
+
+	// Pace the offered load at ~250k events/s in total: the 100µs
+	// per-kept-membership cost bounds the unshed capacity well below
+	// that (time.Sleep never undershoots), so the server is genuinely
+	// overloaded the whole run and the shedder — not the transport —
+	// must absorb the excess.
+	perConn := totalEvents / conns
+	const perConnRate = 31250
+	stats := make([]ClientStats, conns)
+	errs := make([]error, conns)
+	var wg sync.WaitGroup
+	for ci := 0; ci < conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			errs[ci] = driveConn(srv.Addr().String(), base, ci, perConn, perConnRate, &stats[ci])
+		}(ci)
+	}
+	wg.Wait()
+	for ci, err := range errs {
+		if err != nil {
+			t.Fatalf("conn %d: %v", ci, err)
+		}
+	}
+
+	// Clean drain: transport first, then the stream, then the output.
+	srv.Close()
+	pipe.CloseInput()
+	if err := <-runDone; err != nil {
+		t.Fatalf("pipeline run: %v", err)
+	}
+	<-collected
+
+	// Conservation between the transport ledger and the pipeline.
+	var accepted uint64
+	for _, st := range stats {
+		accepted += st.Accepted
+	}
+	if accepted != uint64(totalEvents) {
+		t.Errorf("transport accepted %d of %d events", accepted, totalEvents)
+	}
+	st := pipe.Stats()
+	if st.Submitted != accepted || st.Processed != accepted {
+		t.Errorf("pipeline submitted=%d processed=%d, transport accepted=%d",
+			st.Submitted, st.Processed, accepted)
+	}
+	op := st.Operator
+	if op.Memberships != op.MembershipsKept+op.MembershipsShed {
+		t.Errorf("membership accounting leaks: %d != %d kept + %d shed",
+			op.Memberships, op.MembershipsKept, op.MembershipsShed)
+	}
+	if op.MembershipsShed == 0 {
+		t.Error("server never overloaded: no memberships shed")
+	}
+	if complexEvents == 0 {
+		t.Error("no complex events survived shedding")
+	}
+	t.Logf("soak: %d events, %d memberships (%d kept, %d shed = %.1f%%), %d complex events",
+		accepted, op.Memberships, op.MembershipsKept, op.MembershipsShed,
+		100*float64(op.MembershipsShed)/float64(op.Memberships), complexEvents)
+
+	// Bounded heap: post-GC growth across the whole soak must not scale
+	// with the stream (a 16-byte-per-event leak alone would exceed the
+	// bound at the full budget).
+	growth := int64(heapInUse()) - int64(heapStart)
+	bound := int64(12 << 20)
+	if raceEnabled {
+		bound = 48 << 20 // instrumentation shadow memory is not our heap
+	}
+	if growth > bound {
+		t.Errorf("heap grew %d MiB over the soak, bound %d MiB", growth>>20, bound>>20)
+	}
+}
+
+// driveConn replays total events of tiled base stream over one
+// connection at the target rate (events/s), rewriting sequence numbers
+// so every event of the soak is unique, and batching through the
+// credit-aware client.
+func driveConn(addr string, base []event.Event, ci, total, rate int, out *ClientStats) error {
+	c, err := Dial(ClientConfig{Addr: addr, BatchEvents: 512})
+	if err != nil {
+		return err
+	}
+	batch := make([]event.Event, 0, 256)
+	sent := 0
+	seq := uint64(ci) << 40 // disjoint per-connection sequence ranges
+	start := time.Now()
+	for sent < total {
+		for _, ev := range base {
+			if sent == total {
+				break
+			}
+			ev.Seq = seq
+			seq++
+			batch = append(batch, ev)
+			sent++
+			if len(batch) == cap(batch) {
+				if d := time.Until(start.Add(time.Duration(sent) * time.Second / time.Duration(rate))); d > 0 {
+					time.Sleep(d)
+				}
+				if err := c.SubmitBatch(batch); err != nil {
+					return err
+				}
+				if err := c.Flush(); err != nil {
+					return err
+				}
+				batch = batch[:0]
+			}
+		}
+	}
+	if err := c.SubmitBatch(batch); err != nil {
+		return err
+	}
+	st, err := c.Close()
+	if err != nil {
+		return err
+	}
+	if st.Sent != uint64(total) {
+		return fmt.Errorf("sent %d of %d", st.Sent, total)
+	}
+	*out = st
+	return nil
+}
+
+// heapInUse returns the post-GC live heap.
+func heapInUse() uint64 {
+	goruntime.GC()
+	var ms goruntime.MemStats
+	goruntime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}

@@ -1,0 +1,149 @@
+// Package transport puts a wire boundary in front of the live eSPICE
+// deployments: a TCP ingest server (Server) accepts primitive events in
+// either a length-prefixed binary codec or NDJSON, feeds them into a
+// runtime.Pipeline or engine.Engine through the Sink interface, and
+// pushes backpressure to clients with bounded per-connection read
+// windows and an explicit credit protocol — so overload is resolved by
+// the load shedder inside the operator, never by unbounded buffering in
+// the network path. Client is the matching batching, reconnecting,
+// credit-aware producer.
+//
+// The full frame format, the credit protocol and the backpressure
+// semantics are specified in docs/wire.md.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Connection preface and protocol version. A binary connection starts
+// with the two bytes {Magic, ProtocolVersion}; anything else makes the
+// server fall back to NDJSON line mode (0xE5 is neither printable ASCII
+// nor a valid first byte of UTF-8 JSON text, so the two framings cannot
+// be confused).
+const (
+	// Magic is the first byte of every binary-mode connection.
+	Magic byte = 0xE5
+	// ProtocolVersion is the second preface byte; the server rejects
+	// connections with a version it does not speak.
+	ProtocolVersion byte = 1
+)
+
+// Frame types. Client-to-server types have the high bit clear,
+// server-to-client types have it set.
+const (
+	// FrameEvents carries a batch of binary-encoded events
+	// (client to server). Its payload is described in codec.go.
+	FrameEvents byte = 0x01
+	// FrameEOF signals end of stream on this connection (empty payload);
+	// the server answers with FrameDone once every event has been
+	// submitted to the sink.
+	FrameEOF byte = 0x02
+	// FrameStatsReq asks the server for its current statistics (empty
+	// payload); the server answers with FrameStats.
+	FrameStatsReq byte = 0x03
+
+	// FrameCredit grants the client permission to send that many more
+	// events (payload: one uvarint). See docs/wire.md for the window
+	// accounting.
+	FrameCredit byte = 0x81
+	// FrameDone acknowledges FrameEOF (payload: one uvarint, the total
+	// number of events accepted on this connection).
+	FrameDone byte = 0x82
+	// FrameError reports a protocol error (payload: UTF-8 message); the
+	// server closes the connection after sending it.
+	FrameError byte = 0x83
+	// FrameStats answers FrameStatsReq (payload: a JSON document
+	// assembled by the server application).
+	FrameStats byte = 0x84
+)
+
+// DefaultMaxFrame bounds the payload length of a single frame. A frame
+// longer than the limit is a protocol error, which keeps a malformed or
+// malicious length prefix from forcing a large allocation.
+const DefaultMaxFrame = 1 << 20
+
+// AppendFrame appends one complete frame — type byte, uvarint payload
+// length, payload — to dst and returns the extended slice.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// AppendCreditFrame appends a FrameCredit granting n events.
+func AppendCreditFrame(dst []byte, n uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return AppendFrame(dst, FrameCredit, tmp[:binary.PutUvarint(tmp[:], n)])
+}
+
+// frameScanner incrementally splits a byte stream into frames. Feed
+// appends raw bytes from the connection; Next pops the next complete
+// frame. The returned payload aliases the scanner's internal buffer and
+// is valid only until the next Feed call — decode or copy it first.
+//
+// The scanner is the single frame-parsing implementation: the server
+// reads through it, and the FuzzServerFrame fuzz target drives it with
+// arbitrary chunkings to prove it never panics or over-reads.
+type frameScanner struct {
+	maxFrame int
+	buf      []byte
+	off      int // consumed prefix of buf
+}
+
+// newFrameScanner builds a scanner enforcing the given frame bound
+// (DefaultMaxFrame when maxFrame <= 0).
+func newFrameScanner(maxFrame int) *frameScanner {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &frameScanner{maxFrame: maxFrame}
+}
+
+// Feed appends raw stream bytes. It compacts the consumed prefix first,
+// so the buffer never grows beyond one partial frame plus one read.
+func (s *frameScanner) Feed(p []byte) {
+	if s.off > 0 {
+		n := copy(s.buf, s.buf[s.off:])
+		s.buf = s.buf[:n]
+		s.off = 0
+	}
+	s.buf = append(s.buf, p...)
+}
+
+// Next pops the next complete frame. ok reports whether a frame was
+// available; a false ok with a nil error means more input is needed. A
+// non-nil error is fatal for the stream (malformed or oversized length
+// prefix).
+func (s *frameScanner) Next() (typ byte, payload []byte, ok bool, err error) {
+	rest := s.buf[s.off:]
+	if len(rest) < 2 { // type byte + at least one length byte
+		return 0, nil, false, nil
+	}
+	typ = rest[0]
+	length, n := binary.Uvarint(rest[1:])
+	if n == 0 {
+		// Length prefix incomplete. A uvarint is at most 10 bytes; if we
+		// buffered that much and still cannot parse it, it is malformed.
+		if len(rest) > 1+binary.MaxVarintLen64 {
+			return 0, nil, false, fmt.Errorf("transport: malformed frame length")
+		}
+		return 0, nil, false, nil
+	}
+	if n < 0 {
+		return 0, nil, false, fmt.Errorf("transport: frame length overflows uint64")
+	}
+	if length > uint64(s.maxFrame) {
+		return 0, nil, false, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", length, s.maxFrame)
+	}
+	total := 1 + n + int(length)
+	if len(rest) < total {
+		return 0, nil, false, nil
+	}
+	s.off += total
+	return typ, rest[1+n : total], true, nil
+}
+
+// Buffered reports how many unconsumed bytes the scanner holds.
+func (s *frameScanner) Buffered() int { return len(s.buf) - s.off }

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestFrameScannerWhole(t *testing.T) {
+	buf := AppendFrame(nil, FrameEvents, []byte("abc"))
+	buf = AppendFrame(buf, FrameEOF, nil)
+	s := newFrameScanner(0)
+	s.Feed(buf)
+	typ, payload, ok, err := s.Next()
+	if err != nil || !ok || typ != FrameEvents || !bytes.Equal(payload, []byte("abc")) {
+		t.Fatalf("first frame: typ=%#x payload=%q ok=%v err=%v", typ, payload, ok, err)
+	}
+	typ, payload, ok, err = s.Next()
+	if err != nil || !ok || typ != FrameEOF || len(payload) != 0 {
+		t.Fatalf("second frame: typ=%#x payload=%q ok=%v err=%v", typ, payload, ok, err)
+	}
+	if _, _, ok, err = s.Next(); ok || err != nil {
+		t.Fatalf("empty scanner returned ok=%v err=%v", ok, err)
+	}
+	if s.Buffered() != 0 {
+		t.Fatalf("%d bytes left buffered", s.Buffered())
+	}
+}
+
+// TestFrameScannerByteAtATime pins incremental parsing: frames split at
+// every possible boundary still come out whole and in order.
+func TestFrameScannerByteAtATime(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5A}, 300) // 2-byte length prefix
+	buf := AppendFrame(nil, FrameEvents, payload)
+	buf = AppendFrame(buf, FrameCredit, []byte{0x7F})
+	s := newFrameScanner(0)
+	var got int
+	for i := range buf {
+		s.Feed(buf[i : i+1])
+		for {
+			typ, p, ok, err := s.Next()
+			if err != nil {
+				t.Fatalf("byte %d: %v", i, err)
+			}
+			if !ok {
+				break
+			}
+			switch got {
+			case 0:
+				if typ != FrameEvents || !bytes.Equal(p, payload) {
+					t.Fatalf("frame 0 corrupted: typ=%#x len=%d", typ, len(p))
+				}
+			case 1:
+				if typ != FrameCredit || !bytes.Equal(p, []byte{0x7F}) {
+					t.Fatalf("frame 1 corrupted: typ=%#x payload=%v", typ, p)
+				}
+			}
+			got++
+		}
+	}
+	if got != 2 {
+		t.Fatalf("got %d frames, want 2", got)
+	}
+}
+
+func TestFrameScannerOversized(t *testing.T) {
+	s := newFrameScanner(16)
+	frame := AppendFrame(nil, FrameEvents, bytes.Repeat([]byte{1}, 17))
+	s.Feed(frame)
+	if _, _, _, err := s.Next(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestFrameScannerMalformedLength(t *testing.T) {
+	// Eleven continuation bytes cannot be a valid uvarint length.
+	s := newFrameScanner(0)
+	s.Feed(append([]byte{FrameEvents}, bytes.Repeat([]byte{0x80}, 11)...))
+	if _, _, _, err := s.Next(); err == nil {
+		t.Fatal("malformed length prefix accepted")
+	}
+
+	// A 10-byte uvarint that overflows is rejected as well.
+	s = newFrameScanner(0)
+	over := make([]byte, 0, 12)
+	over = append(over, FrameEvents)
+	over = append(over, bytes.Repeat([]byte{0xFF}, 9)...)
+	over = append(over, 0x7F)
+	s.Feed(over)
+	if _, _, _, err := s.Next(); err == nil {
+		t.Fatal("overflowing length prefix accepted")
+	}
+}
+
+func TestAppendCreditFrame(t *testing.T) {
+	s := newFrameScanner(0)
+	s.Feed(AppendCreditFrame(nil, 123456))
+	typ, payload, ok, err := s.Next()
+	if err != nil || !ok || typ != FrameCredit {
+		t.Fatalf("typ=%#x ok=%v err=%v", typ, ok, err)
+	}
+	n, k := binary.Uvarint(payload)
+	if k <= 0 || n != 123456 {
+		t.Fatalf("credit decoded as %d (k=%d)", n, k)
+	}
+}
