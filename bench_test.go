@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -199,12 +200,20 @@ func BenchmarkPipelineShards(b *testing.B) {
 		kept := p.Stats().Operator.MembershipsKept
 		b.ReportMetric(float64(kept)/b.Elapsed().Seconds(), "kept_ev/s")
 	}
-	for _, shards := range []int{1, 2, 4} {
+	// The shard sweep covers {1, 2, 4, 8} plus GOMAXPROCS when it is not
+	// already in the list: the scaling contract is "shards=N monotonically
+	// beats shards=1 up to GOMAXPROCS", so the machine's own core count is
+	// always a measured point (cmd/benchjson compare warns on regressions).
+	shardCounts := []int{1, 2, 4, 8}
+	if gmp := runtime.GOMAXPROCS(0); gmp != 1 && gmp != 2 && gmp != 4 && gmp != 8 {
+		shardCounts = append(shardCounts, gmp)
+	}
+	for _, shards := range shardCounts {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			run(b, shards, delay, WindowSpec{Mode: ModeCount, Count: 10, Slide: 10})
 		})
 	}
-	for _, shards := range []int{1, 2, 4} {
+	for _, shards := range shardCounts {
 		b.Run(fmt.Sprintf("nodelay/shards=%d", shards), func(b *testing.B) {
 			run(b, shards, 0, WindowSpec{Mode: ModeCount, Count: 128, Slide: 16})
 		})

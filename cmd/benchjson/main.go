@@ -19,8 +19,12 @@
 // slow runs. A benchmark regresses when its ns/op worsens by more than
 // -threshold (default 15%), or — for the zero-alloc gates, i.e.
 // benchmarks whose baseline records allocs/op == 0 — when it allocates
-// at all or its B/op grows. `make bench` runs the comparison as a
-// non-blocking report before appending the new run.
+// at all or its B/op grows. The comparison also prints non-blocking
+// WARN lines when BenchmarkPipelineShards kept_ev/s is not monotonically
+// non-decreasing in the shard count (the scale-out contract; advisory
+// because CI machines cannot always measure real parallelism). `make
+// bench` runs the comparison as a non-blocking report before appending
+// the new run.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -194,12 +199,59 @@ func compareCmd(args []string) {
 		regressions++
 		fmt.Printf("REGRESSED %-49s vs %s: %s\n", b.Name, baseLabel[b.Name], strings.Join(problems, "; "))
 	}
+	checkShardScaling(cur)
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond the %.0f%% budget\n",
 			regressions, 100**threshold)
 		os.Exit(1)
 	}
 	fmt.Println("benchjson: no regressions against", *baseline)
+}
+
+// checkShardScaling asserts the scale-out contract on the fresh run:
+// within each BenchmarkPipelineShards variant, kept_ev/s at shards=N
+// must not fall below shards=1 and should grow monotonically with the
+// shard count. Violations are reported as warnings only — a loaded or
+// single-core CI machine cannot measure real parallel speedup, so this
+// check never fails the build; it exists to make scaling regressions
+// visible in the `make bench` and CI logs.
+func checkShardScaling(cur Run) {
+	const metric = "kept_ev/s"
+	groups := map[string]map[int]float64{}
+	for _, b := range cur.Benchmarks {
+		prefix, _, found := strings.Cut(b.Name, "shards=")
+		if !found || !strings.HasPrefix(b.Name, "BenchmarkPipelineShards") {
+			continue
+		}
+		n, err := strconv.Atoi(b.Name[len(prefix)+len("shards="):])
+		if err != nil || b.Metrics[metric] <= 0 {
+			continue
+		}
+		if groups[prefix] == nil {
+			groups[prefix] = map[int]float64{}
+		}
+		groups[prefix][n] = b.Metrics[metric]
+	}
+	for prefix, byShards := range groups {
+		counts := make([]int, 0, len(byShards))
+		for n := range byShards {
+			counts = append(counts, n)
+		}
+		sort.Ints(counts)
+		for i, n := range counts {
+			if n == 1 {
+				continue
+			}
+			if base, ok := byShards[1]; ok && byShards[n] < base {
+				fmt.Printf("WARN     %sshards=%d %s %.0f below shards=1 (%.0f): sharding scales negatively\n",
+					prefix, n, metric, byShards[n], base)
+			}
+			if i > 0 && byShards[n] < byShards[counts[i-1]] {
+				fmt.Printf("WARN     %sshards=%d %s %.0f below shards=%d (%.0f): scaling not monotonic\n",
+					prefix, n, metric, byShards[n], counts[i-1], byShards[counts[i-1]])
+			}
+		}
+	}
 }
 
 // parseLine parses one result line of the standard bench output format:

@@ -276,8 +276,8 @@ func runLive(opts liveOpts, w io.Writer) (*liveResult, error) {
 		st.Operator.MembershipsShed, st.Operator.Memberships,
 		100*float64(st.Operator.MembershipsShed)/float64(max(1, st.Operator.Memberships)))
 	for i, ss := range st.Shards {
-		fmt.Fprintf(w, "  shard %d: %d memberships, %d kept, %d shed, %d windows, %d complex events (th ~%.0f ev/s)\n",
-			i, ss.Memberships, ss.Kept, ss.Shed, ss.WindowsClosed, ss.ComplexEvents, ss.Throughput)
+		fmt.Fprintf(w, "  shard %d: %d memberships, %d kept, %d shed, %d windows, %d complex events, %d pool misses (th ~%.0f ev/s)\n",
+			i, ss.Memberships, ss.Kept, ss.Shed, ss.WindowsClosed, ss.ComplexEvents, ss.PoolMisses, ss.Throughput)
 	}
 	if st.Lifecycle != nil {
 		ls := st.Lifecycle

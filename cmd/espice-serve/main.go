@@ -352,6 +352,7 @@ type serveStats struct {
 	Submitted     uint64                 `json:"submitted"`
 	Processed     uint64                 `json:"processed"`
 	QueueLen      int                    `json:"queue_len"`
+	PoolMisses    uint64                 `json:"pool_misses"`
 	Memberships   uint64                 `json:"memberships"`
 	Kept          uint64                 `json:"kept"`
 	Shed          uint64                 `json:"shed"`
@@ -381,6 +382,9 @@ func (app *serveApp) stats() serveStats {
 		st.Submitted = ps.Submitted
 		st.Processed = ps.Processed
 		st.QueueLen = ps.QueueLen
+		for _, ss := range ps.Shards {
+			st.PoolMisses += ss.PoolMisses
+		}
 		st.Memberships = ps.Operator.Memberships
 		st.Kept = ps.Operator.MembershipsKept
 		st.Shed = ps.Operator.MembershipsShed
@@ -393,6 +397,9 @@ func (app *serveApp) stats() serveStats {
 		qs := h.Stats()
 		st.Processed += qs.Pipeline.Processed
 		st.QueueLen += qs.Pipeline.QueueLen
+		for _, ss := range qs.Pipeline.Shards {
+			st.PoolMisses += ss.PoolMisses
+		}
 		st.Memberships += qs.Pipeline.Operator.Memberships
 		st.Kept += qs.Pipeline.Operator.MembershipsKept
 		st.Shed += qs.Pipeline.Operator.MembershipsShed

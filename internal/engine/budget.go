@@ -146,6 +146,10 @@ func (e *Engine) evaluateBudget(qs []*Query) {
 		ws    int
 		stats runtime.Stats
 	}
+	// totalQueue accumulates backlogs in events: the ingress queue plus
+	// each query's Stats().QueueLen, which sharded pipelines report already
+	// normalized from staged memberships to events by the windowing
+	// overlap factor — so serial and sharded queries weigh equally here.
 	var (
 		ms         []measured
 		totalQueue = len(e.in)

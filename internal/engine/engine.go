@@ -502,7 +502,10 @@ func (e *Engine) Run(ctx context.Context) error {
 const fanoutChunk = 256
 
 // fanOut delivers a batch of events to every registered query whose
-// filter accepts their types, one pipeline submit per query. Holding the
+// filter accepts their types, one pipeline submit per query. For a
+// sharded query pipeline that submit runs the partitioner inline, so
+// the fan-out goroutine streams partition-aware op batches straight to
+// the query's shards with no router hop in between. Holding the
 // read lock across the (possibly blocking) per-query submits means
 // Deregister cannot observe a half-delivered batch: once it acquires the
 // write lock, no delivery to the removed query is in flight.

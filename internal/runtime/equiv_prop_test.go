@@ -1,0 +1,145 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/harness"
+	"repro/internal/operator"
+	"repro/internal/pattern"
+	"repro/internal/window"
+)
+
+// dropFunc is a deterministic, stateless shedding decider: safe to share
+// across shards, and its decisions depend only on the membership
+// coordinates — exactly the property the shard=N ≡ shard=1 contract
+// needs from a shedder.
+type dropFunc func(t event.Type, pos, ws int) bool
+
+func (f dropFunc) Drop(t event.Type, pos, ws int) bool { return f(t, pos, ws) }
+
+// propWorkload is one randomized overlapping-window workload.
+type propWorkload struct {
+	label  string
+	spec   window.Spec
+	events []event.Event
+	shed   bool
+}
+
+// makeWorkload derives a workload from a seed: count- or time-based
+// windows with random (overlapping) geometry, a random-length stream of
+// randomly typed events with irregular timestamp gaps, and optionally a
+// deterministic shedder.
+func makeWorkload(seed uint64, nEvents int) propWorkload {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	w := propWorkload{shed: rng.Intn(2) == 0}
+	if nEvents <= 0 {
+		nEvents = 200 + rng.Intn(1200)
+	}
+	if rng.Intn(2) == 0 {
+		count := 3 + rng.Intn(22)
+		slide := 1 + rng.Intn(count)
+		w.spec = window.Spec{Mode: window.ModeCount, Count: count, Slide: slide}
+		w.label = fmt.Sprintf("seed=%d/count=%d/slide=%d/n=%d/shed=%v",
+			seed, count, slide, nEvents, w.shed)
+	} else {
+		length := event.Time(5+rng.Intn(45)) * event.Millisecond
+		slide := event.Time(1+rng.Intn(20)) * event.Millisecond
+		w.spec = window.Spec{Mode: window.ModeTime, Length: length, SlideTime: slide}
+		w.label = fmt.Sprintf("seed=%d/time=%v/slide=%v/n=%d/shed=%v",
+			seed, length, slide, nEvents, w.shed)
+	}
+	w.events = make([]event.Event, nEvents)
+	ts := event.Time(0)
+	for i := range w.events {
+		ts += event.Time(rng.Intn(3)) * event.Millisecond
+		w.events[i] = event.Event{
+			Seq:  uint64(i),
+			TS:   ts,
+			Type: event.Type(rng.Intn(3)),
+		}
+	}
+	return w
+}
+
+func (w propWorkload) config() Config {
+	p := pattern.MustCompile(pattern.Pattern{
+		Name: "seq(A;B)",
+		Steps: []pattern.Step{
+			{Types: []event.Type{typeA}},
+			{Types: []event.Type{typeB}},
+		},
+	})
+	cfg := Config{Operator: operator.Config{
+		Window:   w.spec,
+		Patterns: []*pattern.Compiled{p},
+	}}
+	if w.shed {
+		cfg.Operator.Shedder = dropFunc(func(t event.Type, pos, ws int) bool {
+			return (int(t)+pos)%3 == 0
+		})
+	}
+	return cfg
+}
+
+// streamSignature renders a complex-event stream byte-comparable:
+// identity, pattern and detection time, in emission order.
+func streamSignature(ces []operator.ComplexEvent) string {
+	var b strings.Builder
+	for _, ce := range ces {
+		fmt.Fprintf(&b, "%s|%s|%d\n", ce.Key(), ce.Pattern, ce.DetectedAt)
+	}
+	return b.String()
+}
+
+// TestShardedEquivalenceProperty is the property sweep behind the
+// scale-out refactor: over randomized overlapping-window workloads
+// (count and time modes, with and without shedding), every sharded
+// pipeline in {2,4,8} emits a byte-identical complex-event stream to
+// the serial pipeline. Run with -race to exercise the partitioner,
+// shard and epoch-merge handoffs.
+func TestShardedEquivalenceProperty(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	for seed := uint64(1); seed <= 6; seed++ {
+		w := makeWorkload(seed, 0)
+		t.Run(w.label, func(t *testing.T) {
+			serial, _ := runCollect(t, w.config(), w.events)
+			want := streamSignature(serial)
+			if want == "" {
+				t.Skip("workload detects nothing; equivalence would be vacuous")
+			}
+			for _, shards := range []int{2, 4, 8} {
+				cfg := w.config()
+				cfg.Shards = shards
+				sharded, _ := runCollect(t, cfg, w.events)
+				if got := streamSignature(sharded); got != want {
+					t.Errorf("shards=%d: stream differs from serial (%d vs %d complex events)",
+						shards, len(sharded), len(serial))
+				}
+			}
+		})
+	}
+}
+
+// FuzzShardedEquivalence lets the fuzzer search the workload space for
+// any divergence between the serial pipeline and an 4-shard deployment.
+func FuzzShardedEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint16(300))
+	f.Add(uint64(7), uint16(900))
+	f.Add(uint64(42), uint16(512))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16) {
+		nEvents := int(n)%1000 + 50 // bound the per-input cost
+		w := makeWorkload(seed, nEvents)
+		serial, _ := runCollect(t, w.config(), w.events)
+		cfg := w.config()
+		cfg.Shards = 4
+		sharded, _ := runCollect(t, cfg, w.events)
+		if want, got := streamSignature(serial), streamSignature(sharded); got != want {
+			t.Fatalf("%s: sharded stream differs from serial (%d vs %d complex events)",
+				w.label, len(sharded), len(serial))
+		}
+	})
+}

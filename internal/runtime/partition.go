@@ -1,0 +1,346 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/window"
+)
+
+// Shard op kinds. The low bits select the operation; opSampleFlag marks
+// the one membership op per sampled event whose processing time feeds
+// the latency trace (see Config.LatencySampleEvery).
+const (
+	opMember = 0 // add-or-shed one membership: slot, pos, evIdx
+	opOpen   = 1 // open a window in slot: a = window ID, b = expected size, evIdx = opening event
+	opClose  = 2 // close the window in slot: a = merge epoch, b = close timestamp
+
+	opKindMask   = 0x7f
+	opSampleFlag = 1 << 7
+)
+
+// shardOp is one decoded instruction for a shard. The partitioner runs
+// the windowing policy centrally (so window identities, positions and
+// size predictions stay exactly the serial pipeline's) and compiles its
+// outcome into these fixed-size ops; the owning shard replays them in
+// order against its local window slots. 32 bytes, no pointers — a staged
+// op stream costs the shard no GC scanning.
+type shardOp struct {
+	kind  uint8
+	slot  int32 // shard-local window slot (dense, recycled at close)
+	pos   int32 // membership position (opMember)
+	evIdx int32 // index into the batch's events array (opMember, opOpen)
+	a     uint64
+	b     uint64
+}
+
+// shardBatch is the unit of work handed to a shard: an op stream plus
+// the deduplicated events it references. Batches are recycled through
+// each shard's recycle channel, so a warm pipeline stages ops into
+// previously used buffers.
+type shardBatch struct {
+	ops     []shardOp
+	events  []event.Event
+	arrived time.Time // submit time shared by every op in the batch
+	members int       // membership ops staged (backlog accounting)
+}
+
+// opsFlushBatch caps how many ops a batch accumulates before the
+// partitioner flushes it to the shard mid-call; every public
+// Submit/SubmitBatch call also flushes whatever is staged on return, so
+// a paced producer never leaves work parked in the staging area.
+const opsFlushBatch = 512
+
+// partitioner is the submitter-side front end of the sharded pipeline.
+// It replaces the dedicated router goroutine: SubmitBatch itself runs
+// the windowing policy (under pt.mu) and streams compiled ops to the
+// owning shards, so the former router-channel rendezvous and the
+// central-manager serialization disappear from the scale path.
+//
+// tracker is a plain window.Manager used only for bookkeeping: it
+// decides opens, positions, closes and size predictions exactly as the
+// serial operator's manager does, but its windows carry no payload —
+// events are never Added to them. The payload windows live in the
+// shards, one slot array per shard, and a window's whole life (open,
+// add, shed, close, match, recycle) happens on its owning shard's
+// goroutine. tracker windows are recycled through the manager's own
+// pool the moment their close op is emitted.
+type partitioner struct {
+	p  *Pipeline
+	mu sync.Mutex
+
+	tracker *window.Manager
+
+	// Per-shard staging state, indexed by shard id.
+	staged    []*shardBatch
+	freeSlots [][]int32 // recycled window slots
+	nextSlot  []int32   // next never-used slot
+	evMark    []uint64  // stamp of the event currently staged per shard
+	evIdx     []int32   // its index in that shard's staged events
+
+	evStamp uint64     // bumped once per routed event (dedup stamps)
+	epoch   uint64     // next window-close epoch (merge order)
+	arrived time.Time  // arrival time of the submit call being staged
+	lastTS  event.Time // latest routed event timestamp (flush close time)
+
+	closed   bool        // input sealed; shard channels are closed
+	canceled atomic.Bool // Run's context ended; drop instead of send
+	done     chan struct{}
+}
+
+func newPartitioner(p *Pipeline, spec window.Spec) (*partitioner, error) {
+	tracker, err := window.NewManager(spec)
+	if err != nil {
+		return nil, err
+	}
+	n := len(p.shards)
+	return &partitioner{
+		p:         p,
+		tracker:   tracker,
+		staged:    make([]*shardBatch, n),
+		freeSlots: make([][]int32, n),
+		nextSlot:  make([]int32, n),
+		evMark:    make([]uint64, n),
+		evIdx:     make([]int32, n),
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// tagAssigned marks a tracker window whose owning shard and slot have
+// been chosen; the zero Tag means "not yet placed" (fresh or recycled
+// windows are zeroed by the pool).
+const tagAssigned = 1 << 63
+
+func packTag(shard int, slot int32) uint64 {
+	return tagAssigned | uint64(shard)<<32 | uint64(uint32(slot))
+}
+
+func unpackTag(tag uint64) (shard int, slot int32) {
+	return int(tag >> 32 & 0x7fffffff), int32(uint32(tag))
+}
+
+// batchFor returns shard si's staging batch, starting a fresh one (from
+// the shard's recycle ring when possible) on demand.
+func (pt *partitioner) batchFor(si int) *shardBatch {
+	b := pt.staged[si]
+	if b == nil {
+		select {
+		case b = <-pt.p.shards[si].recycle:
+		default:
+			b = &shardBatch{}
+		}
+		b.arrived = pt.arrived
+		pt.staged[si] = b
+	}
+	return b
+}
+
+// flushShard sends shard si's staged batch. Sends happen only under
+// pt.mu and channels are closed only under pt.mu, so a send can never
+// race a close; after a cancel the batch is dropped instead (the shards
+// are in drain mode and the backlog is moot).
+func (pt *partitioner) flushShard(si int) {
+	b := pt.staged[si]
+	if b == nil {
+		return
+	}
+	pt.staged[si] = nil
+	pt.evMark[si] = 0 // event indices die with the batch
+	if pt.canceled.Load() {
+		pt.p.shards[si].queued.Add(-int64(b.members))
+		return
+	}
+	pt.p.shards[si].in <- b
+}
+
+func (pt *partitioner) flushAll() {
+	for si := range pt.staged {
+		pt.flushShard(si)
+	}
+}
+
+// ensureEvent stages ev into shard si's batch once per routed event and
+// returns its index; repeated memberships of one event on one shard
+// share the entry (stamp-based dedup, no map).
+func (pt *partitioner) ensureEvent(si int, ev event.Event) int32 {
+	if pt.evMark[si] == pt.evStamp {
+		return pt.evIdx[si]
+	}
+	b := pt.batchFor(si)
+	idx := int32(len(b.events))
+	b.events = append(b.events, ev)
+	pt.evMark[si] = pt.evStamp
+	pt.evIdx[si] = idx
+	return idx
+}
+
+// stageOp appends one op to shard si's batch, flushing it once it
+// reaches opsFlushBatch ops.
+func (pt *partitioner) stageOp(si int, op shardOp) {
+	b := pt.batchFor(si)
+	b.ops = append(b.ops, op)
+	if len(b.ops) >= opsFlushBatch {
+		pt.flushShard(si)
+	}
+}
+
+// routeOne runs the windowing policy for one event and streams the
+// resulting ops to the owning shards. Caller holds pt.mu.
+func (pt *partitioner) routeOne(ev event.Event) {
+	member, closedWins := pt.tracker.Route(ev)
+	pt.evStamp++
+	pt.lastTS = ev.TS
+	wantSample := pt.p.sampleLatency()
+	sampled := false
+	nshards := len(pt.p.shards)
+	for _, mb := range member {
+		w := mb.W
+		var si int
+		var slot int32
+		if w.Tag == 0 {
+			// First membership of a freshly opened window: place it. The
+			// shard is derived from the deterministic window ID, so a
+			// given stream shards identically run to run.
+			si = int(w.ID) % nshards
+			if free := pt.freeSlots[si]; len(free) > 0 {
+				slot = free[len(free)-1]
+				pt.freeSlots[si] = free[:len(free)-1]
+			} else {
+				slot = pt.nextSlot[si]
+				pt.nextSlot[si]++
+			}
+			w.Tag = packTag(si, slot)
+			pt.stageOp(si, shardOp{
+				kind:  opOpen,
+				slot:  slot,
+				evIdx: pt.ensureEvent(si, ev),
+				a:     uint64(w.ID),
+				b:     uint64(w.ExpectedSize),
+			})
+		} else {
+			si, slot = unpackTag(w.Tag)
+		}
+		op := shardOp{
+			kind:  opMember,
+			slot:  slot,
+			pos:   int32(mb.Pos),
+			evIdx: pt.ensureEvent(si, ev),
+		}
+		if wantSample && !sampled {
+			op.kind |= opSampleFlag
+			sampled = true
+		}
+		pt.batchFor(si).members++
+		pt.p.shards[si].queued.Add(1)
+		pt.stageOp(si, op)
+	}
+	if wantSample && !sampled {
+		// The event belongs to no window, so no shard will time it;
+		// sample here so every 1-in-N event still contributes.
+		now := time.Now()
+		pt.p.mu.Lock()
+		pt.p.latency.Add(event.Time(now.UnixMicro()),
+			event.Time(now.Sub(pt.arrived).Microseconds()))
+		pt.p.mu.Unlock()
+	}
+	for _, w := range closedWins {
+		pt.stageClose(w, ev.TS)
+	}
+	pt.p.processed.Add(1)
+}
+
+// stageClose emits the close op for a tracker-closed window, assigns its
+// merge epoch (global close order — exactly the serial pipeline's
+// emission order), recycles its shard slot and hands the tracker window
+// back to the tracker's pool. The slot may be reused by a later open:
+// the shard replays its op stream in order, so the reopen cannot
+// overtake the close. Caller holds pt.mu.
+func (pt *partitioner) stageClose(w *window.Window, now event.Time) {
+	si, slot := unpackTag(w.Tag)
+	pt.stageOp(si, shardOp{
+		kind: opClose,
+		slot: slot,
+		a:    pt.epoch,
+		b:    uint64(now),
+	})
+	pt.epoch++
+	pt.freeSlots[si] = append(pt.freeSlots[si], slot)
+	pt.tracker.Release(w)
+}
+
+// submitBatch partitions a batch of events; it blocks while the owning
+// shards' bounded queues are full (backpressure). Safe for concurrent
+// producers; events of one call are routed contiguously in stream order.
+func (pt *partitioner) submitBatch(events []event.Event) {
+	if len(events) == 0 {
+		return
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.closed {
+		return
+	}
+	pt.arrived = time.Now()
+	for _, ev := range events {
+		if pt.canceled.Load() {
+			break
+		}
+		pt.p.submitted.Add(1)
+		pt.routeOne(ev)
+	}
+	pt.flushAll()
+}
+
+// submitOne is Submit's allocation-free single-event path.
+func (pt *partitioner) submitOne(ev event.Event) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.closed || pt.canceled.Load() {
+		return
+	}
+	pt.arrived = time.Now()
+	pt.p.submitted.Add(1)
+	pt.routeOne(ev)
+	pt.flushAll()
+}
+
+// close seals the input: remaining tracker windows are flushed closed at
+// the last routed timestamp, every staged batch is sent, and the shard
+// channels are closed so Run can drain and return. Idempotent.
+func (pt *partitioner) close() {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.closed {
+		return
+	}
+	if !pt.canceled.Load() {
+		for _, w := range pt.tracker.Flush() {
+			pt.stageClose(w, pt.lastTS)
+		}
+	}
+	pt.flushAll()
+	pt.closed = true
+	for _, s := range pt.p.shards {
+		close(s.in)
+	}
+	close(pt.done)
+}
+
+// cancel puts the partitioner into drop mode after Run's context ended:
+// in-flight submits finish their current shard send (the shards are
+// draining, so it completes), then stop routing; the shard channels are
+// then closed under the same mutex, which can never race a send.
+func (pt *partitioner) cancel() {
+	pt.canceled.Store(true)
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if !pt.closed {
+		pt.closed = true
+		for _, s := range pt.p.shards {
+			close(s.in)
+		}
+		close(pt.done)
+	}
+}

@@ -5,16 +5,19 @@
 // evaluates the overload condition and commands the load shedder.
 //
 // With Config.Shards > 1 the pipeline becomes a sharded multi-operator
-// deployment: a single router goroutine keeps the windowing hot path
-// serial (positions and window identities stay deterministic), windows
-// are assigned to shards round-robin as they open, each shard adds,
-// sheds and matches its windows' memberships on its own goroutine behind
-// its own bounded queue, and complex events are merged back in
-// window-close order through the ordered output stage shared with
-// internal/parallel — so shard=N output equals shard=1 output while the
-// per-membership processing cost spreads across N cores. One overload
-// detector observes the aggregate input rate and the summed per-shard
-// throughput and commands all shedders in lockstep.
+// deployment with no dedicated router goroutine: SubmitBatch itself runs
+// the windowing policy (under one partitioner mutex, so positions and
+// window identities stay deterministic) and streams compiled op batches
+// to the owning shards — windows are assigned to shards by their
+// deterministic ID as they open, and each shard owns its windows
+// outright: open, membership add, shed decision, close, matching and
+// pool recycling all happen on the shard goroutine behind its own
+// bounded queue. Closed-window results carry a monotonic epoch (the
+// global close order) and an epoch merge stage re-serializes them, so
+// shard=N output equals shard=1 output while the per-membership
+// processing cost spreads across N cores. One overload detector observes
+// the aggregate input rate and the summed per-shard throughput and
+// commands all shedders in lockstep.
 //
 // The runtime mirrors the discrete-event simulator (internal/sim) on real
 // clocks and channels; the simulator is the reproducible instrument for
@@ -54,7 +57,9 @@ type Config struct {
 	// SubmitBatch block when full (backpressure). Stats().QueueLen and
 	// the overload detector see the backlog in events as well; a
 	// SubmitBatch may overshoot the bound by up to one 256-event chunk.
-	// Default 1 << 16.
+	// When sharded, the bound is split across the shards' op-batch
+	// queues and enforced approximately (in batch granularity), since
+	// submitters partition directly into the shard queues. Default 1 << 16.
 	QueueCap int
 	// ProcessingDelay adds an artificial cost per kept membership,
 	// letting examples provoke overload on small machines. Zero means
@@ -73,7 +78,11 @@ type Config struct {
 	LatencySampleEvery int
 	// Shards is the number of parallel operator instances (default 1).
 	// Values above 1 spread per-membership processing across goroutines;
-	// complex events are still emitted in window-close order.
+	// complex events are still emitted in window-close order. With
+	// Shards > 1 the Operator.OnWindowClose hook runs on the shard
+	// goroutines — one call at a time per shard, but concurrently across
+	// shards — so a shared hook must synchronize its own state. Windows
+	// are recycled shard-locally right after the hook returns.
 	Shards int
 	// ShardDeciders optionally installs one shedder per shard; its length
 	// must equal Shards. When nil, every shard shares Operator.Shedder
@@ -113,8 +122,9 @@ const submitChunk = 256
 type Stats struct {
 	Submitted uint64
 	Processed uint64
-	// QueueLen is the total queued backlog: the input queue plus, when
-	// sharded, every shard queue.
+	// QueueLen is the queued backlog in events: the input queue when
+	// serial, or the shards' staged memberships normalized by the
+	// windowing overlap factor when sharded (see ShardStats.QueueLen).
 	QueueLen int
 	// InputRate and Throughput are the detector's current estimates in
 	// events per second. When sharded, Throughput is the summed per-shard
@@ -143,8 +153,14 @@ type ShardStats struct {
 	WindowsClosed    uint64
 	ComplexEvents    uint64
 	WindowsWithMatch uint64
-	// QueueLen is the shard's current queue backlog (messages).
+	// QueueLen is the shard's current queue backlog in staged
+	// memberships (each (event, window) incidence counts one).
 	QueueLen int
+	// PoolMisses counts window opens that had to allocate because the
+	// shard's window pool was empty. In steady state it plateaus at the
+	// warm working set; a climbing value means closed windows are not
+	// being recycled (a pool leak).
+	PoolMisses uint64
 	// Throughput is the detector's unshed-capacity estimate for this
 	// shard in events per second.
 	Throughput float64
@@ -171,18 +187,19 @@ type Pipeline struct {
 	in  chan inMsg
 	out chan operator.ComplexEvent
 
-	// mgr and shards drive the sharded deployment (Config.Shards > 1);
-	// the serial path uses the operator's own manager instead.
-	mgr    *window.Manager
+	// part and shards drive the sharded deployment (Config.Shards > 1):
+	// submitters partition events through part straight into the shard
+	// queues. The serial path uses the operator and the in channel.
+	part   *partitioner
 	shards []*shard
 
 	// lifecycle supervises online model training (Config.Lifecycle).
 	lifecycle *Lifecycle
 
-	// Latency sampling state, touched only by the processing (or
-	// router) goroutine: events since the last sample, the current
-	// stride (doubled on every decimation), and the samples recorded
-	// since the last decimation check.
+	// Latency sampling state, touched only by the processing goroutine
+	// (serial) or under the partitioner mutex (sharded): events since
+	// the last sample, the current stride (doubled on every decimation),
+	// and the samples recorded since the last decimation check.
 	latSkip    int
 	latEvery   int
 	latSamples int
@@ -318,38 +335,46 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	p.flowCond = sync.NewCond(&p.flowMu)
 	if cfg.Shards > 1 {
-		// The router owns its own manager; the operator above validated
-		// the full configuration and serves the Shards==1 path only.
-		p.mgr, err = window.NewManager(cfg.Operator.Window)
-		if err != nil {
-			return nil, fmt.Errorf("runtime: %w", err)
-		}
 		maxMatches := cfg.Operator.MaxMatchesPerWindow
 		if maxMatches <= 0 {
 			maxMatches = 1
 		}
-		perShardCap := cfg.QueueCap / cfg.Shards
-		if perShardCap < 64 {
-			perShardCap = 64
+		// Each shard queue holds op batches of up to opsFlushBatch
+		// memberships; sizing it as the shard's event-share divided by
+		// the batch size keeps the aggregate backlog bound near QueueCap.
+		batchCap := cfg.QueueCap / cfg.Shards / opsFlushBatch
+		if batchCap < 8 {
+			batchCap = 8
 		}
 		for i := 0; i < cfg.Shards; i++ {
 			dec := cfg.Operator.Shedder
 			if len(cfg.ShardDeciders) > 0 {
 				dec = cfg.ShardDeciders[i]
 			}
+			// The recycle ring matches the input queue depth: a submitter
+			// running batchCap batches ahead of a shard can still find every
+			// drained batch waiting for reuse, so steady state allocates no
+			// new batches regardless of how far ahead the producer runs.
 			sh := &shard{
-				id:          i,
-				in:          make(chan shardMsg, perShardCap),
-				decider:     dec,
-				matcher:     operator.NewMatcher(cfg.Operator.Patterns, maxMatches),
-				wantMatched: cfg.Operator.OnWindowClose != nil,
-				delay:       cfg.ProcessingDelay,
+				id:      i,
+				in:      make(chan *shardBatch, batchCap),
+				recycle: make(chan *shardBatch, batchCap+1),
+				decider: dec,
+				matcher: operator.NewMatcher(cfg.Operator.Patterns, maxMatches),
+				hook:    cfg.Operator.OnWindowClose,
+				delay:   cfg.ProcessingDelay,
 			}
 			if shardTaps != nil {
 				sh.tap = shardTaps[i]
 			}
 			sh.batched, _ = dec.(operator.BatchingDecider)
 			p.shards = append(p.shards, sh)
+		}
+		// The partitioner owns the tracker manager; the operator above
+		// validated the full configuration and serves Shards==1 only.
+		p.part, err = newPartitioner(p, cfg.Operator.Window)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: %w", err)
 		}
 	}
 	return p, nil
@@ -386,6 +411,10 @@ func (p *Pipeline) releaseSlot() {
 // Submit enqueues an event for processing; it blocks when the input
 // queue is full. Submit must not be called after CloseInput.
 func (p *Pipeline) Submit(e event.Event) {
+	if p.part != nil {
+		p.part.submitOne(e)
+		return
+	}
 	p.waitCapacity()
 	p.submitted.Add(1)
 	p.qlen.Add(1)
@@ -401,6 +430,12 @@ func (p *Pipeline) Submit(e event.Event) {
 // full queue. SubmitBatch must not be called after CloseInput.
 func (p *Pipeline) SubmitBatch(events []event.Event) {
 	if len(events) == 0 {
+		return
+	}
+	if p.part != nil {
+		// Sharded path: partition straight into the shard queues; the
+		// batch is consumed in place, no intermediate copy.
+		p.part.submitBatch(events)
 		return
 	}
 	now := time.Now()
@@ -428,11 +463,19 @@ func (p *Pipeline) SubmitBatch(events []event.Event) {
 // CloseInput signals end of stream; Run drains the queue and returns.
 func (p *Pipeline) CloseInput() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !p.inClosed {
-		p.inClosed = true
-		close(p.in)
+	if p.inClosed {
+		p.mu.Unlock()
+		return
 	}
+	p.inClosed = true
+	p.mu.Unlock()
+	if p.part != nil {
+		// The partitioner takes p.mu while routing (latency samples), so
+		// seal it outside the pipeline mutex to keep lock order one-way.
+		p.part.close()
+		return
+	}
+	close(p.in)
 }
 
 // Out delivers detected complex events. The channel closes when Run
@@ -460,16 +503,26 @@ func (p *Pipeline) Stats() Stats {
 	}
 	st.Operator.EventsProcessed = st.Processed
 	st.Shards = make([]ShardStats, len(p.shards))
+	queuedMembers := 0
 	for i, s := range p.shards {
 		ss := s.snapshot()
 		st.Shards[i] = ss
-		st.QueueLen += ss.QueueLen
+		queuedMembers += ss.QueueLen
 		st.Operator.Memberships += ss.Memberships
 		st.Operator.MembershipsKept += ss.Kept
 		st.Operator.MembershipsShed += ss.Shed
 		st.Operator.WindowsClosed += ss.WindowsClosed
 		st.Operator.ComplexEvents += ss.ComplexEvents
 		st.Operator.WindowsWithMatch += ss.WindowsWithMatch
+	}
+	// Report the backlog in events, the unit the serial pipeline and the
+	// engine's shedding budget use: the shard queues count memberships,
+	// which overstate it by the windowing overlap factor.
+	st.QueueLen = queuedMembers
+	if st.Processed > 0 {
+		if kbar := float64(st.Operator.Memberships) / float64(st.Processed); kbar > 1 {
+			st.QueueLen = int(float64(queuedMembers)/kbar + 0.5)
+		}
 	}
 	return st
 }
@@ -701,7 +754,8 @@ const maxLatencySamples = 1 << 18
 
 // sampleLatency reports whether the current event contributes a latency
 // sample (1 in latEvery, initially Config.LatencySampleEvery). Called
-// only from the single processing/router goroutine. When the recorded
+// from the processing goroutine (serial) or under the partitioner mutex
+// (sharded), never concurrently. When the recorded
 // samples reach maxLatencySamples the traces are decimated and the
 // stride doubles, keeping the memory and Summary cost of an unbounded
 // run fixed.

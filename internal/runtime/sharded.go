@@ -13,69 +13,48 @@ import (
 	"repro/internal/window"
 )
 
-// shardMsgCap bounds how many of one event's memberships a single shard
-// message bundles: with overlapping windows an event belongs to several
-// windows owned by the same shard, and bundling them shares one channel
-// rendezvous. Overflow simply flushes an extra message.
-const shardMsgCap = 8
-
-// shardMsg is one unit of work for a shard: a bundle of one event's
-// memberships to shed-or-add, or (when ticket is set) a window close to
-// match.
-type shardMsg struct {
-	// Membership fields: the event belongs to wins[:n] at poss[:n]. The
-	// arrays are inline so a bundle costs no allocation.
-	ev   event.Event
-	n    int32
-	poss [shardMsgCap]int32
-	wins [shardMsgCap]*window.Window
-	// arrived/recordLat carry the latency sample for one of the event's
-	// messages, so each event is sampled exactly once as in the serial
-	// path.
-	arrived   time.Time
-	recordLat bool
-
-	// Close fields. The ticket is the window's reserved slot in the
-	// ordered output stage; the shard completes it with the match result.
-	w      *window.Window
-	now    event.Time
-	ticket *parallel.Ticket[shardResult]
-}
-
-// shardResult is what a shard hands the ordered merge stage for one
-// closed window.
-type shardResult struct {
-	w       *window.Window
-	ces     []operator.ComplexEvent
-	matched []window.Entry
-}
-
-// shard is one parallel operator instance: it owns the windows assigned
-// to it (round-robin by window ID), applies its shedder to their
-// memberships, pays the per-kept-membership processing cost and runs the
-// matcher when the router closes one of its windows. All window mutation
-// for a given window happens on its owning shard's goroutine; the router
-// only opens windows and assigns positions.
+// shard is one parallel operator instance. It owns every window the
+// partitioner assigned to it — open, membership add, shed decision,
+// close, matching and pool recycling all happen on the shard goroutine,
+// against shard-local state — and it replays the partitioner's compiled
+// op stream in FIFO order, which is what makes slot recycling and the
+// per-window open→member→close ordering safe without locks.
 type shard struct {
 	id      int
-	in      chan shardMsg
+	in      chan *shardBatch // op batches from the partitioner
+	recycle chan *shardBatch // drained batches handed back for reuse
 	decider operator.Decider
 	batched operator.BatchingDecider // non-nil when decider batches counters
 	matcher *operator.Matcher        // per-shard match scratch
-	// wantMatched records whether an OnWindowClose hook consumes matched
-	// entries; only then does a close copy them out of the match scratch.
-	wantMatched bool
+	// merger re-serializes this shard's closed-window results into
+	// global window-close order; set by runSharded before the shard
+	// goroutine starts.
+	merger *parallel.EpochMerger[[]operator.ComplexEvent]
+	// hook is the user OnWindowClose hook. It runs on the shard
+	// goroutine, so with Shards > 1 it must be safe for concurrent calls
+	// (one per shard); the matched entries alias the shard's match
+	// scratch exactly as on the serial path.
+	hook operator.WindowCloseHook
 	// tap feeds the shard's window closes to the online model lifecycle
-	// (nil when disabled). It observes on the shard goroutine, before the
-	// close result crosses to the merge stage, so per-shard statistics
-	// accumulate without contention.
+	// (nil when disabled); per-shard statistics accumulate without
+	// contention and merge at (re)train time.
 	tap   *operator.FeedbackTap
 	delay time.Duration
+
+	// wins maps partitioner-assigned slots to the shard's live windows;
+	// pool recycles them shard-locally, so no closed window is ever lost
+	// to a full cross-goroutine release channel again.
+	wins []*window.Window
+	pool window.Pool
+
+	// latBuf collects the batch's latency samples; they fold into the
+	// lock-protected trace once per batch instead of once per sample.
+	latBuf []latSample
 
 	memberships      atomic.Uint64
 	kept             atomic.Uint64
 	shed             atomic.Uint64
-	queued           atomic.Int64 // memberships routed but not yet processed
+	queued           atomic.Int64 // memberships staged but not yet processed
 	windowsClosed    atomic.Uint64
 	complexEvents    atomic.Uint64
 	windowsWithMatch atomic.Uint64
@@ -86,9 +65,11 @@ type shard struct {
 	latency metrics.LatencyTrace
 }
 
-// snapshot reads the shard counters. QueueLen reports the queued
-// memberships (not bundled messages), matching the serial pipeline's
-// event-based backlog accounting.
+type latSample struct{ ts, lat event.Time }
+
+// snapshot reads the shard counters. QueueLen reports the staged
+// memberships (not batches), matching the serial pipeline's event-based
+// backlog accounting up to the windowing overlap factor.
 func (s *shard) snapshot() ShardStats {
 	return ShardStats{
 		Memberships:      s.memberships.Load(),
@@ -98,6 +79,7 @@ func (s *shard) snapshot() ShardStats {
 		ComplexEvents:    s.complexEvents.Load(),
 		WindowsWithMatch: s.windowsWithMatch.Load(),
 		QueueLen:         int(s.queued.Load()),
+		PoolMisses:       s.pool.Misses(),
 		Throughput:       loadFloat(&s.thEst),
 	}
 }
@@ -106,12 +88,18 @@ func (s *shard) snapshot() ShardStats {
 // locally before folding them into the shedder's shared atomic counters.
 const tallyFlushBatch = 1024
 
-// run drains the shard queue until it is closed. After a context cancel
-// it keeps draining but skips all work, completing any pending close
-// tickets with empty results so the merge stage can shut down. Shedding
-// counters are tallied locally and flushed in batches — when the queue
-// momentarily drains or every tallyFlushBatch decisions — instead of two
-// contended atomic adds per membership.
+// ensureSlot grows the window slot array to cover slot.
+func (s *shard) ensureSlot(slot int) {
+	for len(s.wins) <= slot {
+		s.wins = append(s.wins, nil)
+	}
+}
+
+// run drains the shard's batch queue until the partitioner closes it.
+// After a context cancel it keeps draining but skips all work, so a
+// blocked partitioner send always completes and teardown never
+// deadlocks. Shedding counters are tallied locally and flushed when the
+// queue momentarily drains or every tallyFlushBatch decisions.
 func (s *shard) run(ctx context.Context, wg *sync.WaitGroup) {
 	defer wg.Done()
 	var decisions, drops uint64
@@ -122,251 +110,167 @@ func (s *shard) run(ctx context.Context, wg *sync.WaitGroup) {
 		}
 	}
 	defer flush()
-	for m := range s.in {
-		if m.ticket != nil {
-			s.closeWindow(ctx, m)
-			continue
-		}
+	for b := range s.in {
 		if ctx.Err() != nil {
-			s.queued.Add(-int64(m.n)) // drained, not processed
+			s.queued.Add(-int64(b.members))
 			continue
 		}
 		start := time.Now()
-		var kept, shed uint64
-		for i := 0; i < int(m.n); i++ {
-			w, pos := m.wins[i], int(m.poss[i])
-			dropped := operator.ShedDecision(s.decider, s.batched, m.ev.Type, pos, w.ExpectedSize,
-				&decisions, &drops)
-			if dropped {
-				w.Dropped++
-				shed++
-			} else {
-				w.Add(m.ev, pos)
-				kept++
-				if s.delay > 0 {
-					time.Sleep(s.delay)
+		var kept, shed, members uint64
+		var out []parallel.EpochResult[[]operator.ComplexEvent]
+		haveOut := false
+		for _, op := range b.ops {
+			switch op.kind & opKindMask {
+			case opMember:
+				w := s.wins[op.slot]
+				w.Arrivals++
+				members++
+				ev := b.events[op.evIdx]
+				dropped := operator.ShedDecision(s.decider, s.batched, ev.Type, int(op.pos),
+					w.ExpectedSize, &decisions, &drops)
+				if dropped {
+					w.Dropped++
+					shed++
+				} else {
+					w.Add(ev, int(op.pos))
+					kept++
+					if s.delay > 0 {
+						time.Sleep(s.delay)
+					}
 				}
+				if op.kind&opSampleFlag != 0 {
+					now := time.Now()
+					s.latBuf = append(s.latBuf, latSample{
+						ts:  event.Time(now.UnixMicro()),
+						lat: event.Time(now.Sub(b.arrived).Microseconds()),
+					})
+				}
+			case opOpen:
+				w := s.pool.Get()
+				ev := b.events[op.evIdx]
+				w.ID = window.ID(op.a)
+				w.OpenSeq = ev.Seq
+				w.OpenTS = ev.TS
+				w.ExpectedSize = int(op.b)
+				s.ensureSlot(int(op.slot))
+				s.wins[op.slot] = w
+			case opClose:
+				if !haveOut {
+					out = s.merger.Batch()
+					haveOut = true
+				}
+				w := s.wins[op.slot]
+				s.wins[op.slot] = nil
+				out = append(out, parallel.EpochResult[[]operator.ComplexEvent]{
+					Epoch: op.a,
+					Val:   s.closeOwned(w, event.Time(op.b)),
+				})
 			}
 		}
-		s.memberships.Add(uint64(m.n))
-		s.queued.Add(-int64(m.n))
+		s.memberships.Add(members)
 		if kept > 0 {
 			s.kept.Add(kept)
 		}
 		if shed > 0 {
 			s.shed.Add(shed)
 		}
+		s.queued.Add(-int64(b.members))
 		s.busyNanos.Add(time.Since(start).Nanoseconds())
-		if m.recordLat {
-			lat := time.Since(m.arrived)
+		if len(s.latBuf) > 0 {
 			s.mu.Lock()
-			s.latency.Add(event.Time(start.UnixMicro()), event.Time(lat.Microseconds()))
+			for _, ls := range s.latBuf {
+				s.latency.Add(ls.ts, ls.lat)
+			}
 			s.mu.Unlock()
+			s.latBuf = s.latBuf[:0]
 		}
 		if decisions >= tallyFlushBatch || len(s.in) == 0 {
 			flush()
 		}
+		// Publish the batch's closes in one rendezvous — empty epochs
+		// included, the merge stage needs every epoch to stay contiguous.
+		if len(out) > 0 {
+			s.merger.Publish(out)
+		}
+		b.ops, b.events, b.members = b.ops[:0], b.events[:0], 0
+		select {
+		case s.recycle <- b:
+		default:
+		}
 	}
 }
 
-// closeWindow mirrors operator.closeWindow for one shard-owned window
-// and completes the window's merge ticket with the result.
-func (s *shard) closeWindow(ctx context.Context, m shardMsg) {
-	res := shardResult{w: m.w}
-	if ctx.Err() != nil {
-		m.ticket.Complete(res)
-		return
-	}
-	start := time.Now()
+// closeOwned mirrors operator.closeWindow for one shard-owned window:
+// seal, match, tap, hook, recycle. The returned complex events are the
+// window's merge payload; they reference no window memory, so the
+// window goes straight back to the shard's pool — release is local and
+// never lossy.
+func (s *shard) closeOwned(w *window.Window, now event.Time) []operator.ComplexEvent {
 	s.windowsClosed.Add(1)
-	var matched []window.Entry
-	var found bool
-	res.ces, matched, found = s.matcher.MatchClosed(m.w, m.now, nil)
+	w.MarkClosed()
+	ces, matched, found := s.matcher.MatchClosed(w, now, nil)
 	if found {
 		s.windowsWithMatch.Add(1)
 	}
 	if s.tap != nil {
-		// The tap reads the window and the scratch-aliased matched
-		// entries synchronously; nothing is retained past this call.
-		s.tap.OnWindowClose(m.w, matched)
+		s.tap.OnWindowClose(w, matched)
 	}
-	if s.wantMatched && len(matched) > 0 {
-		// matched aliases the shard's match scratch and the result crosses
-		// to the merge goroutine, so the hook gets its own copy.
-		res.matched = append([]window.Entry(nil), matched...)
+	if s.hook != nil {
+		s.hook(w, matched)
 	}
-	s.complexEvents.Add(uint64(len(res.ces)))
-	s.busyNanos.Add(time.Since(start).Nanoseconds())
-	m.ticket.Complete(res)
+	s.complexEvents.Add(uint64(len(ces)))
+	s.pool.Put(w)
+	return ces
 }
 
-// runSharded is the Shards > 1 body of Run: it routes events from the
-// input queue through the central window manager, fans memberships out
-// to the owning shards and merges complex events back in window-close
-// order.
+// runSharded is the Shards > 1 body of Run. The data path itself lives
+// in the submitters (partitioning) and the shards (window ownership);
+// Run only assembles the merge stage, the detector and the lifecycle,
+// then waits for the input to be sealed or the context to end.
 func (p *Pipeline) runSharded(ctx context.Context) error {
 	defer close(p.out)
 
-	var wg sync.WaitGroup
-	for _, s := range p.shards {
-		wg.Add(1)
-		go s.run(ctx, &wg)
-	}
-	// Fully merged windows funnel back to the router for freelist reuse:
-	// the window Manager is single-goroutine, so the merge stage may not
-	// release windows itself. A full channel just means the router is
-	// busy; the window is left to the garbage collector then.
-	releases := make(chan *window.Window, 4*len(p.shards)+64)
-	seq := parallel.NewSequencer(4*len(p.shards), func(r shardResult) {
-		if hook := p.cfg.Operator.OnWindowClose; hook != nil {
-			hook(r.w, r.matched)
-		}
-		for _, ce := range r.ces {
+	merger := parallel.NewEpochMerger(4*len(p.shards), func(ces []operator.ComplexEvent) {
+		for _, ce := range ces {
 			select {
 			case p.out <- ce:
 			case <-ctx.Done():
 				return
 			}
 		}
-		select {
-		case releases <- r.w:
-		default:
-		}
 	})
-	// Shard queues close after the router stops (the router is their only
-	// sender); every opened ticket is either queued or completed inline,
-	// so the sequencer always drains. The lifecycle supervisor stops
-	// last, after the shards drained, so its final step sees every
-	// sampled window.
+	var wg sync.WaitGroup
+	for _, s := range p.shards {
+		s.merger = merger
+		wg.Add(1)
+		go s.run(ctx, &wg)
+	}
 	stopLifecycle := p.startLifecycle()
-	defer func() {
-		for _, s := range p.shards {
-			close(s.in)
-		}
-		wg.Wait()
-		seq.Close()
-		stopLifecycle()
-	}()
 
+	var detectorStop, detectorDone chan struct{}
 	if p.cfg.Detector != nil || p.cfg.EstimateRates {
-		detectorDone := make(chan struct{})
-		detectorStop := make(chan struct{})
+		detectorStop = make(chan struct{})
+		detectorDone = make(chan struct{})
 		go p.shardedDetectorLoop(detectorStop, detectorDone)
-		defer func() {
-			close(detectorStop)
-			<-detectorDone
-		}()
 	}
 
-	shardOf := func(w *window.Window) *shard {
-		return p.shards[int(w.ID)%len(p.shards)]
+	var err error
+	select {
+	case <-ctx.Done():
+		err = ctx.Err()
+		p.part.cancel()
+	case <-p.part.done:
 	}
-	sendClose := func(w *window.Window, now event.Time) {
-		t := seq.Open()
-		select {
-		case shardOf(w).in <- shardMsg{w: w, now: now, ticket: t}:
-		case <-ctx.Done():
-			t.Complete(shardResult{w: w})
-		}
+	// The shard channels are closed (cancel or close sealed them), so
+	// the shards drain and exit; then no producer holds the merger.
+	wg.Wait()
+	merger.Close()
+	if detectorStop != nil {
+		close(detectorStop)
+		<-detectorDone
 	}
-
-	// pending accumulates one event's memberships per shard so that a
-	// shard receives at most ceil(overlap/shardMsgCap) bundled messages
-	// per event instead of one message per membership.
-	pending := make([]shardMsg, len(p.shards))
-	var lastTS event.Time
-	routeOne := func(q queued) error {
-		// Recycle windows the merge stage has fully retired.
-		for drained := false; !drained; {
-			select {
-			case w := <-releases:
-				p.mgr.Release(w)
-			default:
-				drained = true
-			}
-		}
-		member, closed := p.mgr.Route(q.ev)
-		wantSample := p.sampleLatency()
-		sampled := false
-		send := func(si int) error {
-			msg := &pending[si]
-			msg.ev = q.ev
-			msg.arrived = q.arrived
-			msg.recordLat = wantSample && !sampled
-			sampled = true
-			// Count the backlog before the send: the shard decrements
-			// after processing, so the counter never dips negative.
-			p.shards[si].queued.Add(int64(msg.n))
-			var err error
-			select {
-			case p.shards[si].in <- *msg:
-			case <-ctx.Done():
-				p.shards[si].queued.Add(-int64(msg.n))
-				err = ctx.Err()
-			}
-			msg.n = 0
-			return err
-		}
-		for _, mb := range member {
-			si := int(mb.W.ID) % len(p.shards)
-			msg := &pending[si]
-			if int(msg.n) == shardMsgCap {
-				if err := send(si); err != nil {
-					return err
-				}
-			}
-			msg.wins[msg.n] = mb.W
-			msg.poss[msg.n] = int32(mb.Pos)
-			msg.n++
-		}
-		for si := range pending {
-			if pending[si].n > 0 {
-				if err := send(si); err != nil {
-					return err
-				}
-			}
-		}
-		if wantSample && !sampled {
-			// No shard sees this event; sample its latency here so every
-			// sampled event still contributes exactly one sample.
-			now := time.Now()
-			p.mu.Lock()
-			p.latency.Add(event.Time(now.UnixMicro()),
-				event.Time(now.Sub(q.arrived).Microseconds()))
-			p.mu.Unlock()
-		}
-		p.processed.Add(1)
-		p.releaseSlot()
-		lastTS = q.ev.TS
-		for _, w := range closed {
-			sendClose(w, q.ev.TS)
-		}
-		return nil
-	}
-	for {
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case msg, ok := <-p.in:
-			if !ok {
-				for _, w := range p.mgr.Flush() {
-					sendClose(w, lastTS)
-				}
-				return nil
-			}
-			if msg.batch == nil {
-				if err := routeOne(msg.one); err != nil {
-					return err
-				}
-				continue
-			}
-			for _, q := range msg.batch {
-				if err := routeOne(q); err != nil {
-					return err
-				}
-			}
-		}
-	}
+	stopLifecycle()
+	return err
 }
 
 // shardedDetectorLoop is the Shards > 1 counterpart of detectorLoop: the
@@ -426,15 +330,24 @@ func (p *Pipeline) shardedDetectorLoop(stop, done chan struct{}) {
 			if total <= 0 || p.cfg.Detector == nil {
 				continue
 			}
-			// Backlog = events not yet routed plus memberships queued at
-			// the shards (bundling is invisible here by design).
-			qlen := int(p.qlen.Load())
-			for _, s := range p.shards {
-				qlen += int(s.queued.Load())
-			}
-			dec := p.cfg.Detector.Evaluate(qlen, loadFloat(&p.rateEst), total,
+			dec := p.cfg.Detector.Evaluate(p.backlogEvents(kbar), loadFloat(&p.rateEst), total,
 				p.windowSizeEstimate())
 			p.cfg.Controller.OnDecision(dec)
 		}
 	}
+}
+
+// backlogEvents converts the shards' membership-denominated backlog into
+// events, the unit detectorLoop and the engine budget reason in: the
+// staged queue counts every (event, window) incidence, which overstates
+// the backlog by the windowing overlap factor kbar.
+func (p *Pipeline) backlogEvents(kbar float64) int {
+	var queued int64
+	for _, s := range p.shards {
+		queued += s.queued.Load()
+	}
+	if kbar > 1 {
+		return int(float64(queued)/kbar + 0.5)
+	}
+	return int(queued)
 }

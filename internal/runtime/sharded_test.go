@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -284,32 +285,34 @@ func ExamplePipeline_sharded() {
 
 // TestShardedWindowReuseHookIntegrity churns thousands of pooled windows
 // through a sharded pipeline with an OnWindowClose hook and asserts the
-// hook always observes live (un-poisoned, in-range) data: the release
-// funnel back to the router must never recycle a window before the merge
-// stage is done with it. Run with -race to exercise the full handoff.
+// hook always observes live (un-poisoned, in-range) data: a shard must
+// never recycle a window into its pool before the hook is done with it.
+// The hook runs on the shard goroutines — concurrently across shards,
+// per the sharded OnWindowClose contract — so its counters are atomic.
+// Run with -race to exercise the full handoff.
 func TestShardedWindowReuseHookIntegrity(t *testing.T) {
 	harness.VerifyNoLeaks(t)
-	var hookWindows, hookEntries, badEntries int64
+	var hookWindows, hookEntries, badEntries atomic.Int64
 	cfg := overlappingOpConfig()
 	cfg.OnWindowClose = func(w *window.Window, matched []window.Entry) {
-		hookWindows++
+		hookWindows.Add(1)
 		if !w.Closed() {
-			badEntries++
+			badEntries.Add(1)
 		}
 		lastPos := -1
 		for _, ent := range w.Kept {
-			hookEntries++
+			hookEntries.Add(1)
 			if ent.Pos <= lastPos || ent.Pos >= w.Size() {
-				badEntries++
+				badEntries.Add(1)
 			}
 			lastPos = ent.Pos
 			if ent.Ev.Type != event.Type(ent.Ev.Seq%2) {
-				badEntries++ // poisoned or cross-window data
+				badEntries.Add(1) // poisoned or cross-window data
 			}
 		}
 		for _, ent := range matched {
 			if ent.Pos < 0 || ent.Pos >= w.Size() {
-				badEntries++
+				badEntries.Add(1)
 			}
 		}
 	}
@@ -318,13 +321,13 @@ func TestShardedWindowReuseHookIntegrity(t *testing.T) {
 	if len(detected) == 0 {
 		t.Fatal("no complex events; bad test setup")
 	}
-	if hookWindows == 0 || hookEntries == 0 {
+	if hookWindows.Load() == 0 || hookEntries.Load() == 0 {
 		t.Fatal("hook never ran")
 	}
-	if badEntries != 0 {
-		t.Fatalf("%d poisoned/corrupt entries observed in OnWindowClose", badEntries)
+	if n := badEntries.Load(); n != 0 {
+		t.Fatalf("%d poisoned/corrupt entries observed in OnWindowClose", n)
 	}
-	if uint64(hookWindows) != st.Operator.WindowsClosed {
-		t.Errorf("hook saw %d windows, closed %d", hookWindows, st.Operator.WindowsClosed)
+	if uint64(hookWindows.Load()) != st.Operator.WindowsClosed {
+		t.Errorf("hook saw %d windows, closed %d", hookWindows.Load(), st.Operator.WindowsClosed)
 	}
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -135,19 +136,25 @@ func TestWireEquivalenceSerial(t *testing.T) {
 	diffComplexEvents(t, "serial", want, got)
 }
 
-// TestWireEquivalenceSharded covers the sharded deployment: window
-// routing, shard merge order and the transport all stay deterministic.
+// TestWireEquivalenceSharded covers the sharded deployment: the
+// submitter-side partitioning (the server's reader goroutines feed the
+// partitioner directly), per-shard window ownership and the epoch merge
+// all stay deterministic behind the wire boundary, at 4- and 8-shard
+// configurations.
 func TestWireEquivalenceSharded(t *testing.T) {
 	harness.VerifyNoLeaks(t)
 	meta, events, q := equivStream(t)
-	want := runPipelineInProcess(t, q, 4, events)
-	got := runPipelineOverWire(t, meta, q, 4, events)
-	diffComplexEvents(t, "sharded", want, got)
-
-	// Sharded output equals serial output, so the wire run transitively
-	// matches every deployment mode.
 	serial := runPipelineInProcess(t, q, 1, events)
-	diffComplexEvents(t, "sharded-vs-serial", serial, got)
+	for _, shards := range []int{4, 8} {
+		label := fmt.Sprintf("sharded-%d", shards)
+		want := runPipelineInProcess(t, q, shards, events)
+		got := runPipelineOverWire(t, meta, q, shards, events)
+		diffComplexEvents(t, label, want, got)
+
+		// Sharded output equals serial output, so the wire run
+		// transitively matches every deployment mode.
+		diffComplexEvents(t, label+"-vs-serial", serial, got)
+	}
 }
 
 // engineQueries builds the two-query engine configuration used by the

@@ -14,9 +14,11 @@ import (
 )
 
 // Sink absorbs ingested event batches in connection order. Both
-// runtime.Pipeline and engine.Engine satisfy it; SubmitBatch must copy
-// the slice (both do) and may block — that block is exactly the
-// backpressure the credit protocol propagates to clients.
+// runtime.Pipeline and engine.Engine satisfy it; SubmitBatch must be
+// done with the slice by the time it returns (both are — the serial
+// pipeline copies it, the sharded pipeline partitions it straight into
+// the shard queues on the calling goroutine) and may block — that block
+// is exactly the backpressure the credit protocol propagates to clients.
 type Sink interface {
 	SubmitBatch(events []event.Event)
 }

@@ -12,6 +12,7 @@ package window
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/event"
 )
@@ -127,6 +128,12 @@ type Window struct {
 	// window size must be predicted to compute relative positions).
 	ExpectedSize int
 
+	// Tag is deployment scratch: the sharded runtime's partitioner packs
+	// the owning shard and its window-slot index here so per-membership
+	// routing needs no map lookup. The window package never reads it;
+	// Release and Pool.Put zero it with the rest of the struct.
+	Tag uint64
+
 	Kept     []Entry
 	Arrivals int // positions handed out, including dropped events
 	Dropped  int
@@ -158,11 +165,70 @@ func (e Entry) Poisoned() bool { return e.Pos < 0 }
 // Closed reports whether the window has been closed by the manager.
 func (w *Window) Closed() bool { return w.closed }
 
+// MarkClosed seals the window without a Manager. Sharded deployments use
+// it on windows they own directly: the partitioner decides *when* a
+// window closes (it runs the windowing policy), the owning shard marks
+// the window closed before matching it, exactly as Manager.closeWindow
+// does on the serial path.
+func (w *Window) MarkClosed() { w.closed = true }
+
 // Membership records that an event belongs to a window at a position.
 type Membership struct {
 	W   *Window
 	Pos int
 }
+
+// Pool recycles Window structs and their Kept buffers. It is the
+// freelist behind Manager and behind each shard of the sharded runtime:
+// a single-goroutine component (one owner puts and gets), with only the
+// observability counters behind atomics so Stats snapshots may read
+// them from other goroutines. Put poisons the entries exactly like
+// Manager.Release, so the retain-past-close contract stays enforceable
+// no matter which deployment owns the window.
+type Pool struct {
+	free []*Window
+
+	gets   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Get returns a recycled window (zeroed, with its Kept capacity intact)
+// or allocates a fresh one when the pool is empty, counting a miss.
+func (p *Pool) Get() *Window {
+	p.gets.Add(1)
+	if n := len(p.free); n > 0 {
+		w := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return w
+	}
+	p.misses.Add(1)
+	return &Window{}
+}
+
+// Put recycles a window: the kept entries are poisoned (Pos = -1, event
+// zeroed) so illegally retained references surface as corrupt data, the
+// struct is zeroed, and the Kept buffer is kept for reuse.
+func (p *Pool) Put(w *Window) {
+	if w == nil {
+		return
+	}
+	for i := range w.Kept {
+		w.Kept[i] = Entry{Pos: -1}
+	}
+	kept := w.Kept[:0]
+	*w = Window{Kept: kept}
+	p.free = append(p.free, w)
+}
+
+// Gets reports how many windows were handed out.
+func (p *Pool) Gets() uint64 { return p.gets.Load() }
+
+// Misses reports how many Gets had to allocate because the pool was
+// empty — in steady state (every closed window released) this stops
+// growing once the working set of concurrently open windows is warm, so
+// a climbing miss count is the signature of a pool leak.
+func (p *Pool) Misses() uint64 { return p.misses.Load() }
 
 // Manager routes a stream of events (in global order) into windows
 // according to a Spec. It is a single-goroutine component, owned by the
@@ -183,13 +249,13 @@ type Manager struct {
 	memberBuf []Membership
 	closedBuf []*Window
 
-	// free recycles released windows (and their Kept buffers): the data
+	// pool recycles released windows (and their Kept buffers): the data
 	// path opens and closes windows continuously, and reusing the buffers
 	// makes the steady-state hot path allocation-free. The Manager is a
-	// single-goroutine component, so the freelist needs no locking; cross-
-	// goroutine deployments (the sharded runtime) funnel releases back to
-	// the owning goroutine.
-	free []*Window
+	// single-goroutine component, so the pool needs no locking; the
+	// sharded runtime gives every shard its own manager-independent Pool
+	// so releases stay shard-local.
+	pool Pool
 
 	totalOpened uint64
 	totalClosed uint64
@@ -269,14 +335,7 @@ func (m *Manager) Route(e event.Event) (member []Membership, closed []*Window) {
 	// 2. Possibly open a new window at this event, recycling a released
 	// window struct when one is available.
 	if m.shouldOpen(e) {
-		var w *Window
-		if n := len(m.free); n > 0 {
-			w = m.free[n-1]
-			m.free[n-1] = nil
-			m.free = m.free[:n-1]
-		} else {
-			w = &Window{}
-		}
+		w := m.pool.Get()
 		w.ID = m.nextID
 		w.OpenSeq = e.Seq
 		w.OpenTS = e.TS
@@ -383,13 +442,12 @@ func (m *Manager) Release(w *Window) {
 	if w == nil || !w.closed {
 		return
 	}
-	for i := range w.Kept {
-		w.Kept[i] = Entry{Pos: -1}
-	}
-	kept := w.Kept[:0]
-	*w = Window{Kept: kept}
-	m.free = append(m.free, w)
+	m.pool.Put(w)
 }
+
+// PoolMisses reports how many window opens had to allocate because no
+// released window was available for reuse (see Pool.Misses).
+func (m *Manager) PoolMisses() uint64 { return m.pool.Misses() }
 
 func (m *Manager) predictSize() int {
 	if m.spec.Mode == ModeCount {

@@ -501,7 +501,7 @@ func TestReleaseIgnoresOpenAndDoubleRelease(t *testing.T) {
 	member, _ := m.Route(ev(0, 0))
 	open := member[0].W
 	m.Release(open) // still open: must be ignored
-	if len(m.free) != 0 {
+	if len(m.pool.free) != 0 {
 		t.Fatalf("open window entered freelist")
 	}
 	m.Release(nil) // nil: ignored
@@ -514,8 +514,8 @@ func TestReleaseIgnoresOpenAndDoubleRelease(t *testing.T) {
 	}
 	m.Release(closed[0])
 	m.Release(closed[0]) // double release: ignored (closed flag was reset)
-	if len(m.free) != 1 {
-		t.Fatalf("freelist = %d entries, want 1", len(m.free))
+	if len(m.pool.free) != 1 {
+		t.Fatalf("freelist = %d entries, want 1", len(m.pool.free))
 	}
 }
 
@@ -540,5 +540,86 @@ func TestRouteSteadyStateZeroAlloc(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
 		t.Errorf("steady-state Route+Add+Release allocates %.2f/event, want 0", allocs)
+	}
+}
+
+// TestPoolRecyclesAndCounts pins the standalone Pool contract the
+// sharded runtime's per-shard window ownership relies on: Get recycles
+// released structs (counting misses only on true allocations), Put
+// poisons and zeroes — including deployment scratch like Tag — while
+// keeping the Kept capacity warm.
+func TestPoolRecyclesAndCounts(t *testing.T) {
+	var p Pool
+	w := p.Get()
+	if p.Gets() != 1 || p.Misses() != 1 {
+		t.Fatalf("first Get: gets=%d misses=%d, want 1/1", p.Gets(), p.Misses())
+	}
+	w.ID = 7
+	w.Tag = 1<<63 | 42
+	w.Add(ev(1, 1), 0)
+	w.Add(ev(2, 2), 1)
+	w.Arrivals = 2
+	w.MarkClosed()
+	kept := w.Kept // retain illegally, to observe the poisoning
+	keptCap := cap(w.Kept)
+	p.Put(w)
+	for i, e := range kept {
+		if !e.Poisoned() {
+			t.Errorf("entry %d not poisoned after Put: %+v", i, e)
+		}
+	}
+	r := p.Get()
+	if r != w {
+		t.Fatalf("Get did not recycle the Put window")
+	}
+	if p.Misses() != 1 {
+		t.Errorf("recycled Get counted a miss: %d", p.Misses())
+	}
+	if r.Tag != 0 || r.ID != 0 || r.Closed() || r.Arrivals != 0 || len(r.Kept) != 0 {
+		t.Errorf("recycled window not zeroed: %+v", r)
+	}
+	if cap(r.Kept) != keptCap {
+		t.Errorf("Kept capacity %d not preserved (was %d)", cap(r.Kept), keptCap)
+	}
+	p.Put(nil) // ignored
+}
+
+// TestMarkClosed covers manager-less sealing, the sharded close path.
+func TestMarkClosed(t *testing.T) {
+	w := &Window{}
+	if w.Closed() {
+		t.Fatal("fresh window reports closed")
+	}
+	w.MarkClosed()
+	if !w.Closed() {
+		t.Fatal("MarkClosed did not seal the window")
+	}
+}
+
+// TestManagerPoolMisses asserts the manager-level miss counter stops
+// climbing once every closed window is released back.
+func TestManagerPoolMisses(t *testing.T) {
+	m, err := NewManager(Spec{Mode: ModeCount, Count: 4, Slide: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		_, closed := m.Route(ev(i, event.Time(i)))
+		for _, w := range closed {
+			m.Release(w)
+		}
+	}
+	warm := m.PoolMisses()
+	if warm == 0 {
+		t.Fatal("expected some initial pool misses while warming")
+	}
+	for i := uint64(64); i < 256; i++ {
+		_, closed := m.Route(ev(i, event.Time(i)))
+		for _, w := range closed {
+			m.Release(w)
+		}
+	}
+	if got := m.PoolMisses(); got != warm {
+		t.Errorf("pool misses climbed from %d to %d in steady state (leak)", warm, got)
 	}
 }
