@@ -3,7 +3,7 @@ GO ?= go
 # Hot-path benchmark selection and budget for `make bench`. CI overrides
 # BENCHTIME to keep runs short; the committed BENCH_results.json is
 # produced at the default 1s.
-BENCH ?= BenchmarkOperatorProcess|BenchmarkShedderDecision|BenchmarkPipelineShards/nodelay|BenchmarkEngineFanout/nodelay|BenchmarkCodecDecode
+BENCH ?= BenchmarkOperatorProcess|BenchmarkShedderDecision|BenchmarkPipelineShards/nodelay|BenchmarkEngineFanout/nodelay|BenchmarkCodecDecode|BenchmarkWALAppend
 BENCHTIME ?= 1s
 BENCHLABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
@@ -11,7 +11,7 @@ BENCHLABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 # goes through `go test -fuzz` directly).
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-figures fmt vet doccheck fuzz-smoke loadtest
+.PHONY: build test bench bench-figures fmt vet doccheck fuzz-smoke loadtest killtest
 
 build:
 	$(GO) build ./...
@@ -38,12 +38,14 @@ bench:
 bench-figures:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
-# Short fuzzing pass over the wire codec and frame parser (go test
-# allows one -fuzz pattern per invocation, hence two runs). New
-# crashers land in internal/transport/testdata/fuzz; commit them.
+# Short fuzzing pass over the wire codec, the frame parser and the WAL
+# replay scanner (go test allows one -fuzz pattern per invocation,
+# hence separate runs). New crashers land in the packages'
+# testdata/fuzz directories; commit them.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz '^FuzzServerFrame$$' -fuzztime=$(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime=$(FUZZTIME) ./internal/wal
 
 # Drive the networked ingest path end to end (in-process loopback
 # server) and leave a machine-readable latency summary next to
@@ -51,6 +53,15 @@ fuzz-smoke:
 loadtest:
 	$(GO) run ./cmd/espice-loadgen -selftest -events 200000 -conns 4 -rate 0 \
 		-seconds 240 -json loadgen_summary.json
+
+# Crash-recovery soak: SIGKILL a real espice-serve subprocess
+# mid-stream, restart it on the same -wal directory, and audit the
+# effectively-once delivery ledger — KILL_ITERS consecutive times. The
+# soak skips itself under the race detector; this target runs it in a
+# plain build (CI gives it a dedicated non-race step).
+KILL_ITERS ?= 20
+killtest:
+	ESPICE_KILL_ITERS=$(KILL_ITERS) $(GO) test ./cmd/espice-serve -run '^TestServeKillResilience$$' -count=1 -v
 
 fmt:
 	gofmt -l -w .

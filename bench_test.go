@@ -573,3 +573,84 @@ func BenchmarkCodecDecode(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkWALAppend measures the durable-ingest journal. "stage" is
+// the pure append path — header encode, CRC32C, staging-buffer copy —
+// which must stay allocation-free (the zero-alloc gate in
+// internal/wal's tests pins the same property); the periodic group
+// commit that drains the staging buffer runs off the clock. "commit"
+// measures a full journaled batch: one 256-event append plus its
+// fsync-coalesced Commit, i.e. the per-batch durability cost a single
+// uncontended producer pays.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	open := func(b *testing.B) *WAL {
+		w, err := OpenWAL(WALConfig{Dir: b.TempDir(), SegmentSize: 64 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Recover(func(WALRecord) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { w.Close() })
+		return w
+	}
+	b.Run("stage", func(b *testing.B) {
+		w := open(b)
+		// Warm BOTH staging buffers to steady-state size: commit swaps
+		// the double-buffered staging pair, so it takes two full
+		// fill+commit cycles before appends stop growing either one.
+		var last uint64
+		for cycle := 0; cycle < 2; cycle++ {
+			for i := 0; i < 4096; i++ {
+				var err error
+				if last, err = w.Append(1, last+1, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Commit(last); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seq, err := w.Append(1, uint64(i+1), payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i%4096 == 4095 {
+				b.StopTimer()
+				if err := w.Commit(seq); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			last = seq
+		}
+		b.StopTimer()
+		if err := w.Commit(last); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(payload)))
+	})
+	b.Run("commit", func(b *testing.B) {
+		w := open(b)
+		batch := make([]byte, 256*32) // ~a 256-event batch of 32B events
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seq, err := w.Append(1, uint64(i+1), batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Commit(seq); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(batch)))
+	})
+}

@@ -26,7 +26,7 @@ import (
 func main() {
 	targets := os.Args[1:]
 	if len(targets) == 0 {
-		targets = []string{".", "./internal/engine", "./internal/transport"}
+		targets = []string{".", "./internal/engine", "./internal/transport", "./internal/wal"}
 	}
 	bad := 0
 	for _, dir := range targets {

@@ -50,6 +50,8 @@ type loadgenOpts struct {
 	batch    int
 	jsonOut  string
 	selftest bool
+	session  uint64
+	ledger   bool
 }
 
 func main() {
@@ -65,6 +67,10 @@ func main() {
 	flag.StringVar(&opts.jsonOut, "json", "", "write the machine-readable summary to this file")
 	flag.BoolVar(&opts.selftest, "selftest", false,
 		"serve an in-process pipeline on loopback and drive it (ignores -addr)")
+	flag.Uint64Var(&opts.session, "session", 0,
+		"durable delivery: connection i uses session id session+i (0 = plain at-most-once; needs a -wal server)")
+	flag.BoolVar(&opts.ledger, "ledger", false,
+		"print the producer ledger fingerprint (count/sum/xor of sent event seqs) to compare against the server's")
 	flag.Parse()
 
 	if err := run(opts, os.Stdout); err != nil {
@@ -82,9 +88,35 @@ type summary struct {
 	Sent         uint64                 `json:"sent"`
 	Accepted     uint64                 `json:"accepted"`
 	Redials      uint64                 `json:"redials"`
+	Retransmits  uint64                 `json:"retransmits,omitempty"`
 	CreditWaitMS float64                `json:"credit_wait_ms"`
 	FlushLatency metrics.LatencySummary `json:"flush_latency"`
+	Ledger       *ledgerSummary         `json:"ledger,omitempty"`
 	ServerStats  json.RawMessage        `json:"server_stats,omitempty"`
+}
+
+// ledgerSummary fingerprints the events this generator handed to
+// SubmitBatch, order-independently, in the same shape espice-serve
+// reports its delivery ledger: equal fingerprints on a drained durable
+// run mean every sent event was delivered exactly once.
+type ledgerSummary struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Xor   uint64 `json:"xor"`
+}
+
+func (l *ledgerSummary) add(events []event.Event) {
+	for i := range events {
+		l.Count++
+		l.Sum += events[i].Seq
+		l.Xor ^= events[i].Seq
+	}
+}
+
+func (l *ledgerSummary) merge(o ledgerSummary) {
+	l.Count += o.Count
+	l.Sum += o.Sum
+	l.Xor ^= o.Xor
 }
 
 // run drives the whole load generation and reporting; factored from
@@ -117,6 +149,7 @@ func run(opts loadgenOpts, w io.Writer) error {
 		mu      sync.Mutex
 		flushes metrics.LatencyTrace
 		total   transport.ClientStats
+		ledger  ledgerSummary
 		firstE  error
 		doc     []byte
 	)
@@ -131,7 +164,11 @@ func run(opts loadgenOpts, w io.Writer) error {
 			if ci == 0 {
 				extra = opts.events - perConn*opts.conns
 			}
-			st, trace, sdoc, err := driveConn(addr, events, ci, perConn+extra, perRate, opts.batch, ci == 0)
+			session := uint64(0)
+			if opts.session != 0 {
+				session = opts.session + uint64(ci)
+			}
+			st, trace, led, sdoc, err := driveConn(addr, events, ci, perConn+extra, perRate, opts.batch, session, ci == 0)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstE == nil {
@@ -141,7 +178,9 @@ func run(opts loadgenOpts, w io.Writer) error {
 			total.Sent += st.Sent
 			total.Accepted += st.Accepted
 			total.Redials += st.Redials
+			total.Retransmits += st.Retransmits
 			total.CreditWait += st.CreditWait
+			ledger.merge(led)
 			flushes.Merge(trace)
 			if sdoc != nil {
 				doc = sdoc
@@ -163,9 +202,13 @@ func run(opts loadgenOpts, w io.Writer) error {
 		Sent:         total.Sent,
 		Accepted:     total.Accepted,
 		Redials:      total.Redials,
+		Retransmits:  total.Retransmits,
 		CreditWaitMS: float64(total.CreditWait.Milliseconds()),
 		FlushLatency: flushes.Summary(),
 		ServerStats:  doc,
+	}
+	if opts.ledger {
+		sum.Ledger = &ledger
 	}
 	if sum.TargetRate > 0 {
 		fmt.Fprintf(w, "sent %d, accepted %d (%.1f%% of target rate, %.2fs wall)\n",
@@ -177,6 +220,10 @@ func run(opts loadgenOpts, w io.Writer) error {
 	fmt.Fprintf(w, "flush latency: mean %.1fms p95 %.1fms max %.1fms; credit wait %.0fms total\n",
 		sum.FlushLatency.MeanUS/1000, sum.FlushLatency.P95US/1000, sum.FlushLatency.MaxUS/1000,
 		sum.CreditWaitMS)
+	if sum.Ledger != nil {
+		fmt.Fprintf(w, "ledger: count %d sum %d xor %d (retransmits %d)\n",
+			sum.Ledger.Count, sum.Ledger.Sum, sum.Ledger.Xor, sum.Retransmits)
+	}
 	if doc != nil {
 		fmt.Fprintf(w, "server: %s\n", doc)
 	}
@@ -195,19 +242,22 @@ func run(opts loadgenOpts, w io.Writer) error {
 
 // driveConn replays total events (tiling the base stream, sequence
 // numbers rewritten to stay unique across connections) at the target
-// per-connection rate, recording per-flush latencies. The stats
-// requester additionally fetches the server's stats document before
-// closing.
-func driveConn(addr string, base []event.Event, ci, total int, rate float64, batch int, wantStats bool) (transport.ClientStats, *metrics.LatencyTrace, []byte, error) {
+// per-connection rate, recording per-flush latencies and the producer
+// ledger. A non-zero session opts into durable effectively-once
+// delivery. The stats requester additionally fetches the server's
+// stats document before closing.
+func driveConn(addr string, base []event.Event, ci, total int, rate float64, batch int, session uint64, wantStats bool) (transport.ClientStats, *metrics.LatencyTrace, ledgerSummary, []byte, error) {
 	trace := &metrics.LatencyTrace{}
+	var led ledgerSummary
 	c, err := transport.Dial(transport.ClientConfig{
 		Addr:        addr,
 		BatchEvents: batch,
 		Reconnect:   true,
+		Session:     session,
 		Logf:        log.Printf,
 	})
 	if err != nil {
-		return transport.ClientStats{}, trace, nil, err
+		return transport.ClientStats{}, trace, led, nil, err
 	}
 	buf := make([]event.Event, 0, batch)
 	sent := 0
@@ -229,6 +279,7 @@ func driveConn(addr string, base []event.Event, ci, total int, rate float64, bat
 			return err
 		}
 		trace.Add(event.Time(t0.UnixMicro()), event.Time(time.Since(t0).Microseconds()))
+		led.add(buf)
 		buf = buf[:0]
 		return nil
 	}
@@ -248,23 +299,23 @@ func driveConn(addr string, base []event.Event, ci, total int, rate float64, bat
 					}
 				}
 				if err := flush(); err != nil {
-					return c.Stats(), trace, nil, err
+					return c.Stats(), trace, led, nil, err
 				}
 			}
 		}
 	}
 	if err := flush(); err != nil {
-		return c.Stats(), trace, nil, err
+		return c.Stats(), trace, led, nil, err
 	}
 	var doc []byte
 	if wantStats {
 		doc, err = c.ServerStats()
 		if err != nil {
-			return c.Stats(), trace, nil, err
+			return c.Stats(), trace, led, nil, err
 		}
 	}
 	st, err := c.Close()
-	return st, trace, doc, err
+	return st, trace, led, doc, err
 }
 
 // startSelftestServer assembles a loopback espice-serve equivalent — a

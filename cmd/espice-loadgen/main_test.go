@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -71,5 +72,44 @@ func TestLoadgenPaced(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "sent 10001, accepted 10001") {
 		t.Errorf("remainder events lost:\n%s", out.String())
+	}
+}
+
+// TestLoadgenDurableLedger covers -session/-ledger: durable sessions
+// against the selftest server with the producer fingerprint emitted.
+func TestLoadgenDurableLedger(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	var out strings.Builder
+	err := run(loadgenOpts{
+		seconds:  60,
+		seed:     1,
+		events:   8000,
+		rate:     0,
+		conns:    2,
+		batch:    128,
+		selftest: true,
+		session:  501,
+		ledger:   true,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "sent 8000, accepted 8000") {
+		t.Errorf("durable ledger incomplete:\n%s", out.String())
+	}
+	// The producer fingerprint is deterministic: seqs ci<<40 ..
+	// ci<<40+perConn-1 for ci in 1..2.
+	var wantSum, wantXor, wantCount uint64
+	for ci := uint64(0); ci < 2; ci++ {
+		for i := uint64(0); i < 4000; i++ {
+			seq := ci<<40 + i
+			wantCount++
+			wantSum += seq
+			wantXor ^= seq
+		}
+	}
+	want := fmt.Sprintf("ledger: count %d sum %d xor %d", wantCount, wantSum, wantXor)
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("missing %q in output:\n%s", want, out.String())
 	}
 }

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/event"
+	"repro/internal/transport"
+)
+
+// TestServeKillResilience is the crash soak for the effectively-once
+// contract: a real espice-serve process is SIGKILLed mid-stream while
+// two durable producers are feeding it, restarted on the same -wal
+// directory and address, and the producers finish through their redial
+// path. The restarted server's delivery ledger must fingerprint the
+// union of both producers' streams exactly — no acked event lost to
+// the kill, none delivered twice past the dedup watermark — and
+// recovery must complete within a hard bound.
+//
+// Iterations default to 2; ESPICE_KILL_ITERS raises the count (the
+// acceptance soak runs 20). The test drives subprocesses, so it is
+// skipped in -short mode and under the race detector (CI runs it in a
+// dedicated non-race step).
+func TestServeKillResilience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill soak; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("subprocess kill soak runs without the race detector")
+	}
+	bin := buildServeBinary(t)
+	iters := 2
+	if s := os.Getenv("ESPICE_KILL_ITERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("ESPICE_KILL_ITERS=%q", s)
+		}
+		iters = n
+	}
+	for i := 0; i < iters; i++ {
+		t.Run(fmt.Sprintf("iter%02d", i), func(t *testing.T) { killOnce(t, bin) })
+	}
+}
+
+// killDataSeconds is the dataset both sides derive the registry from.
+const killDataSeconds = 60
+
+func killOnce(t *testing.T, bin string) {
+	dir := t.TempDir()
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+
+	p1 := startServeProc(t, bin, addr, dir)
+	waitListening(t, p1, 30*time.Second)
+
+	// Two producers with disjoint event sequence ranges and distinct
+	// durable sessions, paced so the kill lands mid-stream.
+	_, base, err := datasets.GenerateRTLS(datasets.RTLSConfig{DurationSec: killDataSeconds, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		clients   = 2
+		perClient = 6000
+		batch     = 64
+	)
+	streams := make([][]event.Event, clients)
+	var wantCount, wantSum, wantXor uint64
+	for ci := range streams {
+		evs := make([]event.Event, perClient)
+		seq := uint64(ci+1) << 40
+		for i := range evs {
+			evs[i] = base[i%len(base)]
+			evs[i].Seq = seq
+			wantCount++
+			wantSum += seq
+			wantXor ^= seq
+			seq++
+		}
+		streams[ci] = evs
+	}
+
+	var submitted atomic.Int64
+	type result struct {
+		stats transport.ClientStats
+		err   error
+	}
+	results := make(chan result, clients)
+	for ci := 0; ci < clients; ci++ {
+		go func(ci int) {
+			var r result
+			defer func() { results <- r }()
+			c, err := transport.Dial(transport.ClientConfig{
+				Addr:        addr,
+				BatchEvents: batch,
+				Session:     uint64(101 + ci),
+				Reconnect:   true,
+				MaxRedials:  60,
+			})
+			if err != nil {
+				r.err = err
+				return
+			}
+			evs := streams[ci]
+			for off := 0; off < len(evs); off += batch {
+				end := min(off+batch, len(evs))
+				if err := c.SubmitBatch(evs[off:end]); err != nil {
+					r.err = err
+					c.Close()
+					return
+				}
+				submitted.Add(int64(end - off))
+				time.Sleep(500 * time.Microsecond)
+			}
+			r.stats, r.err = c.Close()
+		}(ci)
+	}
+
+	// SIGKILL once ~40% of the load is in flight.
+	deadline := time.Now().Add(30 * time.Second)
+	for submitted.Load() < int64(wantCount*4/10) {
+		if time.Now().After(deadline) {
+			t.Fatalf("producers stalled at %d/%d events\nserver output:\n%s",
+				submitted.Load(), wantCount, p1.out.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+
+	// Restart on the same directory and address; recovery must be
+	// bounded — the producers' redial budget depends on it.
+	restart := time.Now()
+	p2 := startServeProc(t, bin, addr, dir)
+	waitListening(t, p2, 30*time.Second)
+	if d := time.Since(restart); d > 30*time.Second {
+		t.Fatalf("recovery took %s", d)
+	}
+
+	for ci := 0; ci < clients; ci++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("producer failed: %v\nserver output:\n%s%s", r.err, p1.out.String(), p2.out.String())
+		}
+		if r.stats.Sent != perClient || r.stats.Accepted != perClient {
+			t.Fatalf("producer ledger %+v, want Sent == Accepted == %d", r.stats, perClient)
+		}
+	}
+
+	// Audit the restarted server's delivery ledger against the union of
+	// the producers' streams: equal fingerprints mean every acked event
+	// was delivered to the operator exactly once in the post-kill
+	// lifetime (journaled survivors via replay, the rest live).
+	sc, err := transport.Dial(transport.ClientConfig{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := sc.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Close()
+	var st serveStats
+	if err := json.Unmarshal(doc, &st); err != nil {
+		t.Fatalf("stats document: %v\n%s", err, doc)
+	}
+	if st.Ledger == nil || st.WAL == nil {
+		t.Fatalf("stats document misses wal/ledger sections: %s", doc)
+	}
+	if st.Ledger.Count != wantCount || st.Ledger.Sum != wantSum || st.Ledger.Xor != wantXor {
+		t.Fatalf("delivery ledger %+v, want count %d sum %d xor %d (acked events lost or duplicated)\nserver output:\n%s",
+			*st.Ledger, wantCount, wantSum, wantXor, p2.out.String())
+	}
+
+	// Graceful shutdown of the survivor must drain and exit cleanly.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown: %v\noutput:\n%s", err, p2.out.String())
+	}
+}
+
+// buildServeBinary compiles espice-serve once per test run.
+func buildServeBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "espice-serve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// serveProc is a running espice-serve subprocess with its captured
+// stderr and a signal for the listening line.
+type serveProc struct {
+	cmd       *exec.Cmd
+	out       *syncBuf
+	listening chan struct{}
+}
+
+func startServeProc(t *testing.T, bin, addr, dir string) *serveProc {
+	t.Helper()
+	p := &serveProc{
+		cmd: exec.Command(bin,
+			"-addr", addr,
+			"-wal", dir,
+			"-seconds", strconv.Itoa(killDataSeconds),
+			"-seed", "1",
+			"-n", "3",
+			"-shedder", "none",
+			"-report", "0",
+		),
+		out:       &syncBuf{},
+		listening: make(chan struct{}),
+	}
+	stderr, err := p.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		buf := make([]byte, 4<<10)
+		seen := false
+		for {
+			n, err := stderr.Read(buf)
+			if n > 0 {
+				p.out.Write(buf[:n])
+				if !seen && strings.Contains(p.out.String(), "listening on") {
+					seen = true
+					close(p.listening)
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	return p
+}
+
+func waitListening(t *testing.T, p *serveProc, timeout time.Duration) {
+	t.Helper()
+	select {
+	case <-p.listening:
+	case <-time.After(timeout):
+		t.Fatalf("server did not reach listening state in %s\noutput:\n%s", timeout, p.out.String())
+	}
+}
+
+// freePort reserves an ephemeral port and releases it for the
+// subprocess to bind; the window between close and bind is small enough
+// for a test.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}

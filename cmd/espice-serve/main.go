@@ -39,6 +39,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/tesla"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // serveOpts bundles the command-line parameters so the whole server is
@@ -58,6 +59,10 @@ type serveOpts struct {
 	credit  int
 	latEvry int
 	report  time.Duration
+
+	walDir     string
+	walSegment int
+	walRelease time.Duration
 }
 
 func main() {
@@ -78,6 +83,11 @@ func main() {
 	flag.IntVar(&opts.credit, "credit", transport.DefaultWindow, "per-connection credit window in events")
 	flag.IntVar(&opts.latEvry, "latency-sample", 256, "record 1 in N end-to-end latency samples")
 	flag.DurationVar(&opts.report, "report", 10*time.Second, "stderr stats interval (0 disables)")
+	flag.StringVar(&opts.walDir, "wal", "",
+		"write-ahead log directory: journal acked batches and replay them on restart (see docs/wal.md)")
+	flag.IntVar(&opts.walSegment, "wal-segment", wal.DefaultSegmentSize, "WAL segment size in bytes")
+	flag.DurationVar(&opts.walRelease, "wal-release", 0,
+		"recycle WAL segments whose events are older than this (0 keeps everything until clean shutdown; must exceed the window length)")
 	flag.Parse()
 
 	app, err := buildServe(opts)
@@ -96,15 +106,24 @@ func main() {
 }
 
 // serveApp is a fully assembled ingest deployment: transport server in
-// front of either a pipeline or an engine.
+// front of either a pipeline or an engine, optionally journaling
+// through a write-ahead log.
 type serveApp struct {
-	opts serveOpts
-	srv  *transport.Server
+	opts     serveOpts
+	srv      *transport.Server
+	registry *event.Registry
+	sink     transport.Sink
 
 	// Exactly one of pipe/eng is set.
 	pipe    *runtime.Pipeline
 	eng     *engine.Engine
 	handles []*engine.Query
+
+	// Set when opts.walDir is non-empty.
+	wal             *journalTracker
+	ledger          *ledgerSink
+	walRecovery     wal.Recovery
+	walRecoveryTime time.Duration
 
 	complexEvents atomic.Uint64
 }
@@ -140,13 +159,34 @@ func buildServe(opts serveOpts) (*serveApp, error) {
 	if app.eng != nil {
 		sink = app.eng
 	}
-	srv, err := transport.NewServer(transport.ServerConfig{
+	app.registry = meta.Registry
+	cfg := transport.ServerConfig{
 		Sink:      sink,
 		Registry:  meta.Registry,
 		Window:    opts.credit,
 		StatsJSON: app.statsJSON,
 		Logf:      log.Printf,
-	})
+	}
+	if opts.walDir != "" {
+		// The ledger sits between the transport and the operator so the
+		// kill-resilience harness can audit exactly what this process
+		// lifetime delivered (replayed + live).
+		app.ledger = &ledgerSink{inner: sink}
+		sink = app.ledger
+		cfg.Sink = sink
+		wlog, err := wal.Open(wal.Config{
+			Dir:         opts.walDir,
+			SegmentSize: opts.walSegment,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		app.wal = newJournalTracker(wlog)
+		cfg.Journal = app.wal
+	}
+	app.sink = sink
+	srv, err := transport.NewServer(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -286,6 +326,24 @@ func (app *serveApp) run(ctx context.Context, ln net.Listener, w io.Writer) erro
 		}()
 	}
 
+	// Replay the write-ahead log through the normal sink path before a
+	// single connection is accepted: recovered batches re-enter the
+	// stream, and the per-session dedup watermarks are seeded so
+	// reconnecting producers retransmit safely.
+	if app.wal != nil {
+		if err := app.recoverWAL(w); err != nil {
+			ln.Close()
+			if app.pipe != nil {
+				app.pipe.CloseInput()
+			} else {
+				app.eng.CloseInput()
+			}
+			<-runDone
+			<-collected
+			return fmt.Errorf("espice-serve: wal recovery: %w", err)
+		}
+	}
+
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- app.srv.Serve(ln) }()
 	fmt.Fprintf(w, "espice-serve: listening on %s (%s)\n", ln.Addr(), app.mode())
@@ -312,6 +370,15 @@ func (app *serveApp) run(ctx context.Context, ln net.Listener, w io.Writer) erro
 		}
 		err := <-runDone
 		<-collected
+		// A clean drain absorbed every journaled record and closed every
+		// window, so the whole log is releasable: a clean restart replays
+		// nothing.
+		if app.wal != nil {
+			app.wal.releaseAll()
+			if cerr := app.wal.log.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		doc, _ := json.Marshal(app.stats())
 		fmt.Fprintf(w, "espice-serve: final %s\n", doc)
 		return err
@@ -319,6 +386,9 @@ func (app *serveApp) run(ctx context.Context, ln net.Listener, w io.Writer) erro
 	for {
 		select {
 		case <-tick:
+			if app.wal != nil {
+				app.wal.release(app.opts.walRelease)
+			}
 			doc, _ := json.Marshal(app.stats())
 			fmt.Fprintf(w, "espice-serve: %s\n", doc)
 		case <-ctx.Done():
@@ -358,6 +428,8 @@ type serveStats struct {
 	Shed          uint64                 `json:"shed"`
 	ComplexEvents uint64                 `json:"complex_events"`
 	Latency       metrics.LatencySummary `json:"latency"`
+	WAL           *serveWALStats         `json:"wal,omitempty"`
+	Ledger        *ledgerStats           `json:"ledger,omitempty"`
 	Queries       []serveQueryStats      `json:"queries,omitempty"`
 }
 
@@ -376,6 +448,11 @@ func (app *serveApp) stats() serveStats {
 	st := serveStats{
 		Server:        app.srv.Stats(),
 		ComplexEvents: app.complexEvents.Load(),
+		WAL:           app.walStats(),
+	}
+	if app.ledger != nil {
+		ls := app.ledger.stats()
+		st.Ledger = &ls
 	}
 	if app.pipe != nil {
 		ps := app.pipe.Stats()

@@ -1,0 +1,8 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; the subprocess kill soak runs only without it (CI gives it
+// a dedicated non-race step).
+const raceEnabled = false

@@ -1,0 +1,234 @@
+// Write-ahead-log wiring: the journal adapter between the transport
+// server and internal/wal, the replay-before-serve recovery path, the
+// delivery ledger the kill-resilience harness audits, and the
+// timestamp-horizon release policy that recycles fully-absorbed
+// segments.
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// walRec is the release-policy metadata of one journaled record.
+type walRec struct {
+	seq   uint64
+	maxTS event.Time
+}
+
+// journalTracker adapts *wal.Log to transport.Journal and tracks the
+// metadata the release policy needs: each live record's max event
+// timestamp (order of seq) and, per durable session, the sequence of
+// its newest record — which must never be released while the session
+// may reconnect, because recovery rebuilds the dedup watermark from it.
+type journalTracker struct {
+	log *wal.Log
+
+	mu      sync.Mutex
+	recs    []walRec          // un-released records, ascending seq
+	sessTop map[uint64]uint64 // session id -> seq of its newest record
+	maxTS   event.Time        // newest event timestamp seen
+}
+
+func newJournalTracker(log *wal.Log) *journalTracker {
+	return &journalTracker{log: log, sessTop: make(map[uint64]uint64)}
+}
+
+// Append implements transport.Journal. The tracker mutex spans the log
+// append so the metadata list stays seq-ordered.
+func (j *journalTracker) Append(session, batchSeq uint64, count int, maxTS event.Time, payload []byte) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seq, err := j.log.Append(session, batchSeq, payload)
+	if err != nil {
+		return 0, err
+	}
+	j.observeLocked(seq, session, maxTS)
+	return seq, nil
+}
+
+// Commit implements transport.Journal.
+func (j *journalTracker) Commit(seq uint64) error { return j.log.Commit(seq) }
+
+// observeReplayed feeds recovery-replayed records into the release
+// bookkeeping: they are live (un-released) exactly like fresh appends.
+func (j *journalTracker) observeReplayed(r wal.Record, maxTS event.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.observeLocked(r.Seq, r.Session, maxTS)
+}
+
+func (j *journalTracker) observeLocked(seq, session uint64, maxTS event.Time) {
+	j.recs = append(j.recs, walRec{seq: seq, maxTS: maxTS})
+	if session != 0 {
+		j.sessTop[session] = seq
+	}
+	if maxTS > j.maxTS {
+		j.maxTS = maxTS
+	}
+}
+
+// release recycles the longest prefix of records that (a) carry only
+// events with timestamps at or below the horizon — old enough that
+// their windows have closed — and (b) precede every session's newest
+// record, so a restart can still seed each session's dedup watermark.
+// slack is the operator-chosen retention (the -wal-release flag); zero
+// disables releasing entirely.
+func (j *journalTracker) release(slack time.Duration) {
+	if slack <= 0 {
+		return
+	}
+	j.mu.Lock()
+	horizon := j.maxTS - event.Time(slack.Microseconds())
+	keep := uint64(0) // lowest session-top seq, 0 = none
+	for _, top := range j.sessTop {
+		if keep == 0 || top < keep {
+			keep = top
+		}
+	}
+	var through uint64
+	n := 0
+	for _, r := range j.recs {
+		if r.maxTS > horizon || (keep != 0 && r.seq >= keep) {
+			break
+		}
+		through = r.seq
+		n++
+	}
+	if n > 0 {
+		j.recs = append(j.recs[:0], j.recs[n:]...)
+	}
+	j.mu.Unlock()
+	if through > 0 {
+		j.log.Release(through)
+	}
+}
+
+// releaseAll marks the whole log absorbed; only sound after a full
+// drain (server closed, pipeline flushed), where by construction every
+// journaled record has been processed and every window closed.
+func (j *journalTracker) releaseAll() {
+	j.mu.Lock()
+	j.recs = j.recs[:0]
+	j.mu.Unlock()
+	j.log.Release(j.log.LastSeq())
+}
+
+// ledgerSink wraps the real sink with a delivery ledger: an order-
+// independent fingerprint (count, sum and xor of the event sequence
+// numbers) of everything submitted to the operator in this process
+// lifetime. The kill-resilience harness compares it against the
+// producers' ledgers: a lost acked event shows up as a missing term, a
+// duplicate delivery as an extra one.
+type ledgerSink struct {
+	inner transport.Sink
+	count atomic.Uint64
+	sum   atomic.Uint64
+	xor   atomic.Uint64
+}
+
+func (l *ledgerSink) SubmitBatch(events []event.Event) {
+	var sum, xor uint64
+	for i := range events {
+		sum += events[i].Seq
+		xor ^= events[i].Seq
+	}
+	l.count.Add(uint64(len(events)))
+	l.sum.Add(sum)
+	// Atomic xor-accumulate via CAS; contention is per batch, not per
+	// event.
+	for {
+		old := l.xor.Load()
+		if l.xor.CompareAndSwap(old, old^xor) {
+			break
+		}
+	}
+	l.inner.SubmitBatch(events)
+}
+
+// ledgerStats is the JSON shape of the delivery ledger.
+type ledgerStats struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Xor   uint64 `json:"xor"`
+}
+
+func (l *ledgerSink) stats() ledgerStats {
+	return ledgerStats{Count: l.count.Load(), Sum: l.sum.Load(), Xor: l.xor.Load()}
+}
+
+// serveWALStats is the JSON shape of the WAL section of the stats
+// document.
+type serveWALStats struct {
+	wal.Stats
+	RecoveredRecords int   `json:"recovered_records"`
+	RecoveredBytes   int   `json:"recovered_bytes"`
+	RecoveredTrunc   bool  `json:"recovered_truncated"`
+	RecoveryMillis   int64 `json:"recovery_millis"`
+}
+
+// recoverWAL replays every surviving record through the normal sink
+// path — before the server accepts connections — and seeds the
+// transport's per-session dedup watermarks from what it replayed.
+func (app *serveApp) recoverWAL(w io.Writer) error {
+	start := time.Now()
+	dec := transport.Decoder{Retain: true, MaxVals: 0}
+	if app.registry != nil {
+		dec.MaxTypes = app.registry.Len()
+	}
+	acceptedBySess := make(map[uint64]uint64)
+	rec, err := app.wal.log.Recover(func(r wal.Record) error {
+		events, derr := dec.DecodeEvents(r.Payload)
+		if derr != nil {
+			return fmt.Errorf("espice-serve: wal record %d: %w", r.Seq, derr)
+		}
+		var maxTS event.Time
+		for i := range events {
+			if events[i].TS > maxTS {
+				maxTS = events[i].TS
+			}
+		}
+		if len(events) > 0 {
+			app.sink.SubmitBatch(events)
+		}
+		if r.Session != 0 {
+			acceptedBySess[r.Session] += uint64(len(events))
+		}
+		app.wal.observeReplayed(r, maxTS)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	states := make(map[uint64]transport.SessionState, len(rec.Sessions))
+	for id, applied := range rec.Sessions {
+		states[id] = transport.SessionState{Applied: applied, Accepted: acceptedBySess[id]}
+	}
+	app.srv.SeedSessions(states)
+	app.walRecovery = rec
+	app.walRecoveryTime = time.Since(start)
+	fmt.Fprintf(w, "espice-serve: wal recovery: %d records (%d bytes, %d sessions) replayed in %s (truncated=%v)\n",
+		rec.Records, rec.Bytes, len(rec.Sessions), app.walRecoveryTime.Round(time.Millisecond), rec.Truncated)
+	return nil
+}
+
+// walStats assembles the WAL stats section.
+func (app *serveApp) walStats() *serveWALStats {
+	if app.wal == nil {
+		return nil
+	}
+	return &serveWALStats{
+		Stats:            app.wal.log.Stats(),
+		RecoveredRecords: app.walRecovery.Records,
+		RecoveredBytes:   app.walRecovery.Bytes,
+		RecoveredTrunc:   app.walRecovery.Truncated,
+		RecoveryMillis:   app.walRecoveryTime.Milliseconds(),
+	}
+}

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// syncBuf is a race-safe strings.Builder: run writes it from its own
+// goroutine while the test reads it.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// walOpts is the single-query deployment used by the WAL serve tests:
+// shedding off so every ingested event is deterministic work.
+func walOpts(dir string) serveOpts {
+	return serveOpts{
+		seconds: 120,
+		seed:    1,
+		n:       3,
+		winSec:  15,
+		shards:  1,
+		shedder: "none",
+		credit:  2048,
+		latEvry: 16,
+		walDir:  dir,
+	}
+}
+
+// startStoppable is startApp with an explicit stop: the test decides
+// when the clean drain happens instead of deferring it to cleanup. It
+// returns only once the server is past WAL recovery and listening.
+func startStoppable(t *testing.T, opts serveOpts) (*serveApp, string, *syncBuf, func() error) {
+	t.Helper()
+	app, err := buildServe(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuf{}
+	runDone := make(chan error, 1)
+	go func() { runDone <- app.run(ctx, ln, out) }()
+	stopped := false
+	stop := func() error {
+		stopped = true
+		cancel()
+		return <-runDone
+	}
+	t.Cleanup(func() {
+		if !stopped {
+			if err := stop(); err != nil {
+				t.Errorf("run: %v\noutput:\n%s", err, out.String())
+			}
+		}
+	})
+	// Recovery happens strictly before the listening line is printed.
+	waitFor(t, 10*time.Second, func() bool { return strings.Contains(out.String(), "listening on") })
+	return app, ln.Addr().String(), out, stop
+}
+
+// TestServeWALRestartReplay simulates the aftermath of a crash: a WAL
+// holding two journaled-but-unreleased durable batches. The restarted
+// server must replay them through the sink before accepting
+// connections, seed the session's dedup watermark, and absorb the
+// producer's retransmit without delivering anything twice.
+func TestServeWALRestartReplay(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	opts := walOpts(dir)
+	_, events, _ := regen(t, opts)
+	in := events[:96] // batches 1..3 of 32 under BatchEvents: 32
+
+	// Fabricate the crashed server's log: batches 1 and 2 of session 11
+	// journaled and committed, nothing released — exactly the state left
+	// behind when the process died after acking them.
+	wlog, err := wal.Open(wal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wlog.Recover(func(wal.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var enc transport.Encoder
+	var last uint64
+	for b := 0; b < 2; b++ {
+		payload := enc.AppendEvents(nil, in[b*32:(b+1)*32])
+		last, err = wlog.Append(11, uint64(b+1), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wlog.Commit(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := wlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	app, addr, out, _ := startStoppable(t, opts)
+	if app.walRecovery.Records != 2 {
+		t.Fatalf("recovered %d records, want 2\noutput:\n%s", app.walRecovery.Records, out.String())
+	}
+	if got := app.ledger.stats().Count; got != 64 {
+		t.Fatalf("ledger count after replay = %d, want 64", got)
+	}
+	if !strings.Contains(out.String(), "wal recovery: 2 records") {
+		t.Errorf("missing recovery line in output:\n%s", out.String())
+	}
+
+	// The producer, which never saw its acks for batches 1-2 confirmed
+	// as durable across the restart, reconnects and retransmits from the
+	// beginning; batches 1-2 must be dedup-acked, batch 3 delivered.
+	c, err := transport.Dial(transport.ClientConfig{Addr: addr, BatchEvents: 32, Session: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitBatch(in); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Sent != 96 || cs.Accepted != 96 {
+		t.Fatalf("client ledger %+v, want Sent == Accepted == 96", cs)
+	}
+	if st := app.srv.Stats(); st.DedupBatches != 2 {
+		t.Fatalf("dedup batches = %d, want 2 (stats %+v)", st.DedupBatches, st)
+	}
+
+	// Exactly once end to end: 64 replayed + 32 new, no duplicates. The
+	// ledger fingerprint must match the input exactly.
+	var wantSum, wantXor uint64
+	for i := range in {
+		wantSum += in[i].Seq
+		wantXor ^= in[i].Seq
+	}
+	waitFor(t, 5*time.Second, func() bool { return app.ledger.stats().Count == 96 })
+	if ls := app.ledger.stats(); ls.Sum != wantSum || ls.Xor != wantXor {
+		t.Fatalf("ledger %+v does not fingerprint the input (want sum %d xor %d)", ls, wantSum, wantXor)
+	}
+	waitFor(t, 5*time.Second, func() bool { return app.stats().Processed == 96 })
+}
+
+// TestServeWALCleanShutdownReleases pins the clean-drain contract: a
+// graceful stop releases the whole log, so the next start replays
+// nothing and the recycled segments are reused.
+func TestServeWALCleanShutdownReleases(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	opts := walOpts(dir)
+	_, events, _ := regen(t, opts)
+
+	app, addr, _, stop := startStoppable(t, opts)
+	c, err := transport.Dial(transport.ClientConfig{Addr: addr, BatchEvents: 64, Session: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitBatch(events[:256]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if ws := app.wal.log.Stats(); ws.ReleasedSeq != ws.LastSeq || ws.LastSeq == 0 {
+		t.Fatalf("clean drain left unreleased records: %+v", ws)
+	}
+
+	app2, _, out2, stop2 := startStoppable(t, opts)
+	if app2.walRecovery.Records != 0 {
+		t.Fatalf("clean restart replayed %d records\noutput:\n%s", app2.walRecovery.Records, out2.String())
+	}
+	if err := stop2(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/tesla"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/window"
 )
 
@@ -560,3 +561,39 @@ func NewIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
 func DialIngest(cfg IngestClientConfig) (*IngestClient, error) {
 	return transport.Dial(cfg)
 }
+
+// Durable ingestion (internal/wal): the optional write-ahead segment
+// log behind `espice-serve -wal`, which upgrades the wire transport
+// from at-most-once to effectively-once delivery. See docs/wal.md for
+// the on-disk format and recovery semantics, and the delivery-semantics
+// section of docs/wire.md for the session protocol.
+type (
+	// WAL is a write-ahead segment log: acked event batches are
+	// appended to recycled fixed-size segments with fsync-coalesced
+	// group commit and replayed after a crash.
+	WAL = wal.Log
+	// WALConfig assembles a write-ahead log.
+	WALConfig = wal.Config
+	// WALStats is a snapshot of the log counters.
+	WALStats = wal.Stats
+	// WALRecord is one replayed record (sequence, session, batch
+	// sequence, payload).
+	WALRecord = wal.Record
+	// WALRecovery summarizes a completed replay.
+	WALRecovery = wal.Recovery
+	// IngestJournal is the durability hook of IngestServerConfig:
+	// batches are journaled and committed through it before they are
+	// submitted or acknowledged. A WAL satisfies the append/commit
+	// shape; espice-serve adapts one to this interface.
+	IngestJournal = transport.Journal
+	// IngestSessionState seeds a durable session's dedup watermark
+	// (applied batches, accepted events) after recovery.
+	IngestSessionState = transport.SessionState
+)
+
+// DefaultWALSegmentSize is the default segment capacity in bytes.
+const DefaultWALSegmentSize = wal.DefaultSegmentSize
+
+// OpenWAL opens (or creates) a write-ahead log directory. Recover must
+// run before the first Append.
+func OpenWAL(cfg WALConfig) (*WAL, error) { return wal.Open(cfg) }

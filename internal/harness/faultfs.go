@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wal"
+)
+
+// ErrInjectedSync is the error FaultFS injects on a scheduled fsync
+// failure.
+var ErrInjectedSync = errors.New("harness: injected fsync failure")
+
+// ErrInjectedWrite is the error FaultFS injects on a scheduled short
+// write.
+var ErrInjectedWrite = errors.New("harness: injected short write")
+
+// FaultFS wraps a wal.FS and injects storage faults, so unit tests can
+// drive the group-commit error paths of the write-ahead log without a
+// real failing disk: fail the Nth fsync, stall an fsync until released,
+// or cut a write short. The durability contract under test is that an
+// ack is never sent for a frame whose sync failed — see the wal and
+// transport fault tests.
+//
+// The zero value is not usable; wrap a base filesystem with NewFaultFS.
+// Counters and fault schedules are safe for concurrent use.
+type FaultFS struct {
+	base wal.FS
+
+	// syncs counts Sync calls across all files (1-based in FailSyncAt /
+	// StallSyncAt terms: the first Sync is call 1).
+	syncs  atomic.Uint64
+	writes atomic.Uint64
+
+	mu        sync.Mutex
+	failSync  map[uint64]bool // sync call numbers to fail
+	stallSync map[uint64]bool // sync call numbers to stall
+	shortAt   map[uint64]int  // write call number -> bytes actually written
+	stalled   chan struct{}   // closed by ReleaseStalls
+}
+
+// NewFaultFS wraps base (OSFS semantics when nil is not allowed — pass
+// wal.OSFS{} for a real directory or an in-memory FS from the tests).
+func NewFaultFS(base wal.FS) *FaultFS {
+	return &FaultFS{
+		base:      base,
+		failSync:  make(map[uint64]bool),
+		stallSync: make(map[uint64]bool),
+		shortAt:   make(map[uint64]int),
+		stalled:   make(chan struct{}),
+	}
+}
+
+// FailSyncAt schedules the n-th Sync call (1-based, counted across all
+// files) to return ErrInjectedSync without syncing.
+func (f *FaultFS) FailSyncAt(n uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSync[n] = true
+}
+
+// StallSyncAt schedules the n-th Sync call to block until
+// ReleaseStalls, then proceed normally. Use it to hold a group-commit
+// leader mid-flight while more appends pile up behind it.
+func (f *FaultFS) StallSyncAt(n uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stallSync[n] = true
+}
+
+// ShortWriteAt schedules the n-th Write call (1-based, counted across
+// all files) to write only the first keep bytes to the underlying file
+// and return ErrInjectedWrite.
+func (f *FaultFS) ShortWriteAt(n uint64, keep int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortAt[n] = keep
+}
+
+// ReleaseStalls unblocks every stalled Sync (current and future).
+func (f *FaultFS) ReleaseStalls() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select {
+	case <-f.stalled:
+	default:
+		close(f.stalled)
+	}
+}
+
+// Syncs returns the number of Sync calls observed so far.
+func (f *FaultFS) Syncs() uint64 { return f.syncs.Load() }
+
+// Writes returns the number of Write calls observed so far.
+func (f *FaultFS) Writes() uint64 { return f.writes.Load() }
+
+// MkdirAll implements wal.FS.
+func (f *FaultFS) MkdirAll(dir string) error { return f.base.MkdirAll(dir) }
+
+// ReadDir implements wal.FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.base.ReadDir(dir) }
+
+// ReadFile implements wal.FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.base.ReadFile(name) }
+
+// Rename implements wal.FS.
+func (f *FaultFS) Rename(oldname, newname string) error { return f.base.Rename(oldname, newname) }
+
+// Remove implements wal.FS.
+func (f *FaultFS) Remove(name string) error { return f.base.Remove(name) }
+
+// Create implements wal.FS, wrapping the file so its Write/Sync calls
+// hit the fault schedule.
+func (f *FaultFS) Create(name string) (wal.File, error) {
+	file, err := f.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, file: file}, nil
+}
+
+type faultFile struct {
+	fs   *FaultFS
+	file wal.File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	n := ff.fs.writes.Add(1)
+	ff.fs.mu.Lock()
+	keep, short := ff.fs.shortAt[n]
+	ff.fs.mu.Unlock()
+	if short {
+		if keep > len(p) {
+			keep = len(p)
+		}
+		wrote, err := ff.file.Write(p[:keep])
+		if err != nil {
+			return wrote, err
+		}
+		return wrote, ErrInjectedWrite
+	}
+	return ff.file.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	n := ff.fs.syncs.Add(1)
+	ff.fs.mu.Lock()
+	fail := ff.fs.failSync[n]
+	stall := ff.fs.stallSync[n]
+	stalled := ff.fs.stalled
+	ff.fs.mu.Unlock()
+	if stall {
+		<-stalled
+	}
+	if fail {
+		return ErrInjectedSync
+	}
+	return ff.file.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.file.Close() }

@@ -30,6 +30,17 @@ type ClientConfig struct {
 	// MaxRedials bounds consecutive failed dial attempts before the
 	// client gives up (default 5; only meaningful with Reconnect).
 	MaxRedials int
+	// Session, when non-zero, opens a durable session: every flushed
+	// batch carries a monotonic batch sequence and stays in a client
+	// ledger until the server acknowledges it as journaled; on every
+	// (re)connect the client retransmits the unacknowledged tail, and
+	// the server's per-session dedup makes the retransmits
+	// effectively-once (see docs/wire.md, delivery semantics). The id
+	// must be unique per logical producer stream — reusing one against
+	// a server that already applied batches under it would dedup-drop
+	// the new stream's prefix. Durable mode usually pairs with
+	// Reconnect.
+	Session uint64
 	// Logf logs reconnect events (nil silences them).
 	Logf func(format string, args ...any)
 }
@@ -39,16 +50,22 @@ const DefaultBatchEvents = 256
 
 // ClientStats counts the client's view of the stream.
 type ClientStats struct {
-	// Sent counts events written to the wire; Accepted is the server's
-	// count from the final FrameDone — the whole stream when no redial
-	// happened, otherwise only the final connection's share (frames in
-	// flight across a reconnect are lost; the transport is at-most-once).
+	// Sent counts unique events handed to the wire (retransmits of the
+	// same batch are not re-counted). Accepted is the other side of the
+	// ledger: without a session it is the server's count from the final
+	// FrameDone — the whole stream when no redial happened, otherwise
+	// only the final connection's share (frames in flight across a
+	// reconnect are lost; plain transport is at-most-once). On a
+	// durable session it counts events in server-acknowledged batches,
+	// and Close returning nil implies Sent == Accepted.
 	Sent     uint64
 	Accepted uint64
-	// Flushes counts FrameEvents written; Redials counts successful
-	// reconnections.
-	Flushes uint64
-	Redials uint64
+	// Flushes counts event frames written; Redials counts successful
+	// reconnections; Retransmits counts batches re-sent after a
+	// reconnect on a durable session.
+	Flushes     uint64
+	Redials     uint64
+	Retransmits uint64
 	// CreditWait is the cumulative time spent blocked waiting for the
 	// server to replenish the credit window — the client-visible shape
 	// of server-side backpressure.
@@ -73,6 +90,20 @@ type Client struct {
 	window uint64 // server's credit window, learned from the initial grant
 	stats  ClientStats
 	closed bool
+
+	// Durable-session ledger: flushed-but-unacknowledged batches, kept
+	// as their encoded FrameEventsSeq payloads so a retransmit is a
+	// verbatim byte replay.
+	outstanding []outBatch
+	nextBatch   uint64 // last batch sequence assigned
+	ackedBatch  uint64 // highest server-acknowledged batch sequence
+}
+
+// outBatch is one ledger entry of a durable session.
+type outBatch struct {
+	seq   uint64
+	count int
+	frame []byte // FrameEventsSeq payload: uvarint seq ‖ encoded events
 }
 
 // Dial connects to a server and performs the binary preface. The
@@ -123,6 +154,98 @@ func (c *Client) connect() error {
 		return err
 	}
 	c.window = c.credit
+	if c.cfg.Session != 0 {
+		if err := c.helloResync(); err != nil {
+			conn.Close()
+			c.conn = nil
+			return err
+		}
+	}
+	return nil
+}
+
+// helloResync opens the durable session on a fresh connection: send
+// FrameHello, learn the server's applied watermark from FrameHelloAck
+// (dropping the ledger prefix it acknowledges), and retransmit every
+// still-unacknowledged batch in order. Runs as part of connect, so any
+// failure surfaces as a failed (re)dial attempt.
+func (c *Client) helloResync() error {
+	var tmp [binary.MaxVarintLen64]byte
+	hello := AppendFrame(c.frame[:0], FrameHello, tmp[:binary.PutUvarint(tmp[:], c.cfg.Session)])
+	c.frame = hello
+	if _, err := c.conn.Write(hello); err != nil {
+		return err
+	}
+	for acked := false; !acked; {
+		typ, payload, err := c.readFrame()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case FrameHelloAck:
+			applied, k := binary.Uvarint(payload)
+			if k <= 0 {
+				return fmt.Errorf("transport: malformed hello ack")
+			}
+			c.ackThrough(applied)
+			acked = true
+		case FrameCredit:
+			if err := c.handleCredit(payload); err != nil {
+				return err
+			}
+		case FrameError:
+			return fmt.Errorf("transport: server error: %s", payload)
+		default:
+			return fmt.Errorf("transport: unexpected frame 0x%02x while awaiting hello ack", typ)
+		}
+	}
+	for i := range c.outstanding {
+		b := &c.outstanding[i]
+		if err := c.waitCredit(uint64(b.count)); err != nil {
+			return err
+		}
+		c.frame = AppendFrame(c.frame[:0], FrameEventsSeq, b.frame)
+		if _, err := c.conn.Write(c.frame); err != nil {
+			return err
+		}
+		c.credit -= uint64(b.count)
+		c.stats.Retransmits++
+	}
+	return nil
+}
+
+// ackThrough drops every ledger entry the server has acknowledged as
+// applied, crediting its events to the Accepted side of the ledger.
+// The watermark is compared against the ledger even when it did not
+// advance, so a batch the server deduplicated (already at or below the
+// watermark, e.g. after a stale-session reuse) still drains.
+func (c *Client) ackThrough(applied uint64) {
+	if applied > c.ackedBatch {
+		c.ackedBatch = applied
+	}
+	i := 0
+	for i < len(c.outstanding) && c.outstanding[i].seq <= c.ackedBatch {
+		c.stats.Accepted += uint64(c.outstanding[i].count)
+		i++
+	}
+	if i > 0 {
+		c.outstanding = append(c.outstanding[:0], c.outstanding[i:]...)
+	}
+}
+
+// handleCredit applies one FrameCredit payload: the grant, plus — on
+// durable sessions — the piggybacked applied watermark.
+func (c *Client) handleCredit(payload []byte) error {
+	n, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return fmt.Errorf("transport: malformed credit frame")
+	}
+	c.credit += n
+	if c.cfg.Session != 0 && k < len(payload) {
+		if applied, k2 := binary.Uvarint(payload[k:]); k2 > 0 {
+			c.ackThrough(applied)
+		}
+	}
 	return nil
 }
 
@@ -142,7 +265,9 @@ func (c *Client) redial() error {
 	for attempt := 0; attempt < c.cfg.MaxRedials; attempt++ {
 		if attempt > 0 {
 			time.Sleep(backoff)
-			backoff *= 2
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
 		}
 		if err := c.connect(); err != nil {
 			lastErr = err
@@ -175,11 +300,9 @@ func (c *Client) waitCredit(need uint64) error {
 		}
 		switch typ {
 		case FrameCredit:
-			n, k := binary.Uvarint(payload)
-			if k <= 0 {
-				return fmt.Errorf("transport: malformed credit frame")
+			if err := c.handleCredit(payload); err != nil {
+				return err
 			}
-			c.credit += n
 		case FrameError:
 			return fmt.Errorf("transport: server error: %s", payload)
 		default:
@@ -311,6 +434,9 @@ func (c *Client) writeChunk(chunk []event.Event) (int, error) {
 		more, err := c.writeChunk(chunk[half:])
 		return sent + more, err
 	}
+	if c.cfg.Session != 0 {
+		return c.writeDurable(chunk, payload)
+	}
 	for {
 		if err := c.waitCredit(uint64(len(chunk))); err != nil {
 			if isConnErr(err) {
@@ -333,6 +459,38 @@ func (c *Client) writeChunk(chunk []event.Event) (int, error) {
 		c.stats.Flushes++
 		return len(chunk), nil
 	}
+}
+
+// writeDurable sends one chunk as a sequenced FrameEventsSeq batch.
+// The batch enters the ledger before the first write attempt, so a
+// connection failure at any point cannot lose it: the redial's
+// helloResync retransmits every ledger entry, and the server's dedup
+// watermark absorbs any copy that did arrive. The chunk counts into
+// Sent exactly once, here.
+func (c *Client) writeDurable(chunk []event.Event, payload []byte) (int, error) {
+	c.nextBatch++
+	var tmp [binary.MaxVarintLen64]byte
+	fp := make([]byte, 0, binary.MaxVarintLen64+len(payload))
+	fp = append(fp, tmp[:binary.PutUvarint(tmp[:], c.nextBatch)]...)
+	fp = append(fp, payload...)
+	b := outBatch{seq: c.nextBatch, count: len(chunk), frame: fp}
+	c.outstanding = append(c.outstanding, b)
+	c.stats.Sent += uint64(len(chunk))
+	c.stats.Flushes++
+	if err := c.waitCredit(uint64(b.count)); err != nil {
+		if isConnErr(err) {
+			// A successful redial already retransmitted the ledger,
+			// this batch included.
+			return len(chunk), c.redial()
+		}
+		return len(chunk), err
+	}
+	c.frame = AppendFrame(c.frame[:0], FrameEventsSeq, b.frame)
+	if _, err := c.conn.Write(c.frame); err != nil {
+		return len(chunk), c.redial()
+	}
+	c.credit -= uint64(b.count)
+	return len(chunk), nil
 }
 
 // isConnErr reports whether err is a connection-level failure (as
@@ -365,11 +523,9 @@ func (c *Client) ServerStats() ([]byte, error) {
 		case FrameStats:
 			return append([]byte(nil), payload...), nil
 		case FrameCredit:
-			n, k := binary.Uvarint(payload)
-			if k <= 0 {
-				return nil, fmt.Errorf("transport: malformed credit frame")
+			if err := c.handleCredit(payload); err != nil {
+				return nil, err
 			}
-			c.credit += n
 		case FrameError:
 			return nil, fmt.Errorf("transport: server error: %s", payload)
 		default:
@@ -380,8 +536,11 @@ func (c *Client) ServerStats() ([]byte, error) {
 
 // Close flushes pending events, signals end of stream and waits for
 // the server's FrameDone — so when Close returns without error, every
-// accepted event has been submitted to the server's sink. It returns
-// the final statistics.
+// accepted event has been submitted to the server's sink. On a durable
+// session it first drains the ledger: Close does not return nil until
+// every sent batch has been acknowledged as journaled (redialing and
+// retransmitting as needed), so a nil error implies Sent == Accepted.
+// It returns the final statistics.
 func (c *Client) Close() (ClientStats, error) {
 	if c.closed {
 		return c.stats, nil
@@ -395,35 +554,93 @@ func (c *Client) Close() (ClientStats, error) {
 	if err := c.Flush(); err != nil {
 		return c.stats, err
 	}
-	if err := c.ensureConn(); err != nil {
-		return c.stats, err
+	if c.cfg.Session != 0 {
+		if err := c.drainAcks(); err != nil {
+			return c.stats, err
+		}
 	}
-	if _, err := c.conn.Write(AppendFrame(nil, FrameEOF, nil)); err != nil {
-		return c.stats, err
+	for {
+		if err := c.ensureConn(); err != nil {
+			return c.stats, err
+		}
+		if _, err := c.conn.Write(AppendFrame(nil, FrameEOF, nil)); err != nil {
+			if c.cfg.Session != 0 && isConnErr(err) {
+				if rerr := c.redial(); rerr != nil {
+					return c.stats, rerr
+				}
+				continue
+			}
+			return c.stats, err
+		}
+		done, err := c.awaitDone()
+		if err != nil {
+			if c.cfg.Session != 0 && isConnErr(err) {
+				if rerr := c.redial(); rerr != nil {
+					return c.stats, rerr
+				}
+				continue // resend EOF on the fresh connection
+			}
+			return c.stats, err
+		}
+		if c.cfg.Session == 0 {
+			// Durable sessions keep the ledger count: FrameDone is
+			// connection-scoped and undercounts across redials.
+			c.stats.Accepted = done
+		}
+		return c.stats, nil
 	}
+}
+
+// drainAcks blocks until every ledger entry has been acknowledged,
+// redialing (which retransmits the remainder) on connection failures.
+func (c *Client) drainAcks() error {
+	for len(c.outstanding) > 0 {
+		typ, payload, err := c.readFrame()
+		if err != nil {
+			if isConnErr(err) {
+				if rerr := c.redial(); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			return err
+		}
+		switch typ {
+		case FrameCredit:
+			if err := c.handleCredit(payload); err != nil {
+				return err
+			}
+		case FrameError:
+			return fmt.Errorf("transport: server error: %s", payload)
+		default:
+			return fmt.Errorf("transport: unexpected frame 0x%02x while draining acks", typ)
+		}
+	}
+	return nil
+}
+
+// awaitDone reads until the server's FrameDone and returns its count.
+func (c *Client) awaitDone() (uint64, error) {
 	for {
 		typ, payload, err := c.readFrame()
 		if err != nil {
-			return c.stats, err
+			return 0, err
 		}
 		switch typ {
 		case FrameDone:
 			n, k := binary.Uvarint(payload)
 			if k <= 0 {
-				return c.stats, fmt.Errorf("transport: malformed done frame")
+				return 0, fmt.Errorf("transport: malformed done frame")
 			}
-			c.stats.Accepted = n
-			return c.stats, nil
+			return n, nil
 		case FrameCredit:
-			n, k := binary.Uvarint(payload)
-			if k <= 0 {
-				return c.stats, fmt.Errorf("transport: malformed credit frame")
+			if err := c.handleCredit(payload); err != nil {
+				return 0, err
 			}
-			c.credit += n
 		case FrameError:
-			return c.stats, fmt.Errorf("transport: server error: %s", payload)
+			return 0, fmt.Errorf("transport: server error: %s", payload)
 		default:
-			return c.stats, fmt.Errorf("transport: unexpected frame 0x%02x while awaiting done", typ)
+			return 0, fmt.Errorf("transport: unexpected frame 0x%02x while awaiting done", typ)
 		}
 	}
 }

@@ -23,10 +23,40 @@ type Sink interface {
 	SubmitBatch(events []event.Event)
 }
 
+// Journal is the optional durability hook in front of the sink: when
+// configured, every accepted event batch is appended (as its
+// already-encoded wire bytes) and committed — fsynced — before it is
+// submitted to the sink or acknowledged to the producer. A non-nil
+// Commit error means the batch is NOT durable; the server then drops
+// the connection without acking, so producers retransmit after the
+// restart and the write-ahead log replays everything it did accept.
+// internal/wal.Log satisfies the contract via a thin adapter in
+// cmd/espice-serve (the count/maxTS metadata feeds its release policy).
+type Journal interface {
+	// Append stages the batch's wire bytes together with its dedup
+	// identity (session, batchSeq — both zero for non-durable
+	// connections) and returns the assigned journal sequence.
+	Append(session, batchSeq uint64, count int, maxTS event.Time, payload []byte) (uint64, error)
+	// Commit blocks until the record is on stable storage.
+	Commit(seq uint64) error
+}
+
+// SessionState seeds one durable session's dedup watermark, typically
+// from a write-ahead-log recovery (see Server.SeedSessions).
+type SessionState struct {
+	// Applied is the highest batch sequence applied for the session.
+	Applied uint64
+	// Accepted is the session's cumulative accepted event count.
+	Accepted uint64
+}
+
 // ServerConfig assembles an ingest server.
 type ServerConfig struct {
 	// Sink receives every accepted event (required).
 	Sink Sink
+	// Journal, when non-nil, makes ingestion durable: batches are
+	// journaled and committed before they are submitted or acked.
+	Journal Journal
 	// Registry bounds the acceptable binary type ids and resolves NDJSON
 	// type names. Nil disables both (any non-negative id passes).
 	Registry *event.Registry
@@ -65,6 +95,12 @@ type ServerStats struct {
 	Frames uint64
 	// ProtocolErrors counts connections dropped for malformed input.
 	ProtocolErrors uint64
+	// DedupBatches counts durable batches acknowledged without
+	// re-delivery because their sequence was at or below the session's
+	// applied watermark (producer retransmits after a crash or redial).
+	DedupBatches uint64
+	// Sessions counts durable sessions the server has seen.
+	Sessions int
 }
 
 // Server is a TCP ingest server; build it with NewServer and drive it
@@ -77,7 +113,15 @@ type Server struct {
 	evNDJSON  atomic.Uint64
 	frames    atomic.Uint64
 	protoErrs atomic.Uint64
+	dedups    atomic.Uint64
 	activeCt  atomic.Int64
+
+	// sessions maps durable session ids to their state; entries are
+	// created on FrameHello or seeded from recovery and live for the
+	// server lifetime (a session outlives its connections — that is the
+	// point).
+	sessMu   sync.Mutex
+	sessions map[uint64]*session
 
 	mu        sync.Mutex
 	ln        net.Listener
@@ -85,6 +129,16 @@ type Server struct {
 	closed    bool
 	serving   bool // a Serve call took ownership and will close serveDone
 	serveDone chan struct{}
+}
+
+// session is one durable session's server-side state. Its mutex
+// serializes the dedup-check → journal → submit → advance sequence, so
+// a retransmitted batch racing its original (two connections of the
+// same session) can never be applied twice.
+type session struct {
+	mu       sync.Mutex
+	applied  uint64 // highest batch sequence applied
+	accepted uint64 // cumulative accepted events
 }
 
 // NewServer validates the configuration and builds a server.
@@ -104,8 +158,46 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	return &Server{
 		cfg:       cfg,
 		conns:     make(map[net.Conn]struct{}),
+		sessions:  make(map[uint64]*session),
 		serveDone: make(chan struct{}),
 	}, nil
+}
+
+// SeedSessions installs recovered dedup watermarks, one per durable
+// session replayed from the write-ahead log. Call it before Serve:
+// producers reconnecting after a restart then have their already-
+// journaled batches acknowledged instead of re-delivered.
+func (s *Server) SeedSessions(states map[uint64]SessionState) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	for id, st := range states {
+		s.sessions[id] = &session{applied: st.Applied, accepted: st.Accepted}
+	}
+}
+
+// session returns (creating if needed) the state of one durable session.
+func (s *Server) session(id uint64) *session {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	sess := s.sessions[id]
+	if sess == nil {
+		sess = &session{}
+		s.sessions[id] = sess
+	}
+	return sess
+}
+
+// SessionStates snapshots every durable session's watermark.
+func (s *Server) SessionStates() map[uint64]SessionState {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	out := make(map[uint64]SessionState, len(s.sessions))
+	for id, sess := range s.sessions {
+		sess.mu.Lock()
+		out[id] = SessionState{Applied: sess.applied, Accepted: sess.accepted}
+		sess.mu.Unlock()
+	}
+	return out
 }
 
 // logf forwards to the configured logger, if any.
@@ -229,6 +321,9 @@ func (s *Server) Close() error {
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() ServerStats {
+	s.sessMu.Lock()
+	sessions := len(s.sessions)
+	s.sessMu.Unlock()
 	return ServerStats{
 		ConnsAccepted:  s.accepted.Load(),
 		ConnsActive:    int(s.activeCt.Load()),
@@ -236,6 +331,8 @@ func (s *Server) Stats() ServerStats {
 		EventsNDJSON:   s.evNDJSON.Load(),
 		Frames:         s.frames.Load(),
 		ProtocolErrors: s.protoErrs.Load(),
+		DedupBatches:   s.dedups.Load(),
+		Sessions:       sessions,
 	}
 }
 
@@ -294,6 +391,8 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 	credit := window
 	var accepted uint64
 	var sawEOF bool
+	var sess *session // non-nil once FrameHello opened a durable session
+	var sessID uint64
 	for {
 		n, err := br.Read(read)
 		if n > 0 {
@@ -325,6 +424,16 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 					}
 					credit -= uint64(len(events))
 					if len(events) > 0 {
+						if s.cfg.Journal != nil {
+							if jerr := s.journalBatch(0, 0, events, payload); jerr != nil {
+								// Not a protocol error: the batch is simply not
+								// durable. Drop the connection unacknowledged —
+								// to the producer this is indistinguishable
+								// from a crash, and its redial path recovers.
+								s.logf("transport: %s: %v (dropping connection unacknowledged)", conn.RemoteAddr(), jerr)
+								return
+							}
+						}
 						s.cfg.Sink.SubmitBatch(events)
 						accepted += uint64(len(events))
 						s.evBinary.Add(uint64(len(events)))
@@ -333,6 +442,100 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 						if _, werr := conn.Write(writeBuf); werr != nil {
 							return
 						}
+					}
+				case FrameHello:
+					if sess != nil {
+						s.protoError(conn, fmt.Errorf("transport: duplicate hello frame"))
+						return
+					}
+					id, k := binary.Uvarint(payload)
+					if k <= 0 || id == 0 {
+						s.protoError(conn, fmt.Errorf("transport: malformed hello frame"))
+						return
+					}
+					sessID = id
+					sess = s.session(id)
+					sess.mu.Lock()
+					applied := sess.applied
+					sess.mu.Unlock()
+					var tmp [binary.MaxVarintLen64]byte
+					writeBuf = AppendFrame(writeBuf[:0], FrameHelloAck, tmp[:binary.PutUvarint(tmp[:], applied)])
+					if _, werr := conn.Write(writeBuf); werr != nil {
+						return
+					}
+				case FrameEventsSeq:
+					if sawEOF {
+						s.protoError(conn, fmt.Errorf("transport: events after EOF frame"))
+						return
+					}
+					if sess == nil {
+						s.protoError(conn, fmt.Errorf("transport: sequenced events before hello frame"))
+						return
+					}
+					batchSeq, k := binary.Uvarint(payload)
+					if k <= 0 || batchSeq == 0 {
+						s.protoError(conn, fmt.Errorf("transport: malformed batch sequence"))
+						return
+					}
+					body := payload[k:]
+					events, derr := dec.DecodeEvents(body)
+					if derr != nil {
+						s.protoError(conn, derr)
+						return
+					}
+					n := uint64(len(events))
+					if n > credit {
+						s.protoError(conn, fmt.Errorf("transport: %d events exceed remaining credit %d", n, credit))
+						return
+					}
+					credit -= n
+					// Dedup-check, journal, submit and watermark advance are
+					// one critical section per session, so a retransmit
+					// racing its original on another connection of the same
+					// session can never be applied twice.
+					sess.mu.Lock()
+					if batchSeq <= sess.applied {
+						applied := sess.applied
+						sess.mu.Unlock()
+						s.dedups.Add(1)
+						credit += n
+						writeBuf = AppendCreditAckFrame(writeBuf[:0], n, applied)
+						if _, werr := conn.Write(writeBuf); werr != nil {
+							return
+						}
+						break
+					}
+					if batchSeq != sess.applied+1 {
+						applied := sess.applied
+						sess.mu.Unlock()
+						s.protoError(conn, fmt.Errorf("transport: batch %d skips applied watermark %d", batchSeq, applied))
+						return
+					}
+					if s.cfg.Journal != nil {
+						if jerr := s.journalBatch(sessID, batchSeq, events, body); jerr != nil {
+							sess.mu.Unlock()
+							// The batch is not durable: drop the connection
+							// without an ack (no FrameError — this is a server
+							// fault, not the client's), so the producer
+							// redials and retransmits, and the server-side
+							// dedup keeps the delivery effectively-once.
+							s.logf("transport: %s: %v (dropping connection unacknowledged)", conn.RemoteAddr(), jerr)
+							return
+						}
+					}
+					if len(events) > 0 {
+						s.cfg.Sink.SubmitBatch(events)
+					}
+					sess.applied = batchSeq
+					sess.accepted += n
+					applied := sess.applied
+					sess.mu.Unlock()
+					accepted += n
+					s.evBinary.Add(n)
+					credit += n
+					writeBuf = AppendCreditAckFrame(writeBuf[:0], n, applied)
+					if _, werr := conn.Write(writeBuf); werr != nil {
+						return
 					}
 				case FrameEOF:
 					sawEOF = true
@@ -364,6 +567,27 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 	}
 }
 
+// journalBatch appends the batch's wire bytes to the configured
+// journal and commits (fsyncs) them. A non-nil return means the batch
+// is not durable and the caller must drop the connection without
+// acknowledging it.
+func (s *Server) journalBatch(sessID, batchSeq uint64, events []event.Event, payload []byte) error {
+	var maxTS event.Time
+	for i := range events {
+		if events[i].TS > maxTS {
+			maxTS = events[i].TS
+		}
+	}
+	seq, err := s.cfg.Journal.Append(sessID, batchSeq, len(events), maxTS, payload)
+	if err == nil {
+		err = s.cfg.Journal.Commit(seq)
+	}
+	if err != nil {
+		return fmt.Errorf("transport: journal: %w", err)
+	}
+	return nil
+}
+
 // handleNDJSON runs the line read loop: parse each line into an event,
 // batch adjacent buffered lines, and submit whenever the read buffer
 // runs dry (so a lone line is never delayed). Backpressure is the
@@ -372,12 +596,27 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 func (s *Server) handleNDJSON(conn net.Conn, br *bufio.Reader) {
 	const maxBatch = 256
 	batch := make([]event.Event, 0, maxBatch)
-	flush := func() {
-		if len(batch) > 0 {
-			s.cfg.Sink.SubmitBatch(batch)
-			s.evNDJSON.Add(uint64(len(batch)))
-			batch = batch[:0]
+	var enc Encoder
+	var jbuf []byte
+	// flush journals (when configured) and submits the batch; a false
+	// return means the journal refused the batch — the connection must
+	// drop unacknowledged.
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
 		}
+		if s.cfg.Journal != nil {
+			jbuf = enc.AppendEvents(jbuf[:0], batch)
+			if jerr := s.journalBatch(0, 0, batch, jbuf); jerr != nil {
+				s.logf("transport: %s: %v", conn.RemoteAddr(), jerr)
+				fmt.Fprintf(conn, "{\"error\":%q}\n", jerr.Error())
+				return false
+			}
+		}
+		s.cfg.Sink.SubmitBatch(batch)
+		s.evNDJSON.Add(uint64(len(batch)))
+		batch = batch[:0]
+		return true
 	}
 	var lineBuf []byte
 	for {
@@ -408,7 +647,9 @@ func (s *Server) handleNDJSON(conn net.Conn, br *bufio.Reader) {
 			return
 		}
 		if len(batch) >= maxBatch || br.Buffered() == 0 {
-			flush()
+			if !flush() {
+				return
+			}
 		}
 	}
 }

@@ -43,10 +43,24 @@ const (
 	// FrameStatsReq asks the server for its current statistics (empty
 	// payload); the server answers with FrameStats.
 	FrameStatsReq byte = 0x03
+	// FrameHello opens a durable session (payload: one uvarint, the
+	// non-zero session id). The server answers with FrameHelloAck; only
+	// a connection that sent FrameHello may send FrameEventsSeq. See the
+	// delivery-semantics section of docs/wire.md.
+	FrameHello byte = 0x04
+	// FrameEventsSeq carries a sequenced batch of binary-encoded events
+	// on a durable session (payload: one uvarint batch sequence,
+	// followed by the same event encoding as FrameEvents). Batch
+	// sequences start at 1 and increase by exactly 1; a batch at or
+	// below the session's applied watermark is acknowledged without
+	// being re-delivered (server-side dedup).
+	FrameEventsSeq byte = 0x05
 
 	// FrameCredit grants the client permission to send that many more
-	// events (payload: one uvarint). See docs/wire.md for the window
-	// accounting.
+	// events (payload: one uvarint). On durable sessions the payload
+	// carries a second uvarint — the session's applied batch watermark,
+	// acknowledging every batch at or below it as durably accepted. See
+	// docs/wire.md for the window accounting.
 	FrameCredit byte = 0x81
 	// FrameDone acknowledges FrameEOF (payload: one uvarint, the total
 	// number of events accepted on this connection).
@@ -57,6 +71,10 @@ const (
 	// FrameStats answers FrameStatsReq (payload: a JSON document
 	// assembled by the server application).
 	FrameStats byte = 0x84
+	// FrameHelloAck answers FrameHello (payload: one uvarint, the
+	// session's applied batch watermark). The client drops every ledger
+	// entry at or below the watermark and retransmits the rest.
+	FrameHelloAck byte = 0x85
 )
 
 // DefaultMaxFrame bounds the payload length of a single frame. A frame
@@ -76,6 +94,17 @@ func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
 func AppendCreditFrame(dst []byte, n uint64) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	return AppendFrame(dst, FrameCredit, tmp[:binary.PutUvarint(tmp[:], n)])
+}
+
+// AppendCreditAckFrame appends a FrameCredit granting n events and
+// acknowledging every durable batch at or below applied. Clients that
+// do not track a ledger parse only the first uvarint, so the extended
+// form is wire-compatible with AppendCreditFrame.
+func AppendCreditAckFrame(dst []byte, n, applied uint64) []byte {
+	var tmp [2 * binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(tmp[:], n)
+	k += binary.PutUvarint(tmp[k:], applied)
+	return AppendFrame(dst, FrameCredit, tmp[:k])
 }
 
 // frameScanner incrementally splits a byte stream into frames. Feed

@@ -1,0 +1,161 @@
+// Fault-injection tests for the group-commit error paths, driven
+// through harness.FaultFS. They live in the external test package
+// because harness imports wal (the shim implements wal.FS).
+package wal_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/wal"
+)
+
+func openFault(t *testing.T) (*wal.Log, *harness.FaultFS) {
+	t.Helper()
+	fs := harness.NewFaultFS(wal.OSFS{})
+	l, err := wal.Open(wal.Config{Dir: t.TempDir(), FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	if _, err := l.Recover(nil); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return l, fs
+}
+
+// TestWALFailedSyncPoisons is the core durability contract: when the
+// fsync covering a record fails, Commit returns the error — so the
+// transport never acks the frame — and the log fails stop.
+func TestWALFailedSyncPoisons(t *testing.T) {
+	l, fs := openFault(t)
+	fs.FailSyncAt(1)
+	if _, err := l.Append(1, 1, make([]byte, 32)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Commit(1); !errors.Is(err, harness.ErrInjectedSync) {
+		t.Fatalf("Commit after failed sync = %v, want ErrInjectedSync", err)
+	}
+	// Poisoned: no new appends, and re-committing cannot launder the
+	// failure into a success.
+	if _, err := l.Append(1, 2, make([]byte, 32)); !errors.Is(err, harness.ErrInjectedSync) {
+		t.Fatalf("Append on poisoned log = %v", err)
+	}
+	if err := l.Commit(1); !errors.Is(err, harness.ErrInjectedSync) {
+		t.Fatalf("second Commit = %v", err)
+	}
+	if st := l.Stats(); st.Err == "" || st.SyncedSeq != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestWALShortWritePoisons cuts the record write short: Commit must
+// fail and the log must poison, exactly like a failed sync.
+func TestWALShortWritePoisons(t *testing.T) {
+	l, fs := openFault(t)
+	// Write 1 is the segment header; write 2 is the first group-commit
+	// body.
+	fs.ShortWriteAt(2, 10)
+	if _, err := l.Append(1, 1, make([]byte, 32)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Commit(1); !errors.Is(err, harness.ErrInjectedWrite) {
+		t.Fatalf("Commit after short write = %v, want ErrInjectedWrite", err)
+	}
+	if _, err := l.Append(1, 2, make([]byte, 32)); err == nil {
+		t.Fatal("Append on poisoned log succeeded")
+	}
+}
+
+// TestWALStalledSyncCoalesces holds the first group-commit leader
+// inside fsync while more appends pile up, then releases it: the
+// stragglers must ride a single follow-up sync (group commit), and
+// every Commit must succeed.
+func TestWALStalledSyncCoalesces(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	l, fs := openFault(t)
+	fs.StallSyncAt(1)
+	defer fs.ReleaseStalls()
+
+	if _, err := l.Append(1, 1, make([]byte, 32)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 10)
+	wg.Add(1)
+	go func() { defer wg.Done(); errs[0] = l.Commit(1) }()
+
+	// Wait for the leader to reach the stalled fsync.
+	deadline := time.Now().Add(2 * time.Second)
+	for fs.Syncs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never reached Sync")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stage nine more records behind the stalled leader; Append must
+	// not block on the in-flight sync.
+	for i := 1; i < 10; i++ {
+		seq, err := l.Append(1, uint64(i+1), make([]byte, 32))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func(i int, seq uint64) { defer wg.Done(); errs[i] = l.Commit(seq) }(i, seq)
+	}
+
+	fs.ReleaseStalls()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != 10 || st.SyncedSeq != 10 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Syncs != 2 {
+		t.Fatalf("syncs = %d, want 2 (stalled leader + one coalesced group)", st.Syncs)
+	}
+}
+
+// TestWALFailedSyncFailsAllWaiters verifies that every Commit waiting
+// on a failed sync observes the error — no waiter is left hanging or
+// falsely acked.
+func TestWALFailedSyncFailsAllWaiters(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	l, fs := openFault(t)
+	fs.StallSyncAt(1)
+	fs.FailSyncAt(1)
+
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(1, uint64(i+1), make([]byte, 32)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 5)
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); errs[i] = l.Commit(uint64(i + 1)) }(i)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for fs.Syncs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never reached Sync")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fs.ReleaseStalls()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, harness.ErrInjectedSync) {
+			t.Fatalf("Commit %d = %v, want ErrInjectedSync", i, err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS abstracts the handful of filesystem operations the log performs,
+// so tests can inject faults (failed or stalled fsyncs, short writes —
+// see internal/harness.FaultFS) without touching a real disk contract.
+// The zero configuration uses OSFS.
+type FS interface {
+	// MkdirAll creates the log directory (and parents) if missing.
+	MkdirAll(dir string) error
+	// ReadDir lists the file names (not paths) inside dir.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile reads a whole segment; recovery parses segments from
+	// memory so the record scanner can also be driven by the fuzzer.
+	ReadFile(name string) ([]byte, error)
+	// Create opens name for writing, truncating any previous content —
+	// both for brand-new segments and for recycled ones.
+	Create(name string) (File, error)
+	// Rename moves a file; recycling renames retired segments into the
+	// free pool and back.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+}
+
+// File is the writable handle of one open segment.
+type File interface {
+	io.Writer
+	// Sync flushes the written bytes to stable storage; group commit
+	// coalesces many appends into one Sync.
+	Sync() error
+	// Close releases the handle.
+	Close() error
+}
+
+// OSFS is the real-filesystem implementation of FS.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(filepath.Clean(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }

@@ -1,0 +1,170 @@
+// Segment and record layout. A segment file is
+//
+//	header (32 bytes)
+//	record*
+//
+// with the header
+//
+//	[0:8)   magic "ESPWAL01"
+//	[8:16)  base record sequence (uint64 LE) — the seq of the first record
+//	[16:20) CRC32C over bytes [0:16)
+//	[20:32) zero padding
+//
+// and each record
+//
+//	[0:4)   CRC32C over bytes [4 : 32+length)
+//	[4:8)   payload length (uint32 LE)
+//	[8:16)  record sequence (uint64 LE)
+//	[16:24) session id (uint64 LE, 0 = none)
+//	[24:32) batch sequence (uint64 LE, 0 = none)
+//	[32:)   payload — the already-encoded wire bytes of one event frame
+//
+// Record sequences are strictly monotonic across the whole log, so a
+// recycled segment's stale tail (left over from a previous life of the
+// file) can never be mistaken for live data: the stale records carry
+// sequences below the segment's base and fail the continuity check even
+// when their CRCs are self-consistent. Replay therefore stops cleanly
+// at the first record whose CRC or sequence does not match, which also
+// covers torn tails from a crash mid-write.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+)
+
+// Layout constants.
+const (
+	segMagic      = "ESPWAL01"
+	segHeaderSize = 32
+	recHeaderSize = 32
+)
+
+// castagnoli is the CRC32C polynomial table (the same polynomial
+// hardware CRC instructions implement).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segName renders the file name of the segment whose first record is
+// base; names sort lexicographically in base order.
+func segName(base uint64) string { return fmt.Sprintf("wal-%016x.seg", base) }
+
+// parseSegName extracts the base sequence from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	base, err := strconv.ParseUint(name[4:len(name)-4], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return base, true
+}
+
+// freeName renders the name a retired segment is parked under until it
+// is reused; recovery ignores the free pool.
+func freeName(base uint64) string { return fmt.Sprintf("free-%016x.tmp", base) }
+
+// isFreeName reports whether name belongs to the free pool.
+func isFreeName(name string) bool {
+	return strings.HasPrefix(name, "free-") && strings.HasSuffix(name, ".tmp")
+}
+
+// appendSegHeader appends a segment header for the given base sequence.
+func appendSegHeader(dst []byte, base uint64) []byte {
+	off := len(dst)
+	var hdr [segHeaderSize]byte
+	copy(hdr[0:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], base)
+	dst = append(dst, hdr[:]...)
+	crc := crc32.Checksum(dst[off:off+16], castagnoli)
+	binary.LittleEndian.PutUint32(dst[off+16:off+20], crc)
+	return dst
+}
+
+// parseSegHeader validates a segment header and returns its base
+// sequence.
+func parseSegHeader(data []byte) (base uint64, ok bool) {
+	if len(data) < segHeaderSize || string(data[0:8]) != segMagic {
+		return 0, false
+	}
+	if crc32.Checksum(data[0:16], castagnoli) != binary.LittleEndian.Uint32(data[16:20]) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(data[8:16]), true
+}
+
+// appendRecord appends one framed record to dst and returns the
+// extended slice. It allocates only when dst must grow, so a recycled
+// staging buffer makes the append path allocation-free in steady state.
+func appendRecord(dst []byte, seq, session, batchSeq uint64, payload []byte) []byte {
+	off := len(dst)
+	var hdr [recHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	binary.LittleEndian.PutUint64(hdr[16:24], session)
+	binary.LittleEndian.PutUint64(hdr[24:32], batchSeq)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[off+4:], castagnoli)
+	binary.LittleEndian.PutUint32(dst[off:off+4], crc)
+	return dst
+}
+
+// Record is one replayed log entry. Payload aliases the recovery
+// buffer and is valid only for the duration of the replay callback —
+// decode or copy it before returning, exactly like the transport
+// decoder's scratch contract.
+type Record struct {
+	// Seq is the record's log-wide sequence number.
+	Seq uint64
+	// Session and BatchSeq identify the producer batch for server-side
+	// dedup (both zero for frames from non-durable connections).
+	Session  uint64
+	BatchSeq uint64
+	// Payload holds the record's wire bytes (a FrameEvents payload).
+	Payload []byte
+}
+
+// scanRecords walks the records of one segment body (the bytes after
+// the header), starting at sequence expect, calling emit for each valid
+// record. It stops cleanly — no error, no panic, no over-read — at the
+// first record whose header is truncated, whose CRC mismatches, or
+// whose sequence breaks continuity (a recycled segment's stale tail or
+// a torn write). It returns the number of valid records, the byte
+// offset scanned up to, and the first emit error, if any.
+func scanRecords(body []byte, expect uint64, maxPayload int, emit func(Record) error) (n int, off int, err error) {
+	for {
+		rest := body[off:]
+		if len(rest) < recHeaderSize {
+			return n, off, nil
+		}
+		length := int(binary.LittleEndian.Uint32(rest[4:8]))
+		if length < 0 || length > maxPayload || len(rest) < recHeaderSize+length {
+			return n, off, nil
+		}
+		if crc32.Checksum(rest[4:recHeaderSize+length], castagnoli) != binary.LittleEndian.Uint32(rest[0:4]) {
+			return n, off, nil
+		}
+		seq := binary.LittleEndian.Uint64(rest[8:16])
+		if seq != expect {
+			return n, off, nil
+		}
+		if emit != nil {
+			rec := Record{
+				Seq:      seq,
+				Session:  binary.LittleEndian.Uint64(rest[16:24]),
+				BatchSeq: binary.LittleEndian.Uint64(rest[24:32]),
+				Payload:  rest[recHeaderSize : recHeaderSize+length],
+			}
+			if err := emit(rec); err != nil {
+				return n, off, err
+			}
+		}
+		n++
+		expect++
+		off += recHeaderSize + length
+	}
+}

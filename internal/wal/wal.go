@@ -1,0 +1,453 @@
+// Package wal is the durable ingress layer of the networked eSPICE
+// deployments: a write-ahead segment log that persists accepted event
+// frames before they are acknowledged to producers, so a server killed
+// mid-stream can replay every un-absorbed frame through the normal sink
+// path on restart and upgrade the wire contract from at-most-once to
+// effectively-once (docs/wal.md).
+//
+// The log appends fixed-capacity segments of CRC32C-framed records.
+// Writes are batched and fsync-coalesced: Append stages a record in
+// memory and Commit group-commits — the first committer becomes the
+// leader, writes and syncs everything staged since the last sync, and
+// every waiter whose record that sync covers returns together. One
+// fsync therefore covers all frames staged by all connections since the
+// last sync, and the append hot path performs zero allocations in
+// steady state (the staging buffers are recycled, like every other hot
+// path in this repository).
+//
+// Retired segments are not deleted: Release marks a prefix of the log
+// absorbed (every event submitted to the sink and its window closed),
+// and fully-released segments are recycled — parked in a free pool and
+// reused by the next rotation. Stale bytes in a reused file are inert
+// because record sequences are log-wide monotonic (see segment.go).
+//
+// The log is fail-stop: the first write or sync error poisons it, every
+// pending and future Append/Commit returns the error, and no caller can
+// acknowledge a frame whose sync failed.
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// DefaultSegmentSize is the capacity of one segment file.
+const DefaultSegmentSize = 4 << 20
+
+// Config assembles a log.
+type Config struct {
+	// Dir is the log directory (required); it is created if missing.
+	Dir string
+	// FS injects the filesystem (OSFS when nil); tests use
+	// harness.FaultFS to exercise the group-commit error paths.
+	FS FS
+	// SegmentSize bounds one segment file (DefaultSegmentSize when 0).
+	// A single record (header + payload) must fit a segment.
+	SegmentSize int
+	// Logf logs recovery and recycling events (nil silences them).
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of the log counters.
+type Stats struct {
+	// Appends counts staged records; Syncs counts completed fsyncs —
+	// their ratio is the group-commit coalescing factor.
+	Appends uint64
+	Syncs   uint64
+	// AppendedBytes counts staged record bytes, headers included.
+	AppendedBytes uint64
+	// LastSeq is the highest staged record sequence; SyncedSeq the
+	// highest sequence covered by a completed fsync.
+	LastSeq   uint64
+	SyncedSeq uint64
+	// ReleasedSeq is the Release watermark: every record at or below it
+	// has been absorbed downstream.
+	ReleasedSeq uint64
+	// Segments counts live segment files (sealed + current); Recycled
+	// counts segments retired into the free pool over the log lifetime.
+	Segments int
+	Recycled uint64
+	// Err is the sticky failure, if the log is poisoned.
+	Err string
+}
+
+// segMeta describes one sealed (no longer written) segment.
+type segMeta struct {
+	name string
+	base uint64 // first record seq
+	last uint64 // last record seq
+}
+
+// Log is a write-ahead segment log. Open it with Open, replay it with
+// Recover, then Append/Commit from any number of goroutines.
+type Log struct {
+	dir     string
+	fs      FS
+	segSize int
+	logf    func(string, ...any)
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	recovered bool
+	closed    bool
+	err       error
+
+	buf     []byte // staged records of the current segment, not yet written
+	spare   []byte // recycled leader write buffer
+	lastSeq uint64 // last staged record seq
+	synced  uint64 // highest seq covered by a completed sync
+	writing bool   // a group-commit leader is writing outside the lock
+
+	cur     File // current segment (nil until the first append)
+	curName string
+	curBase uint64
+	curEnd  int // segment offset after everything staged
+
+	sealed   []segMeta
+	free     []string // recycled file names available for reuse
+	released uint64
+
+	appends  uint64
+	syncs    uint64
+	appBytes uint64
+	recycled uint64
+}
+
+// Open validates the configuration, creates the directory if needed and
+// scans it for existing segments. Recover must be called (exactly once,
+// even on a fresh directory) before the first Append.
+func Open(cfg Config) (*Log, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("wal: Config.Dir is required")
+	}
+	if cfg.FS == nil {
+		cfg.FS = OSFS{}
+	}
+	if cfg.SegmentSize == 0 {
+		cfg.SegmentSize = DefaultSegmentSize
+	}
+	if cfg.SegmentSize < segHeaderSize+recHeaderSize+1 {
+		return nil, fmt.Errorf("wal: SegmentSize %d cannot hold a record", cfg.SegmentSize)
+	}
+	if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{
+		dir:     cfg.Dir,
+		fs:      cfg.FS,
+		segSize: cfg.SegmentSize,
+		logf:    cfg.Logf,
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l, nil
+}
+
+// logsf forwards to the configured logger, if any.
+func (l *Log) logsf(format string, args ...any) {
+	if l.logf != nil {
+		l.logf(format, args...)
+	}
+}
+
+// path joins a file name onto the log directory.
+func (l *Log) path(name string) string { return filepath.Join(l.dir, name) }
+
+// maxPayload returns the largest payload one record can carry in a
+// segment of the configured size.
+func (l *Log) maxPayload() int { return l.segSize - segHeaderSize - recHeaderSize }
+
+// Append stages one record — the already-encoded wire bytes of an
+// accepted event frame — and returns its log sequence. The record is
+// NOT durable until a Commit call covering the sequence returns nil;
+// acknowledge the frame only after that. Safe for concurrent use.
+func (l *Log) Append(session, batchSeq uint64, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return 0, err
+	}
+	need := recHeaderSize + len(payload)
+	if len(payload) > l.maxPayload() {
+		return 0, fmt.Errorf("wal: %d-byte payload exceeds the %d-byte segment record bound",
+			len(payload), l.maxPayload())
+	}
+	if l.cur == nil || l.curEnd+need > l.segSize {
+		if err := l.rotateLocked(); err != nil {
+			l.failLocked(err)
+			return 0, err
+		}
+	}
+	l.lastSeq++
+	l.buf = appendRecord(l.buf, l.lastSeq, session, batchSeq, payload)
+	l.curEnd += need
+	l.appends++
+	l.appBytes += uint64(need)
+	return l.lastSeq, nil
+}
+
+// Commit blocks until an fsync covering seq has completed, group-
+// committing on the caller's goroutine when no other committer is
+// already writing: the leader takes everything staged since the last
+// sync, writes and syncs it, and wakes every waiter it covered. A nil
+// return means the record (and every record staged before it) is on
+// stable storage; a non-nil return means it is NOT durable and must not
+// be acknowledged — the log is then poisoned (fail-stop).
+func (l *Log) Commit(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.lastSeq {
+		return fmt.Errorf("wal: Commit(%d) beyond last appended seq %d", seq, l.lastSeq)
+	}
+	for {
+		if seq <= l.synced {
+			return nil
+		}
+		if l.err != nil {
+			return l.err
+		}
+		if l.closed {
+			return fmt.Errorf("wal: log closed")
+		}
+		if l.writing {
+			l.cond.Wait()
+			continue
+		}
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+}
+
+// syncLocked runs one leader round: write the staged buffer, sync the
+// segment, advance the watermark. Called with the lock held and
+// l.writing false; the write and sync happen outside the lock.
+func (l *Log) syncLocked() error {
+	l.writing = true
+	buf := l.buf
+	l.buf = l.spare[:0]
+	upTo := l.lastSeq
+	f := l.cur
+	l.mu.Unlock()
+
+	var werr error
+	if len(buf) > 0 {
+		_, werr = f.Write(buf)
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+
+	l.mu.Lock()
+	l.writing = false
+	l.spare = buf[:0]
+	if werr != nil {
+		l.failLocked(werr)
+		return werr
+	}
+	l.synced = upTo
+	l.syncs++
+	l.cond.Broadcast()
+	return nil
+}
+
+// rotateLocked seals the current segment (flushing and syncing its
+// staged tail first) and opens the next one, reusing a recycled file
+// when available. Called with the lock held.
+func (l *Log) rotateLocked() error {
+	for l.writing {
+		l.cond.Wait()
+		if l.err != nil {
+			return l.err
+		}
+	}
+	if l.cur != nil {
+		// Flush and sync the sealed segment so its records are durable
+		// before anything lands in the next file; the one slow append
+		// per segment is amortized over the whole segment.
+		if len(l.buf) > 0 {
+			if _, err := l.cur.Write(l.buf); err != nil {
+				return err
+			}
+			l.buf = l.buf[:0]
+		}
+		if err := l.cur.Sync(); err != nil {
+			return err
+		}
+		l.synced = l.lastSeq
+		l.syncs++
+		l.cond.Broadcast()
+		if err := l.cur.Close(); err != nil {
+			return err
+		}
+		l.sealed = append(l.sealed, segMeta{name: l.curName, base: l.curBase, last: l.lastSeq})
+		l.cur = nil
+	}
+	base := l.lastSeq + 1
+	name := segName(base)
+	if n := len(l.free); n > 0 {
+		// Reuse a retired file in place: rename, then truncate through
+		// Create — same inode, no unlink/create churn per rotation.
+		reuse := l.free[n-1]
+		l.free = l.free[:n-1]
+		if err := l.fs.Rename(l.path(reuse), l.path(name)); err != nil {
+			return err
+		}
+	}
+	f, err := l.fs.Create(l.path(name))
+	if err != nil {
+		return err
+	}
+	hdr := appendSegHeader(l.spare[:0], base)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	l.cur, l.curName, l.curBase, l.curEnd = f, name, base, segHeaderSize
+	return nil
+}
+
+// Release marks every record with sequence <= through as absorbed
+// downstream (submitted to the sink, window closed) and recycles the
+// sealed segments that fall entirely below the watermark into the free
+// pool. Replay after a crash starts above the last fully-recycled
+// segment, so released records are never re-delivered.
+func (l *Log) Release(through uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if through > l.released {
+		l.released = through
+	}
+	l.recycleReleasedLocked()
+}
+
+// recycleReleasedLocked renames every sealed segment that falls
+// entirely at or below the release watermark into the free pool.
+func (l *Log) recycleReleasedLocked() {
+	kept := l.sealed[:0]
+	for _, s := range l.sealed {
+		if s.last <= l.released {
+			if err := l.fs.Rename(l.path(s.name), l.path(freeName(s.base))); err != nil {
+				l.logsf("wal: recycle %s: %v", s.name, err)
+				kept = append(kept, s)
+				continue
+			}
+			l.free = append(l.free, freeName(s.base))
+			l.recycled++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.sealed = kept
+}
+
+// Close flushes and syncs any staged records and closes the current
+// segment. Pending Commit calls are woken; the log cannot be reopened.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.writing {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return l.err
+	}
+	var err error
+	if l.err == nil && l.cur != nil {
+		if len(l.buf) > 0 {
+			if _, werr := l.cur.Write(l.buf); werr != nil {
+				err = werr
+			}
+			l.buf = l.buf[:0]
+		}
+		if serr := l.cur.Sync(); err == nil && serr != nil {
+			err = serr
+		}
+		if err == nil {
+			l.synced = l.lastSeq
+			l.syncs++
+		}
+	}
+	if l.cur != nil {
+		if cerr := l.cur.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err == nil && l.err == nil {
+			// Seal the final segment so the release sweep below can
+			// reclaim it too: after a clean drain that released
+			// everything, the directory holds only free files and the
+			// next Open replays nothing.
+			l.sealed = append(l.sealed, segMeta{name: l.curName, base: l.curBase, last: l.lastSeq})
+			l.sortSealed()
+		}
+		l.cur = nil
+	}
+	l.closed = true
+	if err != nil {
+		l.failLocked(err)
+	} else if l.err == nil {
+		l.recycleReleasedLocked()
+	}
+	l.cond.Broadcast()
+	return err
+}
+
+// Stats returns a snapshot of the log counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Appends:       l.appends,
+		Syncs:         l.syncs,
+		AppendedBytes: l.appBytes,
+		LastSeq:       l.lastSeq,
+		SyncedSeq:     l.synced,
+		ReleasedSeq:   l.released,
+		Segments:      len(l.sealed),
+		Recycled:      l.recycled,
+	}
+	if l.cur != nil {
+		st.Segments++
+	}
+	if l.err != nil {
+		st.Err = l.err.Error()
+	}
+	return st
+}
+
+// LastSeq returns the highest staged record sequence.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// usableLocked guards the append path.
+func (l *Log) usableLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if !l.recovered {
+		return fmt.Errorf("wal: Recover must run before Append")
+	}
+	return nil
+}
+
+// failLocked poisons the log with its first error.
+func (l *Log) failLocked(err error) {
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: %w", err)
+		l.logsf("wal: poisoned: %v", err)
+	}
+	l.cond.Broadcast()
+}
+
+// sortSealed keeps the sealed list in base order (recovery appends in
+// order already; this is belt and braces for future callers).
+func (l *Log) sortSealed() {
+	sort.Slice(l.sealed, func(i, j int) bool { return l.sealed[i].base < l.sealed[j].base })
+}
