@@ -63,6 +63,7 @@ type serveOpts struct {
 	walDir     string
 	walSegment int
 	walRelease time.Duration
+	sessExpiry time.Duration
 }
 
 func main() {
@@ -88,6 +89,8 @@ func main() {
 	flag.IntVar(&opts.walSegment, "wal-segment", wal.DefaultSegmentSize, "WAL segment size in bytes")
 	flag.DurationVar(&opts.walRelease, "wal-release", 0,
 		"recycle WAL segments whose events are older than this (0 keeps everything until clean shutdown; must exceed the window length)")
+	flag.DurationVar(&opts.sessExpiry, "session-expiry", 0,
+		"drop a durable session's dedup state after this long without a connection, unpinning its WAL records for -wal-release (0 keeps sessions for the server lifetime; see docs/wal.md)")
 	flag.Parse()
 
 	app, err := buildServe(opts)
@@ -386,6 +389,14 @@ func (app *serveApp) run(ctx context.Context, ln net.Listener, w io.Writer) erro
 	for {
 		select {
 		case <-tick:
+			// Expire quiet sessions before releasing, so a newly-unpinned
+			// record is reclaimable on the same tick.
+			if app.opts.sessExpiry > 0 {
+				expired := app.srv.ExpireSessions(app.opts.sessExpiry)
+				if app.wal != nil {
+					app.wal.dropSessions(expired)
+				}
+			}
 			if app.wal != nil {
 				app.wal.release(app.opts.walRelease)
 			}

@@ -111,6 +111,19 @@ func (j *journalTracker) release(slack time.Duration) {
 	}
 }
 
+// dropSessions forgets the newest-record pins of expired sessions
+// (the ids Server.ExpireSessions returned), letting the next release
+// sweep reclaim their segments. The sessions' dedup state is gone with
+// them: a producer that returns anyway resumes through the transport's
+// fresh-session path.
+func (j *journalTracker) dropSessions(ids []uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, id := range ids {
+		delete(j.sessTop, id)
+	}
+}
+
 // releaseAll marks the whole log absorbed; only sound after a full
 // drain (server closed, pipeline flushed), where by construction every
 // journaled record has been processed and every window closed.

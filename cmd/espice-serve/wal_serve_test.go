@@ -3,11 +3,13 @@ package main
 import (
 	"context"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/event"
 	"repro/internal/harness"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -53,11 +55,19 @@ func walOpts(dir string) serveOpts {
 // returns only once the server is past WAL recovery and listening.
 func startStoppable(t *testing.T, opts serveOpts) (*serveApp, string, *syncBuf, func() error) {
 	t.Helper()
+	return startStoppableAt(t, opts, "127.0.0.1:0")
+}
+
+// startStoppableAt is startStoppable on a fixed address, for restart
+// tests where a client must redial the same endpoint across server
+// lifetimes.
+func startStoppableAt(t *testing.T, opts serveOpts, addr string) (*serveApp, string, *syncBuf, func() error) {
+	t.Helper()
 	app, err := buildServe(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,5 +210,109 @@ func TestServeWALCleanShutdownReleases(t *testing.T) {
 	}
 	if err := stop2(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestServeWALCleanRestartResume covers the durable producer that
+// outlives a clean server restart: the clean drain released the whole
+// log (previous test), so no session watermark survives, and the
+// producer's next batch arrives on a fresh session far above batch 1.
+// The restarted server must adopt the sequence and resume — without
+// replaying or double-delivering anything.
+func TestServeWALCleanRestartResume(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	opts := walOpts(dir)
+	_, events, _ := regen(t, opts)
+	addr := net.JoinHostPort("127.0.0.1", strconv.Itoa(freePort(t)))
+
+	_, _, _, stop := startStoppableAt(t, opts, addr)
+	c, err := transport.Dial(transport.ClientConfig{
+		Addr: addr, BatchEvents: 32, Session: 9, Reconnect: true, MaxRedials: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitBatch(events[:64]); err != nil { // batches 1 and 2
+		t.Fatal(err)
+	}
+	// Reading the stats document forces a round trip, draining the
+	// pending acks so both batches leave the client ledger before the
+	// restart — the resumed session must start with batch 3.
+	if _, err := c.ServerStats(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	app2, _, out2, stop2 := startStoppableAt(t, opts, addr)
+	if app2.walRecovery.Records != 0 {
+		t.Fatalf("clean restart replayed %d records\noutput:\n%s", app2.walRecovery.Records, out2.String())
+	}
+	// The next batch rides the client's redial into the restarted
+	// server, which must adopt the fresh session at batch 3.
+	if err := c.SubmitBatch(events[64:96]); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Sent != 96 || cs.Accepted != 96 {
+		t.Fatalf("client ledger %+v, want Sent == Accepted == 96 across the restart", cs)
+	}
+	if cs.Redials != 1 {
+		t.Fatalf("client stats %+v, want exactly 1 redial", cs)
+	}
+	if s := app2.srv.SessionStates()[9]; s.Applied != 3 {
+		t.Fatalf("restarted server session state %+v, want Applied 3", s)
+	}
+	// Only batch 3's events were delivered in the new lifetime.
+	if got := app2.ledger.stats().Count; got != 32 {
+		t.Fatalf("restart-lifetime ledger count = %d, want 32", got)
+	}
+	if err := stop2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalTrackerDropSessions pins the expiry-to-release interplay:
+// a quiet session's newest record blocks the release prefix until the
+// session is dropped, after which the same policy reclaims it.
+func TestJournalTrackerDropSessions(t *testing.T) {
+	wlog, err := wal.Open(wal.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wlog.Close()
+	if _, err := wlog.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	j := newJournalTracker(wlog)
+	// Record 1 belongs to session 5; records 2 and 3 are non-durable.
+	// The timestamps put records 1 and 2 far below the horizon and make
+	// record 3 the newest.
+	sec := func(s int64) event.Time { return event.Time(s * 1_000_000) }
+	for i, r := range []struct {
+		session uint64
+		ts      event.Time
+	}{{5, sec(1)}, {0, sec(2)}, {0, sec(1000)}} {
+		if _, err := j.Append(r.session, 1, 8, r.ts, []byte("x")); err != nil {
+			t.Fatalf("append %d: %v", i+1, err)
+		}
+	}
+
+	// Session 5 pins record 1, and the release prefix stops before it.
+	j.release(time.Second)
+	if rs := wlog.Stats().ReleasedSeq; rs != 0 {
+		t.Fatalf("released through %d with the session pin in place, want 0", rs)
+	}
+	// Dropping the expired session unpins it; the next sweep reclaims
+	// everything below the horizon.
+	j.dropSessions([]uint64{5})
+	j.release(time.Second)
+	if rs := wlog.Stats().ReleasedSeq; rs != 2 {
+		t.Fatalf("released through %d after dropping the session, want 2", rs)
 	}
 }

@@ -199,10 +199,24 @@ func (c *Client) helloResync() error {
 			return fmt.Errorf("transport: unexpected frame 0x%02x while awaiting hello ack", typ)
 		}
 	}
-	for i := range c.outstanding {
-		b := &c.outstanding[i]
+	// Iterate a snapshot, not the live ledger: when the unacked tail
+	// exceeds the credit window, waitCredit reads credit frames mid-loop
+	// whose piggybacked watermarks make ackThrough compact c.outstanding
+	// in place — indexing the live slice would then skip a batch (and the
+	// server rejects out-of-order retransmits). Entries the server acks
+	// while we wait are skipped; resending one would be harmless (the
+	// dedup watermark absorbs it) but wastes window.
+	pending := append([]outBatch(nil), c.outstanding...)
+	for i := range pending {
+		b := &pending[i]
+		if b.seq <= c.ackedBatch {
+			continue
+		}
 		if err := c.waitCredit(uint64(b.count)); err != nil {
 			return err
+		}
+		if b.seq <= c.ackedBatch {
+			continue // acked by a credit frame read while waiting
 		}
 		c.frame = AppendFrame(c.frame[:0], FrameEventsSeq, b.frame)
 		if _, err := c.conn.Write(c.frame); err != nil {

@@ -1,0 +1,368 @@
+// Protocol-level durable-session tests that script one side of the
+// wire exactly: the resync retransmit loop under mid-loop acks, the
+// fresh-session resume rule, and idle-session expiry.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// rawConn speaks raw wire frames over a connection, for tests that
+// need exact control over one side of the conversation.
+type rawConn struct {
+	c    net.Conn
+	scan *frameScanner
+	read []byte
+}
+
+func newRawConn(c net.Conn) *rawConn {
+	c.SetDeadline(time.Now().Add(30 * time.Second))
+	return &rawConn{c: c, scan: newFrameScanner(DefaultMaxFrame), read: make([]byte, 32<<10)}
+}
+
+func (r *rawConn) write(frame []byte) error {
+	_, err := r.c.Write(frame)
+	return err
+}
+
+// readPreface consumes the two-byte binary preface (server side).
+func (r *rawConn) readPreface() error {
+	var p [2]byte
+	if _, err := io.ReadFull(r.c, p[:]); err != nil {
+		return err
+	}
+	if p[0] != Magic || p[1] != ProtocolVersion {
+		return fmt.Errorf("preface %x", p)
+	}
+	return nil
+}
+
+// next pops the next frame, returning a copy of its payload.
+func (r *rawConn) next() (byte, []byte, error) {
+	for {
+		typ, payload, ok, err := r.scan.Next()
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			return typ, append([]byte(nil), payload...), nil
+		}
+		n, err := r.c.Read(r.read)
+		if n > 0 {
+			r.scan.Feed(r.read[:n])
+			continue
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+// expect pops the next frame and asserts its type.
+func (r *rawConn) expect(typ byte) ([]byte, error) {
+	got, payload, err := r.next()
+	if err != nil {
+		return nil, err
+	}
+	if got != typ {
+		return nil, fmt.Errorf("frame 0x%02x (payload %q), want 0x%02x", got, payload, typ)
+	}
+	return payload, nil
+}
+
+func uvarintFrame(typ byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return AppendFrame(nil, typ, tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+// TestDurableResyncSurvivesMidLoopAcks regresses the resync retransmit
+// loop against ledger compaction: when the unacked tail exceeds the
+// credit window, waitCredit processes applied watermarks mid-loop and
+// ackThrough compacts the ledger under the loop's feet — the loop must
+// iterate a snapshot, or a compaction shifts a later batch into the
+// current slot and an intermediate batch is silently skipped (which the
+// server then rejects as skipping the watermark, hard-failing the
+// durable session).
+func TestDurableResyncSurvivesMidLoopAcks(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const window = 64 // two 32-event batches; four batches overflow it
+	batchSeqOf := func(p []byte) uint64 {
+		seq, k := binary.Uvarint(p)
+		if k <= 0 {
+			return 0
+		}
+		return seq
+	}
+	script := func() error {
+		// Connection 1: grant the window, accept four sequenced batches
+		// — topping up credit mid-way with a grant that carries NO
+		// applied watermark — then drop the connection unacked, leaving
+		// all four batches in the client ledger.
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		r := newRawConn(conn)
+		if err := r.readPreface(); err != nil {
+			return err
+		}
+		if err := r.write(AppendCreditFrame(nil, window)); err != nil {
+			return err
+		}
+		if _, err := r.expect(FrameHello); err != nil {
+			return err
+		}
+		if err := r.write(uvarintFrame(FrameHelloAck, 0)); err != nil {
+			return err
+		}
+		for want := uint64(1); want <= 4; want++ {
+			p, err := r.expect(FrameEventsSeq)
+			if err != nil {
+				return fmt.Errorf("awaiting batch %d: %w", want, err)
+			}
+			if got := batchSeqOf(p); got != want {
+				return fmt.Errorf("conn 1 got batch %d, want %d", got, want)
+			}
+			if want == 2 {
+				if err := r.write(AppendCreditFrame(nil, window)); err != nil {
+					return err
+				}
+			}
+		}
+		conn.Close()
+
+		// Connection 2: the resync. Ack batch 1 only once batches 1 and
+		// 2 have been retransmitted, so the client processes the
+		// watermark — compacting its ledger — while blocked on credit
+		// for batch 3. The retransmits must still arrive in order.
+		conn2, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		defer conn2.Close()
+		r2 := newRawConn(conn2)
+		if err := r2.readPreface(); err != nil {
+			return err
+		}
+		if err := r2.write(AppendCreditFrame(nil, window)); err != nil {
+			return err
+		}
+		if _, err := r2.expect(FrameHello); err != nil {
+			return err
+		}
+		if err := r2.write(uvarintFrame(FrameHelloAck, 0)); err != nil {
+			return err
+		}
+		for want := uint64(1); want <= 2; want++ {
+			p, err := r2.expect(FrameEventsSeq)
+			if err != nil {
+				return fmt.Errorf("awaiting retransmit %d: %w", want, err)
+			}
+			if got := batchSeqOf(p); got != want {
+				return fmt.Errorf("retransmit got batch %d, want %d", got, want)
+			}
+		}
+		if err := r2.write(AppendCreditAckFrame(nil, 32, 1)); err != nil {
+			return err
+		}
+		for want := uint64(3); want <= 4; want++ {
+			p, err := r2.expect(FrameEventsSeq)
+			if err != nil {
+				return fmt.Errorf("awaiting retransmit %d: %w", want, err)
+			}
+			if got := batchSeqOf(p); got != want {
+				return fmt.Errorf("retransmit skipped to batch %d after mid-loop ack, want %d", got, want)
+			}
+			if err := r2.write(AppendCreditAckFrame(nil, 32, want)); err != nil {
+				return err
+			}
+		}
+		if _, err := r2.expect(FrameEOF); err != nil {
+			return err
+		}
+		return r2.write(uvarintFrame(FrameDone, 128))
+	}
+	scriptErr := make(chan error, 1)
+	go func() { scriptErr <- script() }()
+
+	c, err := Dial(ClientConfig{Addr: ln.Addr().String(), BatchEvents: 32, Session: 7, Reconnect: true, MaxRedials: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitBatch(genEvents(128)); err != nil {
+		t.Fatal(err)
+	}
+	st, cerr := c.Close()
+	if err := <-scriptErr; err != nil {
+		t.Fatalf("server script: %v (client stats %+v, close err %v)", err, st, cerr)
+	}
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if st.Sent != 128 || st.Accepted != 128 {
+		t.Fatalf("ledger %+v, want Sent == Accepted == 128", st)
+	}
+	if st.Redials != 1 || st.Retransmits != 4 {
+		t.Fatalf("stats %+v, want 1 redial retransmitting all 4 batches", st)
+	}
+}
+
+// TestDurableFreshSessionResumesAboveWatermark pins the resume rule: a
+// fresh session — nothing applied this server lifetime, no watermark
+// recovered from the journal — may start above batch 1, which is the
+// shape a durable producer leaves when it outlives a clean server
+// restart (the clean drain released its journal, so no watermark
+// survives). Seeded or already-active sessions stay strictly
+// contiguous.
+func TestDurableFreshSessionResumesAboveWatermark(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	sink := &collectSink{}
+	srv := startServer(t, ServerConfig{Sink: sink, Window: 256})
+	srv.SeedSessions(map[uint64]SessionState{9: {Applied: 2, Accepted: 64}})
+
+	var enc Encoder
+	body := enc.AppendEvents(nil, genEvents(8))
+	seqFrame := func(batchSeq uint64) []byte {
+		var tmp [binary.MaxVarintLen64]byte
+		payload := append([]byte(nil), tmp[:binary.PutUvarint(tmp[:], batchSeq)]...)
+		payload = append(payload, body...)
+		return AppendFrame(nil, FrameEventsSeq, payload)
+	}
+	dial := func(session uint64) *rawConn {
+		t.Helper()
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		r := newRawConn(conn)
+		if err := r.write([]byte{Magic, ProtocolVersion}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.expect(FrameCredit); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.write(uvarintFrame(FrameHello, session)); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	appliedOf := func(p []byte) uint64 {
+		_, k := binary.Uvarint(p) // grant
+		applied, _ := binary.Uvarint(p[k:])
+		return applied
+	}
+
+	// Fresh session 5 resumes at batch 4; the watermark adopts it.
+	r := dial(5)
+	p, err := r.expect(FrameHelloAck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied, _ := binary.Uvarint(p); applied != 0 {
+		t.Fatalf("fresh hello ack watermark = %d, want 0", applied)
+	}
+	for _, seq := range []uint64{4, 5} {
+		if err := r.write(seqFrame(seq)); err != nil {
+			t.Fatal(err)
+		}
+		if p, err = r.expect(FrameCredit); err != nil {
+			t.Fatalf("batch %d: %v", seq, err)
+		}
+		if got := appliedOf(p); got != seq {
+			t.Fatalf("batch %d acked with watermark %d", seq, got)
+		}
+	}
+	// Once the session has applied a batch, a further gap is an error.
+	if err := r.write(seqFrame(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.expect(FrameError); err != nil {
+		t.Fatalf("gap on active session: %v", err)
+	}
+
+	// A seeded watermark stays strict: skipping it is an error, not a
+	// resume.
+	r2 := dial(9)
+	if p, err = r2.expect(FrameHelloAck); err != nil {
+		t.Fatal(err)
+	}
+	if applied, _ := binary.Uvarint(p); applied != 2 {
+		t.Fatalf("seeded hello ack watermark = %d, want 2", applied)
+	}
+	if err := r2.write(seqFrame(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.expect(FrameError); err != nil {
+		t.Fatalf("gap on seeded session: %v", err)
+	}
+
+	// Exactly the two adopted batches were delivered.
+	if got := len(sink.snapshot()); got != 16 {
+		t.Fatalf("sink has %d events, want 16", got)
+	}
+	if states := srv.SessionStates(); states[5].Applied != 5 {
+		t.Fatalf("session 5 state %+v, want Applied 5", states[5])
+	}
+}
+
+// TestSessionExpiry covers ExpireSessions: a session with a bound
+// connection never expires, an unbound one does once idle, and the
+// expired ids are reported so derived state (the WAL's session pins)
+// can be dropped with them.
+func TestSessionExpiry(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	sink := &collectSink{}
+	srv := startServer(t, ServerConfig{Sink: sink, Window: 64})
+	srv.SeedSessions(map[uint64]SessionState{11: {Applied: 3}})
+
+	c, err := Dial(ClientConfig{Addr: srv.Addr().String(), BatchEvents: 8, Session: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitBatch(genEvents(8)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The seeded session has no connection and expires at once; the
+	// bound session must survive any idle period.
+	expired := srv.ExpireSessions(0)
+	if len(expired) != 1 || expired[0] != 11 {
+		t.Fatalf("expired %v, want [11]", expired)
+	}
+	if st := srv.Stats(); st.Sessions != 1 {
+		t.Fatalf("sessions = %d after expiring the seeded one, want 1", st.Sessions)
+	}
+
+	if _, err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The handler unbinds asynchronously after the client closes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if expired := srv.ExpireSessions(0); len(expired) == 1 && expired[0] == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session 5 never became expirable after Close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := srv.Stats(); st.Sessions != 0 {
+		t.Fatalf("sessions = %d after expiry, want 0", st.Sessions)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/event"
 )
@@ -99,7 +100,8 @@ type ServerStats struct {
 	// re-delivery because their sequence was at or below the session's
 	// applied watermark (producer retransmits after a crash or redial).
 	DedupBatches uint64
-	// Sessions counts durable sessions the server has seen.
+	// Sessions counts the durable sessions currently tracked (seen and
+	// not expired).
 	Sessions int
 }
 
@@ -117,9 +119,10 @@ type Server struct {
 	activeCt  atomic.Int64
 
 	// sessions maps durable session ids to their state; entries are
-	// created on FrameHello or seeded from recovery and live for the
-	// server lifetime (a session outlives its connections — that is the
-	// point).
+	// created on FrameHello or seeded from recovery and outlive their
+	// connections (that is the point). They live for the server
+	// lifetime unless the application prunes quiet ones with
+	// ExpireSessions.
 	sessMu   sync.Mutex
 	sessions map[uint64]*session
 
@@ -139,6 +142,15 @@ type session struct {
 	mu       sync.Mutex
 	applied  uint64 // highest batch sequence applied
 	accepted uint64 // cumulative accepted events
+	// seeded marks a watermark installed by SeedSessions (WAL
+	// recovery): a seeded session must stay contiguous, while a fresh
+	// one may resume above batch 1 (see the FrameEventsSeq handler).
+	seeded bool
+	// conns counts the connections currently bound to the session and
+	// idleSince records when it last dropped to zero; both are guarded
+	// by Server.sessMu and drive ExpireSessions.
+	conns     int
+	idleSince time.Time
 }
 
 // NewServer validates the configuration and builds a server.
@@ -168,15 +180,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // producers reconnecting after a restart then have their already-
 // journaled batches acknowledged instead of re-delivered.
 func (s *Server) SeedSessions(states map[uint64]SessionState) {
+	now := time.Now()
 	s.sessMu.Lock()
 	defer s.sessMu.Unlock()
 	for id, st := range states {
-		s.sessions[id] = &session{applied: st.Applied, accepted: st.Accepted}
+		s.sessions[id] = &session{applied: st.Applied, accepted: st.Accepted, seeded: true, idleSince: now}
 	}
 }
 
-// session returns (creating if needed) the state of one durable session.
-func (s *Server) session(id uint64) *session {
+// bindSession returns (creating if needed) the state of one durable
+// session and binds the calling connection to it; a bound session is
+// never expired. Pair with unbindSession when the connection ends.
+func (s *Server) bindSession(id uint64) *session {
 	s.sessMu.Lock()
 	defer s.sessMu.Unlock()
 	sess := s.sessions[id]
@@ -184,7 +199,41 @@ func (s *Server) session(id uint64) *session {
 		sess = &session{}
 		s.sessions[id] = sess
 	}
+	sess.conns++
 	return sess
+}
+
+// unbindSession releases one connection's binding, starting the
+// session's idle clock when it was the last.
+func (s *Server) unbindSession(sess *session) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if sess.conns--; sess.conns == 0 {
+		sess.idleSince = time.Now()
+	}
+}
+
+// ExpireSessions drops every durable session that has had no bound
+// connection for at least idle, returning the expired ids, and bounds
+// the session table under producer churn. A producer reconnecting
+// after its session expired resumes through the fresh-session path (its
+// next batch is adopted as the new watermark base), so expiry trades
+// retransmit dedup for that session against unbounded state — pick an
+// idle period comfortably above the producers' redial horizon. The ids
+// are returned so the caller can drop derived state too (espice-serve
+// unpins the sessions' newest WAL records, see -session-expiry).
+func (s *Server) ExpireSessions(idle time.Duration) []uint64 {
+	now := time.Now()
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	var expired []uint64
+	for id, sess := range s.sessions {
+		if sess.conns == 0 && now.Sub(sess.idleSince) >= idle {
+			delete(s.sessions, id)
+			expired = append(expired, id)
+		}
+	}
+	return expired
 }
 
 // SessionStates snapshots every durable session's watermark.
@@ -393,6 +442,11 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 	var sawEOF bool
 	var sess *session // non-nil once FrameHello opened a durable session
 	var sessID uint64
+	defer func() {
+		if sess != nil {
+			s.unbindSession(sess)
+		}
+	}()
 	for {
 		n, err := br.Read(read)
 		if n > 0 {
@@ -454,7 +508,7 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 						return
 					}
 					sessID = id
-					sess = s.session(id)
+					sess = s.bindSession(id)
 					sess.mu.Lock()
 					applied := sess.applied
 					sess.mu.Unlock()
@@ -506,10 +560,20 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 						break
 					}
 					if batchSeq != sess.applied+1 {
-						applied := sess.applied
-						sess.mu.Unlock()
-						s.protoError(conn, fmt.Errorf("transport: batch %d skips applied watermark %d", batchSeq, applied))
-						return
+						// A fresh session — nothing applied this lifetime, no
+						// recovered watermark — may start above 1: that is a
+						// producer resuming after a clean restart released its
+						// journal (every earlier batch was acked as durable
+						// and absorbed, so nothing is lost by adopting the
+						// sequence; see docs/wire.md, delivery semantics). A
+						// gap on any other session is a protocol error.
+						if sess.applied != 0 || sess.seeded {
+							applied := sess.applied
+							sess.mu.Unlock()
+							s.protoError(conn, fmt.Errorf("transport: batch %d skips applied watermark %d", batchSeq, applied))
+							return
+						}
+						s.logf("transport: %s: session %d resumes at batch %d", conn.RemoteAddr(), sessID, batchSeq)
 					}
 					if s.cfg.Journal != nil {
 						if jerr := s.journalBatch(sessID, batchSeq, events, body); jerr != nil {

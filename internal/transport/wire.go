@@ -51,7 +51,9 @@ const (
 	// FrameEventsSeq carries a sequenced batch of binary-encoded events
 	// on a durable session (payload: one uvarint batch sequence,
 	// followed by the same event encoding as FrameEvents). Batch
-	// sequences start at 1 and increase by exactly 1; a batch at or
+	// sequences start at 1 and increase by exactly 1 — except that a
+	// fresh session may open above 1, resuming a producer whose journal
+	// was released by a clean restart (see docs/wire.md). A batch at or
 	// below the session's applied watermark is acknowledged without
 	// being re-delivered (server-side dedup).
 	FrameEventsSeq byte = 0x05

@@ -174,7 +174,7 @@ func (l *Log) Append(session, batchSeq uint64, payload []byte) (uint64, error) {
 			len(payload), l.maxPayload())
 	}
 	if l.cur == nil || l.curEnd+need > l.segSize {
-		if err := l.rotateLocked(); err != nil {
+		if err := l.rotateLocked(need); err != nil {
 			l.failLocked(err)
 			return 0, err
 		}
@@ -254,13 +254,21 @@ func (l *Log) syncLocked() error {
 
 // rotateLocked seals the current segment (flushing and syncing its
 // staged tail first) and opens the next one, reusing a recycled file
-// when available. Called with the lock held.
-func (l *Log) rotateLocked() error {
+// when available. need is the record size the caller wants to stage;
+// the rotate decision is re-checked against it after waiting out a
+// group-commit leader, because another appender blocked on the same
+// full segment may have rotated first — sealing the segment it just
+// opened would churn a near-empty file through seal/fsync/recycle for
+// nothing. Called with the lock held.
+func (l *Log) rotateLocked(need int) error {
 	for l.writing {
 		l.cond.Wait()
 		if l.err != nil {
 			return l.err
 		}
+	}
+	if l.cur != nil && l.curEnd+need <= l.segSize {
+		return nil
 	}
 	if l.cur != nil {
 		// Flush and sync the sealed segment so its records are durable
