@@ -11,7 +11,7 @@ BENCHLABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 # goes through `go test -fuzz` directly).
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-figures fmt vet doccheck fuzz-smoke loadtest killtest
+.PHONY: build test bench bench-figures fmt vet doccheck fuzz-smoke loadtest killtest chaostest
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,17 @@ loadtest:
 KILL_ITERS ?= 20
 killtest:
 	ESPICE_KILL_ITERS=$(KILL_ITERS) $(GO) test ./cmd/espice-serve -run '^TestServeKillResilience$$' -count=1 -v
+
+# Chaos soak: one engine-mode durable server under simultaneous
+# connection resets, a panicking query and an injected fsync failure.
+# All faults are seed-driven, so the run is reproducible. Two passes:
+# the full soak in a plain build, then a shortened run under the race
+# detector (the fault windows are timing-sensitive, so -short keeps the
+# race pass inside its budget).
+chaostest:
+	$(GO) test ./internal/chaos -count=1
+	$(GO) test ./cmd/espice-serve -run '^TestChaosSoak$$' -count=1 -v
+	$(GO) test ./cmd/espice-serve -run '^TestChaosSoak$$' -race -short -count=1
 
 fmt:
 	gofmt -l -w .

@@ -93,6 +93,33 @@ type summary struct {
 	FlushLatency metrics.LatencySummary `json:"flush_latency"`
 	Ledger       *ledgerSummary         `json:"ledger,omitempty"`
 	ServerStats  json.RawMessage        `json:"server_stats,omitempty"`
+	Chaos        *chaosSummary          `json:"chaos,omitempty"`
+}
+
+// chaosSummary lifts the server's fault-containment counters out of the
+// stats document into the artifact's top level, so a CI run's graceful
+// degradation (quarantined queries, lossy episodes, evicted
+// connections) is visible without digging through server_stats.
+type chaosSummary struct {
+	Quarantines     uint64  `json:"quarantines"`
+	DegradedSeconds float64 `json:"degraded_seconds"`
+	EvictedConns    uint64  `json:"evicted_conns"`
+	PanicsRecovered uint64  `json:"panics_recovered"`
+}
+
+// liftChaos extracts the chaos section from the server stats document
+// (nil when the document is missing or does not carry one).
+func liftChaos(doc []byte) *chaosSummary {
+	if doc == nil {
+		return nil
+	}
+	var probe struct {
+		Chaos *chaosSummary `json:"chaos"`
+	}
+	if err := json.Unmarshal(doc, &probe); err != nil {
+		return nil
+	}
+	return probe.Chaos
 }
 
 // ledgerSummary fingerprints the events this generator handed to
@@ -206,6 +233,7 @@ func run(opts loadgenOpts, w io.Writer) error {
 		CreditWaitMS: float64(total.CreditWait.Milliseconds()),
 		FlushLatency: flushes.Summary(),
 		ServerStats:  doc,
+		Chaos:        liftChaos(doc),
 	}
 	if opts.ledger {
 		sum.Ledger = &ledger

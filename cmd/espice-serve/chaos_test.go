@@ -1,0 +1,259 @@
+// The chaos soak: one engine-mode durable deployment under every fault
+// class at once — connection resets mid-stream (chaos.Proxy), a query
+// whose window-close hook panics (engine quarantine), and an injected
+// fsync failure on the WAL (degrade-to-lossy with probe restore). The
+// process must survive, the healthy query keeps its stream, no acked
+// event is lost or duplicated at the sink, and the whole episode is
+// visible in the stats frame.
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/event"
+	"repro/internal/harness"
+	"repro/internal/operator"
+	"repro/internal/transport"
+	"repro/internal/wal"
+	"repro/internal/window"
+)
+
+// soakLedger fingerprints submitted events the same way the server's
+// delivery ledger does (order-independent count/sum/xor).
+type soakLedger struct {
+	count, sum, xor uint64
+}
+
+func (l *soakLedger) add(events []event.Event) {
+	for i := range events {
+		l.count++
+		l.sum += events[i].Seq
+		l.xor ^= events[i].Seq
+	}
+}
+
+func (l *soakLedger) merge(o soakLedger) {
+	l.count += o.count
+	l.sum += o.sum
+	l.xor ^= o.xor
+}
+
+func TestChaosSoak(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	qfile := filepath.Join(t.TempDir(), "queries.tesla")
+	src := `
+define MarkA
+from seq(STR_A where kind = possession; any 2 distinct of DEF_B00, DEF_B01, DEF_B02, DEF_B03 where kind = defend)
+within 15s
+open STR_A
+anchored
+
+define MarkB
+from seq(STR_B where kind = possession; any 2 distinct of DEF_A00, DEF_A01, DEF_A02, DEF_A03 where kind = defend)
+within 15s
+open STR_B
+anchored
+`
+	if err := os.WriteFile(qfile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := harness.NewFaultFS(wal.OSFS{})
+	opts := serveOpts{
+		seconds:         120,
+		seed:            1,
+		shedder:         "none",
+		queries:         qfile,
+		credit:          512,
+		latEvry:         64,
+		walDir:          t.TempDir(),
+		walPolicy:       "degrade-lossy",
+		walFS:           fs,
+		walProbe:        100 * time.Millisecond,
+		shutdownTimeout: 5 * time.Second,
+		queryHooks: map[string]operator.WindowCloseHook{
+			// MarkB is the sick query: its first window close panics, so
+			// the engine must quarantine it mid-soak.
+			"MarkB": func(w *window.Window, matched []window.Entry) {
+				panic("chaos: injected query fault")
+			},
+		},
+	}
+	app, addr, out, stop := startStoppable(t, opts)
+
+	// Arm the storage fault before any traffic: the third fsync fails,
+	// flipping the degrade-lossy WAL into its lossy episode early in the
+	// soak; the 100ms probe restores it while producers are still going.
+	fs.FailSyncAt(fs.Syncs() + 3)
+
+	// All wire traffic rides through the fault-injecting proxy:
+	// deterministic resets every 8–64 KiB and fragmented writes.
+	proxy, err := chaos.NewProxy(addr, chaos.Config{
+		Seed:          1,
+		MinResetBytes: 4 << 10,
+		MaxResetBytes: 16 << 10,
+		MaxChunk:      512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	_, events, _ := regen(t, opts)
+	total := len(events)
+	if testing.Short() {
+		total = len(events) / 2
+	}
+	const chunk = 128
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		union   soakLedger
+		firstEr error
+	)
+	for ci := 0; ci < 3; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			var led soakLedger
+			fail := func(err error) {
+				mu.Lock()
+				defer mu.Unlock()
+				if firstEr == nil {
+					firstEr = err
+				}
+			}
+			c, err := transport.Dial(transport.ClientConfig{
+				Addr:        proxy.Addr(),
+				BatchEvents: 32,
+				Session:     uint64(101 + ci),
+				Reconnect:   true,
+				MaxRedials:  200,
+				MaxBackoff:  20 * time.Millisecond,
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			// Stripe the stream across producers (every 3rd event), so
+			// the merged arrival order stays near time order; pace the
+			// chunks so the soak spans the whole degraded episode.
+			slice := make([]event.Event, 0, total/3+1)
+			for i := ci; i < total; i += 3 {
+				slice = append(slice, events[i])
+			}
+			for off := 0; off < len(slice); off += chunk {
+				end := off + chunk
+				if end > len(slice) {
+					end = len(slice)
+				}
+				if err := c.SubmitBatch(slice[off:end]); err != nil {
+					fail(err)
+					return
+				}
+				led.add(slice[off:end])
+				time.Sleep(8 * time.Millisecond)
+			}
+			cs, err := c.Close()
+			if err != nil {
+				fail(err)
+				return
+			}
+			if cs.Sent != led.count || cs.Accepted != led.count {
+				t.Errorf("producer %d ledger %+v, want Sent == Accepted == %d", ci, cs, led.count)
+			}
+			mu.Lock()
+			union.merge(led)
+			mu.Unlock()
+		}(ci)
+	}
+
+	// Mid-soak, both faults must be observed: the WAL degrades (and the
+	// transport acks at least one batch lossily) and MarkB is
+	// quarantined. Both happen while the producers are still pushing.
+	waitFor(t, 30*time.Second, func() bool {
+		st := app.stats()
+		return st.Server.LostDurability > 0 && st.Chaos.Quarantines > 0
+	})
+	wg.Wait()
+	if firstEr != nil {
+		t.Fatalf("producer failed: %v\noutput:\n%s", firstEr, out.String())
+	}
+
+	// The WAL healed: the probe restored durability without a restart.
+	waitFor(t, 10*time.Second, func() bool {
+		ws := app.wal.log.Stats()
+		return !ws.Degraded && ws.Restores >= 1
+	})
+
+	// Chaos actually happened on the wire, and the producers rode it out
+	// with redials, not losses.
+	if ps := proxy.Stats(); ps.Resets == 0 {
+		t.Errorf("no connection resets injected (%+v); the soak is vacuous", ps)
+	}
+
+	// No acked event lost or duplicated: the server's delivery ledger
+	// fingerprints exactly the union of what the producers submitted —
+	// through resets, retransmits, dedup and the lossy episode.
+	waitFor(t, 10*time.Second, func() bool { return app.ledger.stats().Count == union.count })
+	if ls := app.ledger.stats(); ls.Sum != union.sum || ls.Xor != union.xor {
+		t.Fatalf("delivery ledger %+v diverges from the submitted union %+v", ls, union)
+	}
+
+	// The whole episode is visible in the stats frame: read the JSON
+	// document over a fresh (direct) connection like any client would.
+	direct, err := transport.Dial(transport.ClientConfig{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := direct.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := direct.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var st serveStats
+	if err := json.Unmarshal(doc, &st); err != nil {
+		t.Fatalf("stats document: %v\n%s", err, doc)
+	}
+	if st.Chaos.Quarantines == 0 {
+		t.Errorf("stats frame shows no quarantines: %+v", st.Chaos)
+	}
+	if st.Chaos.DegradedSeconds <= 0 {
+		t.Errorf("stats frame shows no degraded time: %+v", st.Chaos)
+	}
+	if st.Server.Degraded {
+		t.Errorf("server still degraded after the probe restore: %+v", st.Server)
+	}
+	if st.WAL == nil || st.WAL.Degradations < 1 || st.WAL.Restores < 1 {
+		t.Errorf("WAL stats do not show the degrade/restore round trip: %+v", st.WAL)
+	}
+	// The healthy query kept its stream while its sibling was marked
+	// quarantined.
+	var markA, markB bool
+	for _, q := range st.Queries {
+		switch q.Name {
+		case "MarkA":
+			markA = q.Delivered > 0 && !q.Quarantined
+		case "MarkB":
+			markB = q.Quarantined
+		}
+	}
+	if !markA {
+		t.Errorf("healthy query MarkA delivered nothing (or was quarantined): %+v", st.Queries)
+	}
+	if !markB {
+		t.Errorf("MarkB not marked quarantined in the stats frame: %+v", st.Queries)
+	}
+
+	// Bounded clean shutdown, with the chaos proxy still up.
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v\noutput:\n%s", err, out.String())
+	}
+}

@@ -64,6 +64,16 @@ type serveOpts struct {
 	walSegment int
 	walRelease time.Duration
 	sessExpiry time.Duration
+	walPolicy  string
+
+	shutdownTimeout time.Duration
+
+	// Test-only seams (no flags): inject the WAL filesystem and probe
+	// cadence (chaos soak drives fsync faults through harness.FaultFS),
+	// and per-query window-close hooks in engine mode.
+	walFS      wal.FS
+	walProbe   time.Duration
+	queryHooks map[string]operator.WindowCloseHook
 }
 
 func main() {
@@ -91,6 +101,10 @@ func main() {
 		"recycle WAL segments whose events are older than this (0 keeps everything until clean shutdown; must exceed the window length)")
 	flag.DurationVar(&opts.sessExpiry, "session-expiry", 0,
 		"drop a durable session's dedup state after this long without a connection, unpinning its WAL records for -wal-release (0 keeps sessions for the server lifetime; see docs/wal.md)")
+	flag.StringVar(&opts.walPolicy, "wal-policy", "fail-stop",
+		"WAL failure policy: fail-stop (a storage fault poisons the log and drops producers) or degrade-lossy (accept at-most-once with FlagDegraded acks until a probe restores the log; see docs/wal.md)")
+	flag.DurationVar(&opts.shutdownTimeout, "shutdown-timeout", 0,
+		"bound the connection drain on shutdown: open connections get this long to finish before their deadlines cut them off (0 closes immediately)")
 	flag.Parse()
 
 	app, err := buildServe(opts)
@@ -177,10 +191,20 @@ func buildServe(opts serveOpts) (*serveApp, error) {
 		app.ledger = &ledgerSink{inner: sink}
 		sink = app.ledger
 		cfg.Sink = sink
+		policy := wal.FailStop
+		if opts.walPolicy != "" {
+			policy, err = wal.ParseFailurePolicy(opts.walPolicy)
+			if err != nil {
+				return nil, fmt.Errorf("espice-serve: %w", err)
+			}
+		}
 		wlog, err := wal.Open(wal.Config{
-			Dir:         opts.walDir,
-			SegmentSize: opts.walSegment,
-			Logf:        log.Printf,
+			Dir:           opts.walDir,
+			FS:            opts.walFS,
+			SegmentSize:   opts.walSegment,
+			Logf:          log.Printf,
+			FailurePolicy: policy,
+			ProbeInterval: opts.walProbe,
 		})
 		if err != nil {
 			return nil, err
@@ -256,7 +280,7 @@ func (app *serveApp) buildEngine(meta *datasets.RTLSMeta, events []event.Event) 
 	if err != nil {
 		return err
 	}
-	ecfg := engine.Config{PollInterval: 5 * time.Millisecond}
+	ecfg := engine.Config{PollInterval: 5 * time.Millisecond, Logf: log.Printf}
 	if opts.shedder == "espice" {
 		ecfg.LatencyBound = event.Time(opts.bound.Microseconds())
 		ecfg.F = opts.f
@@ -270,6 +294,7 @@ func (app *serveApp) buildEngine(meta *datasets.RTLSMeta, events []event.Event) 
 			Query:           q,
 			Shards:          opts.shards,
 			ProcessingDelay: opts.delay,
+			OnWindowClose:   opts.queryHooks[q.Name],
 		}
 		if opts.shedder == "espice" {
 			ftrain := engine.FilterStream(q, events)
@@ -363,7 +388,10 @@ func (app *serveApp) run(ctx context.Context, ln net.Listener, w io.Writer) erro
 	// signal and a fatal listener error — route through it, so the run
 	// and collector goroutines never leak.
 	drain := func() error {
-		if err := app.srv.Close(); err != nil {
+		// A bounded shutdown lets in-flight connections finish inside the
+		// timeout, with every re-armed read/write deadline capped by the
+		// drain deadline; zero falls back to immediate close.
+		if err := app.srv.Shutdown(app.opts.shutdownTimeout); err != nil {
 			fmt.Fprintf(w, "espice-serve: close: %v\n", err)
 		}
 		if app.pipe != nil {
@@ -442,6 +470,24 @@ type serveStats struct {
 	WAL           *serveWALStats         `json:"wal,omitempty"`
 	Ledger        *ledgerStats           `json:"ledger,omitempty"`
 	Queries       []serveQueryStats      `json:"queries,omitempty"`
+	Chaos         chaosStats             `json:"chaos"`
+}
+
+// chaosStats is the fault-containment section of the stats document:
+// how much degradation the deployment absorbed while staying up. The
+// load generator lifts these counters into its JSON artifact.
+type chaosStats struct {
+	// Quarantines counts query panics contained by the engine (panics
+	// across all quarantined queries, restarts included).
+	Quarantines uint64 `json:"quarantines"`
+	// DegradedSeconds is the cumulative time the journal spent degraded
+	// (acking at-most-once), current episode included.
+	DegradedSeconds float64 `json:"degraded_seconds"`
+	// EvictedConns counts connections dropped by the idle deadline.
+	EvictedConns uint64 `json:"evicted_conns"`
+	// PanicsRecovered counts panics absorbed by the per-connection
+	// transport guard.
+	PanicsRecovered uint64 `json:"panics_recovered"`
 }
 
 // serveQueryStats is the per-query slice of the stats document in
@@ -452,6 +498,9 @@ type serveQueryStats struct {
 	Skipped   uint64 `json:"skipped"`
 	Kept      uint64 `json:"kept"`
 	Shed      uint64 `json:"shed"`
+	// Quarantined marks a query the engine removed after a contained
+	// panic (counters frozen at quarantine time; see engine.Stats).
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // stats assembles the current statistics document.
@@ -460,6 +509,18 @@ func (app *serveApp) stats() serveStats {
 		Server:        app.srv.Stats(),
 		ComplexEvents: app.complexEvents.Load(),
 		WAL:           app.walStats(),
+	}
+	st.Chaos = chaosStats{
+		DegradedSeconds: st.Server.DegradedFor.Seconds(),
+		EvictedConns:    st.Server.IdleEvictions,
+		PanicsRecovered: st.Server.PanicsRecovered,
+	}
+	quarantined := map[string]bool{}
+	if app.eng != nil {
+		for _, rec := range app.eng.Stats().Quarantined {
+			st.Chaos.Quarantines += rec.Panics
+			quarantined[rec.Name] = true
+		}
 	}
 	if app.ledger != nil {
 		ls := app.ledger.stats()
@@ -492,11 +553,12 @@ func (app *serveApp) stats() serveStats {
 		st.Kept += qs.Pipeline.Operator.MembershipsKept
 		st.Shed += qs.Pipeline.Operator.MembershipsShed
 		st.Queries = append(st.Queries, serveQueryStats{
-			Name:      h.Name(),
-			Delivered: qs.Delivered,
-			Skipped:   qs.Skipped,
-			Kept:      qs.Pipeline.Operator.MembershipsKept,
-			Shed:      qs.Pipeline.Operator.MembershipsShed,
+			Name:        h.Name(),
+			Delivered:   qs.Delivered,
+			Skipped:     qs.Skipped,
+			Kept:        qs.Pipeline.Operator.MembershipsKept,
+			Shed:        qs.Pipeline.Operator.MembershipsShed,
+			Quarantined: quarantined[h.Name()],
 		})
 	}
 	return st

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -48,14 +49,30 @@ func (j *journalTracker) Append(session, batchSeq uint64, count int, maxTS event
 	defer j.mu.Unlock()
 	seq, err := j.log.Append(session, batchSeq, payload)
 	if err != nil {
-		return 0, err
+		return 0, mapDegraded(err)
 	}
 	j.observeLocked(seq, session, maxTS)
 	return seq, nil
 }
 
 // Commit implements transport.Journal.
-func (j *journalTracker) Commit(seq uint64) error { return j.log.Commit(seq) }
+func (j *journalTracker) Commit(seq uint64) error { return mapDegraded(j.log.Commit(seq)) }
+
+// Degraded implements transport.JournalHealth, so the server can close
+// a degraded episode as soon as the probe restores the log — even with
+// no traffic arriving to observe a healthy journal result.
+func (j *journalTracker) Degraded() bool { return j.log.Stats().Degraded }
+
+// mapDegraded translates the WAL's degraded state into the transport's
+// journal-degraded sentinel, which makes the server accept the batch
+// lossily with FlagDegraded acks instead of dropping the connection.
+// Every other error keeps its fail-stop meaning.
+func mapDegraded(err error) error {
+	if err != nil && errors.Is(err, wal.ErrDegraded) {
+		return fmt.Errorf("%w: %v", transport.ErrJournalDegraded, err)
+	}
+	return err
+}
 
 // observeReplayed feeds recovery-replayed records into the release
 // bookkeeping: they are live (un-released) exactly like fresh appends.

@@ -1,0 +1,72 @@
+// Package chaos is the fault-injection half of the robustness story:
+// deterministic, seed-driven network and sink faults for soak tests.
+// Where harness.FaultFS breaks storage underneath the write-ahead log,
+// this package breaks the wire (Conn, Proxy) and the delivery boundary
+// (Sink) on top of it — so a single test can run a full ingest
+// deployment under simultaneous connection resets, slow and fragmented
+// I/O, fsync failures and panicking queries, and assert the process
+// survives with its delivery guarantees intact.
+//
+// Every fault is drawn from a rand.Rand derived from Config.Seed, so a
+// failing soak replays byte-for-byte from its seed alone.
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrInjectedReset is the error a Conn returns once its byte budget is
+// spent and the connection has been torn down mid-stream.
+var ErrInjectedReset = errors.New("chaos: injected connection reset")
+
+// Config is the fault plan shared by Conn and Proxy. The zero value
+// injects nothing; each field arms one fault class.
+type Config struct {
+	// Seed derives every random draw. Two runs with the same seed and
+	// the same connection order inject identical faults.
+	Seed int64
+
+	// MinResetBytes/MaxResetBytes, when MaxResetBytes > 0, tear the
+	// connection down after a per-connection budget of bytes (counted
+	// across reads and writes) drawn uniformly from [min, max]. The
+	// teardown closes the underlying conn mid-operation — to the peer it
+	// is indistinguishable from a peer crash or a RST.
+	MinResetBytes int
+	MaxResetBytes int
+
+	// MaxChunk, when > 0, fragments writes: each Write forwards at most
+	// a random prefix of up to MaxChunk bytes per underlying write call,
+	// exercising every partial-read path in the peer's frame scanner.
+	MaxChunk int
+
+	// MaxDelay, when > 0, sleeps a random duration up to MaxDelay
+	// before one in DelayEvery operations (default 8 when zero),
+	// simulating scheduling stalls and congested links.
+	MaxDelay   time.Duration
+	DelayEvery int
+}
+
+// resetBudget draws one connection's byte budget (0 = never reset).
+func (c Config) resetBudget(rng *rand.Rand) int {
+	if c.MaxResetBytes <= 0 {
+		return 0
+	}
+	min := c.MinResetBytes
+	if min <= 0 {
+		min = 1
+	}
+	if min >= c.MaxResetBytes {
+		return c.MaxResetBytes
+	}
+	return min + rng.Intn(c.MaxResetBytes-min+1)
+}
+
+// delayEvery returns the armed delay cadence.
+func (c Config) delayEvery() int {
+	if c.DelayEvery > 0 {
+		return c.DelayEvery
+	}
+	return 8
+}

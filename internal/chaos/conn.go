@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn with the faults armed in its Config: reads and
+// writes count against a seeded byte budget after which the connection
+// is reset mid-operation, writes are fragmented, and operations are
+// randomly delayed. All faults for one Conn come from a single rand
+// stream seeded at Wrap time, so they replay deterministically.
+//
+// Conn serializes its faulted operations with one mutex: the rand
+// stream and byte budget are shared state, and the transports under
+// test drive each connection from a single goroutine anyway.
+type Conn struct {
+	net.Conn
+	cfg   Config
+	mu    sync.Mutex
+	rng   *rand.Rand
+	left  int  // bytes until reset; <0 = unlimited
+	reset bool // budget spent, conn torn down
+	ops   uint64
+}
+
+// Wrap arms cfg's faults on conn, drawing from cfg.Seed+salt — pass a
+// distinct salt per connection (e.g. an accept counter) so concurrent
+// connections fail independently but reproducibly.
+func Wrap(conn net.Conn, cfg Config, salt int64) *Conn {
+	rng := rand.New(rand.NewSource(cfg.Seed + salt))
+	left := cfg.resetBudget(rng)
+	if left == 0 {
+		left = -1
+	}
+	return &Conn{Conn: conn, cfg: cfg, rng: rng, left: left}
+}
+
+// maybeDelay sleeps a random duration on the armed cadence. Called with
+// c.mu held.
+func (c *Conn) maybeDelay() {
+	if c.cfg.MaxDelay <= 0 {
+		return
+	}
+	c.ops++
+	if c.ops%uint64(c.cfg.delayEvery()) != 0 {
+		return
+	}
+	d := time.Duration(c.rng.Int63n(int64(c.cfg.MaxDelay) + 1))
+	c.mu.Unlock()
+	time.Sleep(d)
+	c.mu.Lock()
+}
+
+// spend debits n bytes from the reset budget; it reports how many of
+// them fit, and trips the reset when the budget runs out.
+func (c *Conn) spend(n int) (int, bool) {
+	if c.left < 0 {
+		return n, false
+	}
+	if n < c.left {
+		c.left -= n
+		return n, false
+	}
+	n = c.left
+	c.left = 0
+	c.reset = true
+	return n, true
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.reset {
+		c.mu.Unlock()
+		return 0, ErrInjectedReset
+	}
+	c.maybeDelay()
+	c.mu.Unlock()
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, tripped := c.spend(n); tripped {
+		c.Conn.Close()
+		return n, ErrInjectedReset
+	}
+	return n, err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wrote := 0
+	for wrote < len(p) {
+		if c.reset {
+			return wrote, ErrInjectedReset
+		}
+		c.maybeDelay()
+		chunk := p[wrote:]
+		if c.cfg.MaxChunk > 0 && len(chunk) > 1 {
+			max := c.cfg.MaxChunk
+			if max > len(chunk) {
+				max = len(chunk)
+			}
+			chunk = chunk[:1+c.rng.Intn(max)]
+		}
+		allowed, tripped := c.spend(len(chunk))
+		n, err := c.Conn.Write(chunk[:allowed])
+		wrote += n
+		if tripped {
+			c.Conn.Close()
+			return wrote, ErrInjectedReset
+		}
+		if err != nil {
+			return wrote, err
+		}
+	}
+	return wrote, nil
+}
+
+// WasReset reports whether the byte budget tripped and tore the
+// connection down.
+func (c *Conn) WasReset() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reset
+}

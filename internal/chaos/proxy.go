@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ProxyStats counts what the proxy did to the traffic.
+type ProxyStats struct {
+	// Conns counts accepted downstream connections; Resets counts the
+	// ones torn down by an injected fault.
+	Conns  uint64
+	Resets uint64
+}
+
+// Proxy is a fault-injecting TCP relay: it listens on loopback,
+// forwards every accepted connection to the upstream address, and
+// interposes a Conn (with this proxy's Config, salted by the accept
+// counter) on the downstream side. Pointing a transport.Client at
+// Proxy.Addr instead of the real server subjects the whole session —
+// redials included — to deterministic resets, fragmentation and delay
+// without touching either endpoint.
+type Proxy struct {
+	cfg      Config
+	upstream string
+	ln       net.Listener
+
+	conns  atomic.Uint64
+	resets atomic.Uint64
+
+	mu     sync.Mutex
+	live   map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy to upstream on an ephemeral loopback port.
+func NewProxy(upstream string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg, upstream: upstream, ln: ln, live: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients dial instead of the upstream.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() ProxyStats {
+	return ProxyStats{Conns: p.conns.Load(), Resets: p.resets.Load()}
+}
+
+// Close stops accepting, severs every live relay and waits for the
+// relay goroutines to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.live {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+// track registers a relay endpoint for Close; it reports false when the
+// proxy is already closing (the caller must drop the conn).
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.live[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.live, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		salt := int64(p.conns.Add(1))
+		up, err := net.Dial("tcp", p.upstream)
+		if err != nil {
+			down.Close()
+			continue
+		}
+		faulty := Wrap(down, p.cfg, salt)
+		if !p.track(faulty) || !p.track(up) {
+			down.Close()
+			up.Close()
+			return
+		}
+		p.wg.Add(1)
+		go p.relay(faulty, up)
+	}
+}
+
+// relay pumps both directions through the faulty downstream endpoint
+// until either side fails, then severs the pair.
+func (p *Proxy) relay(down *Conn, up net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(down)
+	defer p.untrack(up)
+	done := make(chan error, 2)
+	go func() {
+		_, err := io.Copy(up, down) // client -> server
+		done <- err
+	}()
+	go func() {
+		_, err := io.Copy(down, up) // server -> client
+		done <- err
+	}()
+	err := <-done
+	down.Close()
+	up.Close()
+	<-done
+	if down.WasReset() || errors.Is(err, ErrInjectedReset) {
+		p.resets.Add(1)
+	}
+}

@@ -37,6 +37,11 @@ type Stats struct {
 	// Queries holds one entry per registered query, in registration
 	// order.
 	Queries []QueryStats
+	// Quarantined holds one entry per query name that has ever been
+	// quarantined by a pipeline panic, sorted by name. An entry with
+	// Restarting set will be re-registered by the circuit breaker; a
+	// name may appear here and in Queries at once after a restart.
+	Quarantined []QuarantineStats
 }
 
 // QueryStats is one query's slice of the engine statistics.
@@ -67,6 +72,7 @@ func (e *Engine) Stats() Stats {
 	qs := append([]*Query(nil), e.queries...)
 	st.Delivered = e.retiredDelivered.Load()
 	st.Skipped = e.retiredSkipped.Load()
+	st.Quarantined = e.quarantineSnapshot()
 	e.mu.RUnlock()
 	for _, q := range qs {
 		st.Queries = append(st.Queries, q.Stats())

@@ -64,6 +64,17 @@ type Config struct {
 	// PollInterval is the budget evaluation period and the per-pipeline
 	// estimator period. Default 10ms.
 	PollInterval time.Duration
+	// RestartCooldown arms the quarantine circuit breaker: a query whose
+	// pipeline panicked is re-registered from its original config this
+	// long after the quarantine. Zero (the default) disables restarts —
+	// a panicked query stays quarantined until re-registered manually.
+	RestartCooldown time.Duration
+	// MaxRestarts caps circuit-breaker restarts per query name; <= 0
+	// means unlimited. Only meaningful with RestartCooldown > 0.
+	MaxRestarts int
+	// Logf, when non-nil, receives engine lifecycle diagnostics
+	// (quarantines, restarts). Printf-style.
+	Logf func(format string, args ...any)
 }
 
 // QueryConfig registers one query with the engine.
@@ -99,6 +110,10 @@ type QueryConfig struct {
 	// DisableFilter delivers every event type to this query, not just
 	// the types its patterns reference. Wildcard patterns imply it.
 	DisableFilter bool
+	// OnWindowClose, when non-nil, observes every closed window of this
+	// query's pipeline (see operator.Config.OnWindowClose). A panic in
+	// the hook quarantines the query, not the engine.
+	OnWindowClose operator.WindowCloseHook
 }
 
 // Engine is a running multi-query deployment.
@@ -118,14 +133,20 @@ type Engine struct {
 	overloaded atomic.Bool
 	dropRate   atomic.Uint64 // float64 bits: current global drop-rate target
 
-	mu        sync.RWMutex
-	queries   []*Query // registration order; read per event under RLock
-	byName    map[string]*Query
-	ctx       context.Context // set by Run
-	running   bool
-	runCalled bool
-	closed    bool
-	inClosed  bool
+	// faults carries tripped queries from their pipelines' OnPanic to
+	// Run, which quarantines them between fan-out rounds.
+	faults chan *Query
+
+	mu            sync.RWMutex
+	queries       []*Query // registration order; read per event under RLock
+	byName        map[string]*Query
+	quarantined   map[string]*QuarantineStats
+	restartTimers []*time.Timer
+	ctx           context.Context // set by Run
+	running       bool
+	runCalled     bool
+	closed        bool
+	inClosed      bool
 }
 
 // Query is one registered query: a handle to its pipeline, output
@@ -180,9 +201,11 @@ func New(cfg Config) (*Engine, error) {
 		cfg.PollInterval = 10 * time.Millisecond
 	}
 	e := &Engine{
-		cfg:    cfg,
-		in:     make(chan event.Event, cfg.QueueCap),
-		byName: make(map[string]*Query),
+		cfg:         cfg,
+		in:          make(chan event.Event, cfg.QueueCap),
+		byName:      make(map[string]*Query),
+		quarantined: make(map[string]*QuarantineStats),
+		faults:      make(chan *Query, 64),
 	}
 	if cfg.LatencyBound > 0 {
 		det, err := core.NewOverloadDetector(core.DetectorConfig{
@@ -263,8 +286,9 @@ func (e *Engine) Register(cfg QueryConfig) (*Query, error) {
 
 	rcfg := runtime.Config{
 		Operator: operator.Config{
-			Window:   cfg.Query.Window,
-			Patterns: cfg.Query.Patterns,
+			Window:        cfg.Query.Window,
+			Patterns:      cfg.Query.Patterns,
+			OnWindowClose: cfg.OnWindowClose,
 		},
 		EstimateRates:   true,
 		PollInterval:    e.cfg.PollInterval,
@@ -315,6 +339,9 @@ func (e *Engine) Register(cfg QueryConfig) (*Query, error) {
 		// swaps atomically, so lockstep commands stay consistent.
 		rcfg.Operator.Shedder = s
 	}
+	// A pipeline panic hands q to Run for quarantine; fired at most once
+	// per pipeline, from the goroutine that panicked (see quarantine.go).
+	rcfg.OnPanic = func(*runtime.PanicError) { e.noteFault(q) }
 	pipe, err := runtime.New(rcfg)
 	if err != nil {
 		return nil, fmt.Errorf("engine: query %s: %w", name, err)
@@ -470,6 +497,8 @@ func (e *Engine) Run(ctx context.Context) error {
 		case <-ctx.Done():
 			e.shutdownQueries()
 			return ctx.Err()
+		case q := <-e.faults:
+			e.quarantine(q)
 		case ev, ok := <-e.in:
 			if !ok {
 				return e.shutdownQueries()
@@ -516,30 +545,54 @@ func (e *Engine) fanOut(ctx context.Context, events []event.Event) {
 		if ctx.Err() != nil {
 			return // pipelines are shutting down; stop delivering
 		}
-		if q.filter == nil {
-			// Wildcard query: SubmitBatch copies, so the batch goes in
-			// directly without a staging copy.
-			q.delivered.Add(uint64(len(events)))
-			q.pipe.SubmitBatch(events)
+		if q.pipe.Failed() {
+			// Tripped but not yet quarantined (Run picks the fault up
+			// between rounds); the pipeline would drain the submit
+			// unprocessed, so skip the staging work.
 			continue
 		}
-		buf := q.sendBuf[:0]
-		var skipped uint64
-		for _, ev := range events {
-			if q.Accepts(ev.Type) {
-				buf = append(buf, ev)
-			} else {
-				skipped++
-			}
+		e.deliver(q, events)
+	}
+}
+
+// deliver submits one batch to one query under the fan-out panic guard:
+// a sharded pipeline runs the partitioner inline in SubmitBatch, so a
+// panic in the windowing policy (or a close hook it invokes) unwinds
+// into this goroutine. The guard attributes it to the query's pipeline
+// — tripping it and firing the quarantine path — instead of killing the
+// engine; the partitioner's own defer has already released its mutex.
+func (e *Engine) deliver(q *Query, events []event.Event) {
+	defer recoverDeliver(q)
+	if q.filter == nil {
+		// Wildcard query: SubmitBatch copies, so the batch goes in
+		// directly without a staging copy.
+		q.delivered.Add(uint64(len(events)))
+		q.pipe.SubmitBatch(events)
+		return
+	}
+	buf := q.sendBuf[:0]
+	var skipped uint64
+	for _, ev := range events {
+		if q.Accepts(ev.Type) {
+			buf = append(buf, ev)
+		} else {
+			skipped++
 		}
-		q.sendBuf = buf
-		if skipped > 0 {
-			q.skipped.Add(skipped)
-		}
-		if len(buf) > 0 {
-			q.delivered.Add(uint64(len(buf)))
-			q.pipe.SubmitBatch(buf)
-		}
+	}
+	q.sendBuf = buf
+	if skipped > 0 {
+		q.skipped.Add(skipped)
+	}
+	if len(buf) > 0 {
+		q.delivered.Add(uint64(len(buf)))
+		q.pipe.SubmitBatch(buf)
+	}
+}
+
+// recoverDeliver converts a submit-path panic into a pipeline trip.
+func recoverDeliver(q *Query) {
+	if r := recover(); r != nil {
+		q.pipe.Trip(r)
 	}
 }
 
@@ -548,6 +601,10 @@ func (e *Engine) fanOut(ctx context.Context, events []event.Event) {
 func (e *Engine) shutdownQueries() error {
 	e.mu.Lock()
 	e.closed = true
+	for _, t := range e.restartTimers {
+		t.Stop() // restartQuarantined also re-checks closed under mu
+	}
+	e.restartTimers = nil
 	qs := append([]*Query(nil), e.queries...)
 	e.mu.Unlock()
 	var first error

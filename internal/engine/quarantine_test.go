@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/harness"
+	"repro/internal/operator"
+	"repro/internal/window"
+)
+
+// collectOut drains a query's output channel on a goroutine and returns
+// a fetch function that waits for the channel to close.
+func collectOut(q *Query) func() []operator.ComplexEvent {
+	ch := make(chan []operator.ComplexEvent, 1)
+	go func() {
+		var out []operator.ComplexEvent
+		for ce := range q.Out() {
+			out = append(out, ce)
+		}
+		ch <- out
+	}()
+	return func() []operator.ComplexEvent { return <-ch }
+}
+
+// waitQuarantined polls the engine until the named query shows the
+// wanted panic count in Stats().Quarantined.
+func waitQuarantined(t *testing.T, e *Engine, name string, panics uint64) QuarantineStats {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, rec := range e.Stats().Quarantined {
+			if rec.Name == name && rec.Panics >= panics {
+				return rec
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("query %s never reached %d quarantines; stats: %+v",
+		name, panics, e.Stats().Quarantined)
+	return QuarantineStats{}
+}
+
+// TestEngineQuarantineIsolation registers a healthy serial query next to
+// a sharded query whose OnWindowClose hook panics mid-stream: the engine
+// must survive, auto-deregister the panicking query, record the panic in
+// Stats, and the healthy query's output must be byte-identical to a run
+// with no fault anywhere. Run with -race.
+func TestEngineQuarantineIsolation(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	events := syntheticStream(8192)
+	half := len(events) / 2
+
+	// Baseline: the healthy query alone, no fault in the process.
+	base, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseQ, err := base.Register(QueryConfig{Query: pairQuery(t, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseDone := make(chan error, 1)
+	go func() { baseDone <- base.Run(context.Background()) }()
+	baseFetch := collectOut(baseQ)
+	base.SubmitBatch(events)
+	base.CloseInput()
+	if err := <-baseDone; err != nil {
+		t.Fatal(err)
+	}
+	want := baseFetch()
+	if len(want) == 0 {
+		t.Fatal("baseline detected nothing; test is vacuous")
+	}
+
+	// Faulted run: same healthy query, plus a sharded sibling that
+	// panics in its window-close hook partway through the first half.
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := e.Register(QueryConfig{Query: pairQuery(t, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closes atomic.Int64
+	faulty, err := e.Register(QueryConfig{
+		Query:  pairQuery(t, 1),
+		Shards: 2,
+		OnWindowClose: func(w *window.Window, matched []window.Entry) {
+			if closes.Add(1) == 3 {
+				panic("faulty query boom")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background()) }()
+	healthyFetch := collectOut(healthy)
+	faultyFetch := collectOut(faulty)
+
+	e.SubmitBatch(events[:half])
+	rec := waitQuarantined(t, e, "pair1", 1)
+	if rec.Error == "" || rec.Stack == "" || rec.Since.IsZero() {
+		t.Errorf("quarantine record incomplete: %+v", rec)
+	}
+	if rec.Restarting {
+		t.Error("Restarting set with no RestartCooldown configured")
+	}
+	// The quarantined query is out of the routing table (auto
+	// deregistered); its Out has closed.
+	if _, ok := e.byNameSnapshot("pair1"); ok {
+		t.Error("quarantined query still registered")
+	}
+	faultyFetch()
+
+	// Traffic keeps flowing to the survivor.
+	e.SubmitBatch(events[half:])
+	e.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatalf("engine Run returned %v after a contained panic", err)
+	}
+	got := healthyFetch()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("healthy query diverged from no-fault run: %d vs %d complex events",
+			len(got), len(want))
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatal("healthy query output not byte-identical to no-fault run")
+	}
+
+	st := e.Stats()
+	if len(st.Queries) != 1 || st.Queries[0].Name != "pair0" {
+		t.Errorf("surviving query list = %+v", st.Queries)
+	}
+	if len(st.Quarantined) != 1 || st.Quarantined[0].Name != "pair1" ||
+		st.Quarantined[0].Panics != 1 {
+		t.Errorf("Quarantined = %+v", st.Quarantined)
+	}
+	// Engine-level delivered stays monotonic: the quarantined query's
+	// pre-panic deliveries were folded into the retired totals.
+	if st.Delivered < uint64(len(want)) {
+		t.Errorf("engine Delivered = %d looks reset", st.Delivered)
+	}
+}
+
+// TestEngineQuarantineRestart exercises the circuit breaker: a query
+// that panics on every window close is restarted once after the
+// cool-down, panics again, and then stays quarantined (MaxRestarts=1).
+func TestEngineQuarantineRestart(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	e, err := New(Config{
+		RestartCooldown: 2 * time.Millisecond,
+		MaxRestarts:     1,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := e.Register(QueryConfig{Query: pairQuery(t, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Register(QueryConfig{
+		Query: pairQuery(t, 1),
+		OnWindowClose: func(w *window.Window, matched []window.Entry) {
+			panic("always boom")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background()) }()
+	healthyFetch := collectOut(healthy)
+
+	// Feed traffic until the breaker has tripped twice: quarantine,
+	// restart, quarantine again. The restarted incarnation needs fresh
+	// windows to close, so keep the stream flowing with advancing
+	// timestamps, generated chunk by chunk.
+	var rec QuarantineStats
+	next := 0
+	chunk := make([]event.Event, 512)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never completed: %+v", rec)
+		}
+		for i := range chunk {
+			chunk[i] = event.Event{
+				Seq:  uint64(next),
+				TS:   event.Time(next) * event.Millisecond,
+				Type: event.Type(next % numTypes),
+			}
+			next++
+		}
+		e.SubmitBatch(chunk)
+		st := e.Stats()
+		if len(st.Quarantined) == 1 {
+			rec = st.Quarantined[0]
+			if rec.Panics >= 2 && !rec.Restarting {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rec.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1 (MaxRestarts)", rec.Restarts)
+	}
+	// Breaker exhausted: the faulty query must stay out of the table.
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := e.byNameSnapshot("pair1"); ok {
+		t.Error("query re-registered beyond MaxRestarts")
+	}
+
+	e.CloseInput()
+	if err := <-done; err != nil {
+		t.Fatalf("engine Run returned %v", err)
+	}
+	if out := healthyFetch(); len(out) == 0 {
+		t.Error("healthy query starved during breaker churn")
+	}
+	if st := e.Stats(); len(st.Queries) != 1 || st.Queries[0].Name != "pair0" {
+		t.Errorf("surviving queries = %+v", st.Queries)
+	}
+}

@@ -279,7 +279,7 @@ func (pt *partitioner) submitBatch(events []event.Event) {
 	}
 	pt.mu.Lock()
 	defer pt.mu.Unlock()
-	if pt.closed {
+	if pt.closed || pt.p.failed.Load() {
 		return
 	}
 	pt.arrived = time.Now()
@@ -297,7 +297,7 @@ func (pt *partitioner) submitBatch(events []event.Event) {
 func (pt *partitioner) submitOne(ev event.Event) {
 	pt.mu.Lock()
 	defer pt.mu.Unlock()
-	if pt.closed || pt.canceled.Load() {
+	if pt.closed || pt.canceled.Load() || pt.p.failed.Load() {
 		return
 	}
 	pt.arrived = time.Now()
@@ -315,7 +315,9 @@ func (pt *partitioner) close() {
 	if pt.closed {
 		return
 	}
-	if !pt.canceled.Load() {
+	if !pt.canceled.Load() && !pt.p.failed.Load() {
+		// After a contained panic the tracker may be mid-route and the
+		// shards are in drain mode anyway; skip the final flush closes.
 		for _, w := range pt.tracker.Flush() {
 			pt.stageClose(w, pt.lastTS)
 		}

@@ -89,6 +89,13 @@ type Config struct {
 	// (safe for core.Shedder, whose state is swapped atomically). Ignored
 	// when Shards <= 1.
 	ShardDeciders []operator.Decider
+	// OnPanic, when non-nil, is called once — from the goroutine that
+	// panicked, right as the pipeline's failed flag trips — when a
+	// processing path panics (guard.go). The pipeline then drains
+	// without processing and Run returns the *PanicError; the callback
+	// lets a supervisor (the multi-query engine) quarantine the query
+	// without polling. It must not call back into the pipeline.
+	OnPanic func(*PanicError)
 	// Lifecycle enables the online model lifecycle: the pipeline samples
 	// its own window closes into an in-flight model builder, builds the
 	// utility model once warm, and swaps it into every *core.Shedder
@@ -220,6 +227,11 @@ type Pipeline struct {
 
 	rateEst atomic.Uint64 // float64 bits
 	thEst   atomic.Uint64 // float64 bits
+
+	// Panic containment (guard.go): failed trips on the first captured
+	// processing panic, panicErr holds it.
+	failed   atomic.Bool
+	panicErr atomic.Pointer[PanicError]
 
 	mu        sync.Mutex
 	latency   metrics.LatencyTrace
@@ -357,6 +369,7 @@ func New(cfg Config) (*Pipeline, error) {
 			// new batches regardless of how far ahead the producer runs.
 			sh := &shard{
 				id:      i,
+				pipe:    p,
 				in:      make(chan *shardBatch, batchCap),
 				recycle: make(chan *shardBatch, batchCap+1),
 				decider: dec,
@@ -608,10 +621,15 @@ func (p *Pipeline) Run(ctx context.Context) error {
 			return ctx.Err()
 		case msg, ok := <-p.in:
 			if !ok {
-				p.flush(ctx)
-				return nil
+				return p.flushGuarded(ctx)
 			}
 			if err := p.processMsg(ctx, msg); err != nil {
+				if pe, tripped := err.(*PanicError); tripped {
+					// Contained panic: keep draining so producers never
+					// block on a dead pipeline, then surface the capture.
+					p.drainIn(ctx)
+					return pe
+				}
 				return err
 			}
 		}
@@ -635,7 +653,8 @@ func (p *Pipeline) processMsg(ctx context.Context, msg inMsg) error {
 	return nil
 }
 
-func (p *Pipeline) processOne(ctx context.Context, q queued) error {
+func (p *Pipeline) processOne(ctx context.Context, q queued) (err error) {
+	defer p.recoverProc(&err)
 	start := time.Now()
 	before := p.op.Stats()
 	complexEvents := p.op.Process(q.ev)

@@ -21,6 +21,7 @@ import (
 // per-window open→member→close ordering safe without locks.
 type shard struct {
 	id      int
+	pipe    *Pipeline        // back-pointer for panic containment (guard.go)
 	in      chan *shardBatch // op batches from the partitioner
 	recycle chan *shardBatch // drained batches handed back for reuse
 	decider operator.Decider
@@ -96,7 +97,8 @@ func (s *shard) ensureSlot(slot int) {
 }
 
 // run drains the shard's batch queue until the partitioner closes it.
-// After a context cancel it keeps draining but skips all work, so a
+// After a context cancel — or a panic tripping the pipeline, on this
+// shard or any other — it keeps draining but skips all work, so a
 // blocked partitioner send always completes and teardown never
 // deadlocks. Shedding counters are tallied locally and flushed when the
 // queue momentarily drains or every tallyFlushBatch decisions.
@@ -111,92 +113,105 @@ func (s *shard) run(ctx context.Context, wg *sync.WaitGroup) {
 	}
 	defer flush()
 	for b := range s.in {
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || s.pipe.failed.Load() {
 			s.queued.Add(-int64(b.members))
 			continue
 		}
-		start := time.Now()
-		var kept, shed, members uint64
-		var out []parallel.EpochResult[[]operator.ComplexEvent]
-		haveOut := false
-		for _, op := range b.ops {
-			switch op.kind & opKindMask {
-			case opMember:
-				w := s.wins[op.slot]
-				w.Arrivals++
-				members++
-				ev := b.events[op.evIdx]
-				dropped := operator.ShedDecision(s.decider, s.batched, ev.Type, int(op.pos),
-					w.ExpectedSize, &decisions, &drops)
-				if dropped {
-					w.Dropped++
-					shed++
-				} else {
-					w.Add(ev, int(op.pos))
-					kept++
-					if s.delay > 0 {
-						time.Sleep(s.delay)
-					}
-				}
-				if op.kind&opSampleFlag != 0 {
-					now := time.Now()
-					s.latBuf = append(s.latBuf, latSample{
-						ts:  event.Time(now.UnixMicro()),
-						lat: event.Time(now.Sub(b.arrived).Microseconds()),
-					})
-				}
-			case opOpen:
-				w := s.pool.Get()
-				ev := b.events[op.evIdx]
-				w.ID = window.ID(op.a)
-				w.OpenSeq = ev.Seq
-				w.OpenTS = ev.TS
-				w.ExpectedSize = int(op.b)
-				s.ensureSlot(int(op.slot))
-				s.wins[op.slot] = w
-			case opClose:
-				if !haveOut {
-					out = s.merger.Batch()
-					haveOut = true
-				}
-				w := s.wins[op.slot]
-				s.wins[op.slot] = nil
-				out = append(out, parallel.EpochResult[[]operator.ComplexEvent]{
-					Epoch: op.a,
-					Val:   s.closeOwned(w, event.Time(op.b)),
-				})
-			}
-		}
-		s.memberships.Add(members)
-		if kept > 0 {
-			s.kept.Add(kept)
-		}
-		if shed > 0 {
-			s.shed.Add(shed)
-		}
-		s.queued.Add(-int64(b.members))
-		s.busyNanos.Add(time.Since(start).Nanoseconds())
-		if len(s.latBuf) > 0 {
-			s.mu.Lock()
-			for _, ls := range s.latBuf {
-				s.latency.Add(ls.ts, ls.lat)
-			}
-			s.mu.Unlock()
-			s.latBuf = s.latBuf[:0]
-		}
+		s.processBatch(b, &decisions, &drops)
 		if decisions >= tallyFlushBatch || len(s.in) == 0 {
 			flush()
 		}
-		// Publish the batch's closes in one rendezvous — empty epochs
-		// included, the merge stage needs every epoch to stay contiguous.
-		if len(out) > 0 {
-			s.merger.Publish(out)
+	}
+}
+
+// processBatch replays one op batch against the shard's windows, under
+// the panic guard: a panic anywhere in it — shed decider, matcher,
+// close hook — trips the pipeline and drops the rest of the batch, and
+// run falls into drain mode on the next iteration.
+func (s *shard) processBatch(b *shardBatch, decisions, drops *uint64) {
+	defer s.recoverBatch(b)
+	start := time.Now()
+	var kept, shed, members uint64
+	var out []parallel.EpochResult[[]operator.ComplexEvent]
+	haveOut := false
+	for _, op := range b.ops {
+		switch op.kind & opKindMask {
+		case opMember:
+			w := s.wins[op.slot]
+			w.Arrivals++
+			members++
+			ev := b.events[op.evIdx]
+			dropped := operator.ShedDecision(s.decider, s.batched, ev.Type, int(op.pos),
+				w.ExpectedSize, decisions, drops)
+			if dropped {
+				w.Dropped++
+				shed++
+			} else {
+				w.Add(ev, int(op.pos))
+				kept++
+				if s.delay > 0 {
+					time.Sleep(s.delay)
+				}
+			}
+			if op.kind&opSampleFlag != 0 {
+				now := time.Now()
+				s.latBuf = append(s.latBuf, latSample{
+					ts:  event.Time(now.UnixMicro()),
+					lat: event.Time(now.Sub(b.arrived).Microseconds()),
+				})
+			}
+		case opOpen:
+			w := s.pool.Get()
+			ev := b.events[op.evIdx]
+			w.ID = window.ID(op.a)
+			w.OpenSeq = ev.Seq
+			w.OpenTS = ev.TS
+			w.ExpectedSize = int(op.b)
+			s.ensureSlot(int(op.slot))
+			s.wins[op.slot] = w
+		case opClose:
+			if !haveOut {
+				out = s.merger.Batch()
+				haveOut = true
+			}
+			w := s.wins[op.slot]
+			s.wins[op.slot] = nil
+			out = append(out, parallel.EpochResult[[]operator.ComplexEvent]{
+				Epoch: op.a,
+				Val:   s.closeOwned(w, event.Time(op.b)),
+			})
 		}
-		b.ops, b.events, b.members = b.ops[:0], b.events[:0], 0
-		select {
-		case s.recycle <- b:
-		default:
+	}
+	s.memberships.Add(members)
+	if kept > 0 {
+		s.kept.Add(kept)
+	}
+	if shed > 0 {
+		s.shed.Add(shed)
+	}
+	// Zero the membership count the moment it is accounted, so the
+	// panic guard (which decrements by b.members) stays exactly-once no
+	// matter where in the batch a panic lands.
+	s.queued.Add(-int64(b.members))
+	b.members = 0
+	s.busyNanos.Add(time.Since(start).Nanoseconds())
+	if len(s.latBuf) > 0 {
+		s.mu.Lock()
+		for _, ls := range s.latBuf {
+			s.latency.Add(ls.ts, ls.lat)
 		}
+		s.mu.Unlock()
+		s.latBuf = s.latBuf[:0]
+	}
+	// Publish the batch's closes in one rendezvous — empty epochs
+	// included, the merge stage needs every epoch to stay contiguous.
+	if len(out) > 0 {
+		s.merger.Publish(out)
+	}
+	b.ops, b.events = b.ops[:0], b.events[:0]
+	select {
+	case s.recycle <- b:
+	default:
 	}
 }
 
@@ -270,6 +285,13 @@ func (p *Pipeline) runSharded(ctx context.Context) error {
 		<-detectorDone
 	}
 	stopLifecycle()
+	if err == nil {
+		// A contained panic (in a shard or in the partitioner inline in
+		// a submitter) outranks a clean drain.
+		if pe := p.panicErr.Load(); pe != nil {
+			return pe
+		}
+	}
 	return err
 }
 

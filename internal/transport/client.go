@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"time"
 
@@ -28,8 +29,14 @@ type ClientConfig struct {
 	// across reconnects; ClientStats reports both sides of the ledger.
 	Reconnect bool
 	// MaxRedials bounds consecutive failed dial attempts before the
-	// client gives up (default 5; only meaningful with Reconnect).
+	// client gives up with ErrRedialsExhausted (default 5; only
+	// meaningful with Reconnect).
 	MaxRedials int
+	// MaxBackoff caps the exponential redial backoff (default 2s). The
+	// actual sleep is jittered uniformly over [backoff/2, backoff] so a
+	// fleet of producers disconnected by one server restart does not
+	// redial in lockstep.
+	MaxBackoff time.Duration
 	// Session, when non-zero, opens a durable session: every flushed
 	// batch carries a monotonic batch sequence and stays in a client
 	// ledger until the server acknowledges it as journaled; on every
@@ -47,6 +54,11 @@ type ClientConfig struct {
 
 // DefaultBatchEvents is the client's flush threshold.
 const DefaultBatchEvents = 256
+
+// ErrRedialsExhausted reports that the client burned through its
+// MaxRedials reconnect attempts without reaching the server. Check for
+// it with errors.Is; the wrapped chain carries the last dial error.
+var ErrRedialsExhausted = errors.New("transport: redials exhausted")
 
 // ClientStats counts the client's view of the stream.
 type ClientStats struct {
@@ -66,6 +78,10 @@ type ClientStats struct {
 	Flushes     uint64
 	Redials     uint64
 	Retransmits uint64
+	// DegradedAcks counts server acks carrying FlagDegraded: batches
+	// the server accepted explicitly WITHOUT durability (its journal
+	// degraded to lossy). See Client.Degraded for the live bit.
+	DegradedAcks uint64
 	// CreditWait is the cumulative time spent blocked waiting for the
 	// server to replenish the credit window — the client-visible shape
 	// of server-side backpressure.
@@ -86,10 +102,11 @@ type Client struct {
 	frame   []byte
 	read    []byte
 
-	credit uint64
-	window uint64 // server's credit window, learned from the initial grant
-	stats  ClientStats
-	closed bool
+	credit   uint64
+	window   uint64 // server's credit window, learned from the initial grant
+	stats    ClientStats
+	closed   bool
+	degraded bool // last ack carried FlagDegraded
 
 	// Durable-session ledger: flushed-but-unacknowledged batches, kept
 	// as their encoded FrameEventsSeq payloads so a retransmit is a
@@ -188,6 +205,7 @@ func (c *Client) helloResync() error {
 				return fmt.Errorf("transport: malformed hello ack")
 			}
 			c.ackThrough(applied)
+			c.applyFlags(payload[k:])
 			acked = true
 		case FrameCredit:
 			if err := c.handleCredit(payload); err != nil {
@@ -248,24 +266,62 @@ func (c *Client) ackThrough(applied uint64) {
 }
 
 // handleCredit applies one FrameCredit payload: the grant, plus — on
-// durable sessions — the piggybacked applied watermark.
+// durable sessions — the piggybacked applied watermark, plus the
+// optional trailing flags uvarint (present only while a flag is set).
 func (c *Client) handleCredit(payload []byte) error {
 	n, k := binary.Uvarint(payload)
 	if k <= 0 {
 		return fmt.Errorf("transport: malformed credit frame")
 	}
 	c.credit += n
-	if c.cfg.Session != 0 && k < len(payload) {
-		if applied, k2 := binary.Uvarint(payload[k:]); k2 > 0 {
-			c.ackThrough(applied)
+	rest := payload[k:]
+	if c.cfg.Session != 0 && len(rest) > 0 {
+		applied, k2 := binary.Uvarint(rest)
+		if k2 <= 0 {
+			return fmt.Errorf("transport: malformed credit frame")
 		}
+		c.ackThrough(applied)
+		rest = rest[k2:]
 	}
+	c.applyFlags(rest)
 	return nil
 }
 
-// redial replaces a broken connection, with exponential backoff across
-// consecutive dial failures. In-flight frames of the old connection are
-// considered lost.
+// applyFlags decodes the optional trailing flags uvarint of a credit or
+// hello-ack payload. The server appends it only while degraded, so an
+// absent flags field clears the client's degraded view — that is how
+// the client observes the server's restore without any extra frame.
+func (c *Client) applyFlags(rest []byte) {
+	var flags uint64
+	if len(rest) > 0 {
+		if f, k := binary.Uvarint(rest); k > 0 {
+			flags = f
+		}
+	}
+	degraded := flags&FlagDegraded != 0
+	if degraded {
+		c.stats.DegradedAcks++
+	}
+	if degraded != c.degraded {
+		c.degraded = degraded
+		if c.cfg.Logf != nil {
+			if degraded {
+				c.cfg.Logf("transport: server journal degraded; acks are at-most-once")
+			} else {
+				c.cfg.Logf("transport: server journal restored")
+			}
+		}
+	}
+}
+
+// Degraded reports the server's journal state as of the last ack: true
+// means batches are currently being accepted without durability
+// (at-most-once) — see FlagDegraded.
+func (c *Client) Degraded() bool { return c.degraded }
+
+// redial replaces a broken connection, with jittered exponential
+// backoff across consecutive dial failures. In-flight frames of the old
+// connection are considered lost.
 func (c *Client) redial() error {
 	if c.conn != nil {
 		c.conn.Close()
@@ -274,13 +330,24 @@ func (c *Client) redial() error {
 	if !c.cfg.Reconnect {
 		return fmt.Errorf("transport: connection lost (reconnect disabled)")
 	}
+	maxBackoff := c.cfg.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
 	backoff := 50 * time.Millisecond
+	if backoff > maxBackoff {
+		backoff = maxBackoff
+	}
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxRedials; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			if backoff *= 2; backoff > 2*time.Second {
-				backoff = 2 * time.Second
+			// Jitter over [backoff/2, backoff]: after a mass disconnect
+			// (server restart), producers spread their retries instead
+			// of thundering back in lockstep.
+			d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			time.Sleep(d)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
 			}
 		}
 		if err := c.connect(); err != nil {
@@ -293,7 +360,7 @@ func (c *Client) redial() error {
 		c.stats.Redials++
 		return nil
 	}
-	return fmt.Errorf("transport: redial failed after %d attempts: %w", c.cfg.MaxRedials, lastErr)
+	return fmt.Errorf("transport: %w after %d attempts: %v", ErrRedialsExhausted, c.cfg.MaxRedials, lastErr)
 }
 
 // waitCredit blocks until at least need events of credit are available,
@@ -452,6 +519,13 @@ func (c *Client) writeChunk(chunk []event.Event) (int, error) {
 		return c.writeDurable(chunk, payload)
 	}
 	for {
+		// Stale credit left over from a dead connection must not bypass
+		// waitCredit into a nil-conn write: redial (or fail) first.
+		if c.conn == nil {
+			if rerr := c.redial(); rerr != nil {
+				return 0, rerr
+			}
+		}
 		if err := c.waitCredit(uint64(len(chunk))); err != nil {
 			if isConnErr(err) {
 				if rerr := c.redial(); rerr != nil {
@@ -491,6 +565,11 @@ func (c *Client) writeDurable(chunk []event.Event, payload []byte) (int, error) 
 	c.outstanding = append(c.outstanding, b)
 	c.stats.Sent += uint64(len(chunk))
 	c.stats.Flushes++
+	if c.conn == nil {
+		// The batch is in the ledger; a successful redial's resync
+		// retransmits it, and stale credit must not reach a nil conn.
+		return len(chunk), c.redial()
+	}
 	if err := c.waitCredit(uint64(b.count)); err != nil {
 		if isConnErr(err) {
 			// A successful redial already retransmitted the ledger,

@@ -1,0 +1,250 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/harness"
+)
+
+// TestServerIdleEviction pins the IdleTimeout read guard: a client that
+// connects and then goes silent is evicted (its handler returns, its
+// connection closes) and counted in the taxonomy, instead of pinning a
+// goroutine forever.
+func TestServerIdleEviction(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	sink := &collectSink{}
+	srv := startServer(t, ServerConfig{Sink: sink, IdleTimeout: 50 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{Magic, ProtocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and then say nothing. The server must hang up on us.
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // initial credit frame first, then the eviction
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().IdleEvictions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle eviction not counted: %+v", srv.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := srv.Stats(); st.ConnsActive != 0 {
+		t.Errorf("evicted connection still active: %+v", st)
+	}
+}
+
+// TestClientRedialsExhausted kills the server under a reconnecting
+// client and asserts the typed give-up error.
+func TestClientRedialsExhausted(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	sink := &collectSink{}
+	srv, err := NewServer(ServerConfig{Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	addr := srv.Addr().String()
+	c, err := Dial(ClientConfig{
+		Addr:        addr,
+		BatchEvents: 4,
+		Reconnect:   true,
+		MaxRedials:  2,
+		MaxBackoff:  20 * time.Millisecond,
+		DialTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	var ferr error
+	for i := 0; i < 64 && ferr == nil; i++ {
+		ferr = c.SubmitBatch(genEvents(4))
+	}
+	if !errors.Is(ferr, ErrRedialsExhausted) {
+		t.Fatalf("flush error = %v, want ErrRedialsExhausted", ferr)
+	}
+	if _, err := c.Close(); err == nil {
+		t.Error("Close on a dead client must fail")
+	}
+}
+
+// flakyJournal accepts batches while healthy and reports the degraded
+// sentinel while tripped; it never fail-stops.
+type flakyJournal struct {
+	mu       sync.Mutex
+	degraded bool
+	seq      uint64
+	appends  int
+}
+
+func (j *flakyJournal) setDegraded(v bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.degraded = v
+}
+
+func (j *flakyJournal) Append(session, batchSeq uint64, count int, maxTS event.Time, payload []byte) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.degraded {
+		return 0, ErrJournalDegraded
+	}
+	j.seq++
+	j.appends++
+	return j.seq, nil
+}
+
+func (j *flakyJournal) Commit(seq uint64) error { return nil }
+
+// TestDegradedJournalLossyAcks drives a durable session through a
+// degrade → restore episode: while the journal refuses durability the
+// server must keep accepting (no dropped connection), ack with
+// FlagDegraded — visible as Client.Degraded and DegradedAcks — and
+// count LostDurability; when the journal heals, the very next ack
+// clears the bit on both ends without any reconnect.
+func TestDegradedJournalLossyAcks(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	sink := &collectSink{}
+	journal := &flakyJournal{}
+	// Window == batch size: every flush must consume the previous ack
+	// before it can spend credit, so the client's degraded view tracks
+	// the server's deterministically.
+	srv := startServer(t, ServerConfig{Sink: sink, Journal: journal, Window: 4})
+
+	c, err := Dial(ClientConfig{Addr: srv.Addr().String(), BatchEvents: 4, Session: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := genEvents(12)
+
+	// Batch 1: healthy.
+	if err := c.SubmitBatch(events[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if c.Degraded() {
+		t.Fatal("client degraded before any journal fault")
+	}
+
+	// Batches 2 and 3: degraded. The second flush consumes batch 2's
+	// flagged ack while waiting for credit.
+	journal.setDegraded(true)
+	if err := c.SubmitBatch(events[4:8]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitBatch(events[8:12]); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Degraded() {
+		t.Fatal("client did not observe the degraded ack")
+	}
+	sst := srv.Stats()
+	if !sst.Degraded || sst.DegradedSince.IsZero() {
+		t.Fatalf("server not degraded: %+v", sst)
+	}
+	if sst.LostDurability == 0 {
+		t.Fatalf("LostDurability not counted: %+v", sst)
+	}
+
+	// Heal; Close drains the remaining acks and the final healthy ack
+	// clears the client's bit. Durable close implies Sent == Accepted.
+	journal.setDegraded(false)
+	st, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent != 12 || st.Accepted != 12 {
+		t.Fatalf("client stats: %+v", st)
+	}
+	if st.DegradedAcks == 0 {
+		t.Error("DegradedAcks not counted")
+	}
+	if c.Degraded() {
+		t.Error("client still degraded after the journal healed")
+	}
+	sst = srv.Stats()
+	if sst.Degraded || !sst.DegradedSince.IsZero() {
+		t.Errorf("server still degraded after heal: %+v", sst)
+	}
+	if got := sink.snapshot(); !eventsEqual(events, got) {
+		t.Fatalf("sink received %d events, want all 12 (degraded batches must still flow)", len(got))
+	}
+	// The watermark advanced through the lossy episode: batches 2 and 3
+	// were acked from memory, so only batch 1 and the healthy tail hit
+	// the journal.
+	if journal.appends != 1 {
+		t.Errorf("journal holds %d appends, want 1 (degraded batches skipped)", journal.appends)
+	}
+}
+
+// TestServerShutdownBounded holds a connection open past the drain
+// deadline: Shutdown must still return within the bound, with the
+// stubborn peer cut off by its final deadline.
+func TestServerShutdownBounded(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	sink := &collectSink{}
+	srv, err := NewServer(ServerConfig{Sink: sink, IdleTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{Magic, ProtocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the handler a beat to arm its minute-long idle deadline —
+	// Shutdown's cap must beat it.
+	time.Sleep(10 * time.Millisecond)
+
+	start := time.Now()
+	if err := srv.Shutdown(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("Shutdown took %v, want ~100ms", took)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.ConnsActive != 0 {
+		t.Errorf("connections survived shutdown: %+v", st)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,26 @@ type Journal interface {
 	Commit(seq uint64) error
 }
 
+// ErrJournalDegraded is the sentinel a Journal returns (possibly
+// wrapped) when it has degraded to lossy instead of failing outright —
+// the WAL adapter maps wal.ErrDegraded to it. A degraded journal result
+// does NOT drop the connection: the server submits the batch to the
+// sink anyway, advances the session watermark in memory only, and acks
+// it with FlagDegraded set, making the loss of durability explicit
+// at-most-once rather than a silent stall. Any other journal error
+// still drops the connection unacknowledged (fail-stop).
+var ErrJournalDegraded = errors.New("transport: journal degraded (lossy)")
+
+// JournalHealth is an optional Journal extension: a journal that can
+// report its live degraded state lets the server close a degraded
+// episode as soon as the journal is restored, even when no batch
+// arrives to observe the healthy result — otherwise the degraded bit
+// (and its stats) would go stale on an idle connection until the next
+// journaled batch.
+type JournalHealth interface {
+	Degraded() bool
+}
+
 // SessionState seeds one durable session's dedup watermark, typically
 // from a write-ahead-log recovery (see Server.SeedSessions).
 type SessionState struct {
@@ -71,6 +92,15 @@ type ServerConfig struct {
 	// MaxVals bounds the per-event attribute count
 	// (DefaultMaxVals when zero).
 	MaxVals int
+	// IdleTimeout evicts connections that produce no bytes for this
+	// long: every read carries a deadline, so a stalled or half-dead
+	// peer can never pin a handler goroutine (and its buffers) forever.
+	// Zero disables the idle guard.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds every write to a connection; a peer that
+	// stops reading its credit/ack stream is dropped instead of
+	// wedging the handler in a full TCP send buffer. Zero disables it.
+	WriteTimeout time.Duration
 	// StatsJSON, when non-nil, answers FrameStatsReq with its result —
 	// the hook espice-serve uses to expose pipeline/shedder statistics
 	// to load generators. Called from connection goroutines; must be
@@ -103,6 +133,27 @@ type ServerStats struct {
 	// Sessions counts the durable sessions currently tracked (seen and
 	// not expired).
 	Sessions int
+	// Connection error taxonomy: IdleEvictions counts connections
+	// dropped by the IdleTimeout read guard, WriteTimeouts those
+	// dropped by the WriteTimeout guard, ReadErrors other non-clean
+	// read failures (resets, aborted connections), and PanicsRecovered
+	// handler panics contained by the per-connection recovery guard.
+	IdleEvictions   uint64
+	WriteTimeouts   uint64
+	ReadErrors      uint64
+	PanicsRecovered uint64
+	// Degraded reports that the journal is currently refusing
+	// durability and the server is acking at-most-once (see
+	// ErrJournalDegraded); DegradedSince is when the current episode
+	// began (zero when healthy). LostDurability counts events accepted
+	// and acknowledged without a durable journal record — the explicit
+	// price of degrade-to-lossy, visible instead of silent.
+	Degraded       bool
+	DegradedSince  time.Time
+	LostDurability uint64
+	// DegradedFor is the cumulative time spent degraded over the server
+	// lifetime, current episode included.
+	DegradedFor time.Duration
 }
 
 // Server is a TCP ingest server; build it with NewServer and drive it
@@ -117,6 +168,15 @@ type Server struct {
 	protoErrs atomic.Uint64
 	dedups    atomic.Uint64
 	activeCt  atomic.Int64
+
+	idleEvicts    atomic.Uint64
+	writeTimeouts atomic.Uint64
+	readErrs      atomic.Uint64
+	panics        atomic.Uint64
+	lostDurable   atomic.Uint64
+	degradedNanos atomic.Int64 // UnixNano of the degrade transition; 0 = healthy
+	degradedTotal atomic.Int64 // nanoseconds spent degraded in closed episodes
+	shutdownAt    atomic.Int64 // UnixNano of the Shutdown drain deadline; 0 = none
 
 	// sessions maps durable session ids to their state; entries are
 	// created on FrameHello or seeded from recovery and outlive their
@@ -256,6 +316,94 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// degraded reports whether the journal is currently in a degraded
+// (lossy) episode. When the journal exposes its live health, a restored
+// journal closes the episode here — so the degraded view cannot go
+// stale while no batches arrive.
+func (s *Server) degraded() bool {
+	if s.degradedNanos.Load() == 0 {
+		return false
+	}
+	if jh, ok := s.cfg.Journal.(JournalHealth); ok && !jh.Degraded() {
+		s.noteJournal(false)
+		return false
+	}
+	return true
+}
+
+// noteJournal tracks degrade/restore transitions from journal results:
+// a degraded result opens an episode, a healthy result closes it.
+func (s *Server) noteJournal(degraded bool) {
+	if degraded {
+		if s.degradedNanos.CompareAndSwap(0, time.Now().UnixNano()) {
+			s.logf("transport: journal degraded; acking at-most-once")
+		}
+		return
+	}
+	if since := s.degradedNanos.Swap(0); since != 0 {
+		episode := time.Since(time.Unix(0, since))
+		s.degradedTotal.Add(int64(episode))
+		s.logf("transport: journal restored after %v of degraded delivery",
+			episode.Round(time.Millisecond))
+	}
+}
+
+// capDeadline bounds a per-operation deadline by the Shutdown drain
+// deadline, so a handler re-arming its timeouts cannot outlive a
+// bounded shutdown. A zero d (no per-op timeout configured) still
+// yields the drain deadline once one is set.
+func (s *Server) capDeadline(d time.Time) time.Time {
+	if at := s.shutdownAt.Load(); at != 0 {
+		if sd := time.Unix(0, at); d.IsZero() || sd.Before(d) {
+			return sd
+		}
+	}
+	return d
+}
+
+// write sends one buffer under the configured write deadline, counting
+// deadline expiries in the taxonomy. All handler writes go through it.
+func (s *Server) write(conn net.Conn, p []byte) error {
+	var d time.Time
+	if s.cfg.WriteTimeout > 0 {
+		d = time.Now().Add(s.cfg.WriteTimeout)
+	}
+	if d = s.capDeadline(d); !d.IsZero() {
+		_ = conn.SetWriteDeadline(d)
+	}
+	_, err := conn.Write(p)
+	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		s.writeTimeouts.Add(1)
+		s.logf("transport: %s: write timed out; dropping connection", conn.RemoteAddr())
+	}
+	return err
+}
+
+// armIdle arms the idle read deadline before a blocking read.
+func (s *Server) armIdle(conn net.Conn) {
+	var d time.Time
+	if s.cfg.IdleTimeout > 0 {
+		d = time.Now().Add(s.cfg.IdleTimeout)
+	}
+	if d = s.capDeadline(d); !d.IsZero() {
+		_ = conn.SetReadDeadline(d)
+	}
+}
+
+// noteReadErr classifies a read-loop failure into the error taxonomy
+// (clean EOFs and locally closed connections are not errors).
+func (s *Server) noteReadErr(conn net.Conn, err error) {
+	switch {
+	case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		s.idleEvicts.Add(1)
+		s.logf("transport: %s: idle for %v; evicting", conn.RemoteAddr(), s.cfg.IdleTimeout)
+	default:
+		s.readErrs.Add(1)
+		s.logf("transport: %s: read: %v", conn.RemoteAddr(), err)
+	}
+}
+
 // ListenAndServe listens on addr and serves until Close.
 func (s *Server) ListenAndServe(addr string) error {
 	ln, err := net.Listen("tcp", addr)
@@ -313,11 +461,22 @@ func (s *Server) Serve(ln net.Listener) error {
 			defer wg.Done()
 			s.activeCt.Add(1)
 			defer s.activeCt.Add(-1)
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			// A panic in a handler (a poisoned frame tripping a decode
+			// bug, a sink misbehaving) costs this connection, not the
+			// server: the process keeps accepting.
+			defer func() {
+				if r := recover(); r != nil {
+					s.panics.Add(1)
+					s.logf("transport: %s: handler panic (contained): %v", conn.RemoteAddr(), r)
+				}
+			}()
 			s.handle(conn)
-			s.mu.Lock()
-			delete(s.conns, conn)
-			s.mu.Unlock()
-			conn.Close()
 		}()
 	}
 }
@@ -368,29 +527,85 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown is the bounded, graceful variant of Close: it stops
+// accepting immediately, then gives every open connection until the
+// timeout to finish its stream naturally — each gets one final
+// read/write deadline, so a handler either drains to EOF or has its
+// next wire operation fail at the deadline. It blocks until every
+// handler has returned (at most ~timeout). In-flight batches are still
+// journaled and submitted as usual; only peers that keep streaming past
+// the deadline are cut off. Idempotent with Close; zero or negative
+// timeout degrades to Close.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if timeout <= 0 {
+		return s.Close()
+	}
+	s.mu.Lock()
+	if s.closed {
+		serving := s.serving
+		s.mu.Unlock()
+		if serving {
+			<-s.serveDone
+		}
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	serving := s.serving
+	deadline := time.Now().Add(timeout)
+	s.shutdownAt.Store(deadline.UnixNano()) // caps all re-armed deadlines too
+	for c := range s.conns {
+		_ = c.SetDeadline(deadline)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	if serving {
+		<-s.serveDone
+	}
+	return err
+}
+
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() ServerStats {
 	s.sessMu.Lock()
 	sessions := len(s.sessions)
 	s.sessMu.Unlock()
-	return ServerStats{
-		ConnsAccepted:  s.accepted.Load(),
-		ConnsActive:    int(s.activeCt.Load()),
-		EventsBinary:   s.evBinary.Load(),
-		EventsNDJSON:   s.evNDJSON.Load(),
-		Frames:         s.frames.Load(),
-		ProtocolErrors: s.protoErrs.Load(),
-		DedupBatches:   s.dedups.Load(),
-		Sessions:       sessions,
+	st := ServerStats{
+		ConnsAccepted:   s.accepted.Load(),
+		ConnsActive:     int(s.activeCt.Load()),
+		EventsBinary:    s.evBinary.Load(),
+		EventsNDJSON:    s.evNDJSON.Load(),
+		Frames:          s.frames.Load(),
+		ProtocolErrors:  s.protoErrs.Load(),
+		DedupBatches:    s.dedups.Load(),
+		Sessions:        sessions,
+		IdleEvictions:   s.idleEvicts.Load(),
+		WriteTimeouts:   s.writeTimeouts.Load(),
+		ReadErrors:      s.readErrs.Load(),
+		PanicsRecovered: s.panics.Load(),
+		LostDurability:  s.lostDurable.Load(),
 	}
+	_ = s.degraded() // reconcile a stale episode against the live journal health
+	st.DegradedFor = time.Duration(s.degradedTotal.Load())
+	if since := s.degradedNanos.Load(); since != 0 {
+		st.Degraded = true
+		st.DegradedSince = time.Unix(0, since)
+		st.DegradedFor += time.Since(st.DegradedSince)
+	}
+	return st
 }
 
 // handle serves one connection: sniff the framing from the first byte,
 // then run the matching read loop until EOF or error.
 func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 32<<10)
+	s.armIdle(conn)
 	first, err := br.Peek(1)
 	if err != nil {
+		s.noteReadErr(conn, err)
 		return // closed before the first byte; nothing to do
 	}
 	if first[0] == Magic {
@@ -427,7 +642,7 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 	}
 	window := uint64(s.cfg.Window)
 	writeBuf := AppendCreditFrame(nil, window)
-	if _, err := conn.Write(writeBuf); err != nil {
+	if err := s.write(conn, writeBuf); err != nil {
 		return
 	}
 
@@ -448,6 +663,7 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 		}
 	}()
 	for {
+		s.armIdle(conn)
 		n, err := br.Read(read)
 		if n > 0 {
 			scan.Feed(read[:n])
@@ -478,8 +694,19 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 					}
 					credit -= uint64(len(events))
 					if len(events) > 0 {
+						degraded := false
 						if s.cfg.Journal != nil {
-							if jerr := s.journalBatch(0, 0, events, payload); jerr != nil {
+							jerr := s.journalBatch(0, 0, events, payload)
+							switch {
+							case jerr == nil:
+								s.noteJournal(false)
+							case errors.Is(jerr, ErrJournalDegraded):
+								// Degrade to lossy: accept without durability
+								// and say so in the ack (FlagDegraded).
+								degraded = true
+								s.noteJournal(true)
+								s.lostDurable.Add(uint64(len(events)))
+							default:
 								// Not a protocol error: the batch is simply not
 								// durable. Drop the connection unacknowledged —
 								// to the producer this is indistinguishable
@@ -492,8 +719,12 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 						accepted += uint64(len(events))
 						s.evBinary.Add(uint64(len(events)))
 						credit += uint64(len(events))
-						writeBuf = AppendCreditFrame(writeBuf[:0], uint64(len(events)))
-						if _, werr := conn.Write(writeBuf); werr != nil {
+						if degraded {
+							writeBuf = AppendCreditFlagsFrame(writeBuf[:0], uint64(len(events)), FlagDegraded)
+						} else {
+							writeBuf = AppendCreditFrame(writeBuf[:0], uint64(len(events)))
+						}
+						if werr := s.write(conn, writeBuf); werr != nil {
 							return
 						}
 					}
@@ -512,9 +743,16 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 					sess.mu.Lock()
 					applied := sess.applied
 					sess.mu.Unlock()
-					var tmp [binary.MaxVarintLen64]byte
-					writeBuf = AppendFrame(writeBuf[:0], FrameHelloAck, tmp[:binary.PutUvarint(tmp[:], applied)])
-					if _, werr := conn.Write(writeBuf); werr != nil {
+					var tmp [2 * binary.MaxVarintLen64]byte
+					ak := binary.PutUvarint(tmp[:], applied)
+					if s.degraded() {
+						// Trailing flags uvarint, as on FrameCredit: the
+						// session resumes into a lossy episode and the
+						// producer learns it from the very first ack.
+						ak += binary.PutUvarint(tmp[ak:], FlagDegraded)
+					}
+					writeBuf = AppendFrame(writeBuf[:0], FrameHelloAck, tmp[:ak])
+					if werr := s.write(conn, writeBuf); werr != nil {
 						return
 					}
 				case FrameEventsSeq:
@@ -553,8 +791,12 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 						sess.mu.Unlock()
 						s.dedups.Add(1)
 						credit += n
-						writeBuf = AppendCreditAckFrame(writeBuf[:0], n, applied)
-						if _, werr := conn.Write(writeBuf); werr != nil {
+						if s.degraded() {
+							writeBuf = AppendCreditAckFlagsFrame(writeBuf[:0], n, applied, FlagDegraded)
+						} else {
+							writeBuf = AppendCreditAckFrame(writeBuf[:0], n, applied)
+						}
+						if werr := s.write(conn, writeBuf); werr != nil {
 							return
 						}
 						break
@@ -575,8 +817,21 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 						}
 						s.logf("transport: %s: session %d resumes at batch %d", conn.RemoteAddr(), sessID, batchSeq)
 					}
+					degraded := false
 					if s.cfg.Journal != nil {
-						if jerr := s.journalBatch(sessID, batchSeq, events, body); jerr != nil {
+						jerr := s.journalBatch(sessID, batchSeq, events, body)
+						switch {
+						case jerr == nil:
+							s.noteJournal(false)
+						case errors.Is(jerr, ErrJournalDegraded):
+							// Degrade to lossy: the watermark advances in
+							// memory only, so a crash during the episode
+							// loses these batches — which is exactly what
+							// the FlagDegraded ack warned the producer of.
+							degraded = true
+							s.noteJournal(true)
+							s.lostDurable.Add(n)
+						default:
 							sess.mu.Unlock()
 							// The batch is not durable: drop the connection
 							// without an ack (no FrameError — this is a server
@@ -597,15 +852,19 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 					accepted += n
 					s.evBinary.Add(n)
 					credit += n
-					writeBuf = AppendCreditAckFrame(writeBuf[:0], n, applied)
-					if _, werr := conn.Write(writeBuf); werr != nil {
+					if degraded {
+						writeBuf = AppendCreditAckFlagsFrame(writeBuf[:0], n, applied, FlagDegraded)
+					} else {
+						writeBuf = AppendCreditAckFrame(writeBuf[:0], n, applied)
+					}
+					if werr := s.write(conn, writeBuf); werr != nil {
 						return
 					}
 				case FrameEOF:
 					sawEOF = true
 					var tmp [binary.MaxVarintLen64]byte
 					done := AppendFrame(writeBuf[:0], FrameDone, tmp[:binary.PutUvarint(tmp[:], accepted)])
-					_, _ = conn.Write(done)
+					_ = s.write(conn, done) // best effort
 					// Keep reading: the client may still request stats
 					// before closing; further events are a protocol error.
 				case FrameStatsReq:
@@ -613,7 +872,7 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 					if s.cfg.StatsJSON != nil {
 						stats = s.cfg.StatsJSON()
 					}
-					if _, werr := conn.Write(AppendFrame(writeBuf[:0], FrameStats, stats)); werr != nil {
+					if werr := s.write(conn, AppendFrame(writeBuf[:0], FrameStats, stats)); werr != nil {
 						return
 					}
 				default:
@@ -623,9 +882,7 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 			}
 		}
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.logf("transport: %s: read: %v", conn.RemoteAddr(), err)
-			}
+			s.noteReadErr(conn, err)
 			return
 		}
 	}
@@ -671,7 +928,16 @@ func (s *Server) handleNDJSON(conn net.Conn, br *bufio.Reader) {
 		}
 		if s.cfg.Journal != nil {
 			jbuf = enc.AppendEvents(jbuf[:0], batch)
-			if jerr := s.journalBatch(0, 0, batch, jbuf); jerr != nil {
+			jerr := s.journalBatch(0, 0, batch, jbuf)
+			switch {
+			case jerr == nil:
+				s.noteJournal(false)
+			case errors.Is(jerr, ErrJournalDegraded):
+				// NDJSON has no ack protocol to carry the degraded bit;
+				// accept lossily and account for it like the binary path.
+				s.noteJournal(true)
+				s.lostDurable.Add(uint64(len(batch)))
+			default:
 				s.logf("transport: %s: %v", conn.RemoteAddr(), jerr)
 				fmt.Fprintf(conn, "{\"error\":%q}\n", jerr.Error())
 				return false
@@ -684,6 +950,7 @@ func (s *Server) handleNDJSON(conn net.Conn, br *bufio.Reader) {
 	}
 	var lineBuf []byte
 	for {
+		s.armIdle(conn)
 		line, err := readLineBounded(br, &lineBuf, s.cfg.MaxFrame)
 		if err == errLineTooLong {
 			flush()
@@ -705,9 +972,7 @@ func (s *Server) handleNDJSON(conn net.Conn, br *bufio.Reader) {
 		}
 		if err != nil {
 			flush()
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.logf("transport: %s: read: %v", conn.RemoteAddr(), err)
-			}
+			s.noteReadErr(conn, err)
 			return
 		}
 		if len(batch) >= maxBatch || br.Buffered() == 0 {

@@ -79,6 +79,15 @@ const (
 	FrameHelloAck byte = 0x85
 )
 
+// FlagDegraded is bit 0 of the optional trailing flags uvarint on
+// FrameCredit and FrameHelloAck payloads: the server's journal is
+// degraded and events are being accepted WITHOUT durability — delivery
+// on this connection is at-most-once until the flag clears. The flags
+// uvarint is appended only while a flag is set, and always as the last
+// uvarint of the payload, so clients that do not parse it (and older
+// payload layouts) stay wire-compatible.
+const FlagDegraded uint64 = 1 << 0
+
 // DefaultMaxFrame bounds the payload length of a single frame. A frame
 // longer than the limit is a protocol error, which keeps a malformed or
 // malicious length prefix from forcing a large allocation.
@@ -106,6 +115,25 @@ func AppendCreditAckFrame(dst []byte, n, applied uint64) []byte {
 	var tmp [2 * binary.MaxVarintLen64]byte
 	k := binary.PutUvarint(tmp[:], n)
 	k += binary.PutUvarint(tmp[k:], applied)
+	return AppendFrame(dst, FrameCredit, tmp[:k])
+}
+
+// AppendCreditFlagsFrame appends a plain-connection FrameCredit with a
+// trailing flags uvarint (see FlagDegraded).
+func AppendCreditFlagsFrame(dst []byte, n, flags uint64) []byte {
+	var tmp [2 * binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(tmp[:], n)
+	k += binary.PutUvarint(tmp[k:], flags)
+	return AppendFrame(dst, FrameCredit, tmp[:k])
+}
+
+// AppendCreditAckFlagsFrame appends a durable-session FrameCredit —
+// grant, applied watermark — with a trailing flags uvarint.
+func AppendCreditAckFlagsFrame(dst []byte, n, applied, flags uint64) []byte {
+	var tmp [3 * binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(tmp[:], n)
+	k += binary.PutUvarint(tmp[k:], applied)
+	k += binary.PutUvarint(tmp[k:], flags)
 	return AppendFrame(dst, FrameCredit, tmp[:k])
 }
 

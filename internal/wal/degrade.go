@@ -1,0 +1,272 @@
+// Graceful degradation: the DegradeLossy failure policy.
+//
+// The default policy keeps the log fail-stop (wal.go): the first write
+// or sync error poisons it and every later call returns the error. A
+// server that prefers availability over durability can instead run
+// DegradeLossy: the first fault flips the log into an explicit
+// *degraded* state — Append and Commit return ErrDegraded immediately,
+// so the transport can keep accepting events at-most-once and tell
+// producers so (the degraded bit, docs/wire.md) — while a background
+// probe keeps trying to bring durability back without a restart.
+//
+// Restoring is more than reopening a file descriptor, because recovery
+// (replay.go) demands a contiguous sequence chain and treats trailing
+// garbage in any segment as a break that orphans every later segment.
+// The probe therefore repairs the on-disk state before it declares the
+// log healthy:
+//
+//  1. re-read the segment that was being written when the fault hit;
+//  2. find the byte offset of the last record covered by a completed
+//     fsync (everything beyond it — a torn tail from the failed write,
+//     or records whose sync never finished — was never acknowledged
+//     durable and is discarded, keeping degraded acks strictly
+//     at-most-once);
+//  3. if the file holds bytes past that offset, rewrite the valid
+//     prefix to a probe-*.tmp file, fsync it and rename it over the
+//     segment (atomic on POSIX; recovery ignores probe files, so a
+//     crash mid-probe leaves either the old tail or the clean prefix);
+//  4. seal the repaired segment and open a fresh one whose base
+//     continues the chain at synced+1 — the header write + fsync of the
+//     fresh segment doubles as the disk-health check.
+//
+// Any step failing leaves the log degraded and the probe retries on
+// its interval. Sequences that were staged but never synced are rolled
+// back and reused by post-restore appends; they were never durable and
+// never acknowledged as such, so the chain stays dense.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FailurePolicy selects how the log responds to a write or sync error.
+type FailurePolicy int
+
+const (
+	// FailStop poisons the log on the first fault: every pending and
+	// future Append/Commit returns the error. The default; a server
+	// that must never acknowledge a non-durable frame runs this.
+	FailStop FailurePolicy = iota
+	// DegradeLossy flips the log into a degraded state on a fault:
+	// Append/Commit return ErrDegraded (callers may continue lossily),
+	// and a background probe repairs the log and restores durability
+	// without a restart.
+	DegradeLossy
+)
+
+// String renders the policy for stats and logs.
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailStop:
+		return "fail-stop"
+	case DegradeLossy:
+		return "degrade-lossy"
+	default:
+		return fmt.Sprintf("FailurePolicy(%d)", int(p))
+	}
+}
+
+// ParseFailurePolicy parses the String form (for flags).
+func ParseFailurePolicy(s string) (FailurePolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "fail-stop", "failstop", "":
+		return FailStop, nil
+	case "degrade-lossy", "degradelossy", "lossy":
+		return DegradeLossy, nil
+	}
+	return FailStop, fmt.Errorf("wal: unknown failure policy %q", s)
+}
+
+// ErrDegraded is returned by Append and Commit while a DegradeLossy log
+// is degraded: the record is NOT durable and must not be acknowledged
+// as such. Callers that continue anyway are explicitly at-most-once
+// until the probe restores the log.
+var ErrDegraded = errors.New("wal: degraded (lossy)")
+
+// DefaultProbeInterval is the retry cadence of the restore probe when
+// Config.ProbeInterval is zero on a DegradeLossy log.
+const DefaultProbeInterval = time.Second
+
+// probeName renders the temp file a probe rewrite stages into before
+// renaming it over the repaired segment. Recovery ignores and removes
+// stray probe files (a crash mid-probe leaves the original segment).
+func probeName(base uint64) string { return fmt.Sprintf("probe-%016x.tmp", base) }
+
+// isProbeName reports whether name is a probe temp file.
+func isProbeName(name string) bool {
+	return strings.HasPrefix(name, "probe-") && strings.HasSuffix(name, ".tmp")
+}
+
+// degradeLocked flips the log into the degraded state: staged-but-
+// unsynced records are discarded (their sequences roll back so the
+// post-restore chain stays dense), waiters are woken to observe
+// ErrDegraded, and the restore probe is scheduled. Called with the
+// lock held, from failLocked.
+func (l *Log) degradeLocked(err error) {
+	if l.degraded {
+		return
+	}
+	l.degraded = true
+	l.degradedSince = time.Now()
+	l.degradations++
+	l.faultErr = err
+	l.lostAppends += l.lastSeq - l.synced
+	l.lastSeq = l.synced
+	l.buf = l.buf[:0]
+	if l.cur != nil {
+		l.cur.Close() // best effort; the handle is suspect
+		l.cur = nil
+	}
+	l.logsf("wal: degraded to lossy: %v (%d staged records dropped)", err, l.lostAppends)
+	l.cond.Broadcast()
+	if l.probeInterval > 0 {
+		l.probeTimer = time.AfterFunc(l.probeInterval, l.probeTick)
+	}
+}
+
+// probeTick is the background restore attempt; it reschedules itself
+// while the log stays degraded.
+func (l *Log) probeTick() {
+	if err := l.Probe(); err == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.degraded && !l.closed && l.probeInterval > 0 {
+		l.probeTimer = time.AfterFunc(l.probeInterval, l.probeTick)
+	}
+	l.mu.Unlock()
+}
+
+// Probe attempts one restore of a degraded log: repair the segment the
+// fault interrupted, then open a fresh segment continuing the chain.
+// It returns nil when the log is healthy (restored now or never
+// degraded) and the repair error otherwise, leaving the log degraded.
+// The background probe calls it on Config.ProbeInterval; tests call it
+// directly for determinism.
+func (l *Log) Probe() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if !l.degraded {
+		return nil
+	}
+	if err := l.restoreLocked(); err != nil {
+		l.logsf("wal: probe: %v", err)
+		return err
+	}
+	l.degraded = false
+	l.degradedSince = time.Time{}
+	l.faultErr = nil
+	l.restores++
+	l.logsf("wal: restored, durable again above seq %d", l.synced)
+	l.cond.Broadcast()
+	return nil
+}
+
+// restoreLocked repairs the on-disk state and opens a fresh segment at
+// synced+1. Any error leaves the log degraded with nothing torn down:
+// every step either mutates nothing or is atomic (the rename).
+func (l *Log) restoreLocked() error {
+	if l.curName != "" {
+		if err := l.repairSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	// Unlike rotateLocked, no free-pool reuse here: Create alone has no
+	// partial-failure state to unwind, and probes are rare.
+	base := l.synced + 1
+	name := segName(base)
+	f, err := l.fs.Create(l.path(name))
+	if err != nil {
+		return fmt.Errorf("open %s: %w", name, err)
+	}
+	hdr := appendSegHeader(l.spare[:0], base)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("header %s: %w", name, err)
+	}
+	// The header fsync is the disk-health touchstone: restore is
+	// declared only once the fresh segment is provably writable and
+	// syncable.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("sync %s: %w", name, err)
+	}
+	l.cur, l.curName, l.curBase, l.curEnd = f, name, base, segHeaderSize
+	return nil
+}
+
+// repairSegmentLocked truncates the interrupted segment to its synced
+// prefix and seals it. A segment with no synced records is left for
+// the fresh-segment open to truncate in place (same base, same name).
+func (l *Log) repairSegmentLocked() error {
+	data, err := l.fs.ReadFile(l.path(l.curName))
+	if err != nil {
+		return fmt.Errorf("reread %s: %w", l.curName, err)
+	}
+	synced := 0 // synced records in this segment
+	if l.synced >= l.curBase {
+		synced = int(l.synced - l.curBase + 1)
+	}
+	base, ok := parseSegHeader(data)
+	if !ok || base != l.curBase {
+		if synced > 0 {
+			return fmt.Errorf("%s: synced header unreadable", l.curName)
+		}
+		// Header never survived and nothing in the file was ever
+		// durable; the fresh-segment Create (same name) truncates it.
+		l.curName = ""
+		return nil
+	}
+	keep, keepOff := 0, 0
+	body := data[segHeaderSize:]
+	scanRecords(body, l.curBase, l.maxPayload(), func(r Record) error {
+		if r.Seq <= l.synced {
+			keep++
+			keepOff += recHeaderSize + len(r.Payload)
+		}
+		return nil
+	})
+	if keep < synced {
+		return fmt.Errorf("%s: only %d of %d synced records readable", l.curName, keep, synced)
+	}
+	if keep == 0 {
+		l.curName = ""
+		return nil
+	}
+	if valid := segHeaderSize + keepOff; valid < len(data) {
+		// Bytes past the synced prefix — the torn tail of the failed
+		// write, or records whose covering sync never completed. Rewrite
+		// the prefix and swap it in atomically so recovery never sees
+		// the garbage (it would orphan every later segment).
+		tmp := probeName(l.curBase)
+		f, err := l.fs.Create(l.path(tmp))
+		if err != nil {
+			return fmt.Errorf("stage %s: %w", tmp, err)
+		}
+		_, werr := f.Write(data[:valid])
+		if werr == nil {
+			werr = f.Sync()
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			l.fs.Remove(l.path(tmp))
+			return fmt.Errorf("stage %s: %w", tmp, werr)
+		}
+		if err := l.fs.Rename(l.path(tmp), l.path(l.curName)); err != nil {
+			l.fs.Remove(l.path(tmp))
+			return fmt.Errorf("swap %s: %w", l.curName, err)
+		}
+	}
+	l.sealed = append(l.sealed, segMeta{name: l.curName, base: l.curBase, last: l.synced})
+	l.sortSealed()
+	l.curName = ""
+	return nil
+}

@@ -1,0 +1,266 @@
+// Fault-injection tests for the DegradeLossy failure policy: a storage
+// fault must flip the log into an observable degraded state instead of
+// poisoning it, and the probe must repair the on-disk chain and restore
+// durability without a restart. Like fault_test.go these live in the
+// external test package because harness implements wal.FS.
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/wal"
+)
+
+// openLossy opens a DegradeLossy log with the background probe disabled
+// so tests drive Probe deterministically.
+func openLossy(t *testing.T, dir string) (*wal.Log, *harness.FaultFS) {
+	t.Helper()
+	fs := harness.NewFaultFS(wal.OSFS{})
+	l, err := wal.Open(wal.Config{
+		Dir:           dir,
+		FS:            fs,
+		FailurePolicy: wal.DegradeLossy,
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	if _, err := l.Recover(nil); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return l, fs
+}
+
+// replayAll reopens dir and returns every surviving record payload in
+// sequence order.
+func replayAll(t *testing.T, dir string) (payloads [][]byte, rec wal.Recovery) {
+	t.Helper()
+	l, err := wal.Open(wal.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	next := uint64(0)
+	rec, err = l.Recover(func(r wal.Record) error {
+		next++
+		if r.Seq != next {
+			t.Errorf("record %d has seq %d", next, r.Seq)
+		}
+		payloads = append(payloads, append([]byte(nil), r.Payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return payloads, rec
+}
+
+// TestWALDegradeLossyRoundTrip is the policy's core contract: a failed
+// sync degrades the log instead of poisoning it (Append/Commit return
+// ErrDegraded, stats say so), Probe repairs and restores it, and a
+// restart afterwards replays exactly the durable records — the
+// degraded-acked record is gone, the sequence chain is dense.
+func TestWALDegradeLossyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, fs := openLossy(t, dir)
+
+	if _, err := l.Append(1, 1, []byte("alpha")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Commit(1); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+
+	// The second group commit's fsync fails: its record was written to
+	// the file but never synced, so the probe must truncate it away.
+	fs.FailSyncAt(2)
+	if _, err := l.Append(1, 2, []byte("beta")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Commit(2); !errors.Is(err, wal.ErrDegraded) {
+		t.Fatalf("Commit under fault = %v, want ErrDegraded", err)
+	}
+	if _, err := l.Append(1, 3, []byte("gamma")); !errors.Is(err, wal.ErrDegraded) {
+		t.Fatalf("Append while degraded = %v, want ErrDegraded", err)
+	}
+	st := l.Stats()
+	if !st.Degraded || st.Degradations != 1 || st.LostAppends != 1 || st.DegradedSince.IsZero() {
+		t.Fatalf("degraded stats %+v", st)
+	}
+	if st.Err != "" {
+		t.Fatalf("degraded log must not be poisoned, got Err=%q", st.Err)
+	}
+
+	if err := l.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	st = l.Stats()
+	if st.Degraded || st.Restores != 1 || !st.DegradedSince.IsZero() || st.Fault != "" {
+		t.Fatalf("restored stats %+v", st)
+	}
+
+	// Durability is back: the dropped sequence is reused by the next
+	// append and committed records survive a restart.
+	seq, err := l.Append(1, 2, []byte("beta-retry"))
+	if err != nil {
+		t.Fatalf("Append after restore: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("post-restore seq = %d, want 2 (chain stays dense)", seq)
+	}
+	if err := l.Commit(seq); err != nil {
+		t.Fatalf("Commit after restore: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	payloads, rec := replayAll(t, dir)
+	if rec.Records != 2 || rec.Truncated {
+		t.Fatalf("recovered %+v, want 2 records untruncated", rec)
+	}
+	if !bytes.Equal(payloads[0], []byte("alpha")) || !bytes.Equal(payloads[1], []byte("beta-retry")) {
+		t.Fatalf("replayed %q", payloads)
+	}
+}
+
+// TestWALDegradeTornTailRepair cuts a record write short, leaving
+// actual garbage bytes after the synced prefix. The probe must rewrite
+// the valid prefix (probe-*.tmp + rename) so a later recovery does not
+// treat the segment as broken and orphan everything after it.
+func TestWALDegradeTornTailRepair(t *testing.T) {
+	dir := t.TempDir()
+	l, fs := openLossy(t, dir)
+
+	if _, err := l.Append(1, 1, []byte("alpha")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Commit(1); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// Write 1 was the segment header, write 2 the first body: cut the
+	// third — the second record's body — after 10 garbage bytes.
+	fs.ShortWriteAt(3, 10)
+	if _, err := l.Append(1, 2, []byte("beta")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Commit(2); !errors.Is(err, wal.ErrDegraded) {
+		t.Fatalf("Commit under short write = %v, want ErrDegraded", err)
+	}
+	if err := l.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if _, err := l.Append(1, 2, []byte("beta-retry")); err != nil {
+		t.Fatalf("Append after restore: %v", err)
+	}
+	if err := l.Commit(2); err != nil {
+		t.Fatalf("Commit after restore: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	payloads, rec := replayAll(t, dir)
+	if rec.Records != 2 || rec.Truncated {
+		t.Fatalf("recovered %+v, want 2 records untruncated", rec)
+	}
+	if !bytes.Equal(payloads[0], []byte("alpha")) || !bytes.Equal(payloads[1], []byte("beta-retry")) {
+		t.Fatalf("replayed %q", payloads)
+	}
+}
+
+// TestWALDegradeBackgroundProbe lets the probe run on its own timer:
+// after a transient fault the log must restore itself without any call
+// from the application.
+func TestWALDegradeBackgroundProbe(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	fs := harness.NewFaultFS(wal.OSFS{})
+	l, err := wal.Open(wal.Config{
+		Dir:           t.TempDir(),
+		FS:            fs,
+		FailurePolicy: wal.DegradeLossy,
+		ProbeInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Recover(nil); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	fs.FailSyncAt(1)
+	if _, err := l.Append(1, 1, []byte("alpha")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Commit(1); !errors.Is(err, wal.ErrDegraded) {
+		t.Fatalf("Commit = %v, want ErrDegraded", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().Degraded {
+		if time.Now().After(deadline) {
+			t.Fatal("background probe never restored the log")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := l.Append(1, 1, []byte("alpha-retry")); err != nil {
+		t.Fatalf("Append after auto-restore: %v", err)
+	}
+	if err := l.Commit(1); err != nil {
+		t.Fatalf("Commit after auto-restore: %v", err)
+	}
+}
+
+// TestWALDegradeFailsAllWaiters is the lossy twin of
+// TestWALFailedSyncFailsAllWaiters: every Commit riding the failed
+// group commit observes ErrDegraded — nobody hangs, nobody is falsely
+// acked durable.
+func TestWALDegradeFailsAllWaiters(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+	l, fs := openLossy(t, t.TempDir())
+	fs.StallSyncAt(1)
+	fs.FailSyncAt(1)
+
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(1, uint64(i+1), make([]byte, 32)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 5)
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); errs[i] = l.Commit(uint64(i + 1)) }(i)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for fs.Syncs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never reached Sync")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fs.ReleaseStalls()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, wal.ErrDegraded) {
+			t.Fatalf("Commit %d = %v, want ErrDegraded", i, err)
+		}
+	}
+	if st := l.Stats(); !st.Degraded || st.LostAppends != 5 {
+		t.Fatalf("stats %+v, want degraded with 5 lost appends", st)
+	}
+	if err := l.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if seq, err := l.Append(1, 1, make([]byte, 32)); err != nil || seq != 1 {
+		t.Fatalf("Append after restore = %d, %v", seq, err)
+	}
+	if err := l.Commit(1); err != nil {
+		t.Fatalf("Commit after restore: %v", err)
+	}
+}

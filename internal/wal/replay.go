@@ -64,6 +64,14 @@ func (l *Log) Recover(emit func(Record) error) (Recovery, error) {
 			l.free = append(l.free, name)
 			continue
 		}
+		if isProbeName(name) {
+			// A crash mid-probe (degrade.go) left its staging file; the
+			// segment it was repairing is intact, so just drop it.
+			if err := l.fs.Remove(l.path(name)); err != nil {
+				l.logsf("wal: recover: remove stray %s: %v", name, err)
+			}
+			continue
+		}
 		if base, ok := parseSegName(name); ok {
 			segs = append(segs, segFile{name: name, base: base})
 		}

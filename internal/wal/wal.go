@@ -21,9 +21,13 @@
 // reused by the next rotation. Stale bytes in a reused file are inert
 // because record sequences are log-wide monotonic (see segment.go).
 //
-// The log is fail-stop: the first write or sync error poisons it, every
-// pending and future Append/Commit returns the error, and no caller can
-// acknowledge a frame whose sync failed.
+// The log is fail-stop by default: the first write or sync error
+// poisons it, every pending and future Append/Commit returns the
+// error, and no caller can acknowledge a frame whose sync failed. The
+// DegradeLossy failure policy (degrade.go) trades that guarantee for
+// availability: a fault flips the log into an explicit degraded state
+// that callers can observe per call (ErrDegraded), and a background
+// probe repairs the log and restores durability without a restart.
 package wal
 
 import (
@@ -31,6 +35,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // DefaultSegmentSize is the capacity of one segment file.
@@ -48,6 +53,14 @@ type Config struct {
 	SegmentSize int
 	// Logf logs recovery and recycling events (nil silences them).
 	Logf func(format string, args ...any)
+	// FailurePolicy selects the response to a write or sync fault:
+	// FailStop (default) poisons the log, DegradeLossy degrades it and
+	// probes for recovery (degrade.go).
+	FailurePolicy FailurePolicy
+	// ProbeInterval is the restore-probe cadence of a DegradeLossy log
+	// (DefaultProbeInterval when 0; negative disables the background
+	// probe — callers drive Probe themselves).
+	ProbeInterval time.Duration
 }
 
 // Stats is a snapshot of the log counters.
@@ -71,6 +84,17 @@ type Stats struct {
 	Recycled uint64
 	// Err is the sticky failure, if the log is poisoned.
 	Err string
+	// Degraded reports a DegradeLossy log currently running lossy;
+	// DegradedSince is when the fault hit (zero when healthy) and Fault
+	// the fault message. Degradations and Restores count the
+	// transitions over the log lifetime, and LostAppends the staged
+	// records discarded at degrade time (never durable, never acked).
+	Degraded      bool
+	DegradedSince time.Time
+	Fault         string
+	Degradations  uint64
+	Restores      uint64
+	LostAppends   uint64
 }
 
 // segMeta describes one sealed (no longer written) segment.
@@ -83,16 +107,26 @@ type segMeta struct {
 // Log is a write-ahead segment log. Open it with Open, replay it with
 // Recover, then Append/Commit from any number of goroutines.
 type Log struct {
-	dir     string
-	fs      FS
-	segSize int
-	logf    func(string, ...any)
+	dir           string
+	fs            FS
+	segSize       int
+	logf          func(string, ...any)
+	policy        FailurePolicy
+	probeInterval time.Duration
 
 	mu        sync.Mutex
 	cond      *sync.Cond
 	recovered bool
 	closed    bool
 	err       error
+
+	degraded      bool
+	degradedSince time.Time
+	faultErr      error
+	degradations  uint64
+	restores      uint64
+	lostAppends   uint64
+	probeTimer    *time.Timer
 
 	buf     []byte // staged records of the current segment, not yet written
 	spare   []byte // recycled leader write buffer
@@ -134,11 +168,16 @@ func Open(cfg Config) (*Log, error) {
 	if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
 	l := &Log{
-		dir:     cfg.Dir,
-		fs:      cfg.FS,
-		segSize: cfg.SegmentSize,
-		logf:    cfg.Logf,
+		dir:           cfg.Dir,
+		fs:            cfg.FS,
+		segSize:       cfg.SegmentSize,
+		logf:          cfg.Logf,
+		policy:        cfg.FailurePolicy,
+		probeInterval: cfg.ProbeInterval,
 	}
 	l.cond = sync.NewCond(&l.mu)
 	return l, nil
@@ -168,6 +207,9 @@ func (l *Log) Append(session, batchSeq uint64, payload []byte) (uint64, error) {
 	if err := l.usableLocked(); err != nil {
 		return 0, err
 	}
+	if l.degraded {
+		return 0, ErrDegraded
+	}
 	need := recHeaderSize + len(payload)
 	if len(payload) > l.maxPayload() {
 		return 0, fmt.Errorf("wal: %d-byte payload exceeds the %d-byte segment record bound",
@@ -176,6 +218,9 @@ func (l *Log) Append(session, batchSeq uint64, payload []byte) (uint64, error) {
 	if l.cur == nil || l.curEnd+need > l.segSize {
 		if err := l.rotateLocked(need); err != nil {
 			l.failLocked(err)
+			if l.degraded {
+				return 0, ErrDegraded
+			}
 			return 0, err
 		}
 	}
@@ -197,12 +242,23 @@ func (l *Log) Append(session, batchSeq uint64, payload []byte) (uint64, error) {
 func (l *Log) Commit(seq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if seq <= l.synced {
+		return nil
+	}
+	if l.degraded {
+		// The degrade rolled lastSeq back, so the staged record this
+		// caller is waiting on was discarded: it is not durable.
+		return ErrDegraded
+	}
 	if seq > l.lastSeq {
 		return fmt.Errorf("wal: Commit(%d) beyond last appended seq %d", seq, l.lastSeq)
 	}
 	for {
 		if seq <= l.synced {
 			return nil
+		}
+		if l.degraded {
+			return ErrDegraded
 		}
 		if l.err != nil {
 			return l.err
@@ -244,6 +300,9 @@ func (l *Log) syncLocked() error {
 	l.spare = buf[:0]
 	if werr != nil {
 		l.failLocked(werr)
+		if l.degraded {
+			return ErrDegraded
+		}
 		return werr
 	}
 	l.synced = upTo
@@ -290,7 +349,7 @@ func (l *Log) rotateLocked(need int) error {
 			return err
 		}
 		l.sealed = append(l.sealed, segMeta{name: l.curName, base: l.curBase, last: l.lastSeq})
-		l.cur = nil
+		l.cur, l.curName = nil, ""
 	}
 	base := l.lastSeq + 1
 	name := segName(base)
@@ -361,6 +420,10 @@ func (l *Log) Close() error {
 	if l.closed {
 		return l.err
 	}
+	if l.probeTimer != nil {
+		l.probeTimer.Stop()
+		l.probeTimer = nil
+	}
 	var err error
 	if l.err == nil && l.cur != nil {
 		if len(l.buf) > 0 {
@@ -421,6 +484,14 @@ func (l *Log) Stats() Stats {
 	if l.err != nil {
 		st.Err = l.err.Error()
 	}
+	st.Degraded = l.degraded
+	st.DegradedSince = l.degradedSince
+	st.Degradations = l.degradations
+	st.Restores = l.restores
+	st.LostAppends = l.lostAppends
+	if l.faultErr != nil {
+		st.Fault = l.faultErr.Error()
+	}
 	return st
 }
 
@@ -445,8 +516,13 @@ func (l *Log) usableLocked() error {
 	return nil
 }
 
-// failLocked poisons the log with its first error.
+// failLocked responds to a write or sync fault per the failure policy:
+// poison (fail-stop, the default) or degrade to lossy.
 func (l *Log) failLocked(err error) {
+	if l.policy == DegradeLossy && !l.closed && l.err == nil {
+		l.degradeLocked(err)
+		return
+	}
 	if l.err == nil {
 		l.err = fmt.Errorf("wal: %w", err)
 		l.logsf("wal: poisoned: %v", err)
