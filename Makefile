@@ -11,7 +11,7 @@ BENCHLABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 # goes through `go test -fuzz` directly).
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-figures fmt vet doccheck fuzz-smoke loadtest killtest chaostest
+.PHONY: build test bench bench-skew bench-figures fmt vet doccheck fuzz-smoke loadtest killtest chaostest
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,27 @@ bench:
 	-$(GO) run ./cmd/benchjson compare -baseline BENCH_results.json < bench.out
 	$(GO) run ./cmd/benchjson -out BENCH_results.json -label $(BENCHLABEL) < bench.out
 	rm -f bench.out
+
+# Skew scaling gate: run the shard-scaling benchmarks (uniform delayed
+# plus skewed hot-window/Zipf variants) with -benchmem, compare against
+# the trajectory and append the run. Unlike `make bench`, the compare is
+# blocking: benchjson hard-fails when kept_ev/s is non-monotone in the
+# shard count or falls below shards=1 — but only when both the fresh run
+# and the recorded trajectory were measured with GOMAXPROCS >= 4 (on
+# smaller machines, which cannot measure real parallel speedup, the
+# check degrades to advisory WARN lines and the target still passes).
+# The nodelay variants are excluded on purpose: their ns/op is
+# startup-dominated at short CI budgets, so they stay under the
+# non-blocking `make bench` compare; the delayed/skew variants here are
+# sleep-dominated and stable at any budget.
+bench-skew:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineShards/(shards=|skew)' -benchtime=$(BENCHTIME) -benchmem . > bench-skew.out \
+		|| { cat bench-skew.out; rm -f bench-skew.out; exit 1; }
+	cat bench-skew.out
+	$(GO) run ./cmd/benchjson compare -baseline BENCH_results.json < bench-skew.out \
+		|| { rm -f bench-skew.out; exit 1; }
+	$(GO) run ./cmd/benchjson -out BENCH_results.json -label $(BENCHLABEL) < bench-skew.out
+	rm -f bench-skew.out
 
 # Full figure-reproduction sweep (slow; one iteration each).
 bench-figures:

@@ -158,17 +158,90 @@ func BenchmarkAblationExactVsAtLeast(b *testing.B) {
 	}
 }
 
-// BenchmarkPipelineShards measures the live pipeline in two regimes. The
-// delayed variants grow the shard count under ProcessingDelay-induced
-// load: each kept membership costs a fixed sleep, so the serial pipeline
-// is capped at 1/delay memberships per second while N shards overlap N
-// sleeps — throughput should scale near-linearly from 1 to 4 shards. The
-// nodelay variants run the raw data path (overlapping count windows, 8
-// memberships per event) at full speed, so ns/op and allocs/op reflect
-// the real per-event cost of routing, shedding, buffering and matching.
+// markerType opens and closes the tumbling predicate windows of the
+// skewed shard benchmarks; the seq(A;B) matcher ignores it.
+const markerType = Type(2)
+
+func isMarker(e Event) bool { return e.Type == markerType }
+
+// skewWindowSpec is the windowing policy of the skewed shard
+// benchmarks: marker events split the stream into tumbling predicate
+// windows, so one window's size is exactly the events between its
+// markers — the only policy that gives individual windows skewed sizes
+// (with sliding windows every event joins every open window and all
+// windows see the same load). Length is a far-away backstop.
+func skewWindowSpec() WindowSpec {
+	return WindowSpec{Mode: ModeTime, Length: 1 << 40, Open: isMarker, Close: isMarker}
+}
+
+// hotWindowEvents builds the hot-window skew stream: every 20th window
+// is dense (640 events vs 8), putting ~81% of the stream into 5% of the
+// windows. Hot window ordinals are ≡ 0 (mod 20), so under a static
+// windowID%N placement every hot window of a 2-, 4- or 8-shard
+// deployment lands on the same shard — the degenerate case load-aware
+// placement and work stealing exist to fix.
+func hotWindowEvents(n int) []Event {
+	const (
+		cold     = 8
+		hot      = 640
+		hotEvery = 20
+	)
+	events := make([]Event, 0, n)
+	for w := 0; len(events) < n; w++ {
+		fill := cold
+		if w%hotEvery == 0 {
+			fill = hot
+		}
+		events = append(events, Event{Type: markerType})
+		for i := 0; i < fill && len(events) < n; i++ {
+			events = append(events, Event{Type: Type(i % 2)})
+		}
+	}
+	events = events[:n]
+	for i := range events {
+		events[i].Seq = uint64(i)
+		events[i].TS = Time(i)
+	}
+	return events
+}
+
+// zipfWindowEvents draws each window's size from a seeded Zipf
+// distribution (s=1.3, v=2, max 512): many tiny windows, a heavy tail
+// of large ones — the smooth-skew companion to hotWindowEvents.
+func zipfWindowEvents(n int) []Event {
+	z := rand.NewZipf(rand.New(rand.NewSource(42)), 1.3, 2, 512)
+	events := make([]Event, 0, n)
+	for len(events) < n {
+		fill := int(z.Uint64()) + 2
+		events = append(events, Event{Type: markerType})
+		for i := 0; i < fill && len(events) < n; i++ {
+			events = append(events, Event{Type: Type(i % 2)})
+		}
+	}
+	events = events[:n]
+	for i := range events {
+		events[i].Seq = uint64(i)
+		events[i].TS = Time(i)
+	}
+	return events
+}
+
+// BenchmarkPipelineShards measures the live pipeline in three regimes.
+// The delayed variants grow the shard count under
+// ProcessingDelay-induced load: each kept membership costs a fixed
+// sleep, so the serial pipeline is capped at 1/delay memberships per
+// second while N shards overlap N sleeps — throughput should scale
+// near-linearly from 1 to 4 shards. The nodelay variants run the raw
+// data path (overlapping count windows, 8 memberships per event) at
+// full speed, so ns/op and allocs/op reflect the real per-event cost of
+// routing, shedding, buffering and matching. The skew variants route
+// hot-window and Zipf-sized tumbling windows under the same delay: they
+// measure how well load-aware placement and work stealing keep skewed
+// streams scaling (cmd/benchjson compare gates kept_ev/s monotonicity
+// per variant when the machine has >= 4 procs).
 func BenchmarkPipelineShards(b *testing.B) {
 	const delay = 50 * time.Microsecond
-	run := func(b *testing.B, shards int, d time.Duration, spec WindowSpec) {
+	run := func(b *testing.B, shards int, d time.Duration, spec WindowSpec, events []Event) {
 		p, err := NewPipeline(PipelineConfig{
 			Operator: OperatorConfig{
 				Window:   spec,
@@ -186,10 +259,6 @@ func BenchmarkPipelineShards(b *testing.B) {
 			for range p.Out() {
 			}
 		}()
-		events := make([]Event, b.N)
-		for i := range events {
-			events[i] = Event{Seq: uint64(i), TS: Time(i), Type: Type(i % 2)}
-		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		p.SubmitBatch(events)
@@ -200,23 +269,41 @@ func BenchmarkPipelineShards(b *testing.B) {
 		kept := p.Stats().Operator.MembershipsKept
 		b.ReportMetric(float64(kept)/b.Elapsed().Seconds(), "kept_ev/s")
 	}
+	uniformEvents := func(n int) []Event {
+		events := make([]Event, n)
+		for i := range events {
+			events[i] = Event{Seq: uint64(i), TS: Time(i), Type: Type(i % 2)}
+		}
+		return events
+	}
 	// The shard sweep covers {1, 2, 4, 8} plus GOMAXPROCS when it is not
 	// already in the list: the scaling contract is "shards=N monotonically
 	// beats shards=1 up to GOMAXPROCS", so the machine's own core count is
-	// always a measured point (cmd/benchjson compare warns on regressions).
+	// always a measured point (cmd/benchjson compare gates regressions on
+	// machines with >= 4 procs and warns elsewhere).
 	shardCounts := []int{1, 2, 4, 8}
 	if gmp := runtime.GOMAXPROCS(0); gmp != 1 && gmp != 2 && gmp != 4 && gmp != 8 {
 		shardCounts = append(shardCounts, gmp)
 	}
 	for _, shards := range shardCounts {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			run(b, shards, delay, WindowSpec{Mode: ModeCount, Count: 10, Slide: 10})
+			run(b, shards, delay, WindowSpec{Mode: ModeCount, Count: 10, Slide: 10}, uniformEvents(b.N))
 		})
 	}
 	for _, shards := range shardCounts {
 		b.Run(fmt.Sprintf("nodelay/shards=%d", shards), func(b *testing.B) {
-			run(b, shards, 0, WindowSpec{Mode: ModeCount, Count: 128, Slide: 16})
+			run(b, shards, 0, WindowSpec{Mode: ModeCount, Count: 128, Slide: 16}, uniformEvents(b.N))
 		})
+	}
+	for _, sk := range []struct {
+		name string
+		gen  func(int) []Event
+	}{{"hotwindow", hotWindowEvents}, {"zipf", zipfWindowEvents}} {
+		for _, shards := range shardCounts {
+			b.Run(fmt.Sprintf("skew/%s/shards=%d", sk.name, shards), func(b *testing.B) {
+				run(b, shards, delay, skewWindowSpec(), sk.gen(b.N))
+			})
+		}
 	}
 }
 

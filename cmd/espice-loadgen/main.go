@@ -94,6 +94,7 @@ type summary struct {
 	Ledger       *ledgerSummary         `json:"ledger,omitempty"`
 	ServerStats  json.RawMessage        `json:"server_stats,omitempty"`
 	Chaos        *chaosSummary          `json:"chaos,omitempty"`
+	Scaling      *scalingSummary        `json:"scaling,omitempty"`
 }
 
 // chaosSummary lifts the server's fault-containment counters out of the
@@ -120,6 +121,33 @@ func liftChaos(doc []byte) *chaosSummary {
 		return nil
 	}
 	return probe.Chaos
+}
+
+// scalingSummary lifts the server's skew-aware scale-out counters —
+// work-stealing handoffs, the partitioner's live occupancy estimate and
+// the per-shard backlog — out of the stats document into the artifact's
+// top level, so a CI run shows at a glance whether a skewed stream was
+// balanced across shards or pinned to one.
+type scalingSummary struct {
+	Steals       uint64 `json:"steals"`
+	Occupancy    int64  `json:"occupancy"`
+	ShardBacklog []int  `json:"shard_backlog,omitempty"`
+}
+
+// liftScaling extracts the scale-out counters from the server stats
+// document (nil when the document is missing or reports no sharding).
+func liftScaling(doc []byte) *scalingSummary {
+	if doc == nil {
+		return nil
+	}
+	var probe scalingSummary
+	if err := json.Unmarshal(doc, &probe); err != nil {
+		return nil
+	}
+	if probe.Steals == 0 && probe.Occupancy == 0 && len(probe.ShardBacklog) == 0 {
+		return nil
+	}
+	return &probe
 }
 
 // ledgerSummary fingerprints the events this generator handed to
@@ -234,6 +262,7 @@ func run(opts loadgenOpts, w io.Writer) error {
 		FlushLatency: flushes.Summary(),
 		ServerStats:  doc,
 		Chaos:        liftChaos(doc),
+		Scaling:      liftScaling(doc),
 	}
 	if opts.ledger {
 		sum.Ledger = &ledger

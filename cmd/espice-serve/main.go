@@ -457,20 +457,29 @@ func (app *serveApp) mode() string {
 // and logged periodically; the JSON field names are the wire contract
 // the load generator reports from.
 type serveStats struct {
-	Server        transport.ServerStats  `json:"server"`
-	Submitted     uint64                 `json:"submitted"`
-	Processed     uint64                 `json:"processed"`
-	QueueLen      int                    `json:"queue_len"`
-	PoolMisses    uint64                 `json:"pool_misses"`
-	Memberships   uint64                 `json:"memberships"`
-	Kept          uint64                 `json:"kept"`
-	Shed          uint64                 `json:"shed"`
-	ComplexEvents uint64                 `json:"complex_events"`
-	Latency       metrics.LatencySummary `json:"latency"`
-	WAL           *serveWALStats         `json:"wal,omitempty"`
-	Ledger        *ledgerStats           `json:"ledger,omitempty"`
-	Queries       []serveQueryStats      `json:"queries,omitempty"`
-	Chaos         chaosStats             `json:"chaos"`
+	Server        transport.ServerStats `json:"server"`
+	Submitted     uint64                `json:"submitted"`
+	Processed     uint64                `json:"processed"`
+	QueueLen      int                   `json:"queue_len"`
+	PoolMisses    uint64                `json:"pool_misses"`
+	Memberships   uint64                `json:"memberships"`
+	Kept          uint64                `json:"kept"`
+	Shed          uint64                `json:"shed"`
+	ComplexEvents uint64                `json:"complex_events"`
+	// Steals and Occupancy expose the skew-aware scale-out state:
+	// windows adopted via work stealing (summed over shards, and over
+	// queries in engine mode) and the partitioner's live placement
+	// estimate. ShardBacklog is the per-shard staged-membership backlog
+	// of the sharded pipeline (absent in engine and serial modes) —
+	// together they show whether a skewed stream is balanced or pinned.
+	Steals       uint64                 `json:"steals"`
+	Occupancy    int64                  `json:"occupancy"`
+	ShardBacklog []int                  `json:"shard_backlog,omitempty"`
+	Latency      metrics.LatencySummary `json:"latency"`
+	WAL          *serveWALStats         `json:"wal,omitempty"`
+	Ledger       *ledgerStats           `json:"ledger,omitempty"`
+	Queries      []serveQueryStats      `json:"queries,omitempty"`
+	Chaos        chaosStats             `json:"chaos"`
 }
 
 // chaosStats is the fault-containment section of the stats document:
@@ -533,6 +542,9 @@ func (app *serveApp) stats() serveStats {
 		st.QueueLen = ps.QueueLen
 		for _, ss := range ps.Shards {
 			st.PoolMisses += ss.PoolMisses
+			st.Steals += ss.Steals
+			st.Occupancy += ss.Occupancy
+			st.ShardBacklog = append(st.ShardBacklog, ss.QueueLen)
 		}
 		st.Memberships = ps.Operator.Memberships
 		st.Kept = ps.Operator.MembershipsKept
@@ -548,6 +560,8 @@ func (app *serveApp) stats() serveStats {
 		st.QueueLen += qs.Pipeline.QueueLen
 		for _, ss := range qs.Pipeline.Shards {
 			st.PoolMisses += ss.PoolMisses
+			st.Steals += ss.Steals
+			st.Occupancy += ss.Occupancy
 		}
 		st.Memberships += qs.Pipeline.Operator.Memberships
 		st.Kept += qs.Pipeline.Operator.MembershipsKept

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/event"
 	"repro/internal/harness"
@@ -31,11 +32,15 @@ type propWorkload struct {
 
 // makeWorkload derives a workload from a seed: count- or time-based
 // windows with random (overlapping) geometry, a random-length stream of
-// randomly typed events with irregular timestamp gaps, and optionally a
-// deterministic shedder.
+// randomly typed events with either irregular or bursty (skewed)
+// timestamp gaps, and optionally a deterministic shedder. Bursty
+// streams pack most events into dense clusters separated by long quiet
+// gaps, so time-based windows opened inside a burst are far larger than
+// the rest — the hot-window skew the work-stealing path rebalances.
 func makeWorkload(seed uint64, nEvents int) propWorkload {
 	rng := rand.New(rand.NewSource(int64(seed)))
 	w := propWorkload{shed: rng.Intn(2) == 0}
+	burst := rng.Intn(2) == 0
 	if nEvents <= 0 {
 		nEvents = 200 + rng.Intn(1200)
 	}
@@ -43,19 +48,27 @@ func makeWorkload(seed uint64, nEvents int) propWorkload {
 		count := 3 + rng.Intn(22)
 		slide := 1 + rng.Intn(count)
 		w.spec = window.Spec{Mode: window.ModeCount, Count: count, Slide: slide}
-		w.label = fmt.Sprintf("seed=%d/count=%d/slide=%d/n=%d/shed=%v",
-			seed, count, slide, nEvents, w.shed)
+		w.label = fmt.Sprintf("seed=%d/count=%d/slide=%d/n=%d/shed=%v/burst=%v",
+			seed, count, slide, nEvents, w.shed, burst)
 	} else {
 		length := event.Time(5+rng.Intn(45)) * event.Millisecond
 		slide := event.Time(1+rng.Intn(20)) * event.Millisecond
 		w.spec = window.Spec{Mode: window.ModeTime, Length: length, SlideTime: slide}
-		w.label = fmt.Sprintf("seed=%d/time=%v/slide=%v/n=%d/shed=%v",
-			seed, length, slide, nEvents, w.shed)
+		w.label = fmt.Sprintf("seed=%d/time=%v/slide=%v/n=%d/shed=%v/burst=%v",
+			seed, length, slide, nEvents, w.shed, burst)
 	}
 	w.events = make([]event.Event, nEvents)
 	ts := event.Time(0)
 	for i := range w.events {
-		ts += event.Time(rng.Intn(3)) * event.Millisecond
+		if burst {
+			// ~90% of events arrive back-to-back inside a burst; the
+			// rest open long quiet gaps between bursts.
+			if rng.Intn(10) == 0 {
+				ts += event.Time(5+rng.Intn(20)) * event.Millisecond
+			}
+		} else {
+			ts += event.Time(rng.Intn(3)) * event.Millisecond
+		}
 		w.events[i] = event.Event{
 			Seq:  uint64(i),
 			TS:   ts,
@@ -97,10 +110,13 @@ func streamSignature(ces []operator.ComplexEvent) string {
 
 // TestShardedEquivalenceProperty is the property sweep behind the
 // scale-out refactor: over randomized overlapping-window workloads
-// (count and time modes, with and without shedding), every sharded
-// pipeline in {2,4,8} emits a byte-identical complex-event stream to
-// the serial pipeline. Run with -race to exercise the partitioner,
-// shard and epoch-merge handoffs.
+// (count and time modes, skewed and uniform arrivals, with and without
+// shedding), every sharded pipeline in {2,4,8} emits a byte-identical
+// complex-event stream to the serial pipeline — with work stealing
+// disabled and with it forced aggressive (threshold 1 plus a small
+// processing delay so backlogs actually build and windows actually
+// move). Run with -race to exercise the partitioner, shard, steal-ring
+// and epoch-merge handoffs.
 func TestShardedEquivalenceProperty(t *testing.T) {
 	harness.VerifyNoLeaks(t)
 	for seed := uint64(1); seed <= 6; seed++ {
@@ -112,34 +128,47 @@ func TestShardedEquivalenceProperty(t *testing.T) {
 				t.Skip("workload detects nothing; equivalence would be vacuous")
 			}
 			for _, shards := range []int{2, 4, 8} {
-				cfg := w.config()
-				cfg.Shards = shards
-				sharded, _ := runCollect(t, cfg, w.events)
-				if got := streamSignature(sharded); got != want {
-					t.Errorf("shards=%d: stream differs from serial (%d vs %d complex events)",
-						shards, len(sharded), len(serial))
+				for _, steal := range []int{-1, 1} {
+					cfg := w.config()
+					cfg.Shards = shards
+					cfg.StealThreshold = steal
+					if steal > 0 {
+						cfg.ProcessingDelay = 5 * time.Microsecond
+					}
+					sharded, _ := runCollect(t, cfg, w.events)
+					if got := streamSignature(sharded); got != want {
+						t.Errorf("shards=%d/steal=%d: stream differs from serial (%d vs %d complex events)",
+							shards, steal, len(sharded), len(serial))
+					}
 				}
 			}
 		})
 	}
 }
 
-// FuzzShardedEquivalence lets the fuzzer search the workload space for
-// any divergence between the serial pipeline and an 4-shard deployment.
+// FuzzShardedEquivalence lets the fuzzer search the workload space —
+// including the skewed (bursty) arrival flavor baked into makeWorkload
+// — for any divergence between the serial pipeline and a 4-shard
+// deployment, with work stealing either disabled or forced aggressive.
 func FuzzShardedEquivalence(f *testing.F) {
-	f.Add(uint64(1), uint16(300))
-	f.Add(uint64(7), uint16(900))
-	f.Add(uint64(42), uint16(512))
-	f.Fuzz(func(t *testing.T, seed uint64, n uint16) {
+	f.Add(uint64(1), uint16(300), false)
+	f.Add(uint64(7), uint16(900), true)
+	f.Add(uint64(42), uint16(512), true)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, steal bool) {
 		nEvents := int(n)%1000 + 50 // bound the per-input cost
 		w := makeWorkload(seed, nEvents)
 		serial, _ := runCollect(t, w.config(), w.events)
 		cfg := w.config()
 		cfg.Shards = 4
+		cfg.StealThreshold = -1
+		if steal {
+			cfg.StealThreshold = 1
+			cfg.ProcessingDelay = 5 * time.Microsecond
+		}
 		sharded, _ := runCollect(t, cfg, w.events)
 		if want, got := streamSignature(serial), streamSignature(sharded); got != want {
-			t.Fatalf("%s: sharded stream differs from serial (%d vs %d complex events)",
-				w.label, len(sharded), len(serial))
+			t.Fatalf("%s steal=%v: sharded stream differs from serial (%d vs %d complex events)",
+				w.label, steal, len(sharded), len(serial))
 		}
 	})
 }

@@ -16,9 +16,32 @@ const (
 	opMember = 0 // add-or-shed one membership: slot, pos, evIdx
 	opOpen   = 1 // open a window in slot: a = window ID, b = expected size, evIdx = opening event
 	opClose  = 2 // close the window in slot: a = merge epoch, b = close timestamp
+	opEvict  = 3 // hand the window in slot to shard a's steal ring (work stealing)
+	opAdopt  = 4 // receive a stolen window from the steal ring into slot
 
 	opKindMask   = 0x7f
 	opSampleFlag = 1 << 7
+)
+
+// Work-stealing tuning. A steal moves one whole window — its buffered
+// state, identity and pool entry — from the most-backlogged shard to
+// the least-loaded one via the thief's steal ring (see reassign).
+const (
+	// defaultStealThreshold is the backlog imbalance (staged
+	// memberships, most- minus least-loaded shard) that triggers a
+	// steal when Config.StealThreshold is 0.
+	defaultStealThreshold = 2048
+	// stealCheckEvery amortizes the imbalance check: the partitioner
+	// examines shard backlogs once per this many routed events, which
+	// doubles as the hysteresis cooldown — at most one window moves per
+	// check, so ownership cannot flap faster than the backlog actually
+	// evolves.
+	stealCheckEvery = 128
+	// stealRingCap sizes each shard's adopt ring. At most one steal per
+	// thief is outstanding at a time (pendingAdopts), so a capacity of 2
+	// guarantees the victim's ring push never blocks, even after an
+	// abort leaves an unconsumed entry behind.
+	stealRingCap = 2
 )
 
 // shardOp is one decoded instruction for a shard. The partitioner runs
@@ -85,6 +108,11 @@ type partitioner struct {
 	arrived time.Time  // arrival time of the submit call being staged
 	lastTS  event.Time // latest routed event timestamp (flush close time)
 
+	// Work stealing: sinceSteal counts routed events since the last
+	// imbalance check; stealThreshold < 0 disables stealing.
+	sinceSteal     int
+	stealThreshold int
+
 	closed   bool        // input sealed; shard channels are closed
 	canceled atomic.Bool // Run's context ended; drop instead of send
 	done     chan struct{}
@@ -97,14 +125,15 @@ func newPartitioner(p *Pipeline, spec window.Spec) (*partitioner, error) {
 	}
 	n := len(p.shards)
 	return &partitioner{
-		p:         p,
-		tracker:   tracker,
-		staged:    make([]*shardBatch, n),
-		freeSlots: make([][]int32, n),
-		nextSlot:  make([]int32, n),
-		evMark:    make([]uint64, n),
-		evIdx:     make([]int32, n),
-		done:      make(chan struct{}),
+		p:              p,
+		tracker:        tracker,
+		staged:         make([]*shardBatch, n),
+		freeSlots:      make([][]int32, n),
+		nextSlot:       make([]int32, n),
+		evMark:         make([]uint64, n),
+		evIdx:          make([]int32, n),
+		stealThreshold: p.cfg.StealThreshold,
+		done:           make(chan struct{}),
 	}, nil
 }
 
@@ -200,18 +229,17 @@ func (pt *partitioner) routeOne(ev event.Event) {
 		var si int
 		var slot int32
 		if w.Tag == 0 {
-			// First membership of a freshly opened window: place it. The
-			// shard is derived from the deterministic window ID, so a
-			// given stream shards identically run to run.
-			si = int(w.ID) % nshards
-			if free := pt.freeSlots[si]; len(free) > 0 {
-				slot = free[len(free)-1]
-				pt.freeSlots[si] = free[:len(free)-1]
-			} else {
-				slot = pt.nextSlot[si]
-				pt.nextSlot[si]++
-			}
+			// First membership of a freshly opened window: place it on the
+			// least-loaded eligible shard (occupancy + backlog). Placement
+			// does not affect the output — positions and close epochs are
+			// decided here by the tracker regardless of where the payload
+			// window lives — so load-aware placement keeps shard=N output
+			// byte-identical to shard=1 while spreading skewed (hot)
+			// windows across cores instead of pinning windowID%N.
+			si = pt.placeShard(w, nshards)
+			slot = pt.takeSlot(si)
 			w.Tag = packTag(si, slot)
+			pt.p.shards[si].occupancy.Add(occWeight(w))
 			pt.stageOp(si, shardOp{
 				kind:  opOpen,
 				slot:  slot,
@@ -248,7 +276,173 @@ func (pt *partitioner) routeOne(ev event.Event) {
 	for _, w := range closedWins {
 		pt.stageClose(w, ev.TS)
 	}
+	if pt.stealThreshold > 0 {
+		pt.sinceSteal++
+		if pt.sinceSteal >= stealCheckEvery {
+			pt.sinceSteal = 0
+			pt.maybeSteal()
+		}
+	}
 	pt.p.processed.Add(1)
+}
+
+// occWeight is a window's contribution to its owning shard's occupancy
+// estimate: the expected in-flight work it represents. It must be
+// stable over the window's life (added at placement, moved on steal,
+// subtracted at close), so it derives only from ExpectedSize, which the
+// tracker fixes at open time.
+func occWeight(w *window.Window) int64 {
+	if w.ExpectedSize > 0 {
+		return int64(w.ExpectedSize)
+	}
+	return 1
+}
+
+// placeShard picks the owning shard for a freshly opened window: the
+// one with the lowest occupancy (sum of expected sizes of the open
+// windows it owns), with queued-membership backlog breaking exact
+// occupancy ties. The split matters: scoring on backlog directly makes
+// uniform-workload placement chase whichever shard the scheduler
+// drained last, clustering consecutive windows and costing ~10%
+// throughput, so backlog only decides when occupancy genuinely cannot —
+// notably tumbling predicate windows, where at most one window is open
+// and every shard's occupancy is zero at placement time, exactly the
+// regime where a hot window leaves a backlogged shard that static
+// modular placement would keep re-picking. The scan starts at
+// windowID%n so a fully balanced pipeline degenerates to the old
+// deterministic round-robin placement instead of piling ties onto
+// shard 0. Caller holds pt.mu.
+func (pt *partitioner) placeShard(w *window.Window, nshards int) int {
+	start := int(w.ID) % nshards
+	if nshards == 1 {
+		return 0
+	}
+	best, bestScore, bestQ := start, int64(1)<<62, int64(1)<<62
+	for k := 0; k < nshards; k++ {
+		i := start + k
+		if i >= nshards {
+			i -= nshards
+		}
+		s := pt.p.shards[i]
+		score := s.occupancy.Load()
+		if score > bestScore {
+			continue
+		}
+		if q := s.queued.Load(); score < bestScore || q < bestQ {
+			best, bestScore, bestQ = i, score, q
+		}
+	}
+	return best
+}
+
+// takeSlot hands out a shard-local window slot, recycling freed ones.
+// Caller holds pt.mu.
+func (pt *partitioner) takeSlot(si int) int32 {
+	if free := pt.freeSlots[si]; len(free) > 0 {
+		slot := free[len(free)-1]
+		pt.freeSlots[si] = free[:len(free)-1]
+		return slot
+	}
+	slot := pt.nextSlot[si]
+	pt.nextSlot[si]++
+	return slot
+}
+
+// maybeSteal rebalances window ownership when the shard backlogs have
+// drifted apart by more than the steal threshold: one open,
+// not-yet-closing window moves from the most-backlogged shard to the
+// least-backlogged one. At most one steal per thief is in flight at a
+// time (pendingAdopts), and checks run once per stealCheckEvery routed
+// events, so ownership cannot flap. Caller holds pt.mu.
+func (pt *partitioner) maybeSteal() {
+	shards := pt.p.shards
+	victim, thief := 0, 0
+	maxQ, minQ := int64(-1), int64(1)<<62
+	for i, s := range shards {
+		q := s.queued.Load()
+		if q > maxQ {
+			victim, maxQ = i, q
+		}
+		if q < minQ {
+			thief, minQ = i, q
+		}
+	}
+	if victim == thief || maxQ-minQ <= int64(pt.stealThreshold) {
+		return
+	}
+	if shards[thief].pendingAdopts.Load() != 0 {
+		return // previous steal to this thief still in flight
+	}
+	if w := pt.stealCandidate(victim); w != nil {
+		pt.reassign(w, victim, thief)
+	}
+}
+
+// stealCandidate picks the victim's open window with the most expected
+// remaining work, skipping windows about to close — a handoff is only
+// worth its evict/adopt rendezvous if future memberships follow it to
+// the thief. Count-based windows close by arrivals, so "about to
+// close" means most of Count is already consumed; time-based windows
+// close by the clock, so the candidate is the arrival-heaviest window
+// (the hot one) provided at least a quarter of its span remains.
+// Caller holds pt.mu.
+func (pt *partitioner) stealCandidate(victim int) *window.Window {
+	spec := pt.tracker.Spec()
+	var cand *window.Window
+	var candScore int64
+	for _, w := range pt.tracker.OpenWindows() {
+		if w.Tag == 0 {
+			continue // not yet placed
+		}
+		if si, _ := unpackTag(w.Tag); si != victim {
+			continue
+		}
+		var score int64
+		if spec.Mode == window.ModeCount {
+			rem := int64(spec.Count - w.Arrivals)
+			if rem*2 < int64(spec.Count) {
+				continue // closing soon; not worth the handoff
+			}
+			score = rem
+		} else {
+			if pt.lastTS-w.OpenTS > spec.Length-spec.Length/4 {
+				continue // span nearly over
+			}
+			score = int64(w.Arrivals) // hotness proxy
+		}
+		if cand == nil || score > candScore {
+			cand, candScore = w, score
+		}
+	}
+	return cand
+}
+
+// reassign moves one window from victim to thief: an evict op tells the
+// victim to push the window struct (buffered entries, counters, pool
+// entry and all) into the thief's steal ring, and an adopt op tells the
+// thief to receive it into a fresh local slot. Both shards replay their
+// op streams in FIFO order, so every membership staged before the steal
+// is applied by the victim and every one staged after it by the thief —
+// the entry order inside the window is exactly the serial pipeline's.
+// The evict is flushed immediately: the thief blocks on the ring when
+// it reaches the adopt, and leaving the evict parked in the partitioner
+// while a submitter blocks on the thief's full input queue would
+// deadlock. (All rendezvous point backwards in staging order — an adopt
+// waits only on an evict staged strictly earlier, and FIFO queues only
+// on earlier ops — so the earliest unprocessed op can always run and
+// the steal protocol cannot deadlock.) Caller holds pt.mu.
+func (pt *partitioner) reassign(w *window.Window, victim, thief int) {
+	_, vslot := unpackTag(w.Tag)
+	pt.stageOp(victim, shardOp{kind: opEvict, slot: vslot, a: uint64(thief)})
+	pt.flushShard(victim)
+	pt.freeSlots[victim] = append(pt.freeSlots[victim], vslot)
+	tslot := pt.takeSlot(thief)
+	w.Tag = packTag(thief, tslot)
+	weight := occWeight(w)
+	pt.p.shards[victim].occupancy.Add(-weight)
+	pt.p.shards[thief].occupancy.Add(weight)
+	pt.p.shards[thief].pendingAdopts.Add(1)
+	pt.stageOp(thief, shardOp{kind: opAdopt, slot: tslot})
 }
 
 // stageClose emits the close op for a tracker-closed window, assigns its
@@ -266,6 +460,7 @@ func (pt *partitioner) stageClose(w *window.Window, now event.Time) {
 		b:    uint64(now),
 	})
 	pt.epoch++
+	pt.p.shards[si].occupancy.Add(-occWeight(w))
 	pt.freeSlots[si] = append(pt.freeSlots[si], slot)
 	pt.tracker.Release(w)
 }
@@ -336,6 +531,9 @@ func (pt *partitioner) close() {
 // then closed under the same mutex, which can never race a send.
 func (pt *partitioner) cancel() {
 	pt.canceled.Store(true)
+	// Unblock any adopt op waiting on a steal ring whose matching evict
+	// will now be dropped with its staged batch.
+	pt.p.abortSteals()
 	pt.mu.Lock()
 	defer pt.mu.Unlock()
 	if !pt.closed {

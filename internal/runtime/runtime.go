@@ -89,6 +89,18 @@ type Config struct {
 	// (safe for core.Shedder, whose state is swapped atomically). Ignored
 	// when Shards <= 1.
 	ShardDeciders []operator.Decider
+	// StealThreshold tunes window work stealing on the sharded path: when
+	// the most-backlogged shard's staged-membership backlog exceeds the
+	// least-loaded shard's by more than this many memberships, the
+	// partitioner reassigns an open (not-yet-closing) window from the
+	// former to the latter — ownership, buffered state and pool entry
+	// move to the thief, and all future memberships of the window follow
+	// (see partition.go). Complex-event output is byte-identical with
+	// stealing on or off: window identities, positions and close epochs
+	// are decided by the partitioner's tracker either way. 0 selects the
+	// default (2048 memberships); negative disables stealing. Ignored
+	// when Shards <= 1.
+	StealThreshold int
 	// OnPanic, when non-nil, is called once — from the goroutine that
 	// panicked, right as the pipeline's failed flag trips — when a
 	// processing path panics (guard.go). The pipeline then drains
@@ -168,6 +180,23 @@ type ShardStats struct {
 	// warm working set; a climbing value means closed windows are not
 	// being recycled (a pool leak).
 	PoolMisses uint64
+	// PoolGets and PoolPuts count window-pool handouts and recycles for
+	// this shard. A stolen window is recycled into its *current* owner's
+	// pool, so per-shard gets and puts diverge under stealing churn; the
+	// conservation invariant is global — summed over all shards,
+	// PoolPuts + PoolMisses >= PoolGets always, and PoolGets == PoolPuts
+	// once every window has closed.
+	PoolGets uint64
+	PoolPuts uint64
+	// Steals counts windows this shard adopted from a more-backlogged
+	// shard (work stealing); a stolen window's remaining memberships,
+	// close, matching and pool recycling all happen here.
+	Steals uint64
+	// Occupancy is the partitioner's live placement estimate of this
+	// shard's in-flight window work: the summed expected sizes of the
+	// open windows it currently owns. New windows are placed on the
+	// shard minimizing Occupancy + QueueLen.
+	Occupancy int64
 	// Throughput is the detector's unshed-capacity estimate for this
 	// shard in events per second.
 	Throughput float64
@@ -233,6 +262,12 @@ type Pipeline struct {
 	failed   atomic.Bool
 	panicErr atomic.Pointer[PanicError]
 
+	// abort unblocks shard-side steal rendezvous (an adopt op waiting on
+	// its ring) when the pipeline dies before the matching evict is
+	// processed — context cancel or contained panic. Sharded only.
+	abort     chan struct{}
+	abortOnce sync.Once
+
 	mu        sync.Mutex
 	latency   metrics.LatencyTrace
 	lastTS    event.Time
@@ -269,6 +304,9 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if n := len(cfg.ShardDeciders); n > 0 && n != cfg.Shards {
 		return nil, fmt.Errorf("runtime: ShardDeciders has %d entries for %d shards", n, cfg.Shards)
+	}
+	if cfg.StealThreshold == 0 {
+		cfg.StealThreshold = defaultStealThreshold
 	}
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 10 * time.Millisecond
@@ -347,6 +385,7 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	p.flowCond = sync.NewCond(&p.flowMu)
 	if cfg.Shards > 1 {
+		p.abort = make(chan struct{})
 		maxMatches := cfg.Operator.MaxMatchesPerWindow
 		if maxMatches <= 0 {
 			maxMatches = 1
@@ -372,6 +411,7 @@ func New(cfg Config) (*Pipeline, error) {
 				pipe:    p,
 				in:      make(chan *shardBatch, batchCap),
 				recycle: make(chan *shardBatch, batchCap+1),
+				adopt:   make(chan *window.Window, stealRingCap),
 				decider: dec,
 				matcher: operator.NewMatcher(cfg.Operator.Patterns, maxMatches),
 				hook:    cfg.Operator.OnWindowClose,

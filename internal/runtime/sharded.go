@@ -24,6 +24,11 @@ type shard struct {
 	pipe    *Pipeline        // back-pointer for panic containment (guard.go)
 	in      chan *shardBatch // op batches from the partitioner
 	recycle chan *shardBatch // drained batches handed back for reuse
+	// adopt is the shard's steal ring: when the partitioner reassigns a
+	// window to this shard, the previous owner pushes the window struct
+	// here and this shard's adopt op receives it. At most one steal per
+	// thief is in flight (pendingAdopts), so the push never blocks.
+	adopt   chan *window.Window
 	decider operator.Decider
 	batched operator.BatchingDecider // non-nil when decider batches counters
 	matcher *operator.Matcher        // per-shard match scratch
@@ -62,6 +67,16 @@ type shard struct {
 	busyNanos        atomic.Int64
 	thEst            atomic.Uint64 // float64 bits
 
+	// Skew-aware scale-out state: occupancy is the partitioner's
+	// placement estimate (summed expected sizes of owned open windows,
+	// updated under the partitioner mutex), steals counts adopted
+	// windows, and pendingAdopts caps in-flight steals to this shard at
+	// one (incremented at staging, decremented when the adopt op
+	// actually receives from the ring).
+	occupancy     atomic.Int64
+	steals        atomic.Uint64
+	pendingAdopts atomic.Int32
+
 	mu      sync.Mutex
 	latency metrics.LatencyTrace
 }
@@ -81,6 +96,10 @@ func (s *shard) snapshot() ShardStats {
 		WindowsWithMatch: s.windowsWithMatch.Load(),
 		QueueLen:         int(s.queued.Load()),
 		PoolMisses:       s.pool.Misses(),
+		PoolGets:         s.pool.Gets(),
+		PoolPuts:         s.pool.Puts(),
+		Steals:           s.steals.Load(),
+		Occupancy:        s.occupancy.Load(),
 		Throughput:       loadFloat(&s.thEst),
 	}
 }
@@ -114,13 +133,49 @@ func (s *shard) run(ctx context.Context, wg *sync.WaitGroup) {
 	defer flush()
 	for b := range s.in {
 		if ctx.Err() != nil || s.pipe.failed.Load() {
-			s.queued.Add(-int64(b.members))
+			s.drainBatch(b)
 			continue
 		}
 		s.processBatch(b, &decisions, &drops)
 		if decisions >= tallyFlushBatch || len(s.in) == 0 {
 			flush()
 		}
+	}
+}
+
+// drainBatch disposes of a batch without processing after a cancel or a
+// contained panic. Steal-handoff ops must still be serviced — an evict
+// that is never pushed would wedge the thief blocked on its ring, and
+// an adopt that is never received would strand the victim's push — so
+// the drain walks the ops and completes every rendezvous (the abort
+// channel, closed on cancel/panic, breaks pairs whose other half was
+// dropped with an unflushed batch).
+func (s *shard) drainBatch(b *shardBatch) {
+	for _, op := range b.ops {
+		switch op.kind & opKindMask {
+		case opEvict:
+			var w *window.Window
+			if int(op.slot) < len(s.wins) {
+				w, s.wins[op.slot] = s.wins[op.slot], nil
+			}
+			s.pipe.shards[op.a].adopt <- w
+		case opAdopt:
+			select {
+			case <-s.adopt:
+				s.pendingAdopts.Add(-1)
+			case <-s.pipe.abort:
+			}
+		}
+	}
+	s.queued.Add(-int64(b.members))
+}
+
+// abortSteals unblocks every steal-ring rendezvous whose counterpart op
+// will never be processed (dropped with a canceled batch or unwound by
+// a panic). Idempotent; a no-op for serial pipelines.
+func (p *Pipeline) abortSteals() {
+	if p.abort != nil {
+		p.abortOnce.Do(func() { close(p.abort) })
 	}
 }
 
@@ -138,6 +193,9 @@ func (s *shard) processBatch(b *shardBatch, decisions, drops *uint64) {
 		switch op.kind & opKindMask {
 		case opMember:
 			w := s.wins[op.slot]
+			if w == nil {
+				continue // adopt aborted mid-teardown; pipeline is dying
+			}
 			w.Arrivals++
 			members++
 			ev := b.events[op.evIdx]
@@ -170,16 +228,44 @@ func (s *shard) processBatch(b *shardBatch, decisions, drops *uint64) {
 			s.ensureSlot(int(op.slot))
 			s.wins[op.slot] = w
 		case opClose:
+			w := s.wins[op.slot]
+			s.wins[op.slot] = nil
+			if w == nil {
+				continue // adopt aborted mid-teardown; merger emits the prefix
+			}
 			if !haveOut {
 				out = s.merger.Batch()
 				haveOut = true
 			}
-			w := s.wins[op.slot]
-			s.wins[op.slot] = nil
 			out = append(out, parallel.EpochResult[[]operator.ComplexEvent]{
 				Epoch: op.a,
 				Val:   s.closeOwned(w, event.Time(op.b)),
 			})
+		case opEvict:
+			// Ownership handoff, donor side: push the window — buffered
+			// entries, counters and its pool entry — to the thief's steal
+			// ring and forget it. Future ops for this window (memberships,
+			// close) were staged to the thief after its adopt op.
+			w := s.wins[op.slot]
+			s.wins[op.slot] = nil
+			s.pipe.shards[op.a].adopt <- w
+		case opAdopt:
+			// Ownership handoff, thief side: receive the stolen window into
+			// a fresh local slot. Blocks until the donor processes its evict
+			// (always strictly earlier in staging order, so this cannot
+			// deadlock); the abort channel breaks the wait if the pipeline
+			// dies with the evict unflushed.
+			var w *window.Window
+			select {
+			case w = <-s.adopt:
+				s.pendingAdopts.Add(-1)
+				if w != nil {
+					s.steals.Add(1)
+				}
+			case <-s.pipe.abort:
+			}
+			s.ensureSlot(int(op.slot))
+			s.wins[op.slot] = w
 		}
 	}
 	s.memberships.Add(members)

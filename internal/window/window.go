@@ -189,6 +189,7 @@ type Pool struct {
 	free []*Window
 
 	gets   atomic.Uint64
+	puts   atomic.Uint64
 	misses atomic.Uint64
 }
 
@@ -213,6 +214,7 @@ func (p *Pool) Put(w *Window) {
 	if w == nil {
 		return
 	}
+	p.puts.Add(1)
 	for i := range w.Kept {
 		w.Kept[i] = Entry{Pos: -1}
 	}
@@ -223,6 +225,16 @@ func (p *Pool) Put(w *Window) {
 
 // Gets reports how many windows were handed out.
 func (p *Pool) Gets() uint64 { return p.gets.Load() }
+
+// Puts reports how many windows were recycled into the pool. Together
+// with Gets and Misses this makes pool accounting conservation-checkable
+// across ownership handoffs (the sharded runtime's work stealing recycles
+// a stolen window into the thief's pool, not its opener's): at any
+// moment Puts + Misses >= Gets per process (the surplus is the pooled
+// free list plus live windows allocated by misses), and once every
+// window has closed and been recycled, the global sums satisfy
+// Gets == Puts exactly.
+func (p *Pool) Puts() uint64 { return p.puts.Load() }
 
 // Misses reports how many Gets had to allocate because the pool was
 // empty — in steady state (every closed window released) this stops
@@ -279,6 +291,14 @@ func (m *Manager) Spec() Spec { return m.spec }
 
 // OpenCount reports the number of currently open windows.
 func (m *Manager) OpenCount() int { return len(m.open) }
+
+// OpenWindows exposes the currently open windows in opening order. The
+// returned slice aliases the manager's own state: callers must treat it
+// as read-only (Tag excepted — it is deployment scratch), must not
+// retain it past the next Route or Flush call, and must call from the
+// manager's owning goroutine. The sharded runtime's partitioner uses it
+// to pick steal candidates when rebalancing window ownership.
+func (m *Manager) OpenWindows() []*Window { return m.open }
 
 // TotalOpened reports how many windows were ever opened.
 func (m *Manager) TotalOpened() uint64 { return m.totalOpened }
