@@ -11,7 +11,7 @@ BENCHLABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 # goes through `go test -fuzz` directly).
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-skew bench-figures fmt vet doccheck fuzz-smoke loadtest killtest chaostest
+.PHONY: build test bench bench-skew bench-figures fmt vet doccheck fuzz-smoke loadtest killtest chaostest fairtest
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,17 @@ chaostest:
 	$(GO) test ./internal/chaos -count=1
 	$(GO) test ./cmd/espice-serve -run '^TestChaosSoak$$' -count=1 -v
 	$(GO) test ./cmd/espice-serve -run '^TestChaosSoak$$' -race -short -count=1
+
+# Multi-tenant fairness soak: a compliant tenant next to a tenant
+# flooding far above its quota — the compliant stream must stay
+# byte-identical to its solo run, its p99 inside the regression bound,
+# and the flood's overage throttled at the transport and shed by the
+# engine budget. Two passes like chaostest: the full soak in a plain
+# build, then a shortened run under the race detector (race overhead
+# stretches the burst window, so -short keeps it inside its budget).
+fairtest:
+	$(GO) test ./cmd/espice-serve -run '^TestTenantFairnessSoak$$' -count=1 -v
+	$(GO) test ./cmd/espice-serve -run '^TestTenant' -race -short -count=1
 
 fmt:
 	gofmt -l -w .

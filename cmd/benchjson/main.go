@@ -200,14 +200,9 @@ func compareCmd(args []string) {
 	}
 
 	cur := readRun(os.Stdin)
-	baseProcs := 0
-	for _, run := range file.Runs {
-		if run.GoMaxProcs > baseProcs {
-			baseProcs = run.GoMaxProcs
-		}
-	}
-	fmt.Printf("benchjson: fresh run gomaxprocs=%d numcpu=%d; baseline max gomaxprocs=%d\n",
-		cur.GoMaxProcs, cur.NumCPU, baseProcs)
+	hardGate, gateDetail := shardGate(cur, file)
+	fmt.Printf("benchjson: fresh run gomaxprocs=%d numcpu=%d; %s\n",
+		cur.GoMaxProcs, cur.NumCPU, gateDetail)
 	regressions := 0
 	for _, b := range cur.Benchmarks {
 		ref, ok := base[b.Name]
@@ -235,12 +230,6 @@ func compareCmd(args []string) {
 		regressions++
 		fmt.Printf("REGRESSED %-49s vs %s: %s\n", b.Name, baseLabel[b.Name], strings.Join(problems, "; "))
 	}
-	// The shard-scaling contract is a hard gate only when both sides
-	// were measured with real parallelism available: the fresh run ran
-	// with GOMAXPROCS >= 4 and the trajectory holds at least one >= 4-proc
-	// recording (so a violation is a code regression, not a small
-	// machine). Otherwise the violations degrade to advisory WARN lines.
-	hardGate := cur.GoMaxProcs >= 4 && baseProcs >= 4
 	violations := checkShardScaling(cur, hardGate)
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond the %.0f%% budget\n",
@@ -253,6 +242,50 @@ func compareCmd(args []string) {
 		os.Exit(1)
 	}
 	fmt.Println("benchjson: no regressions against", *baseline)
+}
+
+// shardGate decides whether the shard-scaling contract is enforced as a
+// hard gate (violations exit 1) or advisory WARN lines. Hard requires
+// real parallelism on both sides: the fresh run ran with GOMAXPROCS
+// >= 4, and the trajectory holds at least one recording that both
+// stamped its proc count >= 4 AND measured the shard benchmarks. Runs
+// from before proc stamping existed carry no gomaxprocs field — they
+// are incomparable for the scaling contract and must degrade the gate
+// to advisory, never satisfy it: a trajectory of only unstamped (or
+// shard-benchmark-free) runs yields an advisory gate even on a big
+// machine. The returned detail string explains the decision.
+func shardGate(cur Run, file File) (hard bool, detail string) {
+	baseProcs := 0
+	stamped := false
+	for _, run := range file.Runs {
+		if run.GoMaxProcs <= 0 {
+			continue // pre-stamping era: field absent, incomparable
+		}
+		hasShards := false
+		for _, b := range run.Benchmarks {
+			if strings.HasPrefix(b.Name, "BenchmarkPipelineShards") {
+				hasShards = true
+				break
+			}
+		}
+		if !hasShards {
+			continue
+		}
+		stamped = true
+		if run.GoMaxProcs > baseProcs {
+			baseProcs = run.GoMaxProcs
+		}
+	}
+	if !stamped {
+		return false, "baseline has no proc-stamped shard runs (pre-gate era): shard gate advisory"
+	}
+	if baseProcs < 4 {
+		return false, fmt.Sprintf("baseline max gomaxprocs=%d < 4: shard gate advisory", baseProcs)
+	}
+	if cur.GoMaxProcs < 4 {
+		return false, fmt.Sprintf("fresh run gomaxprocs < 4 (baseline max %d): shard gate advisory", baseProcs)
+	}
+	return true, fmt.Sprintf("baseline max gomaxprocs=%d: shard gate enforced", baseProcs)
 }
 
 // checkShardScaling asserts the scale-out contract on the fresh run:

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// shardBench builds one BenchmarkPipelineShards entry at the given
+// shard count.
+func shardBench(n int, keptEvs float64) Benchmark {
+	return Benchmark{
+		Name:    "BenchmarkPipelineShards/shards=" + string(rune('0'+n)),
+		Runs:    10,
+		Metrics: Metrics{"ns/op": 100, "kept_ev/s": keptEvs},
+	}
+}
+
+// TestShardGateMixedEra regresses the incomparable-baseline bug: a
+// trajectory whose only multi-core-looking evidence comes from runs
+// that predate proc stamping (no gomaxprocs field) must leave the
+// shard-scaling contract advisory, never hard — the gate used to
+// hard-fail fresh runs against baselines it could not actually compare
+// with.
+func TestShardGateMixedEra(t *testing.T) {
+	// A realistic mixed-era trajectory straight from JSON: pr3/pr6 were
+	// recorded before proc stamping existed (no gomaxprocs member at
+	// all), pr9 is stamped but on a single-core CI runner.
+	mixed := `{
+	  "runs": [
+	    {"label": "pr3", "date": "2026-01-01",
+	     "benchmarks": [{"name": "BenchmarkOperatorProcess", "runs": 10, "metrics": {"ns/op": 50, "allocs/op": 0, "B/op": 1}}]},
+	    {"label": "pr6", "date": "2026-02-01",
+	     "benchmarks": [
+	       {"name": "BenchmarkPipelineShards/shards=1", "runs": 10, "metrics": {"ns/op": 100, "kept_ev/s": 6100000}},
+	       {"name": "BenchmarkPipelineShards/shards=4", "runs": 10, "metrics": {"ns/op": 90, "kept_ev/s": 15300000}}]},
+	    {"label": "pr9", "date": "2026-03-01", "gomaxprocs": 1, "numcpu": 1,
+	     "benchmarks": [{"name": "BenchmarkPipelineShards/shards=1", "runs": 10, "metrics": {"ns/op": 100, "kept_ev/s": 6000000}}]}
+	  ]
+	}`
+	var file File
+	if err := json.Unmarshal([]byte(mixed), &file); err != nil {
+		t.Fatal(err)
+	}
+
+	cur := Run{GoMaxProcs: 8, Benchmarks: []Benchmark{shardBench(1, 6e6), shardBench(4, 15e6)}}
+
+	// pr6 has shard benchmarks but no proc stamp; pr9 is stamped but
+	// single-core. Neither makes the contract comparable: advisory.
+	hard, detail := shardGate(cur, file)
+	if hard {
+		t.Fatalf("mixed-era baseline produced a hard gate (%s); want advisory", detail)
+	}
+	if !strings.Contains(detail, "advisory") {
+		t.Errorf("detail = %q, want an advisory explanation", detail)
+	}
+
+	// Stamping pr6 at >= 4 procs makes it comparable: gate goes hard.
+	file.Runs[1].GoMaxProcs = 8
+	hard, detail = shardGate(cur, file)
+	if !hard {
+		t.Fatalf("stamped >=4-proc shard baseline left the gate advisory (%s)", detail)
+	}
+
+	// ... but only for a fresh run that itself has the parallelism.
+	cur.GoMaxProcs = 2
+	if hard, detail = shardGate(cur, file); hard {
+		t.Fatalf("fresh 2-proc run got a hard gate (%s); want advisory", detail)
+	}
+
+	// A stamped big-machine run WITHOUT shard benchmarks is not shard
+	// evidence either.
+	var file2 File
+	if err := json.Unmarshal([]byte(mixed), &file2); err != nil {
+		t.Fatal(err)
+	}
+	file2.Runs[0].GoMaxProcs = 16 // operator bench only, no shard family
+	cur.GoMaxProcs = 8
+	if hard, detail = shardGate(cur, file2); hard {
+		t.Fatalf("shard-benchmark-free stamped run produced a hard gate (%s); want advisory", detail)
+	}
+}
+
+// TestCheckShardScaling covers the violation detection itself: below
+// shards=1 and non-monotonic growth each count once, clean scaling
+// counts zero.
+func TestCheckShardScaling(t *testing.T) {
+	clean := Run{Benchmarks: []Benchmark{
+		shardBench(1, 6e6), shardBench(2, 10e6), shardBench(4, 15e6),
+	}}
+	if v := checkShardScaling(clean, false); v != 0 {
+		t.Errorf("clean scaling reported %d violations", v)
+	}
+	// shards=4 below both shards=1 and shards=2: two violations.
+	bad := Run{Benchmarks: []Benchmark{
+		shardBench(1, 6e6), shardBench(2, 10e6), shardBench(4, 5e6),
+	}}
+	if v := checkShardScaling(bad, true); v != 2 {
+		t.Errorf("negative scaling reported %d violations, want 2", v)
+	}
+}
+
+// TestParseLineProcs pins the -N suffix recovery the gate metadata
+// depends on.
+func TestParseLineProcs(t *testing.T) {
+	b, procs, ok := parseLine("BenchmarkPipelineShards/shards=4-8   100   123 ns/op   456 kept_ev/s")
+	if !ok || procs != 8 || b.Name != "BenchmarkPipelineShards/shards=4" {
+		t.Fatalf("parseLine = %+v procs=%d ok=%v", b, procs, ok)
+	}
+	if b.Metrics["kept_ev/s"] != 456 {
+		t.Errorf("kept_ev/s = %v, want 456", b.Metrics["kept_ev/s"])
+	}
+	_, procs, ok = parseLine("BenchmarkFoo   100   123 ns/op")
+	if !ok || procs != 0 {
+		t.Fatalf("suffix-free line: procs=%d ok=%v, want 0 true", procs, ok)
+	}
+}

@@ -52,6 +52,7 @@ type loadgenOpts struct {
 	selftest bool
 	session  uint64
 	ledger   bool
+	token    string
 }
 
 func main() {
@@ -71,6 +72,8 @@ func main() {
 		"durable delivery: connection i uses session id session+i (0 = plain at-most-once; needs a -wal server)")
 	flag.BoolVar(&opts.ledger, "ledger", false,
 		"print the producer ledger fingerprint (count/sum/xor of sent event seqs) to compare against the server's")
+	flag.StringVar(&opts.token, "token", "",
+		"tenant token presented on every connection (needs a server with -tenants)")
 	flag.Parse()
 
 	if err := run(opts, os.Stdout); err != nil {
@@ -95,6 +98,7 @@ type summary struct {
 	ServerStats  json.RawMessage        `json:"server_stats,omitempty"`
 	Chaos        *chaosSummary          `json:"chaos,omitempty"`
 	Scaling      *scalingSummary        `json:"scaling,omitempty"`
+	Tenants      []tenantSummary        `json:"tenants,omitempty"`
 }
 
 // chaosSummary lifts the server's fault-containment counters out of the
@@ -148,6 +152,43 @@ func liftScaling(doc []byte) *scalingSummary {
 		return nil
 	}
 	return &probe
+}
+
+// tenantSummary lifts the server's per-tenant admission and shedding
+// counters out of the stats document into the artifact's top level:
+// what each tenant got in (events, throttling), how its ingress
+// measured against quota, and what the utility shedder took from it.
+// The fairness soak's CI artifact shows the noisy/compliant split
+// without digging through server_stats.
+type tenantSummary struct {
+	Name             string  `json:"name"`
+	Events           uint64  `json:"events"`
+	ThrottledBatches uint64  `json:"throttled_batches"`
+	ThrottleWaitMS   float64 `json:"throttle_wait_ms"`
+	Submitted        uint64  `json:"submitted"`
+	InputRate        float64 `json:"input_rate"`
+	QuotaRate        float64 `json:"quota_rate"`
+	DropShare        float64 `json:"drop_share"`
+	Delivered        uint64  `json:"delivered"`
+	Kept             uint64  `json:"kept"`
+	Shed             uint64  `json:"shed"`
+	ComplexEvents    uint64  `json:"complex_events"`
+}
+
+// liftTenants extracts the per-tenant counters from the server stats
+// document (nil when the document is missing or the server runs
+// single-tenant).
+func liftTenants(doc []byte) []tenantSummary {
+	if doc == nil {
+		return nil
+	}
+	var probe struct {
+		Tenants []tenantSummary `json:"tenants"`
+	}
+	if err := json.Unmarshal(doc, &probe); err != nil {
+		return nil
+	}
+	return probe.Tenants
 }
 
 // ledgerSummary fingerprints the events this generator handed to
@@ -223,7 +264,7 @@ func run(opts loadgenOpts, w io.Writer) error {
 			if opts.session != 0 {
 				session = opts.session + uint64(ci)
 			}
-			st, trace, led, sdoc, err := driveConn(addr, events, ci, perConn+extra, perRate, opts.batch, session, ci == 0)
+			st, trace, led, sdoc, err := driveConn(addr, events, ci, perConn+extra, perRate, opts.batch, session, opts.token, ci == 0)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstE == nil {
@@ -263,6 +304,7 @@ func run(opts loadgenOpts, w io.Writer) error {
 		ServerStats:  doc,
 		Chaos:        liftChaos(doc),
 		Scaling:      liftScaling(doc),
+		Tenants:      liftTenants(doc),
 	}
 	if opts.ledger {
 		sum.Ledger = &ledger
@@ -280,6 +322,11 @@ func run(opts loadgenOpts, w io.Writer) error {
 	if sum.Ledger != nil {
 		fmt.Fprintf(w, "ledger: count %d sum %d xor %d (retransmits %d)\n",
 			sum.Ledger.Count, sum.Ledger.Sum, sum.Ledger.Xor, sum.Retransmits)
+	}
+	for _, tn := range sum.Tenants {
+		fmt.Fprintf(w, "tenant %s: events %d submitted %d throttled %d (%.0fms wait), rate %.0f/%.0f ev/s, kept %d shed %d\n",
+			tn.Name, tn.Events, tn.Submitted, tn.ThrottledBatches, tn.ThrottleWaitMS,
+			tn.InputRate, tn.QuotaRate, tn.Kept, tn.Shed)
 	}
 	if doc != nil {
 		fmt.Fprintf(w, "server: %s\n", doc)
@@ -301,9 +348,10 @@ func run(opts loadgenOpts, w io.Writer) error {
 // numbers rewritten to stay unique across connections) at the target
 // per-connection rate, recording per-flush latencies and the producer
 // ledger. A non-zero session opts into durable effectively-once
-// delivery. The stats requester additionally fetches the server's
-// stats document before closing.
-func driveConn(addr string, base []event.Event, ci, total int, rate float64, batch int, session uint64, wantStats bool) (transport.ClientStats, *metrics.LatencyTrace, ledgerSummary, []byte, error) {
+// delivery; a non-empty token presents a tenant identity. The stats
+// requester additionally fetches the server's stats document before
+// closing.
+func driveConn(addr string, base []event.Event, ci, total int, rate float64, batch int, session uint64, token string, wantStats bool) (transport.ClientStats, *metrics.LatencyTrace, ledgerSummary, []byte, error) {
 	trace := &metrics.LatencyTrace{}
 	var led ledgerSummary
 	c, err := transport.Dial(transport.ClientConfig{
@@ -311,6 +359,7 @@ func driveConn(addr string, base []event.Event, ci, total int, rate float64, bat
 		BatchEvents: batch,
 		Reconnect:   true,
 		Session:     session,
+		Token:       token,
 		Logf:        log.Printf,
 	})
 	if err != nil {

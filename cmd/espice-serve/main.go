@@ -22,6 +22,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -56,6 +57,7 @@ type serveOpts struct {
 	f       float64
 	delay   time.Duration
 	queries string
+	tenants string
 	credit  int
 	latEvry int
 	report  time.Duration
@@ -91,6 +93,8 @@ func main() {
 	flag.DurationVar(&opts.delay, "delay", 0, "artificial processing cost per kept membership")
 	flag.StringVar(&opts.queries, "queries", "",
 		"multi-query mode: file of Tesla-text define blocks served side by side on the engine")
+	flag.StringVar(&opts.tenants, "tenants", "",
+		"multi-tenant mode: JSON file of tenant specs (name/token/window/rate/burst/weight/queries; see docs/wire.md) enabling the tenant handshake, per-tenant quotas and tenant-aware shedding")
 	flag.IntVar(&opts.credit, "credit", transport.DefaultWindow, "per-connection credit window in events")
 	flag.IntVar(&opts.latEvry, "latency-sample", 256, "record 1 in N end-to-end latency samples")
 	flag.DurationVar(&opts.report, "report", 10*time.Second, "stderr stats interval (0 disables)")
@@ -122,6 +126,73 @@ func main() {
 	}
 }
 
+// tenantSpec is one entry of the -tenants JSON file: the tenant's
+// identity and token, its transport-level quota (aggregate credit
+// window, sustained rate, burst depth), its engine-level budget policy
+// (entitled rate doubles as the quota rate; weight shields its queries
+// in the budget split), and the names of the queries scoped to it.
+type tenantSpec struct {
+	Name    string   `json:"name"`
+	Token   string   `json:"token"`
+	Window  int      `json:"window,omitempty"`
+	Rate    float64  `json:"rate,omitempty"`
+	Burst   float64  `json:"burst,omitempty"`
+	Weight  float64  `json:"weight,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+}
+
+// loadTenants parses a -tenants file: a JSON array of tenantSpec.
+func loadTenants(path string) ([]tenantSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var specs []tenantSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("espice-serve: tenants %s: %w", path, err)
+	}
+	seen := map[string]bool{}
+	for _, sp := range specs {
+		if sp.Name == "" || sp.Token == "" {
+			return nil, fmt.Errorf("espice-serve: tenants %s: every entry needs a name and a token", path)
+		}
+		if seen[sp.Name] || seen["tok:"+sp.Token] {
+			return nil, fmt.Errorf("espice-serve: tenants %s: duplicate name or token %q", path, sp.Name)
+		}
+		seen[sp.Name] = true
+		seen["tok:"+sp.Token] = true
+	}
+	return specs, nil
+}
+
+// authenticator builds the transport token check from the tenant specs:
+// a known token resolves to its tenant and quota, no token resolves to
+// the anonymous tenant (plain version-1 connections keep working), and
+// an unknown token is rejected.
+func authenticator(specs []tenantSpec) func(token []byte) (transport.TenantAuth, error) {
+	byToken := make(map[string]transport.TenantAuth, len(specs))
+	for _, sp := range specs {
+		byToken[sp.Token] = transport.TenantAuth{
+			Tenant: sp.Name,
+			Quota: transport.TenantQuota{
+				Window: sp.Window,
+				Rate:   sp.Rate,
+				Burst:  sp.Burst,
+			},
+		}
+	}
+	return func(token []byte) (transport.TenantAuth, error) {
+		if len(token) == 0 {
+			return transport.TenantAuth{}, nil // anonymous tenant
+		}
+		auth, ok := byToken[string(token)]
+		if !ok {
+			return transport.TenantAuth{}, fmt.Errorf("unknown tenant token")
+		}
+		return auth, nil
+	}
+}
+
 // serveApp is a fully assembled ingest deployment: transport server in
 // front of either a pipeline or an engine, optionally journaling
 // through a write-ahead log.
@@ -130,6 +201,10 @@ type serveApp struct {
 	srv      *transport.Server
 	registry *event.Registry
 	sink     transport.Sink
+
+	// Set when opts.tenants is non-empty.
+	tenantSpecs []tenantSpec
+	queryTenant map[string]string // query name -> scoping tenant
 
 	// Exactly one of pipe/eng is set.
 	pipe    *runtime.Pipeline
@@ -162,12 +237,26 @@ func buildServe(opts serveOpts) (*serveApp, error) {
 	if err != nil {
 		return nil, err
 	}
-	app := &serveApp{opts: opts}
+	app := &serveApp{opts: opts, queryTenant: map[string]string{}}
+	if opts.tenants != "" {
+		app.tenantSpecs, err = loadTenants(opts.tenants)
+		if err != nil {
+			return nil, err
+		}
+		for _, sp := range app.tenantSpecs {
+			for _, qn := range sp.Queries {
+				app.queryTenant[qn] = sp.Name
+			}
+		}
+	}
 	if opts.queries != "" {
 		if err := app.buildEngine(meta, events); err != nil {
 			return nil, err
 		}
 	} else {
+		if len(app.queryTenant) > 0 {
+			return nil, fmt.Errorf("espice-serve: tenant query scoping requires -queries (engine mode)")
+		}
 		if err := app.buildPipeline(meta, events); err != nil {
 			return nil, err
 		}
@@ -183,6 +272,9 @@ func buildServe(opts serveOpts) (*serveApp, error) {
 		Window:    opts.credit,
 		StatsJSON: app.statsJSON,
 		Logf:      log.Printf,
+	}
+	if len(app.tenantSpecs) > 0 {
+		cfg.Authenticate = authenticator(app.tenantSpecs)
 	}
 	if opts.walDir != "" {
 		// The ledger sits between the transport and the operator so the
@@ -285,9 +377,24 @@ func (app *serveApp) buildEngine(meta *datasets.RTLSMeta, events []event.Event) 
 		ecfg.LatencyBound = event.Time(opts.bound.Microseconds())
 		ecfg.F = opts.f
 	}
+	if len(app.tenantSpecs) > 0 {
+		ecfg.Tenants = map[string]engine.TenantQuota{}
+		for _, sp := range app.tenantSpecs {
+			ecfg.Tenants[sp.Name] = engine.TenantQuota{Rate: sp.Rate, Weight: sp.Weight}
+		}
+	}
 	eng, err := engine.New(ecfg)
 	if err != nil {
 		return err
+	}
+	known := map[string]bool{}
+	for _, q := range qs {
+		known[q.Name] = true
+	}
+	for qn := range app.queryTenant {
+		if !known[qn] {
+			return fmt.Errorf("espice-serve: tenant query %q not defined in %s", qn, opts.queries)
+		}
 	}
 	for _, q := range qs {
 		qcfg := engine.QueryConfig{
@@ -295,6 +402,7 @@ func (app *serveApp) buildEngine(meta *datasets.RTLSMeta, events []event.Event) 
 			Shards:          opts.shards,
 			ProcessingDelay: opts.delay,
 			OnWindowClose:   opts.queryHooks[q.Name],
+			Tenant:          app.queryTenant[q.Name],
 		}
 		if opts.shedder == "espice" {
 			ftrain := engine.FilterStream(q, events)
@@ -479,7 +587,39 @@ type serveStats struct {
 	WAL          *serveWALStats         `json:"wal,omitempty"`
 	Ledger       *ledgerStats           `json:"ledger,omitempty"`
 	Queries      []serveQueryStats      `json:"queries,omitempty"`
+	Tenants      []serveTenantStats     `json:"tenants,omitempty"`
 	Chaos        chaosStats             `json:"chaos"`
+}
+
+// serveTenantStats is the per-tenant slice of the stats document: the
+// transport-side admission counters (connections, accepted events,
+// throttling, carved credit) joined with the engine-side budget state
+// (measured rate vs quota, drop share, kept/shed roll-up) and the
+// latency summary of the tenant's scoped queries. The load generator
+// lifts these counters into its JSON artifact; the fairness soak reads
+// them to prove a noisy tenant's overage was shed while the compliant
+// tenant ran untouched.
+type serveTenantStats struct {
+	Name             string  `json:"name"`
+	Conns            int     `json:"conns"`
+	ConnsRejected    uint64  `json:"conns_rejected"`
+	Events           uint64  `json:"events"`
+	ThrottledBatches uint64  `json:"throttled_batches"`
+	ThrottleWaitMS   float64 `json:"throttle_wait_ms"`
+	CreditCarved     int     `json:"credit_carved"`
+	// Engine-side (zero in pipeline mode): ingress measured against the
+	// quota rate, the tenant's current drop-rate share and the
+	// kept/shed/complex-event roll-up of its scoped queries.
+	Submitted     uint64                  `json:"submitted"`
+	InputRate     float64                 `json:"input_rate"`
+	QuotaRate     float64                 `json:"quota_rate"`
+	Weight        float64                 `json:"weight,omitempty"`
+	DropShare     float64                 `json:"drop_share"`
+	Delivered     uint64                  `json:"delivered"`
+	Kept          uint64                  `json:"kept"`
+	Shed          uint64                  `json:"shed"`
+	ComplexEvents uint64                  `json:"complex_events"`
+	Latency       *metrics.LatencySummary `json:"latency,omitempty"`
 }
 
 // chaosStats is the fault-containment section of the stats document:
@@ -550,6 +690,7 @@ func (app *serveApp) stats() serveStats {
 		st.Kept = ps.Operator.MembershipsKept
 		st.Shed = ps.Operator.MembershipsShed
 		st.Latency = app.pipe.Latency().Summary()
+		app.fillTenants(&st, nil)
 		return st
 	}
 	es := app.eng.Stats()
@@ -575,7 +716,74 @@ func (app *serveApp) stats() serveStats {
 			Quarantined: quarantined[h.Name()],
 		})
 	}
+	app.fillTenants(&st, &es)
 	return st
+}
+
+// fillTenants joins the transport-side tenant counters with the
+// engine-side budget state and per-tenant latency into the stats
+// document. Only runs in multi-tenant mode.
+func (app *serveApp) fillTenants(st *serveStats, es *engine.Stats) {
+	if len(app.tenantSpecs) == 0 {
+		return
+	}
+	byName := map[string]*serveTenantStats{}
+	get := func(name string) *serveTenantStats {
+		if t, ok := byName[name]; ok {
+			return t
+		}
+		st.Tenants = append(st.Tenants, serveTenantStats{Name: name})
+		t := &st.Tenants[len(st.Tenants)-1]
+		byName = map[string]*serveTenantStats{} // indices shift on append
+		for i := range st.Tenants {
+			byName[st.Tenants[i].Name] = &st.Tenants[i]
+		}
+		return t
+	}
+	for _, ts := range st.Server.Tenants {
+		t := get(ts.Tenant)
+		t.Conns = ts.Conns
+		t.ConnsRejected = ts.ConnsRejected
+		t.Events = ts.Events
+		t.ThrottledBatches = ts.ThrottledBatches
+		t.ThrottleWaitMS = float64(ts.ThrottleWait.Microseconds()) / 1e3
+		t.CreditCarved = ts.CreditCarved
+	}
+	if es != nil {
+		for _, ets := range es.Tenants {
+			t := get(ets.Name)
+			t.Submitted = ets.Submitted
+			t.InputRate = ets.InputRate
+			t.QuotaRate = ets.QuotaRate
+			t.Weight = ets.Weight
+			t.DropShare = ets.DropShare
+			t.Delivered = ets.Delivered
+			t.Kept = ets.Kept
+			t.Shed = ets.Shed
+			t.ComplexEvents = ets.ComplexEvents
+		}
+		// Per-tenant ingress latency: the merged traces of the tenant's
+		// scoped queries.
+		traces := map[string]*metrics.LatencyTrace{}
+		for _, h := range app.handles {
+			tn, ok := app.queryTenant[h.Name()]
+			if !ok {
+				continue
+			}
+			if traces[tn] == nil {
+				traces[tn] = &metrics.LatencyTrace{}
+			}
+			traces[tn].Merge(h.Pipeline().Latency())
+		}
+		for tn, tr := range traces {
+			if tr.Len() == 0 {
+				continue
+			}
+			sum := tr.Summary()
+			get(tn).Latency = &sum
+		}
+	}
+	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Name < st.Tenants[j].Name })
 }
 
 // statsJSON is the transport.ServerConfig hook.

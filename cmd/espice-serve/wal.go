@@ -165,6 +165,25 @@ type ledgerSink struct {
 }
 
 func (l *ledgerSink) SubmitBatch(events []event.Event) {
+	l.fingerprint(events)
+	l.inner.SubmitBatch(events)
+}
+
+// SubmitTenantBatch fingerprints identically and forwards the tenant
+// identity, so a WAL deployment keeps per-tenant scoping and shedding
+// (the ledger satisfies transport.TenantSink whenever the inner sink
+// does).
+func (l *ledgerSink) SubmitTenantBatch(tenant string, events []event.Event) {
+	l.fingerprint(events)
+	if ts, ok := l.inner.(transport.TenantSink); ok && tenant != "" {
+		ts.SubmitTenantBatch(tenant, events)
+		return
+	}
+	l.inner.SubmitBatch(events)
+}
+
+// fingerprint folds a batch into the order-independent delivery ledger.
+func (l *ledgerSink) fingerprint(events []event.Event) {
 	var sum, xor uint64
 	for i := range events {
 		sum += events[i].Seq
@@ -180,7 +199,6 @@ func (l *ledgerSink) SubmitBatch(events []event.Event) {
 			break
 		}
 	}
-	l.inner.SubmitBatch(events)
 }
 
 // ledgerStats is the JSON shape of the delivery ledger.

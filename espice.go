@@ -491,6 +491,14 @@ type (
 	EngineStats = engine.Stats
 	// EngineQueryStats is one query's slice of the engine statistics.
 	EngineQueryStats = engine.QueryStats
+	// EngineTenantQuota is one tenant's engine-side policy: the ingress
+	// rate it is entitled to and its utility weight in the tenant-first
+	// budget split (EngineConfig.Tenants, Engine.SetTenantQuota).
+	EngineTenantQuota = engine.TenantQuota
+	// EngineTenantStats is one tenant's slice of the engine statistics:
+	// submitted events, smoothed ingress rate vs quota, current drop
+	// share, and the rolled-up counters of its scoped queries.
+	EngineTenantStats = engine.TenantStats
 )
 
 // NewEngine builds a multi-query engine with no queries registered yet.
@@ -550,6 +558,23 @@ type (
 	// (allocation-free in steady state; see the Retain field for the
 	// hand-off mode).
 	WireDecoder = transport.Decoder
+	// IngestTenantAuth is an authenticator's verdict on a presented
+	// token: the tenant's identity and its wire-side quota
+	// (IngestServerConfig.Authenticate enables multi-tenant admission).
+	IngestTenantAuth = transport.TenantAuth
+	// IngestTenantQuota is a tenant's wire-side entitlement: aggregate
+	// credit window across its connections, sustained ingress rate and
+	// token-bucket burst depth.
+	IngestTenantQuota = transport.TenantQuota
+	// IngestTenantStats is one tenant's slice of the server counters
+	// (events, throttled batches and cumulative throttle wait, rejected
+	// connections, carved credit).
+	IngestTenantStats = transport.TenantStats
+	// IngestTenantSink is the tenant-aware sink: a server whose sink
+	// also satisfies it submits each batch under the tenant that sent
+	// it. Engine qualifies (tenant-scoped queries and quota-aware
+	// shedding); a plain IngestSink still works untagged.
+	IngestTenantSink = transport.TenantSink
 )
 
 // NewIngestServer builds a TCP ingest server around a sink.

@@ -37,6 +37,10 @@ type Stats struct {
 	// Queries holds one entry per registered query, in registration
 	// order.
 	Queries []QueryStats
+	// Tenants holds one entry per tenant ever seen (quota set, events
+	// submitted, or query scoped), in first-seen order; index 0 is the
+	// default tenant "".
+	Tenants []TenantStats
 	// Quarantined holds one entry per query name that has ever been
 	// quarantined by a pipeline panic, sorted by name. An entry with
 	// Restarting set will be re-registered by the circuit breaker; a
@@ -74,6 +78,19 @@ func (e *Engine) Stats() Stats {
 	st.Skipped = e.retiredSkipped.Load()
 	st.Quarantined = e.quarantineSnapshot()
 	e.mu.RUnlock()
+	recs := e.tenantSnapshot()
+	st.Tenants = make([]TenantStats, len(recs))
+	for i, rec := range recs {
+		quota := rec.quotaSnapshot()
+		st.Tenants[i] = TenantStats{
+			Name:      rec.name,
+			Submitted: rec.submitted.Load(),
+			InputRate: rec.rate(),
+			QuotaRate: quota.Rate,
+			Weight:    quota.Weight,
+			DropShare: rec.share(),
+		}
+	}
 	for _, q := range qs {
 		st.Queries = append(st.Queries, q.Stats())
 		last := &st.Queries[len(st.Queries)-1]
@@ -81,6 +98,17 @@ func (e *Engine) Stats() Stats {
 		st.Skipped += last.Skipped
 		st.InputRate += last.Pipeline.InputRate
 		st.Capacity += last.Pipeline.Throughput
+		gid := q.tid
+		if gid < 0 {
+			gid = 0 // unscoped queries roll up under the default tenant
+		}
+		if int(gid) < len(st.Tenants) {
+			t := &st.Tenants[gid]
+			t.Delivered += last.Delivered
+			t.Kept += last.Pipeline.Operator.MembershipsKept
+			t.Shed += last.Pipeline.Operator.MembershipsShed
+			t.ComplexEvents += last.Pipeline.Operator.ComplexEvents
+		}
 	}
 	return st
 }
@@ -131,6 +159,7 @@ func (e *Engine) budgetLoop(stop, done chan struct{}) {
 		case <-stop:
 			return
 		case <-ticker.C:
+			e.tickTenantRates(time.Now())
 			e.mu.RLock()
 			qs := append([]*Query(nil), e.queries...)
 			e.mu.RUnlock()
@@ -143,14 +172,19 @@ func (e *Engine) budgetLoop(stop, done chan struct{}) {
 // command. Section 3.4's per-operator detector logic is applied at the
 // aggregate level — qmax = LB * summed throughput, trigger = f * qmax,
 // drop rate = rate excess plus backlog correction — and the resulting
-// drop rate is split across queries by distributeBudget.
+// drop rate is split tenant-first by distributeTenantBudget (over-quota
+// tenants absorb drops before compliant ones), then across each
+// tenant's queries by distributeBudget. With every measured query in
+// one tenant group the tenant level degenerates to a single share equal
+// to the whole delta, reproducing the single-tenant behavior exactly.
 func (e *Engine) evaluateBudget(qs []*Query) {
 	type measured struct {
 		q     *Query
+		gid   int32 // budget group: the query's tenant id (unscoped → 0)
 		rate  float64
 		th    float64
+		queue int
 		ws    int
-		stats runtime.Stats
 	}
 	// totalQueue accumulates backlogs in events: the ingress queue plus
 	// each query's Stats().QueueLen, which sharded pipelines report already
@@ -176,9 +210,14 @@ func (e *Engine) evaluateBudget(qs []*Query) {
 			// its Configure would refuse.
 			continue
 		}
-		ms = append(ms, measured{q: q, rate: st.InputRate, th: st.Throughput,
-			ws: q.windowSizeEstimate(), stats: st})
+		gid := q.tid
+		if gid < 0 {
+			gid = 0 // unscoped queries are budgeted with the default tenant
+		}
+		ms = append(ms, measured{q: q, gid: gid, rate: st.InputRate,
+			th: st.Throughput, queue: st.QueueLen, ws: q.windowSizeEstimate()})
 	}
+	recs := e.tenantSnapshot()
 	if thSum <= 0 {
 		return // no throughput estimates yet; nothing to decide on
 	}
@@ -188,6 +227,9 @@ func (e *Engine) evaluateBudget(qs []*Query) {
 	if float64(totalQueue) <= trigger {
 		e.overloaded.Store(false)
 		storeFloat(&e.dropRate, 0)
+		for _, rec := range recs {
+			rec.shareBits.Store(0)
+		}
 		for _, m := range ms {
 			m.q.shedder.Deactivate()
 		}
@@ -217,18 +259,105 @@ func (e *Engine) evaluateBudget(qs []*Query) {
 		costs[i] = (float64(m.ws) / m.th) / m.q.cfg.Weight
 		caps[i] = m.rate
 	}
-	shares := distributeBudget(delta, costs, caps)
+
+	// Group the measured queries by tenant and split delta tenant-first.
+	var gids []int32
+	members := map[int32][]int{}
 	for i, m := range ms {
-		if shares[i] <= 0 {
-			m.q.shedder.Deactivate()
-			continue
+		if _, seen := members[m.gid]; !seen {
+			gids = append(gids, m.gid)
 		}
-		qmaxQ := e.det.QMax(m.th)
-		part := core.ComputePartitioning(m.ws, qmaxQ, e.cfg.F)
-		x := shares[i] * float64(part.PSize) / m.rate
-		// Configure only fails for an untrained model; a lost beat just
-		// delays shedding by one poll period.
-		_ = m.q.shedder.Configure(part, x)
+		members[m.gid] = append(members[m.gid], i)
+	}
+	groupShare := map[int32]float64{}
+	if len(gids) == 1 {
+		groupShare[gids[0]] = delta
+	} else {
+		tms := make([]tenantMeasure, len(gids))
+		for gi, gid := range gids {
+			var rec *tenantRec
+			if int(gid) < len(recs) {
+				rec = recs[gid]
+			}
+			tm := tenantMeasure{Weight: 1}
+			var groupTh, groupQueue float64
+			for _, i := range members[gid] {
+				tm.Cap += caps[i]
+				groupTh += ms[i].th
+				groupQueue += float64(ms[i].queue)
+			}
+			if rec != nil {
+				tm.Rate = rec.rate()
+			}
+			if tm.Rate <= 0 {
+				// No ingress measurement yet (e.g. unscoped queries fed by
+				// Submit before the first tick, or a flood younger than one
+				// rate tick); fall back to the summed per-query delivered
+				// rates so the group still has mass — and so a brand-new
+				// flood can already be counted against its quota.
+				for _, i := range members[gid] {
+					tm.Rate += ms[i].rate
+				}
+			}
+			if rec != nil {
+				quota := rec.quotaSnapshot()
+				if quota.Weight > 0 {
+					tm.Weight = quota.Weight
+				}
+				if quota.Rate > 0 {
+					// Overage is measured two ways. Directly: the smoothed
+					// ingress rate beyond the quota. And as debt: a tenant
+					// the transport throttle has clamped back to its quota
+					// rate still owes for the burst sitting in its queries'
+					// queues, so once caught over the rate quota it stays
+					// "over" — sized by the backlog beyond its own trigger,
+					// expressed as a drop rate — until that backlog drains.
+					if tm.Rate > quota.Rate {
+						tm.Over = tm.Rate - quota.Rate
+						rec.overDebt = true
+					}
+					queueOver := (groupQueue - e.cfg.F*e.det.QMax(groupTh)) /
+						e.cfg.LatencyBound.Seconds()
+					if queueOver <= 0 {
+						rec.overDebt = tm.Over > 0
+					} else if rec.overDebt && queueOver > tm.Over {
+						tm.Over = queueOver
+					}
+				}
+			}
+			tms[gi] = tm
+		}
+		for gi, share := range distributeTenantBudget(delta, tms) {
+			groupShare[gids[gi]] = share
+		}
+	}
+	for _, rec := range recs {
+		rec.shareBits.Store(math.Float64bits(groupShare[rec.id]))
+	}
+
+	for _, gid := range gids {
+		idx := members[gid]
+		share := groupShare[gid]
+		gcosts := make([]float64, len(idx))
+		gcaps := make([]float64, len(idx))
+		for j, i := range idx {
+			gcosts[j] = costs[i]
+			gcaps[j] = caps[i]
+		}
+		shares := distributeBudget(share, gcosts, gcaps)
+		for j, i := range idx {
+			m := ms[i]
+			if shares[j] <= 0 {
+				m.q.shedder.Deactivate()
+				continue
+			}
+			qmaxQ := e.det.QMax(m.th)
+			part := core.ComputePartitioning(m.ws, qmaxQ, e.cfg.F)
+			x := shares[j] * float64(part.PSize) / m.rate
+			// Configure only fails for an untrained model; a lost beat
+			// just delays shedding by one poll period.
+			_ = m.q.shedder.Configure(part, x)
+		}
 	}
 }
 

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// checkBudgetInvariants asserts the distributeBudget contract for one
+// input: the allocation is parallel to costs, non-negative, never
+// exceeds any cap, sums to at most delta, gives nothing to excluded
+// entries (cost or cap <= 0), and — when the active capacity can absorb
+// the whole delta — redistributes it fully.
+func checkBudgetInvariants(t *testing.T, delta float64, costs, caps, out []float64) {
+	t.Helper()
+	if len(out) != len(costs) {
+		t.Fatalf("len(out) = %d, want %d", len(out), len(costs))
+	}
+	const eps = 1e-6
+	sum := 0.0
+	activeCap := 0.0
+	for i := range out {
+		if out[i] < 0 {
+			t.Fatalf("out[%d] = %v, want >= 0 (delta=%v costs=%v caps=%v)", i, out[i], delta, costs, caps)
+		}
+		if costs[i] <= 0 || caps[i] <= 0 {
+			if out[i] != 0 {
+				t.Fatalf("excluded entry %d got %v (cost=%v cap=%v)", i, out[i], costs[i], caps[i])
+			}
+			continue
+		}
+		if out[i] > caps[i]+eps {
+			t.Fatalf("out[%d] = %v exceeds cap %v", i, out[i], caps[i])
+		}
+		sum += out[i]
+		activeCap += caps[i]
+	}
+	if delta <= 0 {
+		if sum != 0 {
+			t.Fatalf("allocated %v from non-positive delta %v", sum, delta)
+		}
+		return
+	}
+	if sum > delta+eps {
+		t.Fatalf("allocated %v, more than delta %v", sum, delta)
+	}
+	// Full redistribution: with enough active capacity nothing may be
+	// left on the table; otherwise everything active must be capped.
+	if activeCap >= delta {
+		if math.Abs(sum-delta) > eps*math.Max(1, delta) {
+			t.Fatalf("allocated %v of delta %v despite active capacity %v", sum, delta, activeCap)
+		}
+	} else if math.Abs(sum-activeCap) > eps*math.Max(1, activeCap) {
+		t.Fatalf("allocated %v with total active capacity %v; want all caps saturated", sum, activeCap)
+	}
+}
+
+// TestDistributeBudgetProperty fuzzes distributeBudget with randomized
+// and adversarial cost/cap vectors and asserts its invariants hold and
+// the call terminates promptly for every one of them.
+func TestDistributeBudgetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xB06E7))
+	randVec := func(n int, negZeroBias float64, scale float64) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			switch r := rng.Float64(); {
+			case r < negZeroBias/2:
+				v[i] = 0
+			case r < negZeroBias:
+				v[i] = -scale * rng.Float64()
+			default:
+				v[i] = scale * rng.Float64()
+			}
+		}
+		return v
+	}
+	for iter := 0; iter < 2000; iter++ {
+		n := 1 + rng.Intn(12)
+		delta := rng.Float64() * 1e4
+		if iter%17 == 0 {
+			delta = 0
+		}
+		if iter%19 == 0 {
+			delta = -rng.Float64() * 100
+		}
+		costs := randVec(n, 0.3, 10)
+		caps := randVec(n, 0.3, 1e3)
+		start := time.Now()
+		out := distributeBudget(delta, costs, caps)
+		if time.Since(start) > time.Second {
+			t.Fatalf("distributeBudget took %v on n=%d", time.Since(start), n)
+		}
+		checkBudgetInvariants(t, delta, costs, caps, out)
+	}
+
+	// Adversarial fixed cases: all-capped, single-active, all-excluded,
+	// huge delta, tiny costs.
+	cases := []struct {
+		delta       float64
+		costs, caps []float64
+	}{
+		{1e9, []float64{1, 1, 1}, []float64{1, 2, 3}},           // all-capped
+		{100, []float64{0, -5, 3}, []float64{10, 10, 50}},       // single-active
+		{100, []float64{0, 0}, []float64{10, 10}},               // all-excluded
+		{100, []float64{1e-12, 1e12}, []float64{50, 60}},        // extreme cost spread
+		{100, []float64{1, 1}, []float64{0, -1}},                // caps exclude all
+		{5, []float64{2, 2, 2, 2}, []float64{1, 1, 1, 1000}},    // cascade of caps
+		{0, []float64{1}, []float64{1}},                         // zero delta
+		{math.MaxFloat64 / 4, []float64{1, 2}, []float64{3, 4}}, // huge delta
+	}
+	for i, c := range cases {
+		out := distributeBudget(c.delta, c.costs, c.caps)
+		checkBudgetInvariants(t, c.delta, c.costs, c.caps, out)
+		_ = i
+	}
+}
+
+// TestDistributeTenantBudgetProperty extends the invariants to the
+// tenant level: the two-level split obeys the same sum/cap bounds, and
+// as long as any tenant is over its quota, compliant tenants are never
+// assigned a drop share — no matter how large the delta.
+func TestDistributeTenantBudgetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x7E4A47))
+	const eps = 1e-6
+	for iter := 0; iter < 2000; iter++ {
+		n := 1 + rng.Intn(6)
+		ms := make([]tenantMeasure, n)
+		overCap := 0.0
+		for i := range ms {
+			ms[i].Rate = rng.Float64() * 1e4
+			if rng.Intn(4) == 0 {
+				ms[i].Rate = 0
+			}
+			if rng.Intn(2) == 0 {
+				ms[i].Over = rng.Float64() * ms[i].Rate
+			}
+			ms[i].Weight = rng.Float64() * 4
+			if rng.Intn(5) == 0 {
+				ms[i].Weight = 0 // must default to 1, not divide by zero
+			}
+			ms[i].Cap = rng.Float64() * 1e4
+			if rng.Intn(6) == 0 {
+				ms[i].Cap = 0
+			}
+			overCap += math.Min(ms[i].Over, ms[i].Cap)
+		}
+		delta := rng.Float64() * 2e4
+		if iter%13 == 0 {
+			delta = 0
+		}
+		out := distributeTenantBudget(delta, ms)
+		if len(out) != n {
+			t.Fatalf("len(out) = %d, want %d", len(out), n)
+		}
+		sum := 0.0
+		for i, v := range out {
+			if v < 0 {
+				t.Fatalf("out[%d] = %v < 0 (ms=%+v)", i, v, ms)
+			}
+			if ms[i].Cap > 0 && v > ms[i].Cap+eps {
+				t.Fatalf("out[%d] = %v exceeds cap %v", i, v, ms[i].Cap)
+			}
+			if ms[i].Cap <= 0 && v != 0 {
+				t.Fatalf("capless tenant %d got %v", i, v)
+			}
+			sum += v
+		}
+		if sum > delta+eps*math.Max(1, delta) {
+			t.Fatalf("allocated %v, more than delta %v", sum, delta)
+		}
+		// Isolation: while any tenant is over its quota, compliant
+		// tenants shed nothing — even when the delta exceeds the total
+		// overage capacity (the spill stays on the over-quota tenants).
+		anyOver := false
+		for i := range ms {
+			if ms[i].Over > 0 {
+				anyOver = true
+			}
+		}
+		if delta > 0 && anyOver {
+			for i, v := range out {
+				if ms[i].Over <= 0 && v > eps {
+					t.Fatalf("compliant tenant %d sheds %v next to an over-quota peer (overCap %v, delta %v)",
+						i, v, overCap, delta)
+				}
+			}
+		}
+	}
+}

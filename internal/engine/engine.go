@@ -75,6 +75,10 @@ type Config struct {
 	// Logf, when non-nil, receives engine lifecycle diagnostics
 	// (quarantines, restarts). Printf-style.
 	Logf func(format string, args ...any)
+	// Tenants pre-installs per-tenant quotas (ingress rate entitlement
+	// and budget weight) keyed by tenant name; SetTenantQuota can add or
+	// change quotas while the engine runs.
+	Tenants map[string]TenantQuota
 }
 
 // QueryConfig registers one query with the engine.
@@ -114,6 +118,12 @@ type QueryConfig struct {
 	// query's pipeline (see operator.Config.OnWindowClose). A panic in
 	// the hook quarantines the query, not the engine.
 	OnWindowClose operator.WindowCloseHook
+	// Tenant scopes the query to one tenant: it receives only events
+	// submitted under that tenant (SubmitTenantBatch), and its shedder
+	// is driven by that tenant's slice of the global budget. Empty means
+	// unscoped — the query sees every tenant's events and is budgeted
+	// with the default tenant's group.
+	Tenant string
 }
 
 // Engine is a running multi-query deployment.
@@ -121,8 +131,15 @@ type Engine struct {
 	cfg Config
 	det *core.OverloadDetector // nil when the budget is disabled
 
-	in        chan event.Event
+	in        chan tenantEvent
 	submitted atomic.Uint64
+
+	// tenants is the interning table for tenant identities; index 0 is
+	// the default tenant "". Records are append-only under tenMu.
+	tenMu      sync.RWMutex
+	tenantIDs  map[string]int32
+	tenants    []*tenantRec
+	defaultTen *tenantRec
 
 	// retiredDelivered/Skipped carry the lifetime counters of
 	// deregistered queries so the engine-level sums stay monotonic
@@ -136,6 +153,10 @@ type Engine struct {
 	// faults carries tripped queries from their pipelines' OnPanic to
 	// Run, which quarantines them between fan-out rounds.
 	faults chan *Query
+
+	// plainBuf is Run's reusable tenant-stripped mirror of the current
+	// fan-out batch (owned by the Run goroutine).
+	plainBuf []event.Event
 
 	mu            sync.RWMutex
 	queries       []*Query // registration order; read per event under RLock
@@ -158,6 +179,7 @@ type Query struct {
 
 	pipe    *runtime.Pipeline
 	filter  []bool // indexed by event.Type; nil accepts every type
+	tid     int32  // scoping tenant id; -1 = unscoped (all tenants)
 	shedder *core.Shedder
 	// sendBuf is the reusable fan-out staging buffer for this query; it
 	// is owned by the engine's Run goroutine (under the read lock) and
@@ -202,10 +224,15 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:         cfg,
-		in:          make(chan event.Event, cfg.QueueCap),
+		in:          make(chan tenantEvent, cfg.QueueCap),
 		byName:      make(map[string]*Query),
 		quarantined: make(map[string]*QuarantineStats),
 		faults:      make(chan *Query, 64),
+		tenantIDs:   make(map[string]int32),
+	}
+	e.defaultTen = e.tenantRecFor("")
+	for name, q := range cfg.Tenants {
+		e.SetTenantQuota(name, q)
 	}
 	if cfg.LatencyBound > 0 {
 		det, err := core.NewOverloadDetector(core.DetectorConfig{
@@ -300,9 +327,13 @@ func (e *Engine) Register(cfg QueryConfig) (*Query, error) {
 	q := &Query{
 		name:     name,
 		cfg:      cfg,
+		tid:      -1,
 		out:      make(chan operator.ComplexEvent, e.cfg.OutBuffer),
 		detached: make(chan struct{}),
 		runDone:  make(chan error, 1),
+	}
+	if cfg.Tenant != "" {
+		q.tid = e.tenantRecFor(cfg.Tenant).id
 	}
 	if !cfg.DisableFilter {
 		q.filter = typeFilter(cfg.Query)
@@ -434,19 +465,19 @@ func (e *Engine) Deregister(name string) error {
 	return q.shutdown()
 }
 
-// Submit enqueues one event for fan-out; it blocks while the ingress
-// queue is full. Must not be called after CloseInput.
+// Submit enqueues one event for fan-out under the default tenant; it
+// blocks while the ingress queue is full. Must not be called after
+// CloseInput.
 func (e *Engine) Submit(ev event.Event) {
 	e.submitted.Add(1)
-	e.in <- ev
+	e.defaultTen.submitted.Add(1)
+	e.in <- tenantEvent{ev: ev}
 }
 
-// SubmitBatch enqueues a batch of events in stream order.
+// SubmitBatch enqueues a batch of events in stream order under the
+// default tenant.
 func (e *Engine) SubmitBatch(events []event.Event) {
-	for _, ev := range events {
-		e.submitted.Add(1)
-		e.in <- ev
-	}
+	e.SubmitTenantBatch("", events)
 }
 
 // CloseInput signals end of stream: Run fans out the backlog, closes
@@ -491,7 +522,7 @@ func (e *Engine) Run(ctx context.Context) error {
 	// batch, so per-query delivery amortizes filtering, counter updates
 	// and the pipeline submit over many events when traffic is dense,
 	// while a lone event still flows through immediately.
-	batch := make([]event.Event, 0, fanoutChunk)
+	batch := make([]tenantEvent, 0, fanoutChunk)
 	for {
 		select {
 		case <-ctx.Done():
@@ -531,14 +562,21 @@ func (e *Engine) Run(ctx context.Context) error {
 const fanoutChunk = 256
 
 // fanOut delivers a batch of events to every registered query whose
-// filter accepts their types, one pipeline submit per query. For a
-// sharded query pipeline that submit runs the partitioner inline, so
-// the fan-out goroutine streams partition-aware op batches straight to
-// the query's shards with no router hop in between. Holding the
+// tenant scope and filter accept them, one pipeline submit per query.
+// For a sharded query pipeline that submit runs the partitioner inline,
+// so the fan-out goroutine streams partition-aware op batches straight
+// to the query's shards with no router hop in between. Holding the
 // read lock across the (possibly blocking) per-query submits means
 // Deregister cannot observe a half-delivered batch: once it acquires the
 // write lock, no delivery to the removed query is in flight.
-func (e *Engine) fanOut(ctx context.Context, events []event.Event) {
+func (e *Engine) fanOut(ctx context.Context, events []tenantEvent) {
+	// Mirror the batch into a plain event slice once per round so
+	// unscoped wildcard queries keep their staging-free submit.
+	plain := e.plainBuf[:0]
+	for _, te := range events {
+		plain = append(plain, te.ev)
+	}
+	e.plainBuf = plain
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	for _, q := range e.queries {
@@ -551,7 +589,7 @@ func (e *Engine) fanOut(ctx context.Context, events []event.Event) {
 			// unprocessed, so skip the staging work.
 			continue
 		}
-		e.deliver(q, events)
+		e.deliver(q, events, plain)
 	}
 }
 
@@ -561,20 +599,23 @@ func (e *Engine) fanOut(ctx context.Context, events []event.Event) {
 // into this goroutine. The guard attributes it to the query's pipeline
 // — tripping it and firing the quarantine path — instead of killing the
 // engine; the partitioner's own defer has already released its mutex.
-func (e *Engine) deliver(q *Query, events []event.Event) {
+// plain mirrors events without tenant tags; a tenant-scoped query
+// admits only its own tenant's events (foreign ones count as skipped,
+// exactly like a type-filter rejection).
+func (e *Engine) deliver(q *Query, events []tenantEvent, plain []event.Event) {
 	defer recoverDeliver(q)
-	if q.filter == nil {
-		// Wildcard query: SubmitBatch copies, so the batch goes in
-		// directly without a staging copy.
-		q.delivered.Add(uint64(len(events)))
-		q.pipe.SubmitBatch(events)
+	if q.filter == nil && q.tid < 0 {
+		// Unscoped wildcard query: SubmitBatch copies, so the batch
+		// goes in directly without a staging copy.
+		q.delivered.Add(uint64(len(plain)))
+		q.pipe.SubmitBatch(plain)
 		return
 	}
 	buf := q.sendBuf[:0]
 	var skipped uint64
-	for _, ev := range events {
-		if q.Accepts(ev.Type) {
-			buf = append(buf, ev)
+	for _, te := range events {
+		if (q.tid < 0 || te.tid == q.tid) && q.Accepts(te.ev.Type) {
+			buf = append(buf, te.ev)
 		} else {
 			skipped++
 		}

@@ -48,6 +48,13 @@ type ClientConfig struct {
 	// the new stream's prefix. Durable mode usually pairs with
 	// Reconnect.
 	Session uint64
+	// Token, when non-empty, presents a tenant token: the client speaks
+	// the ProtocolVersionTenant preface and opens every connection with
+	// a FrameHello carrying Session (zero for plain connections) and
+	// the token, receiving its credit window — carved from the tenant's
+	// aggregate pool — only after the server authenticated it. Empty
+	// keeps the version-1 wire behavior (anonymous tenant).
+	Token string
 	// Logf logs reconnect events (nil silences them).
 	Logf func(format string, args ...any)
 }
@@ -150,50 +157,79 @@ func Dial(cfg ClientConfig) (*Client, error) {
 }
 
 // connect dials, writes the preface and waits for the initial credit.
+// With a tenant token the preface is ProtocolVersionTenant and the
+// hello — session id (possibly zero) plus token — goes out before any
+// credit exists; the server grants the carved window only after
+// authenticating it. Without a token the version-1 flow is unchanged:
+// credit arrives immediately, then a durable session sends its hello.
 func (c *Client) connect() error {
 	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
 	if err != nil {
 		return err
 	}
-	if _, err := conn.Write([]byte{Magic, ProtocolVersion}); err != nil {
+	version := ProtocolVersion
+	if c.cfg.Token != "" {
+		version = ProtocolVersionTenant
+	}
+	if _, err := conn.Write([]byte{Magic, version}); err != nil {
 		conn.Close()
 		return err
 	}
 	c.conn = conn
 	c.credit = 0
 	c.scan = newFrameScanner(DefaultMaxFrame)
-	// The server grants the full window immediately after the preface;
-	// remember it so flush chunks never exceed what a single window can
-	// cover (a larger frame would be a credit violation by protocol).
-	if err := c.waitCredit(1); err != nil {
+	fail := func(err error) error {
 		conn.Close()
 		c.conn = nil
 		return err
 	}
+	if version == ProtocolVersionTenant {
+		if err := c.sendHello(); err != nil {
+			return fail(err)
+		}
+		if err := c.awaitHelloAck(); err != nil {
+			return fail(err)
+		}
+		if err := c.waitCredit(1); err != nil {
+			return fail(err)
+		}
+		c.window = c.credit
+		if c.cfg.Session != 0 {
+			if err := c.retransmitLedger(); err != nil {
+				return fail(err)
+			}
+		}
+		return nil
+	}
+	// The server grants the full window immediately after the preface;
+	// remember it so flush chunks never exceed what a single window can
+	// cover (a larger frame would be a credit violation by protocol).
+	if err := c.waitCredit(1); err != nil {
+		return fail(err)
+	}
 	c.window = c.credit
 	if c.cfg.Session != 0 {
 		if err := c.helloResync(); err != nil {
-			conn.Close()
-			c.conn = nil
-			return err
+			return fail(err)
 		}
 	}
 	return nil
 }
 
-// helloResync opens the durable session on a fresh connection: send
-// FrameHello, learn the server's applied watermark from FrameHelloAck
-// (dropping the ledger prefix it acknowledges), and retransmit every
-// still-unacknowledged batch in order. Runs as part of connect, so any
-// failure surfaces as a failed (re)dial attempt.
-func (c *Client) helloResync() error {
+// sendHello writes the FrameHello opening this connection: the session
+// id (zero on plain tenant connections) followed by the tenant token.
+func (c *Client) sendHello() error {
 	var tmp [binary.MaxVarintLen64]byte
-	hello := AppendFrame(c.frame[:0], FrameHello, tmp[:binary.PutUvarint(tmp[:], c.cfg.Session)])
-	c.frame = hello
-	if _, err := c.conn.Write(hello); err != nil {
-		return err
-	}
-	for acked := false; !acked; {
+	payload := append(tmp[:binary.PutUvarint(tmp[:], c.cfg.Session)], c.cfg.Token...)
+	c.frame = AppendFrame(c.frame[:0], FrameHello, payload)
+	_, err := c.conn.Write(c.frame)
+	return err
+}
+
+// awaitHelloAck reads until the server's FrameHelloAck, applying the
+// acknowledged watermark to the ledger and any trailing flags.
+func (c *Client) awaitHelloAck() error {
+	for {
 		typ, payload, err := c.readFrame()
 		if err != nil {
 			return err
@@ -204,9 +240,11 @@ func (c *Client) helloResync() error {
 			if k <= 0 {
 				return fmt.Errorf("transport: malformed hello ack")
 			}
-			c.ackThrough(applied)
+			if c.cfg.Session != 0 {
+				c.ackThrough(applied)
+			}
 			c.applyFlags(payload[k:])
-			acked = true
+			return nil
 		case FrameCredit:
 			if err := c.handleCredit(payload); err != nil {
 				return err
@@ -217,6 +255,26 @@ func (c *Client) helloResync() error {
 			return fmt.Errorf("transport: unexpected frame 0x%02x while awaiting hello ack", typ)
 		}
 	}
+}
+
+// helloResync opens the durable session on a fresh version-1
+// connection: send FrameHello, learn the server's applied watermark
+// from FrameHelloAck (dropping the ledger prefix it acknowledges), and
+// retransmit every still-unacknowledged batch in order. Runs as part
+// of connect, so any failure surfaces as a failed (re)dial attempt.
+func (c *Client) helloResync() error {
+	if err := c.sendHello(); err != nil {
+		return err
+	}
+	if err := c.awaitHelloAck(); err != nil {
+		return err
+	}
+	return c.retransmitLedger()
+}
+
+// retransmitLedger re-sends every still-unacknowledged durable batch
+// in order on a freshly opened connection.
+func (c *Client) retransmitLedger() error {
 	// Iterate a snapshot, not the live ledger: when the unacked tail
 	// exceeds the credit window, waitCredit reads credit frames mid-loop
 	// whose piggybacked watermarks make ackThrough compact c.outstanding

@@ -20,6 +20,20 @@ import (
 	"repro/internal/event"
 )
 
+// ndjsonHelloToken recognizes a tenant hello line — a JSON object with
+// a "token" member, e.g. {"token":"tok-alpha"} — and returns the token
+// bytes. Only the connection's first line is ever tested against it;
+// event lines (no "token" member) report ok == false.
+func ndjsonHelloToken(line []byte) (token []byte, ok bool) {
+	var hello struct {
+		Token *string `json:"token"`
+	}
+	if err := json.Unmarshal(line, &hello); err != nil || hello.Token == nil {
+		return nil, false
+	}
+	return []byte(*hello.Token), true
+}
+
 // ndjsonEvent is the wire shape of one NDJSON line.
 type ndjsonEvent struct {
 	Seq  uint64          `json:"seq"`

@@ -323,11 +323,12 @@ func TestDurableFreshSessionResumesAboveWatermark(t *testing.T) {
 // TestSessionExpiry covers ExpireSessions: a session with a bound
 // connection never expires, an unbound one does once idle, and the
 // expired ids are reported so derived state (the WAL's session pins)
-// can be dropped with them.
+// can be dropped with them. The negative SessionExpiryFloor disables
+// the mid-redial protection so the test can expire immediately.
 func TestSessionExpiry(t *testing.T) {
 	harness.VerifyNoLeaks(t)
 	sink := &collectSink{}
-	srv := startServer(t, ServerConfig{Sink: sink, Window: 64})
+	srv := startServer(t, ServerConfig{Sink: sink, Window: 64, SessionExpiryFloor: -1})
 	srv.SeedSessions(map[uint64]SessionState{11: {Applied: 3}})
 
 	c, err := Dial(ClientConfig{Addr: srv.Addr().String(), BatchEvents: 8, Session: 5})
@@ -365,4 +366,126 @@ func TestSessionExpiry(t *testing.T) {
 	if st := srv.Stats(); st.Sessions != 0 {
 		t.Fatalf("sessions = %d after expiry, want 0", st.Sessions)
 	}
+}
+
+// TestSessionExpiryMidRedial regresses the duplicate-accept bug: a
+// durable producer mid-redial has conns == 0 for exactly its backoff
+// window, and an ExpireSessions sweep in that window used to drop the
+// dedup watermark so the retransmit after the reconnect was accepted
+// twice. Two defenses are pinned here: the expiry floor keeps an
+// aggressive sweep from expiring a freshly idle session at all, and
+// the watermark tombstone re-seeds a session that genuinely expired,
+// so even then the retransmitted tail dedups instead of re-applying.
+func TestSessionExpiryMidRedial(t *testing.T) {
+	harness.VerifyNoLeaks(t)
+
+	// Half 1: the floor. With the default floor in effect, a sweep with
+	// idle 0 must not expire a session that just went idle.
+	floorSink := &collectSink{}
+	floorSrv := startServer(t, ServerConfig{Sink: floorSink, Window: 64})
+	floorSrv.SeedSessions(map[uint64]SessionState{31: {Applied: 3}})
+	// Make the seeded session look freshly idle, as it would be the
+	// instant a producer's connection dropped.
+	if expired := floorSrv.ExpireSessions(0); len(expired) != 0 {
+		t.Fatalf("ExpireSessions(0) under the default floor expired %v, want none", expired)
+	}
+
+	// Half 2: the tombstone. Floor disabled so the session really does
+	// expire mid-redial; the rebind must resume dedup from the
+	// tombstoned watermark.
+	sink := &collectSink{}
+	srv := startServer(t, ServerConfig{Sink: sink, Window: 64, SessionExpiryFloor: -1})
+
+	var enc Encoder
+	body := enc.AppendEvents(nil, genEvents(8))
+	seqFrame := func(batchSeq uint64) []byte {
+		var tmp [binary.MaxVarintLen64]byte
+		payload := append([]byte(nil), tmp[:binary.PutUvarint(tmp[:], batchSeq)]...)
+		payload = append(payload, body...)
+		return AppendFrame(nil, FrameEventsSeq, payload)
+	}
+	dial := func() *rawConn {
+		t.Helper()
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		r := newRawConn(conn)
+		if err := r.write([]byte{Magic, ProtocolVersion}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.expect(FrameCredit); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.write(uvarintFrame(FrameHello, 21)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.expect(FrameHelloAck); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	// Connection 1: apply batch 1, then drop (the producer starts its
+	// redial backoff with batch 1 still in its ledger, unacked from its
+	// point of view if the ack was lost in flight).
+	r := dial()
+	if err := r.write(seqFrame(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.expect(FrameCredit); err != nil {
+		t.Fatal(err)
+	}
+	r.c.Close()
+
+	// The sweep lands exactly in the backoff window.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if expired := srv.ExpireSessions(0); len(expired) == 1 && expired[0] == 21 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session 21 never became expirable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Connection 2: the redial. The hello ack must already carry the
+	// tombstoned watermark, and the retransmit of batch 1 must dedup.
+	r2 := dial()
+	// dial consumed the hello ack; re-check via the retransmit path.
+	if err := r2.write(seqFrame(1)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := r2.expect(FrameCredit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k := binary.Uvarint(p) // grant
+	if applied, _ := binary.Uvarint(p[k:]); applied != 1 {
+		t.Fatalf("retransmit acked with watermark %d, want 1 (re-seeded from tombstone)", applied)
+	}
+	// Batch 2 continues the sequence contiguously.
+	if err := r2.write(seqFrame(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.expect(FrameCredit); err != nil {
+		t.Fatal(err)
+	}
+
+	if st := srv.Stats(); st.DedupBatches != 1 {
+		t.Fatalf("DedupBatches = %d, want 1 (the retransmit)", st.DedupBatches)
+	}
+	waitForEvents := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for len(sink.snapshot()) < want && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if got := len(sink.snapshot()); got != want {
+			t.Fatalf("sink has %d events, want %d (retransmit must not re-apply)", got, want)
+		}
+	}
+	waitForEvents(16)
 }

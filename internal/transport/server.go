@@ -25,6 +25,18 @@ type Sink interface {
 	SubmitBatch(events []event.Event)
 }
 
+// TenantSink is the optional Sink extension a tenant-aware sink
+// implements: when the server resolved a connection to a named tenant
+// (see ServerConfig.Authenticate) and the sink satisfies TenantSink,
+// accepted batches are submitted with their tenant identity so the
+// sink can scope delivery and shedding per tenant. engine.Engine
+// implements it. Batches from the anonymous tenant (and all batches
+// when tenancy is disabled) go through plain SubmitBatch.
+type TenantSink interface {
+	Sink
+	SubmitTenantBatch(tenant string, events []event.Event)
+}
+
 // Journal is the optional durability hook in front of the sink: when
 // configured, every accepted event batch is appended (as its
 // already-encoded wire bytes) and committed — fsynced — before it is
@@ -106,12 +118,40 @@ type ServerConfig struct {
 	// to load generators. Called from connection goroutines; must be
 	// safe for concurrent use.
 	StatsJSON func() []byte
+	// Authenticate, when non-nil, enables multi-tenancy: it maps a
+	// presented tenant token to a tenant identity and quota (see
+	// TenantAuth). Connections that present no token — every version-1
+	// binary connection, and NDJSON connections without a token line —
+	// are authenticated with a nil token, so the callback owns the
+	// anonymous-tenant policy too. An error rejects the connection with
+	// FrameError. Called from connection goroutines; must be safe for
+	// concurrent use. Nil disables tenancy entirely.
+	Authenticate func(token []byte) (TenantAuth, error)
+	// SessionExpiryFloor is the minimum idle time below which
+	// ExpireSessions refuses to expire a durable session, whatever idle
+	// period the caller passes. A producer mid-redial has conns == 0
+	// while it backs off; expiring its session in that window would
+	// drop the dedup watermark and double-accept the retransmit, so the
+	// floor must sit comfortably above the client redial horizon
+	// (MaxRedials × MaxBackoff). Zero means DefaultSessionExpiryFloor;
+	// negative disables the floor (tests only).
+	SessionExpiryFloor time.Duration
 	// Logf logs connection-level events (nil silences them).
 	Logf func(format string, args ...any)
 }
 
 // DefaultWindow is the per-connection credit window in events.
 const DefaultWindow = 8192
+
+// DefaultSessionExpiryFloor is the default minimum idle time before a
+// durable session may expire (see ServerConfig.SessionExpiryFloor):
+// comfortably above the default client redial horizon of 5 attempts
+// backed off to 2s each.
+const DefaultSessionExpiryFloor = 30 * time.Second
+
+// maxSessionTombstones bounds the expired-session watermark cache (see
+// ExpireSessions); the oldest tombstones are evicted FIFO past it.
+const maxSessionTombstones = 8192
 
 // ServerStats is a snapshot of server counters.
 type ServerStats struct {
@@ -154,6 +194,12 @@ type ServerStats struct {
 	// DegradedFor is the cumulative time spent degraded over the server
 	// lifetime, current episode included.
 	DegradedFor time.Duration
+	// AuthFailures counts connections rejected because their tenant
+	// token did not authenticate (only with ServerConfig.Authenticate).
+	AuthFailures uint64
+	// Tenants holds one entry per tenant seen since start, sorted by
+	// name; empty when tenancy is disabled.
+	Tenants []TenantStats
 }
 
 // Server is a TCP ingest server; build it with NewServer and drive it
@@ -182,9 +228,20 @@ type Server struct {
 	// created on FrameHello or seeded from recovery and outlive their
 	// connections (that is the point). They live for the server
 	// lifetime unless the application prunes quiet ones with
-	// ExpireSessions.
-	sessMu   sync.Mutex
-	sessions map[uint64]*session
+	// ExpireSessions. tombs keeps the watermarks of expired sessions
+	// (bounded FIFO, tombOrder is the eviction queue) so a producer
+	// rebinding after an expiry re-seeds its dedup watermark instead of
+	// double-accepting the retransmitted tail.
+	sessMu    sync.Mutex
+	sessions  map[uint64]*session
+	tombs     map[uint64]SessionState
+	tombOrder []uint64
+
+	// tenants maps tenant identities to their quota/accounting state
+	// (only populated when ServerConfig.Authenticate is set).
+	tenMu     sync.Mutex
+	tenants   map[string]*tenantState
+	authFails atomic.Uint64
 
 	mu        sync.Mutex
 	ln        net.Listener
@@ -231,6 +288,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:       cfg,
 		conns:     make(map[net.Conn]struct{}),
 		sessions:  make(map[uint64]*session),
+		tombs:     make(map[uint64]SessionState),
+		tenants:   make(map[string]*tenantState),
 		serveDone: make(chan struct{}),
 	}, nil
 }
@@ -250,13 +309,22 @@ func (s *Server) SeedSessions(states map[uint64]SessionState) {
 
 // bindSession returns (creating if needed) the state of one durable
 // session and binds the calling connection to it; a bound session is
-// never expired. Pair with unbindSession when the connection ends.
+// never expired. A session rebinding after ExpireSessions dropped it
+// re-seeds its dedup watermark from the expiry tombstone, so the
+// producer's retransmitted tail is deduplicated, not double-accepted.
+// Pair with unbindSession when the connection ends.
 func (s *Server) bindSession(id uint64) *session {
 	s.sessMu.Lock()
 	defer s.sessMu.Unlock()
 	sess := s.sessions[id]
 	if sess == nil {
 		sess = &session{}
+		if st, ok := s.tombs[id]; ok {
+			delete(s.tombs, id) // its tombOrder entry is skipped at eviction
+			sess.applied = st.Applied
+			sess.accepted = st.Accepted
+			sess.seeded = true
+		}
 		s.sessions[id] = sess
 	}
 	sess.conns++
@@ -275,14 +343,25 @@ func (s *Server) unbindSession(sess *session) {
 
 // ExpireSessions drops every durable session that has had no bound
 // connection for at least idle, returning the expired ids, and bounds
-// the session table under producer churn. A producer reconnecting
-// after its session expired resumes through the fresh-session path (its
-// next batch is adopted as the new watermark base), so expiry trades
-// retransmit dedup for that session against unbounded state — pick an
-// idle period comfortably above the producers' redial horizon. The ids
-// are returned so the caller can drop derived state too (espice-serve
+// the session table under producer churn. The effective idle period is
+// clamped up to ServerConfig.SessionExpiryFloor: a producer mid-redial
+// has conns == 0 for exactly its backoff window, and expiring it there
+// would discard the dedup watermark its retransmit depends on. Each
+// expired session also leaves a bounded watermark tombstone behind, so
+// even a session that does expire and later rebinds resumes dedup from
+// where it left off (see bindSession); only a tombstone evicted under
+// churn falls back to the fresh-session path, where the producer's
+// next batch is adopted as the new watermark base. The ids are
+// returned so the caller can drop derived state too (espice-serve
 // unpins the sessions' newest WAL records, see -session-expiry).
 func (s *Server) ExpireSessions(idle time.Duration) []uint64 {
+	floor := s.cfg.SessionExpiryFloor
+	if floor == 0 {
+		floor = DefaultSessionExpiryFloor
+	}
+	if floor > 0 && idle < floor {
+		idle = floor
+	}
 	now := time.Now()
 	s.sessMu.Lock()
 	defer s.sessMu.Unlock()
@@ -290,10 +369,28 @@ func (s *Server) ExpireSessions(idle time.Duration) []uint64 {
 	for id, sess := range s.sessions {
 		if sess.conns == 0 && now.Sub(sess.idleSince) >= idle {
 			delete(s.sessions, id)
+			sess.mu.Lock()
+			st := SessionState{Applied: sess.applied, Accepted: sess.accepted}
+			sess.mu.Unlock()
+			s.entombLocked(id, st)
 			expired = append(expired, id)
 		}
 	}
 	return expired
+}
+
+// entombLocked records an expired session's watermark in the bounded
+// tombstone cache; sessMu must be held.
+func (s *Server) entombLocked(id uint64, st SessionState) {
+	if _, ok := s.tombs[id]; !ok {
+		s.tombOrder = append(s.tombOrder, id)
+	}
+	s.tombs[id] = st
+	for len(s.tombs) > maxSessionTombstones && len(s.tombOrder) > 0 {
+		victim := s.tombOrder[0]
+		s.tombOrder = s.tombOrder[1:]
+		delete(s.tombs, victim) // no-op for entries revived by bindSession
+	}
 }
 
 // SessionStates snapshots every durable session's watermark.
@@ -595,6 +692,10 @@ func (s *Server) Stats() ServerStats {
 		st.DegradedSince = time.Unix(0, since)
 		st.DegradedFor += time.Since(st.DegradedSince)
 	}
+	st.AuthFailures = s.authFails.Load()
+	if s.cfg.Authenticate != nil {
+		st.Tenants = s.tenantStats()
+	}
 	return st
 }
 
@@ -631,19 +732,50 @@ func (s *Server) protoError(conn net.Conn, err error) {
 // pipeline's bounded queue is full — the same amount is granted back.
 // Decode, submit and credit writes all happen on this one goroutine, so
 // a connection never buffers more than one frame beyond the window.
+//
+// A version-1 connection is granted its window immediately after the
+// preface and runs as the anonymous tenant. A version-2 connection
+// (ProtocolVersionTenant) must open with FrameHello carrying its
+// tenant token; the window — carved from the tenant's aggregate credit
+// pool — is granted only after authentication, and grant-backs are
+// throttled by the tenant's token bucket.
 func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 	var preface [2]byte
 	if _, err := io.ReadFull(br, preface[:]); err != nil {
 		return
 	}
-	if preface[1] != ProtocolVersion {
+	if preface[1] != ProtocolVersion && preface[1] != ProtocolVersionTenant {
 		s.protoError(conn, fmt.Errorf("transport: protocol version %d not supported", preface[1]))
 		return
 	}
-	window := uint64(s.cfg.Window)
-	writeBuf := AppendCreditFrame(nil, window)
-	if err := s.write(conn, writeBuf); err != nil {
-		return
+	tenantMode := preface[1] == ProtocolVersionTenant
+
+	var (
+		ten      *tenantState
+		window   uint64
+		carved   int
+		writeBuf []byte
+	)
+	defer func() {
+		s.uncarveWindow(ten, carved)
+		tenantClose(ten)
+	}()
+	if !tenantMode {
+		var aerr error
+		if ten, aerr = s.resolveTenant(nil); aerr != nil {
+			s.protoError(conn, aerr)
+			return
+		}
+		tenantOpen(ten)
+		if carved = s.carveWindow(ten); carved <= 0 {
+			s.protoError(conn, fmt.Errorf("transport: tenant %q: aggregate credit window exhausted", ten.name))
+			return
+		}
+		window = uint64(carved)
+		writeBuf = AppendCreditFrame(nil, window)
+		if err := s.write(conn, writeBuf); err != nil {
+			return
+		}
 	}
 
 	dec := Decoder{Retain: true, MaxVals: s.cfg.MaxVals, MaxBatch: s.cfg.Window}
@@ -655,6 +787,7 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 	credit := window
 	var accepted uint64
 	var sawEOF bool
+	var helloDone bool
 	var sess *session // non-nil once FrameHello opened a durable session
 	var sessID uint64
 	defer func() {
@@ -677,6 +810,10 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 					break
 				}
 				s.frames.Add(1)
+				if tenantMode && !helloDone && typ != FrameHello {
+					s.protoError(conn, fmt.Errorf("transport: tenant connection must open with a hello frame"))
+					return
+				}
 				switch typ {
 				case FrameEvents:
 					if sawEOF {
@@ -715,10 +852,16 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 								return
 							}
 						}
-						s.cfg.Sink.SubmitBatch(events)
+						s.submitBatch(ten, events)
 						accepted += uint64(len(events))
 						s.evBinary.Add(uint64(len(events)))
+						if ten != nil {
+							ten.events.Add(uint64(len(events)))
+						}
 						credit += uint64(len(events))
+						// The batch is in; the tenant's rate limit delays
+						// only the grant-back (the producer's next window).
+						s.throttle(ten, len(events))
 						if degraded {
 							writeBuf = AppendCreditFlagsFrame(writeBuf[:0], uint64(len(events)), FlagDegraded)
 						} else {
@@ -729,20 +872,40 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 						}
 					}
 				case FrameHello:
-					if sess != nil {
+					if helloDone || sess != nil {
 						s.protoError(conn, fmt.Errorf("transport: duplicate hello frame"))
 						return
 					}
 					id, k := binary.Uvarint(payload)
-					if k <= 0 || id == 0 {
+					if k <= 0 || (id == 0 && !tenantMode) {
 						s.protoError(conn, fmt.Errorf("transport: malformed hello frame"))
 						return
 					}
-					sessID = id
-					sess = s.bindSession(id)
-					sess.mu.Lock()
-					applied := sess.applied
-					sess.mu.Unlock()
+					if tenantMode {
+						// The bytes after the session uvarint are the tenant
+						// token; authenticate before granting any credit.
+						var aerr error
+						if ten, aerr = s.resolveTenant(payload[k:]); aerr != nil {
+							s.protoError(conn, aerr)
+							return
+						}
+						tenantOpen(ten)
+						if carved = s.carveWindow(ten); carved <= 0 {
+							s.protoError(conn, fmt.Errorf("transport: tenant %q: aggregate credit window exhausted", ten.name))
+							return
+						}
+						window = uint64(carved)
+						credit = window
+					}
+					helloDone = true
+					var applied uint64
+					if id != 0 {
+						sessID = id
+						sess = s.bindSession(id)
+						sess.mu.Lock()
+						applied = sess.applied
+						sess.mu.Unlock()
+					}
 					var tmp [2 * binary.MaxVarintLen64]byte
 					ak := binary.PutUvarint(tmp[:], applied)
 					if s.degraded() {
@@ -754,6 +917,14 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 					writeBuf = AppendFrame(writeBuf[:0], FrameHelloAck, tmp[:ak])
 					if werr := s.write(conn, writeBuf); werr != nil {
 						return
+					}
+					if tenantMode {
+						// The initial grant, deferred past authentication:
+						// the carved window opens the connection's credit.
+						writeBuf = AppendCreditFrame(writeBuf[:0], window)
+						if werr := s.write(conn, writeBuf); werr != nil {
+							return
+						}
 					}
 				case FrameEventsSeq:
 					if sawEOF {
@@ -843,7 +1014,7 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 						}
 					}
 					if len(events) > 0 {
-						s.cfg.Sink.SubmitBatch(events)
+						s.submitBatch(ten, events)
 					}
 					sess.applied = batchSeq
 					sess.accepted += n
@@ -851,7 +1022,16 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 					sess.mu.Unlock()
 					accepted += n
 					s.evBinary.Add(n)
+					if ten != nil {
+						ten.events.Add(n)
+					}
 					credit += n
+					// Charge the tenant bucket only for applied batches —
+					// a deduplicated retransmit was paid for when its
+					// original was accepted — and strictly outside sess.mu,
+					// so a throttle sleep never blocks the session's other
+					// connections.
+					s.throttle(ten, int(n))
 					if degraded {
 						writeBuf = AppendCreditAckFlagsFrame(writeBuf[:0], n, applied, FlagDegraded)
 					} else {
@@ -888,6 +1068,19 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 	}
 }
 
+// submitBatch forwards one accepted batch to the sink, carrying the
+// tenant identity when the connection resolved to a named tenant and
+// the sink is tenant-aware (see TenantSink).
+func (s *Server) submitBatch(ten *tenantState, events []event.Event) {
+	if ten != nil && ten.name != "" {
+		if tsink, ok := s.cfg.Sink.(TenantSink); ok {
+			tsink.SubmitTenantBatch(ten.name, events)
+			return
+		}
+	}
+	s.cfg.Sink.SubmitBatch(events)
+}
+
 // journalBatch appends the batch's wire bytes to the configured
 // journal and commits (fsyncs) them. A non-nil return means the batch
 // is not durable and the caller must drop the connection without
@@ -914,7 +1107,29 @@ func (s *Server) journalBatch(sessID, batchSeq uint64, events []event.Event, pay
 // runs dry (so a lone line is never delayed). Backpressure is the
 // bounded read: the loop will not read more lines while the sink
 // blocks, which eventually blocks the producer in TCP flow control.
+//
+// Two kinds of non-event lines ride the same stream. The connection's
+// first line may be a tenant hello — {"token":"..."} — answered with
+// {"status":"ok","tenant":"..."}; without one the connection runs as
+// the anonymous tenant. And the server emits {"status":"degraded"} /
+// {"status":"durable"} lines on journal episode transitions (plus one
+// at connect when already degraded), so a plain-text producer learns
+// that acceptance is currently at-most-once — the NDJSON equivalent of
+// FlagDegraded, which only binary acks carry.
 func (s *Server) handleNDJSON(conn net.Conn, br *bufio.Reader) {
+	ten, aerr := s.resolveTenant(nil)
+	if aerr != nil {
+		s.protoErrs.Add(1)
+		fmt.Fprintf(conn, "{\"error\":%q}\n", aerr.Error())
+		return
+	}
+	tenantOpen(ten)
+	defer func() { tenantClose(ten) }()
+	connDegraded := false
+	if s.cfg.Journal != nil && s.degraded() {
+		connDegraded = true
+		fmt.Fprintf(conn, "{\"status\":%q}\n", "degraded")
+	}
 	const maxBatch = 256
 	batch := make([]event.Event, 0, maxBatch)
 	var enc Encoder
@@ -926,28 +1141,48 @@ func (s *Server) handleNDJSON(conn net.Conn, br *bufio.Reader) {
 		if len(batch) == 0 {
 			return true
 		}
+		nowDegraded := connDegraded
 		if s.cfg.Journal != nil {
 			jbuf = enc.AppendEvents(jbuf[:0], batch)
 			jerr := s.journalBatch(0, 0, batch, jbuf)
 			switch {
 			case jerr == nil:
 				s.noteJournal(false)
+				nowDegraded = false
 			case errors.Is(jerr, ErrJournalDegraded):
-				// NDJSON has no ack protocol to carry the degraded bit;
-				// accept lossily and account for it like the binary path.
+				// NDJSON has no ack frames to carry the degraded bit;
+				// accept lossily, account for it like the binary path and
+				// tell the producer with a status line below.
 				s.noteJournal(true)
 				s.lostDurable.Add(uint64(len(batch)))
+				nowDegraded = true
 			default:
 				s.logf("transport: %s: %v", conn.RemoteAddr(), jerr)
 				fmt.Fprintf(conn, "{\"error\":%q}\n", jerr.Error())
 				return false
 			}
 		}
-		s.cfg.Sink.SubmitBatch(batch)
+		s.submitBatch(ten, batch)
 		s.evNDJSON.Add(uint64(len(batch)))
+		if ten != nil {
+			ten.events.Add(uint64(len(batch)))
+		}
+		n := len(batch)
 		batch = batch[:0]
+		if nowDegraded != connDegraded {
+			connDegraded = nowDegraded
+			status := "durable"
+			if connDegraded {
+				status = "degraded"
+			}
+			fmt.Fprintf(conn, "{\"status\":%q}\n", status)
+		}
+		// Rate-limit by stalling the read loop: the producer blocks in
+		// TCP flow control once the socket buffers fill.
+		s.throttle(ten, n)
 		return true
 	}
+	firstLine := true
 	var lineBuf []byte
 	for {
 		s.armIdle(conn)
@@ -960,6 +1195,27 @@ func (s *Server) handleNDJSON(conn net.Conn, br *bufio.Reader) {
 			return
 		}
 		if trimmed := trimLine(line); len(trimmed) > 0 {
+			if token, ok := ndjsonHelloToken(trimmed); firstLine && ok {
+				firstLine = false
+				nt, terr := s.resolveTenant(token)
+				if terr != nil {
+					s.protoErrs.Add(1)
+					fmt.Fprintf(conn, "{\"error\":%q}\n", terr.Error())
+					return
+				}
+				// Rebind the connection count from the anonymous tenant
+				// (opened above) to the authenticated one.
+				tenantClose(ten)
+				ten = nt
+				tenantOpen(ten)
+				name := ""
+				if ten != nil {
+					name = ten.name
+				}
+				fmt.Fprintf(conn, "{\"status\":\"ok\",\"tenant\":%q}\n", name)
+				continue
+			}
+			firstLine = false
 			ev, perr := decodeNDJSONLine(trimmed, s.cfg.Registry)
 			if perr != nil {
 				flush()

@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TenantQuota bounds one tenant's ingress across every connection it
+// opens. The zero value means "server defaults": one connection's
+// worth of aggregate credit and no rate limit.
+type TenantQuota struct {
+	// Window caps the tenant's aggregate outstanding credit in events,
+	// summed across all of its connections: each binary connection
+	// carves its per-connection window (at most ServerConfig.Window)
+	// out of this pool at connect time and returns it on close, so a
+	// tenant opening many connections cannot multiply its buffering
+	// bound past the pool. A connection whose carve would be zero is
+	// rejected with FrameError. Zero defaults to ServerConfig.Window
+	// (one full connection's worth).
+	Window int
+	// Rate is the tenant's sustained ingress limit in events per
+	// second, enforced with a token bucket that throttles credit
+	// replenishment: an over-rate tenant sees its credit grants delayed
+	// rather than its events dropped, so the wire stays lossless and
+	// the backpressure reaches the producer as credit wait. Zero
+	// disables rate limiting.
+	Rate float64
+	// Burst is the token-bucket depth in events — how far above Rate a
+	// tenant may transiently spike before throttling begins. Zero
+	// defaults to Rate (one second of burst).
+	Burst float64
+}
+
+// TenantAuth is the authenticator's verdict for one presented token:
+// the tenant identity the connection runs under and the quota applied
+// to it. Re-authenticating an existing tenant updates its quota (the
+// latest verdict wins).
+type TenantAuth struct {
+	// Tenant is the tenant identity. The empty string is the anonymous
+	// tenant; all unauthenticated connections share it.
+	Tenant string
+	// Quota bounds the tenant's aggregate ingress.
+	Quota TenantQuota
+}
+
+// TenantStats is one tenant's slice of the server counters.
+type TenantStats struct {
+	// Tenant is the tenant identity ("" for the anonymous tenant).
+	Tenant string
+	// Conns counts the tenant's currently open connections and
+	// ConnsRejected the connections refused because the tenant's
+	// aggregate credit pool was exhausted.
+	Conns         int
+	ConnsRejected uint64
+	// Events counts accepted events across the tenant's connections.
+	Events uint64
+	// ThrottledBatches counts batches whose credit grant-back was
+	// delayed by the rate limiter; ThrottleWait is the cumulative delay
+	// injected — the tenant-attributed credit wait its producers
+	// experienced.
+	ThrottledBatches uint64
+	ThrottleWait     time.Duration
+	// CreditCarved is the tenant's currently outstanding carved credit
+	// in events (the used part of its aggregate window pool).
+	CreditCarved int
+}
+
+// tenantState is one tenant's live server-side accounting: the carved
+// share of its aggregate credit pool, its token bucket and counters.
+type tenantState struct {
+	name string
+
+	events    atomic.Uint64
+	throttled atomic.Uint64
+	waitNanos atomic.Int64
+	rejected  atomic.Uint64
+
+	mu       sync.Mutex
+	quota    TenantQuota
+	carved   int // outstanding credit carved by open connections
+	conns    int
+	bucket   float64
+	lastFill time.Time
+}
+
+// resolveTenant authenticates a presented token (nil for connections
+// that presented none) through the configured authenticator and
+// returns the tenant's state. A nil Authenticate disables tenancy:
+// every connection gets a nil tenant and behaves exactly as before
+// this layer existed.
+func (s *Server) resolveTenant(token []byte) (*tenantState, error) {
+	if s.cfg.Authenticate == nil {
+		return nil, nil
+	}
+	auth, err := s.cfg.Authenticate(token)
+	if err != nil {
+		s.authFails.Add(1)
+		return nil, fmt.Errorf("transport: authentication failed: %v", err)
+	}
+	s.tenMu.Lock()
+	ts := s.tenants[auth.Tenant]
+	if ts == nil {
+		// The bucket starts full: Burst is the depth a producer may burst
+		// above the sustained rate, and a tenant that has never sent
+		// anything is maximally entitled to it. Starting empty would
+		// throttle the very first batch of a well-behaved producer.
+		depth := auth.Quota.Burst
+		if depth <= 0 {
+			depth = auth.Quota.Rate
+		}
+		ts = &tenantState{name: auth.Tenant, lastFill: time.Now(), bucket: depth}
+		s.tenants[auth.Tenant] = ts
+	}
+	s.tenMu.Unlock()
+	ts.mu.Lock()
+	ts.quota = auth.Quota
+	ts.mu.Unlock()
+	return ts, nil
+}
+
+// tenantOpen counts one connection into the tenant (nil-safe).
+func tenantOpen(ts *tenantState) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	ts.conns++
+	ts.mu.Unlock()
+}
+
+// tenantClose counts one connection out of the tenant (nil-safe).
+func tenantClose(ts *tenantState) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	ts.conns--
+	ts.mu.Unlock()
+}
+
+// carveWindow carves one binary connection's credit window out of the
+// tenant's aggregate pool, returning the granted size — zero when the
+// pool is exhausted (the caller rejects the connection). A nil tenant
+// gets the full per-connection window.
+func (s *Server) carveWindow(ts *tenantState) int {
+	if ts == nil {
+		return s.cfg.Window
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	pool := ts.quota.Window
+	if pool <= 0 {
+		pool = s.cfg.Window
+	}
+	grant := s.cfg.Window
+	if avail := pool - ts.carved; grant > avail {
+		grant = avail
+	}
+	if grant <= 0 {
+		ts.rejected.Add(1)
+		return 0
+	}
+	ts.carved += grant
+	return grant
+}
+
+// uncarveWindow returns a connection's carved credit to the pool.
+func (s *Server) uncarveWindow(ts *tenantState, n int) {
+	if ts == nil || n <= 0 {
+		return
+	}
+	ts.mu.Lock()
+	ts.carved -= n
+	ts.mu.Unlock()
+}
+
+// charge spends n events from the tenant's token bucket and returns
+// how long the caller must delay to respect the sustained rate. The
+// bucket is reservation-style: it may go negative, and the returned
+// wait is the time for it to refill to zero — so a burst is admitted
+// immediately and the delay lands on the following grants.
+func (ts *tenantState) charge(n int) time.Duration {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	rate := ts.quota.Rate
+	if rate <= 0 {
+		return 0
+	}
+	burst := ts.quota.Burst
+	if burst <= 0 {
+		burst = rate
+	}
+	now := time.Now()
+	ts.bucket += now.Sub(ts.lastFill).Seconds() * rate
+	ts.lastFill = now
+	if ts.bucket > burst {
+		ts.bucket = burst
+	}
+	ts.bucket -= float64(n)
+	if ts.bucket >= 0 {
+		return 0
+	}
+	return time.Duration(-ts.bucket / rate * float64(time.Second))
+}
+
+// throttle delays the calling connection handler until the tenant's
+// token bucket admits a batch of n events. The sleep is chunked so a
+// closing server never waits out a long throttle, and it runs strictly
+// after the batch was accepted — throttling delays the credit
+// grant-back (the producer's next window), never the data already in
+// flight.
+func (s *Server) throttle(ts *tenantState, n int) {
+	if ts == nil || n <= 0 {
+		return
+	}
+	wait := ts.charge(n)
+	if wait <= 0 {
+		return
+	}
+	ts.throttled.Add(1)
+	ts.waitNanos.Add(int64(wait))
+	deadline := time.Now().Add(wait)
+	for {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return
+		}
+		if remain > 100*time.Millisecond {
+			remain = 100 * time.Millisecond
+		}
+		time.Sleep(remain)
+	}
+}
+
+// tenantStats snapshots every known tenant, sorted by name.
+func (s *Server) tenantStats() []TenantStats {
+	s.tenMu.Lock()
+	tens := make([]*tenantState, 0, len(s.tenants))
+	for _, ts := range s.tenants {
+		tens = append(tens, ts)
+	}
+	s.tenMu.Unlock()
+	out := make([]TenantStats, 0, len(tens))
+	for _, ts := range tens {
+		ts.mu.Lock()
+		st := TenantStats{
+			Tenant:       ts.name,
+			Conns:        ts.conns,
+			CreditCarved: ts.carved,
+		}
+		ts.mu.Unlock()
+		st.ConnsRejected = ts.rejected.Load()
+		st.Events = ts.events.Load()
+		st.ThrottledBatches = ts.throttled.Load()
+		st.ThrottleWait = time.Duration(ts.waitNanos.Load())
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

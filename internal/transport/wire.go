@@ -28,6 +28,15 @@ const (
 	// ProtocolVersion is the second preface byte; the server rejects
 	// connections with a version it does not speak.
 	ProtocolVersion byte = 1
+	// ProtocolVersionTenant is the tenant-handshake preface version: the
+	// client's first frame MUST be a FrameHello carrying its session id
+	// (zero for a plain, non-durable connection) and tenant token, and
+	// the server grants the initial credit window only after the token
+	// has been authenticated — the window is carved out of the tenant's
+	// aggregate credit pool instead of being a flat per-connection
+	// constant. Version-1 connections keep the original grant-upfront
+	// behavior and run as the anonymous tenant.
+	ProtocolVersionTenant byte = 2
 )
 
 // Frame types. Client-to-server types have the high bit clear,
@@ -45,8 +54,12 @@ const (
 	FrameStatsReq byte = 0x03
 	// FrameHello opens a durable session (payload: one uvarint, the
 	// non-zero session id). The server answers with FrameHelloAck; only
-	// a connection that sent FrameHello may send FrameEventsSeq. See the
-	// delivery-semantics section of docs/wire.md.
+	// a connection that sent FrameHello may send FrameEventsSeq. On a
+	// ProtocolVersionTenant connection the hello doubles as the tenant
+	// handshake: it must be the connection's first frame, the session id
+	// may be zero (a plain-mode hello, opening no durable session), and
+	// the bytes after the session uvarint are the tenant token. See the
+	// delivery-semantics and multi-tenancy sections of docs/wire.md.
 	FrameHello byte = 0x04
 	// FrameEventsSeq carries a sequenced batch of binary-encoded events
 	// on a durable session (payload: one uvarint batch sequence,
